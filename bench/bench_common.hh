@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/experiment binaries: standard sweep
+ * axes from the paper, round checkpoints for printing curves, and CLI
+ * plumbing into the experiment configs.
+ *
+ * Every bench accepts:
+ *   --codes N --words N --rounds N --seed N --threads N --csv
+ * so the default laptop-scale run can be scaled up toward the paper's
+ * full Monte-Carlo configuration.
+ */
+
+#ifndef HARP_BENCH_BENCH_COMMON_HH
+#define HARP_BENCH_BENCH_COMMON_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "core/coverage_experiment.hh"
+
+namespace harp::bench {
+
+/** Per-bit pre-correction error probabilities evaluated in the paper. */
+inline const std::vector<double> paperProbabilities = {0.25, 0.50, 0.75,
+                                                       1.00};
+
+/** Pre-correction error counts evaluated in Figs. 6-10. */
+inline const std::vector<std::size_t> paperErrorCounts = {2, 3, 4, 5};
+
+/** Logarithmically spaced profiling-round checkpoints for curve output. */
+inline std::vector<std::size_t>
+roundCheckpoints(std::size_t rounds)
+{
+    std::vector<std::size_t> points;
+    for (std::size_t r = 1; r <= rounds; r *= 2)
+        points.push_back(r);
+    if (points.empty() || points.back() != rounds)
+        points.push_back(rounds);
+    return points;
+}
+
+/** Populate a coverage config from the standard CLI flags. */
+inline core::CoverageConfig
+coverageConfigFromCli(const common::CommandLine &cli)
+{
+    core::CoverageConfig config;
+    config.k = static_cast<std::size_t>(cli.getInt("k", 64));
+    config.numCodes = static_cast<std::size_t>(cli.getInt("codes", 8));
+    config.wordsPerCode =
+        static_cast<std::size_t>(cli.getInt("words", 24));
+    config.rounds = static_cast<std::size_t>(cli.getInt("rounds", 128));
+    config.seed = static_cast<std::uint64_t>(cli.getInt("seed", 1));
+    config.threads = static_cast<std::size_t>(cli.getInt("threads", 0));
+    return config;
+}
+
+/** Print a rendered table, as CSV when --csv was passed. */
+inline void
+printTable(const common::Table &table, const common::CommandLine &cli,
+           std::ostream &os)
+{
+    if (cli.getBool("csv", false))
+        table.printCsv(os);
+    else
+        table.print(os);
+}
+
+} // namespace harp::bench
+
+#endif // HARP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Low-level bit-manipulation helpers shared by all HARP modules.
+ */
+
+#ifndef HARP_COMMON_BITS_HH
+#define HARP_COMMON_BITS_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace harp::common {
+
+/** Number of bits in one storage word used by packed bit containers. */
+inline constexpr std::size_t wordBits = 64;
+
+/** Index of the 64-bit word that holds bit @p bit. */
+constexpr std::size_t
+wordIndex(std::size_t bit)
+{
+    return bit / wordBits;
+}
+
+/** Offset of bit @p bit within its 64-bit word. */
+constexpr std::size_t
+bitOffset(std::size_t bit)
+{
+    return bit % wordBits;
+}
+
+/** Number of 64-bit words needed to store @p bits bits. */
+constexpr std::size_t
+wordsFor(std::size_t bits)
+{
+    return (bits + wordBits - 1) / wordBits;
+}
+
+/**
+ * Mask selecting the valid low bits of the final storage word of an
+ * @p bits -bit container. Returns all-ones when @p bits is a multiple of 64.
+ */
+constexpr std::uint64_t
+tailMask(std::size_t bits)
+{
+    const std::size_t rem = bits % wordBits;
+    return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+}
+
+/** Parity (XOR-reduction) of a 64-bit word: 1 if an odd number of set bits. */
+constexpr int
+parity64(std::uint64_t x)
+{
+    return std::popcount(x) & 1;
+}
+
+/** True iff @p x is zero or a power of two. */
+constexpr bool
+atMostOneBit(std::uint64_t x)
+{
+    return (x & (x - 1)) == 0;
+}
+
+} // namespace harp::common
+
+#endif // HARP_COMMON_BITS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for bench and example binaries.
+ *
+ * Supports `--name=value`, `--name value`, and boolean `--name` forms.
+ * Unknown flags are collected so binaries can reject typos.
+ */
+
+#ifndef HARP_COMMON_CLI_HH
+#define HARP_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace harp::common {
+
+/**
+ * Parsed command line. Flags are looked up by name (without the leading
+ * dashes); typed getters fall back to a caller-supplied default when the
+ * flag is absent.
+ */
+class CommandLine
+{
+  public:
+    CommandLine(int argc, const char *const *argv);
+
+    bool has(const std::string &name) const;
+
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+    double getDouble(const std::string &name, double def) const;
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Positional (non-flag) arguments in order of appearance. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Flag names that were parsed, for unknown-flag validation. */
+    std::vector<std::string> flagNames() const;
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace harp::common
+
+#endif // HARP_COMMON_CLI_HH

@@ -1,0 +1,92 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+
+namespace harp::common {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed)
+{
+    // Expand the seed via SplitMix64 per the generator authors' guidance;
+    // guarantees the all-zero state (the one invalid state) is unreachable.
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+        s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+static inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+Xoshiro256::result_type
+Xoshiro256::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Xoshiro256::nextBelow(std::uint64_t bound)
+{
+    // Debiased modulo via rejection sampling on the top of the range.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Xoshiro256::nextDouble()
+{
+    // 53 high-quality bits -> [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Xoshiro256::nextBernoulli(double p)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t parent, std::initializer_list<std::uint64_t> keys)
+{
+    std::uint64_t state = parent ^ 0xD1B54A32D192ED03ULL;
+    std::uint64_t out = splitMix64(state);
+    for (std::uint64_t key : keys) {
+        state ^= key + 0x9E3779B97F4A7C15ULL + (out << 6) + (out >> 2);
+        out = splitMix64(state);
+    }
+    return out;
+}
+
+} // namespace harp::common

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for Monte-Carlo simulation.
+ *
+ * Experiments derive independent child streams from (seed, code index, word
+ * index, ...) so that every simulated ECC word sees reproducible randomness
+ * regardless of thread scheduling, mirroring the "same ECC words, error
+ * patterns, and data patterns for every profiler" requirement of the paper
+ * (HARP, MICRO'21, section 7.1.2).
+ */
+
+#ifndef HARP_COMMON_RNG_HH
+#define HARP_COMMON_RNG_HH
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace harp::common {
+
+/**
+ * SplitMix64 mixing step. Used both as a standalone generator for seeding
+ * and as the hash that combines stream-derivation keys.
+ *
+ * @param state Mutable generator state; advanced by the golden-gamma step.
+ * @return Next 64-bit output.
+ */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * Xoshiro256** pseudo-random generator.
+ *
+ * Small, fast, and high quality; sufficient for fault-injection sampling.
+ * Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+ * with standard distributions where convenient.
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed expanded through SplitMix64. */
+    explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability @p p (clamped to [0,1]). */
+    bool nextBernoulli(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Derive an independent child seed from a parent seed and a list of keys.
+ *
+ * The derivation hashes each key into the running state with SplitMix64,
+ * so derive(s, {a, b}) and derive(s, {b, a}) differ and collisions between
+ * distinct key paths are no more likely than random 64-bit collisions.
+ */
+std::uint64_t deriveSeed(std::uint64_t parent,
+                         std::initializer_list<std::uint64_t> keys);
+
+} // namespace harp::common
+
+#endif // HARP_COMMON_RNG_HH

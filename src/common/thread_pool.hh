@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-size worker pool used to parallelize Monte-Carlo simulation across
+ * (ECC code, ECC word) tasks. Tasks are independent by construction (each
+ * derives its own RNG stream), so the pool needs no work stealing.
+ */
+
+#ifndef HARP_COMMON_THREAD_POOL_HH
+#define HARP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace harp::common {
+
+/**
+ * A simple fixed-size thread pool with a blocking wait-for-idle operation.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 selects hardware concurrency.
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has completed. */
+    void wait();
+
+    std::size_t numThreads() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable taskAvailable_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run @p body(i) for every i in [0, count) across a transient pool.
+ *
+ * Each invocation must be independent; @p body is shared across threads so
+ * it must be safe to call concurrently.
+ *
+ * @param count       Number of iterations.
+ * @param body        Callable invoked with the iteration index.
+ * @param num_threads Worker count; 0 selects hardware concurrency.
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)> &body,
+                 std::size_t num_threads = 0);
+
+} // namespace harp::common
+
+#endif // HARP_COMMON_THREAD_POOL_HH

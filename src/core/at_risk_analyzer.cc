@@ -1,0 +1,193 @@
+#include "core/at_risk_analyzer.hh"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "fault/cell.hh"
+#include "gf2/linear_solver.hh"
+
+namespace harp::core {
+
+AtRiskAnalyzer::AtRiskAnalyzer(const ecc::HammingCode &code,
+                               const fault::WordFaultModel &faults,
+                               std::size_t max_cells)
+    : code_(code),
+      faults_(faults),
+      cells_(faults.faults()),
+      directAtRisk_(code.k()),
+      indirectAtRisk_(code.k()),
+      postCorrectionAtRisk_(code.k())
+{
+    if (faults_.wordBits() != code_.n())
+        throw std::invalid_argument("AtRiskAnalyzer: fault model size");
+    if (cells_.size() > max_cells)
+        throw std::invalid_argument(
+            "AtRiskAnalyzer: too many at-risk cells to enumerate");
+
+    for (const fault::CellFault &f : cells_)
+        if (code_.isDataPosition(f.position))
+            directAtRisk_.set(f.position, true);
+
+    const std::size_t m = cells_.size();
+    for (std::uint32_t mask = 1; mask < (std::uint32_t{1} << m); ++mask) {
+        if (!feasible(mask))
+            continue;
+        ErrorPatternOutcome outcome = computeOutcome(mask);
+        for (const std::uint16_t pos : outcome.postErrors) {
+            postCorrectionAtRisk_.set(pos, true);
+            // Indirect error: the decoder itself flipped this bit.
+            if (outcome.correctedPosition &&
+                *outcome.correctedPosition == pos) {
+                indirectAtRisk_.set(pos, true);
+            }
+        }
+        outcomes_.push_back(std::move(outcome));
+    }
+}
+
+ErrorPatternOutcome
+AtRiskAnalyzer::computeOutcome(std::uint32_t mask) const
+{
+    ErrorPatternOutcome outcome;
+    outcome.failingMask = mask;
+
+    // Syndrome of the failing pattern: XOR of member columns.
+    std::uint32_t syndrome = 0;
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+        if ((mask >> i) & 1)
+            syndrome ^= code_.codewordColumn(cells_[i].position);
+    outcome.syndrome = syndrome;
+
+    // Post-correction data errors: uncorrected direct errors...
+    std::set<std::uint16_t> errors;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (((mask >> i) & 1) == 0)
+            continue;
+        const std::size_t pos = cells_[i].position;
+        if (code_.isDataPosition(pos))
+            errors.insert(static_cast<std::uint16_t>(pos));
+    }
+    // ... adjusted by whatever the decoder flips.
+    if (syndrome != 0) {
+        const auto corrected = code_.syndromeToPosition(syndrome);
+        outcome.correctedPosition = corrected;
+        if (corrected && code_.isDataPosition(*corrected)) {
+            const auto pos = static_cast<std::uint16_t>(*corrected);
+            if (errors.count(pos))
+                errors.erase(pos); // genuine correction
+            else
+                errors.insert(pos); // miscorrection (indirect error)
+        }
+    }
+    outcome.postErrors.assign(errors.begin(), errors.end());
+    return outcome;
+}
+
+bool
+AtRiskAnalyzer::feasible(std::uint32_t mask) const
+{
+    // A failing pattern is realizable iff some dataword charges every
+    // failing cell while discharging every *deterministic* (p == 1)
+    // at-risk cell outside the pattern — a charged p=1 cell always fails,
+    // so it cannot be excluded from the pattern any other way.
+    const bool charged_value =
+        faults_.technology() == fault::CellTechnology::TrueCell;
+    gf2::ConstraintSystem cs(code_.k());
+    auto constrain = [&](std::size_t cell, bool charged) {
+        const bool stored = charged == charged_value;
+        if (code_.isDataPosition(cell)) {
+            cs.pinVariable(cell, stored);
+        } else {
+            cs.addConstraint(code_.parityRow(cell - code_.k()), stored);
+        }
+    };
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if ((mask >> i) & 1)
+            constrain(cells_[i].position, true);
+        else if (cells_[i].probability >= 1.0)
+            constrain(cells_[i].position, false);
+    }
+    return cs.consistent();
+}
+
+std::size_t
+AtRiskAnalyzer::maxSimultaneousErrors(const gf2::BitVector &profile) const
+{
+    std::size_t max_count = 0;
+    for (const ErrorPatternOutcome &outcome : outcomes_) {
+        std::size_t count = 0;
+        for (const std::uint16_t pos : outcome.postErrors)
+            if (!profile.get(pos))
+                ++count;
+        max_count = std::max(max_count, count);
+    }
+    return max_count;
+}
+
+std::size_t
+AtRiskAnalyzer::unsafeBitsAfterReactive(const gf2::BitVector &profile) const
+{
+    std::set<std::uint16_t> unsafe;
+    for (const ErrorPatternOutcome &outcome : outcomes_) {
+        std::size_t count = 0;
+        for (const std::uint16_t pos : outcome.postErrors)
+            if (!profile.get(pos))
+                ++count;
+        if (count < 2)
+            continue; // a single residual error is absorbed by the
+                      // secondary SEC and reactively profiled
+        for (const std::uint16_t pos : outcome.postErrors)
+            if (!profile.get(pos))
+                unsafe.insert(pos);
+    }
+    return unsafe.size();
+}
+
+std::size_t
+AtRiskAnalyzer::unidentifiedAtRisk(const gf2::BitVector &profile) const
+{
+    gf2::BitVector missed = postCorrectionAtRisk_;
+    gf2::BitVector overlap = missed;
+    overlap &= profile;
+    return missed.popcount() - overlap.popcount();
+}
+
+std::vector<double>
+AtRiskAnalyzer::perBitErrorProbability(const gf2::BitVector &dataword) const
+{
+    const gf2::BitVector codeword = code_.encode(dataword);
+
+    // Charged at-risk cells under this pattern, with their probabilities.
+    std::vector<std::size_t> charged_idx;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (fault::isCharged(faults_.technology(),
+                             codeword.get(cells_[i].position)))
+            charged_idx.push_back(i);
+    }
+
+    std::vector<double> prob(code_.k(), 0.0);
+    const std::size_t m = charged_idx.size();
+    for (std::uint32_t sub = 1; sub < (std::uint32_t{1} << m); ++sub) {
+        // Probability that exactly this subset of charged cells fails.
+        double weight = 1.0;
+        std::uint32_t full_mask = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            const fault::CellFault &cell = cells_[charged_idx[i]];
+            if ((sub >> i) & 1) {
+                weight *= cell.probability;
+                full_mask |= std::uint32_t{1} << charged_idx[i];
+            } else {
+                weight *= 1.0 - cell.probability;
+            }
+        }
+        if (weight == 0.0)
+            continue;
+        const ErrorPatternOutcome outcome = computeOutcome(full_mask);
+        for (const std::uint16_t pos : outcome.postErrors)
+            prob[pos] += weight;
+    }
+    return prob;
+}
+
+} // namespace harp::core

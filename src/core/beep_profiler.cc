@@ -1,0 +1,122 @@
+#include "core/beep_profiler.hh"
+
+#include <bit>
+
+#include "gf2/linear_solver.hh"
+
+namespace harp::core {
+
+BeepProfiler::BeepProfiler(const ecc::HammingCode &code)
+    : Profiler(code.k()), code_(code)
+{
+}
+
+void
+BeepProfiler::addSuspectedCell(std::size_t codeword_position)
+{
+    suspected_.insert(codeword_position);
+    observedAnyError_ = true;
+}
+
+std::optional<gf2::BitVector>
+BeepProfiler::craftPattern(std::size_t probe) const
+{
+    gf2::ConstraintSystem cs(k_);
+    std::vector<bool> targeted(code_.n(), false);
+    auto charge = [&](std::size_t cell) {
+        targeted[cell] = true;
+        if (code_.isDataPosition(cell)) {
+            cs.pinVariable(cell, true);
+        } else {
+            cs.addConstraint(code_.parityRow(cell - k_), true);
+        }
+    };
+    for (const std::size_t cell : suspected_)
+        charge(cell);
+    charge(probe);
+    // Discharge all remaining data cells so that any direct error observed
+    // this round is attributable to the targeted set. Parity cells outside
+    // the target set float (their charge is whatever the solve implies).
+    for (std::size_t i = 0; i < k_; ++i)
+        if (!targeted[i])
+            cs.pinVariable(i, false);
+    return cs.solveAny();
+}
+
+gf2::BitVector
+BeepProfiler::chooseDataword(std::size_t round,
+                             const gf2::BitVector &suggested,
+                             common::Xoshiro256 &rng)
+{
+    (void)rng;
+    (void)round;
+    // Bootstrap phase: random patterns until the first confirmed error.
+    if (!observedAnyError_ || suspected_.empty())
+        return suggested;
+
+    // Probe phase: cycle through non-suspected codeword positions and
+    // craft a pattern for the first feasible probe target.
+    const std::size_t n = code_.n();
+    for (std::size_t attempt = 0; attempt < n; ++attempt) {
+        const std::size_t probe = probeCursor_;
+        probeCursor_ = (probeCursor_ + 1) % n;
+        if (suspected_.count(probe) > 0)
+            continue;
+        if (auto crafted = craftPattern(probe))
+            return *crafted;
+    }
+    return suggested;
+}
+
+void
+BeepProfiler::observe(const RoundObservation &obs)
+{
+    gf2::BitVector diff = obs.writtenData;
+    diff ^= obs.postCorrectionData;
+    if (diff.isZero())
+        return;
+    observedAnyError_ = true;
+    identified_ |= diff;
+    // Every observed post-correction error position becomes a suspected
+    // pre-correction at-risk cell. Some of these are actually indirect
+    // errors (miscorrections); charging them in later patterns is merely
+    // wasteful, not harmful.
+    diff.forEachSetBit([&](std::size_t pos) { suspected_.insert(pos); });
+    precomputeFromSuspects();
+}
+
+void
+BeepProfiler::precomputeFromSuspects()
+{
+    // BEEP knows H, so (like HARP-A) it can compute the miscorrection
+    // target of every uncorrectable combination of suspected cells and
+    // pre-add those bits to its profile.
+    const std::vector<std::size_t> cells(suspected_.begin(),
+                                         suspected_.end());
+    const std::size_t m = cells.size();
+    constexpr std::size_t enum_limit = 16;
+    auto consider = [&](std::uint32_t syndrome) {
+        const auto target = code_.syndromeToPosition(syndrome);
+        if (target && code_.isDataPosition(*target))
+            identified_.set(*target, true);
+    };
+    if (m <= enum_limit) {
+        for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << m);
+             ++mask) {
+            if (std::popcount(mask) < 2)
+                continue;
+            std::uint32_t syndrome = 0;
+            for (std::size_t i = 0; i < m; ++i)
+                if ((mask >> i) & 1)
+                    syndrome ^= code_.codewordColumn(cells[i]);
+            consider(syndrome);
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = i + 1; j < m; ++j)
+            consider(code_.codewordColumn(cells[i]) ^
+                     code_.codewordColumn(cells[j]));
+}
+
+} // namespace harp::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * BEEP baseline profiler (HARP section 7.1.1; algorithm from the BEER
+ * paper, Patel et al., MICRO 2020).
+ *
+ * BEEP knows the on-die ECC parity-check matrix (e.g.\ from BEER reverse
+ * engineering) but has no visibility into pre-correction errors. It uses
+ * random data patterns until the first post-correction error is confirmed;
+ * thereafter it crafts data patterns that charge all currently-suspected
+ * at-risk cells plus one probe cell, chosen round-robin, so hypothesized
+ * failure combinations produce observable miscorrections. Pattern crafting
+ * solves the cell-charge constraints as an affine GF(2) system (the same
+ * queries the original artifact posed to a SAT solver).
+ */
+
+#ifndef HARP_CORE_BEEP_PROFILER_HH
+#define HARP_CORE_BEEP_PROFILER_HH
+
+#include <set>
+#include <vector>
+
+#include "core/profiler.hh"
+#include "ecc/hamming_code.hh"
+
+namespace harp::core {
+
+/**
+ * BEEP: SAT-crafted-pattern profiler with parity-check matrix knowledge.
+ */
+class BeepProfiler : public Profiler
+{
+  public:
+    explicit BeepProfiler(const ecc::HammingCode &code);
+
+    std::string name() const override { return "BEEP"; }
+
+    gf2::BitVector chooseDataword(std::size_t round,
+                                  const gf2::BitVector &suggested,
+                                  common::Xoshiro256 &rng) override;
+
+    void observe(const RoundObservation &obs) override;
+
+    /** Codeword positions currently believed to be at risk of
+     *  pre-correction error (the crafted patterns charge these). */
+    const std::set<std::size_t> &suspectedCells() const
+    {
+        return suspected_;
+    }
+
+    /**
+     * Seed the suspect set with externally-known at-risk cells (used by
+     * HARP-A+BEEP, which feeds BEEP the direct errors found via the
+     * bypass path).
+     */
+    void addSuspectedCell(std::size_t codeword_position);
+
+  protected:
+    /**
+     * Craft a dataword charging all suspects plus @p probe. Data cells
+     * outside the target set are left discharged so any observed error is
+     * attributable.
+     *
+     * @return The crafted word, or std::nullopt when the charge
+     *         constraints are infeasible (e.g.\ a parity probe whose
+     *         charge state conflicts with the pinned data cells).
+     */
+    std::optional<gf2::BitVector> craftPattern(std::size_t probe) const;
+
+    /** Update the identified set with miscorrection targets computable
+     *  from the current suspect set. */
+    void precomputeFromSuspects();
+
+    const ecc::HammingCode &code_;
+    std::set<std::size_t> suspected_;
+    std::size_t probeCursor_ = 0;
+    bool observedAnyError_ = false;
+};
+
+} // namespace harp::core
+
+#endif // HARP_CORE_BEEP_PROFILER_HH

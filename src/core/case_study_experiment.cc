@@ -1,0 +1,158 @@
+#include "core/case_study_experiment.hh"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/at_risk_analyzer.hh"
+#include "core/beep_profiler.hh"
+#include "core/harp_profiler.hh"
+#include "core/naive_profiler.hh"
+#include "core/round_engine.hh"
+#include "ecc/hamming_code.hh"
+
+namespace harp::core {
+
+double
+binomialPmf(std::size_t n, std::size_t trials, double p)
+{
+    if (n > trials)
+        return 0.0;
+    // Log-space for numerical robustness at tiny p.
+    double log_choose = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        log_choose += std::log(static_cast<double>(trials - i)) -
+                      std::log(static_cast<double>(i + 1));
+    }
+    const double log_pmf =
+        log_choose + static_cast<double>(n) * std::log(p) +
+        static_cast<double>(trials - n) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+CaseStudyResult
+runCaseStudyExperiment(const CaseStudyConfig &config)
+{
+    CaseStudyResult result;
+    result.config = config;
+    result.profilerNames = {"Naive", "BEEP", "HARP-U", "HARP-A"};
+    const std::size_t num_profilers = result.profilerNames.size();
+
+    // Conditional sums: [profiler][cell count n][round] of (a) unidentified
+    // post-correction at-risk bits and (b) unsafe bits after reactive
+    // profiling, summed over Monte-Carlo samples.
+    const std::size_t max_n = config.maxConditionedCells;
+    std::vector<std::vector<std::vector<std::uint64_t>>> before_sum(
+        num_profilers,
+        std::vector<std::vector<std::uint64_t>>(
+            max_n + 1, std::vector<std::uint64_t>(config.rounds, 0)));
+    auto after_sum = before_sum;
+
+    std::mutex merge_mutex;
+    const std::size_t total_tasks = max_n * config.samplesPerCellCount;
+
+    common::parallelFor(total_tasks, [&](std::size_t task) {
+        const std::size_t n = 1 + task / config.samplesPerCellCount;
+        const std::size_t sample = task % config.samplesPerCellCount;
+
+        common::Xoshiro256 code_rng(
+            common::deriveSeed(config.seed, {0xC0DEu, n, sample}));
+        const ecc::HammingCode code =
+            ecc::HammingCode::randomSec(config.k, code_rng);
+
+        common::Xoshiro256 fault_rng(
+            common::deriveSeed(config.seed, {0xFA17u, n, sample}));
+        const fault::WordFaultModel faults =
+            fault::WordFaultModel::makeUniformFixedCount(
+                code.n(), n, config.perBitProbability, fault_rng);
+
+        const AtRiskAnalyzer analyzer(code, faults);
+
+        std::vector<std::unique_ptr<Profiler>> profilers;
+        profilers.push_back(std::make_unique<NaiveProfiler>(code.k()));
+        profilers.push_back(std::make_unique<BeepProfiler>(code));
+        profilers.push_back(std::make_unique<HarpUProfiler>(code.k()));
+        profilers.push_back(std::make_unique<HarpAProfiler>(code));
+        std::vector<Profiler *> raw;
+        for (auto &p : profilers)
+            raw.push_back(p.get());
+
+        RoundEngine engine(code, faults, config.pattern,
+                           common::deriveSeed(config.seed,
+                                              {0xE221u, n, sample}));
+
+        std::vector<std::vector<std::uint64_t>> local_before(
+            num_profilers, std::vector<std::uint64_t>(config.rounds, 0));
+        auto local_after = local_before;
+
+        for (std::size_t r = 0; r < config.rounds; ++r) {
+            engine.runRound(raw);
+            for (std::size_t pi = 0; pi < raw.size(); ++pi) {
+                const gf2::BitVector &ident = raw[pi]->identified();
+                local_before[pi][r] = analyzer.unidentifiedAtRisk(ident);
+                local_after[pi][r] =
+                    analyzer.unsafeBitsAfterReactive(ident);
+            }
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t pi = 0; pi < num_profilers; ++pi) {
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                before_sum[pi][n][r] += local_before[pi][r];
+                after_sum[pi][n][r] += local_after[pi][r];
+            }
+        }
+    }, config.threads);
+
+    // Mix the conditional expectations with Binomial weights.
+    const std::size_t codeword_bits =
+        config.k + ecc::HammingCode::minParityBits(config.k);
+    const double samples =
+        static_cast<double>(config.samplesPerCellCount);
+    for (std::size_t pi = 0; pi < num_profilers; ++pi) {
+        for (const double rber : config.rbers) {
+            CaseStudySeries series;
+            series.profiler = result.profilerNames[pi];
+            series.rber = rber;
+            series.berBefore.assign(config.rounds, 0.0);
+            series.berAfter.assign(config.rounds, 0.0);
+            for (std::size_t n = 1; n <= max_n; ++n) {
+                const double weight =
+                    binomialPmf(n, codeword_bits, rber);
+                for (std::size_t r = 0; r < config.rounds; ++r) {
+                    series.berBefore[r] +=
+                        weight *
+                        (static_cast<double>(before_sum[pi][n][r]) /
+                         samples) /
+                        static_cast<double>(config.k);
+                    series.berAfter[r] +=
+                        weight *
+                        (static_cast<double>(after_sum[pi][n][r]) /
+                         samples) /
+                        static_cast<double>(config.k);
+                }
+            }
+            result.series.push_back(std::move(series));
+        }
+
+        // First round with zero post-reactive residual across every
+        // conditioned cell count (equivalently: mixture exactly zero).
+        std::size_t first_zero = config.rounds + 1;
+        for (std::size_t r = 0; r < config.rounds; ++r) {
+            bool all_zero = true;
+            for (std::size_t n = 1; n <= max_n && all_zero; ++n)
+                all_zero = (after_sum[pi][n][r] == 0);
+            if (all_zero) {
+                first_zero = r + 1;
+                break;
+            }
+        }
+        result.roundsToZeroAfter.push_back(first_zero);
+    }
+
+    return result;
+}
+
+} // namespace harp::core

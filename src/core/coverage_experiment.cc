@@ -1,0 +1,206 @@
+#include "core/coverage_experiment.hh"
+
+#include <memory>
+#include <mutex>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/at_risk_analyzer.hh"
+#include "core/beep_profiler.hh"
+#include "core/harp_a_beep_profiler.hh"
+#include "core/harp_profiler.hh"
+#include "core/naive_profiler.hh"
+#include "core/round_engine.hh"
+#include "ecc/hamming_code.hh"
+
+namespace harp::core {
+
+namespace {
+
+/** Per-word scratch results for one profiler, merged under a mutex. */
+struct WordStats
+{
+    std::vector<std::uint64_t> directIdentified;
+    std::vector<std::uint64_t> indirectMissed;
+    std::vector<std::uint64_t> falsePositives;
+    double bootstrapRound = 0.0;
+    std::int64_t maxSimulFinal = 0;
+    std::array<double, maxTrackedBound> roundsToBound{};
+};
+
+std::size_t
+countIntersection(const gf2::BitVector &a, const gf2::BitVector &b)
+{
+    gf2::BitVector tmp = a;
+    tmp &= b;
+    return tmp.popcount();
+}
+
+} // namespace
+
+double
+CoverageResult::directCoverage(std::size_t profiler, std::size_t r) const
+{
+    if (totalDirectAtRisk == 0)
+        return 1.0;
+    return static_cast<double>(
+               profilers[profiler].directIdentifiedSum[r]) /
+           static_cast<double>(totalDirectAtRisk);
+}
+
+double
+CoverageResult::missedIndirectPerWord(std::size_t profiler,
+                                      std::size_t r) const
+{
+    if (numWords == 0)
+        return 0.0;
+    return static_cast<double>(profilers[profiler].indirectMissedSum[r]) /
+           static_cast<double>(numWords);
+}
+
+CoverageResult
+runCoverageExperiment(const CoverageConfig &config)
+{
+    CoverageResult result;
+    result.config = config;
+
+    std::vector<std::string> names = {"Naive", "BEEP", "HARP-U", "HARP-A"};
+    if (config.includeHarpABeep)
+        names.push_back("HARP-A+BEEP");
+
+    for (const std::string &name : names) {
+        ProfilerAggregate agg;
+        agg.name = name;
+        agg.directIdentifiedSum.assign(config.rounds, 0);
+        agg.indirectMissedSum.assign(config.rounds, 0);
+        agg.falsePositiveSum.assign(config.rounds, 0);
+        result.profilers.push_back(std::move(agg));
+    }
+
+    std::mutex merge_mutex;
+    const std::size_t total_tasks = config.numCodes * config.wordsPerCode;
+
+    common::parallelFor(total_tasks, [&](std::size_t task) {
+        const std::size_t code_idx = task / config.wordsPerCode;
+        const std::size_t word_idx = task % config.wordsPerCode;
+
+        // Deterministic per-task streams, independent of scheduling.
+        common::Xoshiro256 code_rng(
+            common::deriveSeed(config.seed, {0xC0DEu, code_idx}));
+        const ecc::HammingCode code =
+            ecc::HammingCode::randomSec(config.k, code_rng);
+
+        common::Xoshiro256 fault_rng(common::deriveSeed(
+            config.seed, {0xFA17u, code_idx, word_idx}));
+        const fault::WordFaultModel faults =
+            fault::WordFaultModel::makeUniformFixedCount(
+                code.n(), config.numPreCorrectionErrors,
+                config.perBitProbability, fault_rng);
+
+        const AtRiskAnalyzer analyzer(code, faults);
+        const gf2::BitVector &direct_gt = analyzer.directAtRisk();
+        const gf2::BitVector &indirect_gt = analyzer.indirectAtRisk();
+        gf2::BitVector any_gt = direct_gt;
+        any_gt |= indirect_gt;
+        const std::size_t direct_total = direct_gt.popcount();
+        const std::size_t indirect_total = indirect_gt.popcount();
+
+        // Instantiate the profiler set (order matches `names`).
+        std::vector<std::unique_ptr<Profiler>> profilers;
+        profilers.push_back(std::make_unique<NaiveProfiler>(code.k()));
+        profilers.push_back(std::make_unique<BeepProfiler>(code));
+        profilers.push_back(std::make_unique<HarpUProfiler>(code.k()));
+        profilers.push_back(std::make_unique<HarpAProfiler>(code));
+        if (config.includeHarpABeep)
+            profilers.push_back(
+                std::make_unique<HarpABeepProfiler>(code));
+
+        std::vector<Profiler *> raw;
+        raw.reserve(profilers.size());
+        for (auto &p : profilers)
+            raw.push_back(p.get());
+
+        RoundEngine engine(code, faults, config.pattern,
+                           common::deriveSeed(config.seed,
+                                              {0xE221u, code_idx,
+                                               word_idx}));
+
+        std::vector<WordStats> stats(profilers.size());
+        for (auto &s : stats) {
+            s.directIdentified.assign(config.rounds, 0);
+            s.indirectMissed.assign(config.rounds, 0);
+            s.falsePositives.assign(config.rounds, 0);
+            s.bootstrapRound =
+                static_cast<double>(config.rounds + 1);
+            for (auto &r : s.roundsToBound)
+                r = static_cast<double>(config.rounds + 1);
+        }
+
+        // Check the "0 rounds of profiling" bound state first.
+        const gf2::BitVector empty_profile(code.k());
+        const std::size_t initial_max =
+            analyzer.maxSimultaneousErrors(empty_profile);
+        for (auto &s : stats)
+            for (std::size_t x = 1; x <= maxTrackedBound; ++x)
+                if (initial_max <= x)
+                    s.roundsToBound[x - 1] = 0.0;
+
+        for (std::size_t r = 0; r < config.rounds; ++r) {
+            engine.runRound(raw);
+            for (std::size_t pi = 0; pi < raw.size(); ++pi) {
+                const gf2::BitVector &ident = raw[pi]->identified();
+                const std::size_t direct_found =
+                    countIntersection(ident, direct_gt);
+                const std::size_t indirect_found =
+                    countIntersection(ident, indirect_gt);
+                stats[pi].directIdentified[r] = direct_found;
+                stats[pi].indirectMissed[r] =
+                    indirect_total - indirect_found;
+                stats[pi].falsePositives[r] =
+                    ident.popcount() - countIntersection(ident, any_gt);
+                if (direct_found > 0 &&
+                    stats[pi].bootstrapRound >
+                        static_cast<double>(config.rounds)) {
+                    stats[pi].bootstrapRound =
+                        static_cast<double>(r + 1);
+                }
+                const std::size_t max_simul =
+                    analyzer.maxSimultaneousErrors(ident);
+                for (std::size_t x = 1; x <= maxTrackedBound; ++x) {
+                    if (max_simul <= x &&
+                        stats[pi].roundsToBound[x - 1] >
+                            static_cast<double>(config.rounds)) {
+                        stats[pi].roundsToBound[x - 1] =
+                            static_cast<double>(r + 1);
+                    }
+                }
+                if (r + 1 == config.rounds) {
+                    stats[pi].maxSimulFinal =
+                        static_cast<std::int64_t>(max_simul);
+                }
+            }
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.totalDirectAtRisk += direct_total;
+        result.totalIndirectAtRisk += indirect_total;
+        result.numWords += 1;
+        for (std::size_t pi = 0; pi < stats.size(); ++pi) {
+            ProfilerAggregate &agg = result.profilers[pi];
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                agg.directIdentifiedSum[r] +=
+                    stats[pi].directIdentified[r];
+                agg.indirectMissedSum[r] += stats[pi].indirectMissed[r];
+                agg.falsePositiveSum[r] += stats[pi].falsePositives[r];
+            }
+            agg.bootstrapRounds.add(stats[pi].bootstrapRound);
+            agg.maxSimultaneousFinal.add(stats[pi].maxSimulFinal);
+            for (std::size_t x = 0; x < maxTrackedBound; ++x)
+                agg.roundsToBound[x].add(stats[pi].roundsToBound[x]);
+        }
+    }, config.threads);
+
+    return result;
+}
+
+} // namespace harp::core

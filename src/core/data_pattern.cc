@@ -1,0 +1,72 @@
+#include "core/data_pattern.hh"
+
+#include <stdexcept>
+
+namespace harp::core {
+
+std::string
+patternKindName(PatternKind kind)
+{
+    switch (kind) {
+      case PatternKind::Random:
+        return "random";
+      case PatternKind::Charged:
+        return "charged";
+      case PatternKind::Checkered:
+        return "checkered";
+    }
+    return "unknown";
+}
+
+PatternKind
+patternKindFromName(const std::string &name)
+{
+    if (name == "random")
+        return PatternKind::Random;
+    if (name == "charged")
+        return PatternKind::Charged;
+    if (name == "checkered")
+        return PatternKind::Checkered;
+    throw std::invalid_argument("unknown pattern kind: " + name);
+}
+
+PatternGenerator::PatternGenerator(PatternKind kind, std::size_t k,
+                                   std::uint64_t seed)
+    : kind_(kind), k_(k), rng_(seed), base_(k)
+{
+    switch (kind_) {
+      case PatternKind::Random:
+        // Base refreshed lazily in pattern().
+        break;
+      case PatternKind::Charged:
+        base_.fill(true);
+        break;
+      case PatternKind::Checkered:
+        for (std::size_t i = 0; i < k_; ++i)
+            base_.set(i, (i % 2) == 0);
+        break;
+    }
+}
+
+gf2::BitVector
+PatternGenerator::pattern(std::size_t round)
+{
+    if (kind_ == PatternKind::Charged)
+        return base_;
+
+    if (kind_ == PatternKind::Random && round >= nextFreshRound_) {
+        // New random base every two rounds (pattern + inverse pairs).
+        base_ = gf2::BitVector::random(k_, rng_);
+        nextFreshRound_ = round + 2 - (round % 2);
+    }
+
+    if (round % 2 == 0)
+        return base_;
+    gf2::BitVector inverted = base_;
+    gf2::BitVector ones(k_);
+    ones.fill(true);
+    inverted ^= ones;
+    return inverted;
+}
+
+} // namespace harp::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Memory data patterns used by active profiling rounds (HARP sections 6.2
+ * and 7.1.2).
+ *
+ * The paper evaluates three patterns:
+ *  - random:    a fresh random dataword every two rounds, inverted on the
+ *               second round of each pair;
+ *  - charged:   all '1's (0xFF), every cell of the data region charged;
+ *  - checkered: alternating 0/1, inverted every other round.
+ */
+
+#ifndef HARP_CORE_DATA_PATTERN_HH
+#define HARP_CORE_DATA_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "gf2/bit_vector.hh"
+
+namespace harp::core {
+
+/** Data-pattern policy for active profiling. */
+enum class PatternKind
+{
+    Random,    ///< Random base pattern, inverted on odd rounds.
+    Charged,   ///< All ones (0xFF...), every round.
+    Checkered, ///< 0101... base pattern, inverted on odd rounds.
+};
+
+/** Human-readable pattern name ("random", "charged", "checkered"). */
+std::string patternKindName(PatternKind kind);
+
+/** Parse a pattern name; throws std::invalid_argument on bad input. */
+PatternKind patternKindFromName(const std::string &name);
+
+/**
+ * Deterministic per-round dataword generator implementing the paper's
+ * pattern schedule. Round indices are 0-based.
+ */
+class PatternGenerator
+{
+  public:
+    /**
+     * @param kind Pattern policy.
+     * @param k    Dataword length.
+     * @param seed Seed for the random policy's base patterns.
+     */
+    PatternGenerator(PatternKind kind, std::size_t k, std::uint64_t seed);
+
+    PatternKind kind() const { return kind_; }
+
+    /** Dataword for round @p round. Must be called with non-decreasing
+     *  round numbers (the random policy advances its stream). */
+    gf2::BitVector pattern(std::size_t round);
+
+  private:
+    PatternKind kind_;
+    std::size_t k_;
+    common::Xoshiro256 rng_;
+    gf2::BitVector base_;
+    std::size_t nextFreshRound_ = 0;
+};
+
+} // namespace harp::core
+
+#endif // HARP_CORE_DATA_PATTERN_HH

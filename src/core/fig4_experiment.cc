@@ -1,0 +1,70 @@
+#include "core/fig4_experiment.hh"
+
+#include <mutex>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/at_risk_analyzer.hh"
+#include "ecc/hamming_code.hh"
+#include "fault/fault_model.hh"
+
+namespace harp::core {
+
+Fig4Result
+runFig4Experiment(const Fig4Config &config)
+{
+    Fig4Result result;
+    result.config = config;
+    for (std::size_t n = config.minPreCorrectionErrors;
+         n <= config.maxPreCorrectionErrors; ++n) {
+        Fig4Row row;
+        row.numPreCorrectionErrors = n;
+        result.rows.push_back(std::move(row));
+    }
+
+    const std::size_t num_counts = result.rows.size();
+    std::mutex merge_mutex;
+    const std::size_t total_tasks = config.numCodes * num_counts;
+
+    common::parallelFor(total_tasks, [&](std::size_t task) {
+        const std::size_t code_idx = task / num_counts;
+        const std::size_t row_idx = task % num_counts;
+        const std::size_t n =
+            config.minPreCorrectionErrors + row_idx;
+
+        common::Xoshiro256 code_rng(
+            common::deriveSeed(config.seed, {0xC0DEu, code_idx}));
+        const ecc::HammingCode code =
+            ecc::HammingCode::randomSec(config.k, code_rng);
+
+        // Charged pattern: all data bits '1' (the paper's 0xFF).
+        gf2::BitVector charged(code.k());
+        charged.fill(true);
+
+        common::PercentileTracker local_post;
+        common::PercentileTracker local_pre;
+        for (std::size_t w = 0; w < config.wordsPerCode; ++w) {
+            common::Xoshiro256 fault_rng(common::deriveSeed(
+                config.seed, {0xFA17u, code_idx, n, w}));
+            const fault::WordFaultModel faults =
+                fault::WordFaultModel::makeUniformFixedCount(
+                    code.n(), n, config.perBitProbability, fault_rng);
+            const AtRiskAnalyzer analyzer(code, faults);
+            const std::vector<double> probs =
+                analyzer.perBitErrorProbability(charged);
+            for (const double p : probs)
+                if (p > 0.0)
+                    local_post.add(p);
+            for (const fault::CellFault &f : faults.faults())
+                local_pre.add(f.probability);
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.rows[row_idx].postCorrection.merge(local_post);
+        result.rows[row_idx].preCorrection.merge(local_pre);
+    }, config.threads);
+
+    return result;
+}
+
+} // namespace harp::core

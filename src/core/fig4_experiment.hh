@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Post-correction error-probability distribution experiment (HARP
+ * Fig. 4): for a fixed charged data pattern (0xFF), how the per-bit
+ * probability of post-correction error is distributed across at-risk bits
+ * as the number of injected pre-correction at-risk cells grows from 2 to
+ * 8, over many randomly generated parity-check matrices.
+ */
+
+#ifndef HARP_CORE_FIG4_EXPERIMENT_HH
+#define HARP_CORE_FIG4_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace harp::core {
+
+/** Configuration of the Fig. 4 sweep. */
+struct Fig4Config
+{
+    std::size_t k = 64;
+    std::size_t numCodes = 40;
+    std::size_t wordsPerCode = 40;
+    std::size_t minPreCorrectionErrors = 2;
+    std::size_t maxPreCorrectionErrors = 8;
+    /** Per-bit failure probability of the injected at-risk cells. */
+    double perBitProbability = 0.5;
+    std::uint64_t seed = 1;
+    std::size_t threads = 0;
+};
+
+/** Distribution summary for one pre-correction error count. */
+struct Fig4Row
+{
+    std::size_t numPreCorrectionErrors = 0;
+    /** Per-bit post-correction error probabilities of every at-risk bit
+     *  with nonzero probability under the charged pattern. */
+    common::PercentileTracker postCorrection;
+    /** Per-bit pre-correction probabilities (all equal by construction;
+     *  the Fig. 4 reference series). */
+    common::PercentileTracker preCorrection;
+};
+
+/** Full result of the sweep. */
+struct Fig4Result
+{
+    Fig4Config config;
+    std::vector<Fig4Row> rows;
+};
+
+/** Run the sweep. */
+Fig4Result runFig4Experiment(const Fig4Config &config);
+
+} // namespace harp::core
+
+#endif // HARP_CORE_FIG4_EXPERIMENT_HH

@@ -1,0 +1,55 @@
+#include "core/harp_a_beep_profiler.hh"
+
+namespace harp::core {
+
+HarpABeepProfiler::HarpABeepProfiler(const ecc::HammingCode &code,
+                                     std::size_t stability_window)
+    : BeepProfiler(code),
+      identifiedDirect_(code.k()),
+      stabilityWindow_(stability_window)
+{
+}
+
+gf2::BitVector
+HarpABeepProfiler::chooseDataword(std::size_t round,
+                                  const gf2::BitVector &suggested,
+                                  common::Xoshiro256 &rng)
+{
+    // Active phase: standard worst-case patterns until the direct profile
+    // has been stable long enough to believe it is complete; afterwards
+    // BEEP's crafted patterns hunt the remaining indirect errors.
+    if (!craftingActive())
+        return suggested;
+    return BeepProfiler::chooseDataword(round, suggested, rng);
+}
+
+void
+HarpABeepProfiler::observe(const RoundObservation &obs)
+{
+    // Direct errors via the decode-bypass path, exactly as HARP-U.
+    gf2::BitVector direct = obs.writtenData;
+    direct ^= obs.rawData;
+    gf2::BitVector fresh = direct;
+    gf2::BitVector known = direct;
+    known &= identifiedDirect_;
+    fresh ^= known; // newly seen direct errors only
+    if (!fresh.isZero()) {
+        roundsSinceNewDirect_ = 0;
+        identifiedDirect_ |= fresh;
+        identified_ |= fresh;
+        // Seed BEEP's crafting with the confirmed at-risk cells and
+        // refresh the precomputed miscorrection targets (HARP-A's
+        // prediction step, using BEEP's machinery).
+        fresh.forEachSetBit([&](std::size_t pos) {
+            addSuspectedCell(pos);
+        });
+        precomputeFromSuspects();
+    } else {
+        ++roundsSinceNewDirect_;
+    }
+    // Indirect errors via normal-path observation (BEEP's step). This
+    // also picks up miscorrections caused by parity-cell errors.
+    BeepProfiler::observe(obs);
+}
+
+} // namespace harp::core

@@ -1,0 +1,84 @@
+#include "core/harp_profiler.hh"
+
+#include <bit>
+
+namespace harp::core {
+
+HarpUProfiler::HarpUProfiler(std::size_t k)
+    : Profiler(k), identifiedDirect_(k)
+{
+}
+
+void
+HarpUProfiler::observe(const RoundObservation &obs)
+{
+    // The bypass path exposes raw (pre-correction) data bits: a mismatch
+    // with the written data is a direct error at that cell, identified
+    // independently of all other cells.
+    gf2::BitVector diff = obs.writtenData;
+    diff ^= obs.rawData;
+    identifiedDirect_ |= diff;
+    identified_ |= diff;
+}
+
+HarpAProfiler::HarpAProfiler(const ecc::HammingCode &code)
+    : HarpUProfiler(code.k()), code_(code), predictedIndirect_(code.k())
+{
+}
+
+void
+HarpAProfiler::observe(const RoundObservation &obs)
+{
+    HarpUProfiler::observe(obs);
+    if (identifiedDirect_.popcount() != lastDirectCount_) {
+        lastDirectCount_ = identifiedDirect_.popcount();
+        recomputePredictions();
+        identified_ |= predictedIndirect_;
+    }
+}
+
+void
+HarpAProfiler::recomputePredictions()
+{
+    // Enumerate uncorrectable combinations of the known direct-at-risk
+    // cells and mark the miscorrection target of each (section 6.3.1).
+    // Any subset of >= 2 data-cell failures is uncorrectable for a SEC
+    // code; its syndrome is the XOR of the member columns.
+    const std::vector<std::size_t> cells = identifiedDirect_.setBits();
+    const std::size_t m = cells.size();
+    // 2^m enumeration; the paper's regime has m <= 8. Guard very large m
+    // by falling back to pairs+triples, which dominate in practice.
+    constexpr std::size_t enum_limit = 16;
+    predictedIndirect_.fill(false);
+    auto consider = [&](std::uint32_t syndrome) {
+        const auto target = code_.syndromeToPosition(syndrome);
+        if (target && code_.isDataPosition(*target) &&
+            !identifiedDirect_.get(*target)) {
+            predictedIndirect_.set(*target, true);
+        }
+    };
+    if (m <= enum_limit) {
+        for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << m);
+             ++mask) {
+            if (std::popcount(mask) < 2)
+                continue;
+            std::uint32_t syndrome = 0;
+            for (std::size_t i = 0; i < m; ++i)
+                if ((mask >> i) & 1)
+                    syndrome ^= code_.dataColumn(cells[i]);
+            consider(syndrome);
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = i + 1; j < m; ++j) {
+            const std::uint32_t pair = code_.dataColumn(cells[i]) ^
+                                       code_.dataColumn(cells[j]);
+            consider(pair);
+            for (std::size_t l = j + 1; l < m; ++l)
+                consider(pair ^ code_.dataColumn(cells[l]));
+        }
+    }
+}
+
+} // namespace harp::core

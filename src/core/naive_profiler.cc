@@ -1,0 +1,20 @@
+#include "core/naive_profiler.hh"
+
+namespace harp::core {
+
+NaiveProfiler::NaiveProfiler(std::size_t k)
+    : Profiler(k)
+{
+}
+
+void
+NaiveProfiler::observe(const RoundObservation &obs)
+{
+    // Every mismatch between the programmed and post-correction data is a
+    // post-correction error at that bit: mark it at-risk.
+    gf2::BitVector diff = obs.writtenData;
+    diff ^= obs.postCorrectionData;
+    identified_ |= diff;
+}
+
+} // namespace harp::core

@@ -1,0 +1,19 @@
+#include "core/profiler.hh"
+
+namespace harp::core {
+
+Profiler::Profiler(std::size_t k)
+    : k_(k), identified_(k)
+{
+}
+
+gf2::BitVector
+Profiler::chooseDataword(std::size_t round, const gf2::BitVector &suggested,
+                         common::Xoshiro256 &rng)
+{
+    (void)round;
+    (void)rng;
+    return suggested;
+}
+
+} // namespace harp::core

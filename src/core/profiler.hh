@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Profiler interface shared by Naive, BEEP, HARP-U, HARP-A and
+ * HARP-A+BEEP (HARP sections 6 and 7.1.1).
+ *
+ * A profiler participates in round-based active profiling: each round it
+ * (1) chooses a dataword to program, and (2) observes the outcome of
+ * reading the word back. Its output is the set of data-bit positions it
+ * has identified as at risk of post-correction error — the error profile
+ * a repair mechanism would consume.
+ */
+
+#ifndef HARP_CORE_PROFILER_HH
+#define HARP_CORE_PROFILER_HH
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "ecc/hamming_code.hh"
+#include "gf2/bit_vector.hh"
+
+namespace harp::core {
+
+/**
+ * Everything a profiler may observe about one profiling round.
+ *
+ * The rawData field models the on-die ECC decode-bypass read path (HARP
+ * section 5.2). Only bypass-capable profilers (HARP variants) may use it;
+ * baseline profilers must restrict themselves to postCorrectionData. The
+ * pre-correction parity bits are never exposed, matching the paper's
+ * transparency limit.
+ */
+struct RoundObservation
+{
+    std::size_t round = 0;
+    /** Dataword d the profiler programmed. */
+    const gf2::BitVector &writtenData;
+    /** Post-correction dataword d' from the normal read path. */
+    const gf2::BitVector &postCorrectionData;
+    /** Raw stored data bits from the decode-bypass path. */
+    const gf2::BitVector &rawData;
+};
+
+/**
+ * Abstract round-based error profiler.
+ */
+class Profiler
+{
+  public:
+    /** @param k Dataword length of the profiled ECC word. */
+    explicit Profiler(std::size_t k);
+    virtual ~Profiler() = default;
+
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /** Display name ("Naive", "BEEP", "HARP-U", ...). */
+    virtual std::string name() const = 0;
+
+    /** True iff the profiler reads through the decode-bypass path. */
+    virtual bool usesBypassPath() const { return false; }
+
+    /**
+     * Choose the dataword to program this round.
+     *
+     * @param round     0-based round index.
+     * @param suggested The shared data-pattern-policy word for this round;
+     *                  identical across profilers so comparisons use the
+     *                  same patterns (section 7.1.2). Crafting profilers
+     *                  (BEEP) may override it.
+     * @param rng       Profiler-private randomness.
+     */
+    virtual gf2::BitVector chooseDataword(std::size_t round,
+                                          const gf2::BitVector &suggested,
+                                          common::Xoshiro256 &rng);
+
+    /** Observe the outcome of the round the profiler just programmed. */
+    virtual void observe(const RoundObservation &obs) = 0;
+
+    /**
+     * Data-bit positions currently identified as at risk of
+     * post-correction error (the profiler's error profile).
+     */
+    const gf2::BitVector &identified() const { return identified_; }
+
+    std::size_t k() const { return k_; }
+
+  protected:
+    std::size_t k_;
+    gf2::BitVector identified_;
+};
+
+} // namespace harp::core
+
+#endif // HARP_CORE_PROFILER_HH

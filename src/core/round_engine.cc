@@ -1,0 +1,43 @@
+#include "core/round_engine.hh"
+
+namespace harp::core {
+
+RoundEngine::RoundEngine(const ecc::HammingCode &code,
+                         const fault::WordFaultModel &faults,
+                         PatternKind pattern, std::uint64_t seed)
+    : code_(code),
+      faults_(faults),
+      patterns_(pattern, code.k(),
+                common::deriveSeed(seed, {0x9A77E2u})),
+      crnRng_(common::deriveSeed(seed, {0xC28Bu})),
+      profilerRng_(common::deriveSeed(seed, {0x9120F1u}))
+{
+}
+
+void
+RoundEngine::runRound(const std::vector<Profiler *> &profilers)
+{
+    const gf2::BitVector suggested = patterns_.pattern(round_);
+
+    // One shared uniform variate per at-risk cell (common random numbers).
+    std::vector<double> uniforms(faults_.numFaults());
+    for (double &u : uniforms)
+        u = crnRng_.nextDouble();
+
+    for (Profiler *profiler : profilers) {
+        const gf2::BitVector written =
+            profiler->chooseDataword(round_, suggested, profilerRng_);
+        const gf2::BitVector stored = code_.encode(written);
+        gf2::BitVector received = stored;
+        received ^= faults_.injectErrorsCrn(stored, uniforms);
+
+        const ecc::DecodeResult decoded = code_.decode(received);
+        const gf2::BitVector raw = received.slice(0, code_.k());
+
+        const RoundObservation obs{round_, written, decoded.dataword, raw};
+        profiler->observe(obs);
+    }
+    ++round_;
+}
+
+} // namespace harp::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Round-based profiling engine for one ECC word.
+ *
+ * Drives any number of profilers through identical profiling rounds with
+ * common random numbers: each round draws one uniform variate per at-risk
+ * cell, and a cell fails for a given profiler iff it is charged under that
+ * profiler's pattern and the shared variate is below the cell's failure
+ * probability. This realizes the paper's fairness requirement (section
+ * 7.1.2: "the exact same set of ECC words, pre-correction error patterns,
+ * and data patterns") even though profilers may write different patterns.
+ */
+
+#ifndef HARP_CORE_ROUND_ENGINE_HH
+#define HARP_CORE_ROUND_ENGINE_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/data_pattern.hh"
+#include "core/profiler.hh"
+#include "ecc/hamming_code.hh"
+#include "fault/fault_model.hh"
+
+namespace harp::core {
+
+/**
+ * Executes profiling rounds for a set of profilers over one simulated
+ * ECC word.
+ */
+class RoundEngine
+{
+  public:
+    /**
+     * @param code    The word's on-die ECC code.
+     * @param faults  The word's fault model.
+     * @param pattern Shared data-pattern policy for non-crafting profilers.
+     * @param seed    Seed for patterns, common random numbers, and
+     *                profiler-private randomness.
+     */
+    RoundEngine(const ecc::HammingCode &code,
+                const fault::WordFaultModel &faults, PatternKind pattern,
+                std::uint64_t seed);
+
+    /** Run one profiling round for every profiler in @p profilers. */
+    void runRound(const std::vector<Profiler *> &profilers);
+
+    /** Number of rounds executed so far. */
+    std::size_t roundsRun() const { return round_; }
+
+  private:
+    const ecc::HammingCode &code_;
+    const fault::WordFaultModel &faults_;
+    PatternGenerator patterns_;
+    common::Xoshiro256 crnRng_;
+    common::Xoshiro256 profilerRng_;
+    std::size_t round_ = 0;
+};
+
+} // namespace harp::core
+
+#endif // HARP_CORE_ROUND_ENGINE_HH

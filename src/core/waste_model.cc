@@ -1,0 +1,37 @@
+#include "core/waste_model.hh"
+
+#include <cmath>
+
+namespace harp::core {
+
+double
+expectedWastedFraction(std::size_t granularity, double rber)
+{
+    // Bit-granularity repair sacrifices only truly erroneous bits: zero
+    // waste by definition (avoids pow() rounding near p).
+    if (granularity <= 1)
+        return 0.0;
+    const double g = static_cast<double>(granularity);
+    const double p_repair = 1.0 - std::pow(1.0 - rber, g);
+    return p_repair - rber;
+}
+
+double
+simulateWastedFraction(std::size_t granularity, double rber,
+                       std::size_t blocks, common::Xoshiro256 &rng)
+{
+    std::size_t wasted_bits = 0;
+    const std::size_t total_bits = granularity * blocks;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        std::size_t errors = 0;
+        for (std::size_t i = 0; i < granularity; ++i)
+            if (rng.nextBernoulli(rber))
+                ++errors;
+        if (errors > 0)
+            wasted_bits += granularity - errors;
+    }
+    return static_cast<double>(wasted_bits) /
+           static_cast<double>(total_bits);
+}
+
+} // namespace harp::core

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Repair-granularity storage-waste model (HARP Fig. 2).
+ *
+ * When single-bit errors are repaired at granularity g (a whole g-bit
+ * block is sacrificed whenever it contains at least one erroneous bit),
+ * the expected fraction of total capacity wasted on non-erroneous bits is
+ *
+ *     E[waste] = (1 - (1 - p)^g) - p
+ *
+ * where p is the raw bit error rate: the first term is the probability a
+ * block is repaired at all, the second subtracts the truly erroneous bits
+ * (which are not "wasted"). Bit-granularity repair (g = 1) wastes nothing.
+ */
+
+#ifndef HARP_CORE_WASTE_MODEL_HH
+#define HARP_CORE_WASTE_MODEL_HH
+
+#include <cstddef>
+
+#include "common/rng.hh"
+
+namespace harp::core {
+
+/** Closed-form expected wasted-capacity fraction. */
+double expectedWastedFraction(std::size_t granularity, double rber);
+
+/**
+ * Monte-Carlo estimate of the wasted-capacity fraction, for cross-checking
+ * the closed form: simulates @p blocks independent g-bit blocks with
+ * uniform-random single-bit errors.
+ */
+double simulateWastedFraction(std::size_t granularity, double rber,
+                              std::size_t blocks, common::Xoshiro256 &rng);
+
+} // namespace harp::core
+
+#endif // HARP_CORE_WASTE_MODEL_HH

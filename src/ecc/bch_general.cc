@@ -1,0 +1,242 @@
+#include "ecc/bch_general.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "ecc/gf2_poly.hh"
+
+namespace harp::ecc {
+
+namespace {
+
+/**
+ * Generator polynomial for a t-error-correcting BCH code over the given
+ * field: lcm of the minimal polynomials of alpha^1, alpha^3, ...,
+ * alpha^(2t-1) (even powers share the odd powers' conjugacy classes).
+ */
+std::uint64_t
+generatorFor(const Gf2m &field, std::size_t t)
+{
+    std::uint64_t g = 1;
+    std::vector<std::uint64_t> factors;
+    for (std::size_t j = 1; j <= 2 * t - 1; j += 2) {
+        const std::uint64_t mp = minimalPolynomial(field, j);
+        // lcm over distinct irreducible factors = product of the
+        // distinct ones.
+        if (std::find(factors.begin(), factors.end(), mp) ==
+            factors.end()) {
+            factors.push_back(mp);
+            g = polyMultiply(g, mp);
+        }
+    }
+    return g;
+}
+
+/** Smallest field degree whose shortened BCH code fits k data bits.
+ *  Validates t here because this runs during member initialization,
+ *  before the constructor body: an unchecked t = 0 would underflow the
+ *  generator's 2t-1 loop bound. */
+unsigned
+fieldDegreeFor(std::size_t k, std::size_t t)
+{
+    if (t < 1 || t > 8)
+        throw std::invalid_argument("BchCode: t must be in [1, 8]");
+    for (unsigned m = 4; m <= 14; ++m) {
+        const Gf2m field(m);
+        const std::uint64_t g = generatorFor(field, t);
+        const auto parity = static_cast<std::size_t>(polyDegree(g));
+        if (parity >= 64)
+            continue; // bitmask representation limit
+        if (field.order() >= k + parity)
+            return m;
+    }
+    throw std::invalid_argument("BchCode: no supported field fits k, t");
+}
+
+} // namespace
+
+BchCode::BchCode(std::size_t k, std::size_t t)
+    : k_(k), t_(t), field_(fieldDegreeFor(k, t))
+{
+    if (t_ < 1 || t_ > 8)
+        throw std::invalid_argument("BchCode: t must be in [1, 8]");
+    generator_ = generatorFor(field_, t_);
+    parityBits_ = static_cast<std::size_t>(polyDegree(generator_));
+    assert(k_ + parityBits_ <= field_.order());
+
+    parityMasks_.assign(k_, 0);
+    std::uint64_t rem = 1;
+    for (std::size_t c = 1; c <= parityBits_ + k_ - 1; ++c) {
+        rem <<= 1;
+        if ((rem >> parityBits_) & 1)
+            rem ^= generator_;
+        if (c >= parityBits_)
+            parityMasks_[c - parityBits_] = rem;
+    }
+
+    parityRows_.assign(parityBits_, gf2::BitVector(k_));
+    for (std::size_t i = 0; i < k_; ++i)
+        for (std::size_t j = 0; j < parityBits_; ++j)
+            if ((parityMasks_[i] >> j) & 1)
+                parityRows_[j].set(i, true);
+}
+
+std::size_t
+BchCode::coefficientOf(std::size_t pos) const
+{
+    assert(pos < n());
+    return pos < k_ ? parityBits_ + pos : pos - k_;
+}
+
+std::optional<std::size_t>
+BchCode::positionOf(std::size_t coeff) const
+{
+    if (coeff >= n())
+        return std::nullopt;
+    if (coeff < parityBits_)
+        return k_ + coeff;
+    return coeff - parityBits_;
+}
+
+gf2::BitVector
+BchCode::encode(const gf2::BitVector &dataword) const
+{
+    assert(dataword.size() == k_);
+    gf2::BitVector codeword(n());
+    std::uint64_t parity = 0;
+    dataword.forEachSetBit([&](std::size_t i) {
+        codeword.set(i, true);
+        parity ^= parityMasks_[i];
+    });
+    for (std::size_t j = 0; j < parityBits_; ++j)
+        if ((parity >> j) & 1)
+            codeword.set(k_ + j, true);
+    return codeword;
+}
+
+std::optional<std::vector<Gf2m::Element>>
+BchCode::berlekampMassey(const std::vector<Gf2m::Element> &s) const
+{
+    // Standard Berlekamp-Massey over GF(2^m). Lambda and B are
+    // polynomials with Lambda[0] == 1 throughout.
+    std::vector<Gf2m::Element> lambda = {1};
+    std::vector<Gf2m::Element> b = {1};
+    std::size_t reg_len = 0;   // current LFSR length L
+    std::size_t shift = 1;     // x^shift multiplier for B
+    Gf2m::Element b_disc = 1;  // discrepancy associated with B
+
+    for (std::size_t step = 0; step < s.size(); ++step) {
+        // Discrepancy delta = S_step + sum_i lambda_i * S_{step-i}.
+        Gf2m::Element delta = s[step];
+        for (std::size_t i = 1; i < lambda.size() && i <= step; ++i)
+            delta ^= field_.multiply(lambda[i], s[step - i]);
+
+        if (delta == 0) {
+            ++shift;
+            continue;
+        }
+        // lambda' = lambda - (delta/b_disc) * x^shift * B.
+        const Gf2m::Element scale = field_.divide(delta, b_disc);
+        std::vector<Gf2m::Element> next = lambda;
+        if (next.size() < b.size() + shift)
+            next.resize(b.size() + shift, 0);
+        for (std::size_t i = 0; i < b.size(); ++i)
+            next[i + shift] ^= field_.multiply(scale, b[i]);
+
+        if (2 * reg_len <= step) {
+            b = lambda;
+            b_disc = delta;
+            reg_len = step + 1 - reg_len;
+            shift = 1;
+        } else {
+            ++shift;
+        }
+        lambda = std::move(next);
+    }
+
+    // Trim trailing zeros; validate the locator degree.
+    while (lambda.size() > 1 && lambda.back() == 0)
+        lambda.pop_back();
+    if (reg_len > t_ || lambda.size() - 1 != reg_len)
+        return std::nullopt; // more than t errors signalled
+    return lambda;
+}
+
+std::optional<std::vector<std::size_t>>
+BchCode::chienSearch(const std::vector<Gf2m::Element> &lambda) const
+{
+    const std::size_t degree = lambda.size() - 1;
+    if (degree == 0)
+        return std::vector<std::size_t>{};
+    std::vector<std::size_t> roots;
+    // Error at coefficient i <=> Lambda(alpha^{-i}) == 0.
+    for (std::size_t i = 0; i < n() && roots.size() <= degree; ++i) {
+        const Gf2m::Element x = field_.alphaPow(
+            (field_.order() - (i % field_.order())) % field_.order());
+        Gf2m::Element acc = 0;
+        Gf2m::Element x_pow = 1;
+        for (const Gf2m::Element coeff : lambda) {
+            acc ^= field_.multiply(coeff, x_pow);
+            x_pow = field_.multiply(x_pow, x);
+        }
+        if (acc == 0)
+            roots.push_back(i);
+    }
+    // All deg(Lambda) roots must land inside the shortened code.
+    if (roots.size() != degree)
+        return std::nullopt;
+    return roots;
+}
+
+BchGeneralDecodeResult
+BchCode::decode(const gf2::BitVector &codeword) const
+{
+    assert(codeword.size() == n());
+    BchGeneralDecodeResult result;
+
+    // Syndromes S_1 .. S_2t over the received polynomial.
+    std::vector<Gf2m::Element> syndromes(2 * t_, 0);
+    codeword.forEachSetBit([&](std::size_t pos) {
+        const std::size_t c = coefficientOf(pos);
+        for (std::size_t j = 0; j < syndromes.size(); ++j)
+            syndromes[j] ^= field_.alphaPow(
+                static_cast<std::uint64_t>(j + 1) * c);
+    });
+
+    bool all_zero = true;
+    for (const Gf2m::Element s : syndromes)
+        all_zero = all_zero && (s == 0);
+    gf2::BitVector corrected = codeword;
+    if (!all_zero) {
+        const auto lambda = berlekampMassey(syndromes);
+        const auto coeffs =
+            lambda ? chienSearch(*lambda) : std::nullopt;
+        if (!coeffs) {
+            result.detectedUncorrectable = true;
+        } else {
+            for (const std::size_t c : *coeffs) {
+                const auto pos = positionOf(c);
+                assert(pos.has_value());
+                corrected.flip(*pos);
+                result.correctedPositions.push_back(*pos);
+            }
+            std::sort(result.correctedPositions.begin(),
+                      result.correctedPositions.end());
+        }
+    }
+    result.dataword = corrected.slice(0, k_);
+    return result;
+}
+
+std::vector<std::size_t>
+BchCode::decodeErrorPattern(
+    const std::vector<std::size_t> &error_positions) const
+{
+    gf2::BitVector error_vector(n());
+    for (const std::size_t pos : error_positions)
+        error_vector.set(pos, true);
+    return decode(error_vector).dataword.setBits();
+}
+
+} // namespace harp::ecc

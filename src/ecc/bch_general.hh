@@ -1,0 +1,111 @@
+/**
+ * @file
+ * General t-error-correcting shortened systematic binary BCH code with a
+ * Berlekamp-Massey + Chien-search decoder.
+ *
+ * Complements the closed-form t=2 decoder (BchDecCode) for the paper's
+ * "significantly more complex on-die ECC" discussion (HARP section
+ * 6.3.2): the secondary-ECC strength a system needs scales with the
+ * on-die code's correction capability, and this class provides the
+ * arbitrary-t codes to study that scaling.
+ */
+
+#ifndef HARP_ECC_BCH_GENERAL_HH
+#define HARP_ECC_BCH_GENERAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ecc/gf2m.hh"
+#include "gf2/bit_vector.hh"
+
+namespace harp::ecc {
+
+/** Outcome of one general-BCH decode. */
+struct BchGeneralDecodeResult
+{
+    /** Post-correction dataword d' (length k). */
+    gf2::BitVector dataword;
+    /** Codeword positions flipped by the decoder (<= t, sorted). */
+    std::vector<std::size_t> correctedPositions;
+    /** True when the syndromes were inconsistent with <= t in-range
+     *  errors; no correction is applied. */
+    bool detectedUncorrectable = false;
+};
+
+/**
+ * Shortened systematic BCH code correcting up to @p t errors.
+ */
+class BchCode
+{
+  public:
+    /**
+     * @param k Dataword length.
+     * @param t Correction capability (1 <= t <= 8). The field degree m
+     *          is the smallest giving the shortened code room for the
+     *          data plus the generator's parity bits.
+     */
+    BchCode(std::size_t k, std::size_t t);
+
+    std::size_t k() const { return k_; }
+    std::size_t p() const { return parityBits_; }
+    std::size_t n() const { return k_ + parityBits_; }
+    std::size_t t() const { return t_; }
+
+    const Gf2m &field() const { return field_; }
+
+    bool isDataPosition(std::size_t pos) const { return pos < k_; }
+
+    /** Encode dataword (length k) into codeword (length n). */
+    gf2::BitVector encode(const gf2::BitVector &dataword) const;
+
+    /** Full decode: syndromes -> Berlekamp-Massey -> Chien search. */
+    BchGeneralDecodeResult decode(const gf2::BitVector &codeword) const;
+
+    /** Post-correction data error positions of a raw error pattern. */
+    std::vector<std::size_t>
+    decodeErrorPattern(const std::vector<std::size_t> &error_positions)
+        const;
+
+    /** Parity bit @p j as a linear function of the dataword. */
+    const gf2::BitVector &parityRow(std::size_t j) const
+    {
+        return parityRows_[j];
+    }
+
+    /** Generator polynomial g(x) as a GF(2) bitmask. */
+    std::uint64_t generatorPolynomial() const { return generator_; }
+
+  private:
+    std::size_t coefficientOf(std::size_t pos) const;
+    std::optional<std::size_t> positionOf(std::size_t coeff) const;
+
+    /**
+     * Berlekamp-Massey: error-locator polynomial Lambda over GF(2^m)
+     * from the 2t syndromes; nullopt when the register length exceeds t
+     * (more than t errors).
+     */
+    std::optional<std::vector<Gf2m::Element>>
+    berlekampMassey(const std::vector<Gf2m::Element> &syndromes) const;
+
+    /**
+     * Chien search: coefficient indices i < n with Lambda(alpha^-i) = 0.
+     * nullopt when the root count does not match deg Lambda (errors
+     * outside the shortened range or a degenerate locator).
+     */
+    std::optional<std::vector<std::size_t>>
+    chienSearch(const std::vector<Gf2m::Element> &lambda) const;
+
+    std::size_t k_;
+    std::size_t t_;
+    Gf2m field_;
+    std::size_t parityBits_;
+    std::uint64_t generator_;
+    std::vector<std::uint64_t> parityMasks_;
+    std::vector<gf2::BitVector> parityRows_;
+};
+
+} // namespace harp::ecc
+
+#endif // HARP_ECC_BCH_GENERAL_HH

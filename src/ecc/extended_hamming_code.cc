@@ -1,0 +1,84 @@
+#include "ecc/extended_hamming_code.hh"
+
+#include <cassert>
+
+namespace harp::ecc {
+
+ExtendedHammingCode::ExtendedHammingCode(HammingCode inner)
+    : inner_(std::move(inner))
+{
+}
+
+ExtendedHammingCode
+ExtendedHammingCode::randomSecDed(std::size_t k, common::Xoshiro256 &rng)
+{
+    return ExtendedHammingCode(HammingCode::randomSec(k, rng));
+}
+
+gf2::BitVector
+ExtendedHammingCode::encode(const gf2::BitVector &dataword) const
+{
+    const gf2::BitVector inner_cw = inner_.encode(dataword);
+    gf2::BitVector codeword(n());
+    bool overall = false;
+    for (std::size_t i = 0; i < inner_cw.size(); ++i) {
+        const bool bit = inner_cw.get(i);
+        codeword.set(i, bit);
+        overall ^= bit;
+    }
+    codeword.set(n() - 1, overall);
+    return codeword;
+}
+
+SecondaryDecodeResult
+ExtendedHammingCode::decode(const gf2::BitVector &codeword) const
+{
+    assert(codeword.size() == n());
+    SecondaryDecodeResult result;
+
+    const gf2::BitVector inner_cw = codeword.slice(0, inner_.n());
+    const std::uint32_t s = inner_.syndrome(inner_cw);
+    bool overall = codeword.get(n() - 1);
+    for (std::size_t i = 0; i < inner_.n(); ++i)
+        overall ^= inner_cw.get(i);
+    // `overall` is now the parity of the whole received codeword: 1 means
+    // an odd number of bit errors occurred.
+
+    if (s == 0 && !overall) {
+        result.status = SecondaryDecodeStatus::NoError;
+        result.dataword = inner_cw.slice(0, inner_.k());
+        return result;
+    }
+
+    if (overall) {
+        // Odd error count: assume a single error (the SECDED guarantee).
+        if (s == 0) {
+            // The overall parity bit itself flipped.
+            result.status = SecondaryDecodeStatus::CorrectedSingle;
+            result.correctedPosition = n() - 1;
+            result.dataword = inner_cw.slice(0, inner_.k());
+            return result;
+        }
+        const auto pos = inner_.syndromeToPosition(s);
+        if (pos) {
+            gf2::BitVector fixed = inner_cw;
+            fixed.flip(*pos);
+            result.status = SecondaryDecodeStatus::CorrectedSingle;
+            result.correctedPosition = pos;
+            result.dataword = fixed.slice(0, inner_.k());
+            return result;
+        }
+        // Odd-weight error pattern matching no column: >= 3 errors.
+        result.status = SecondaryDecodeStatus::DetectedUncorrectable;
+        result.dataword = inner_cw.slice(0, inner_.k());
+        return result;
+    }
+
+    // Even parity with nonzero syndrome: a double error. Detected, not
+    // correctable.
+    result.status = SecondaryDecodeStatus::DetectedUncorrectable;
+    result.dataword = inner_cw.slice(0, inner_.k());
+    return result;
+}
+
+} // namespace harp::ecc

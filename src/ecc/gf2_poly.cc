@@ -1,0 +1,57 @@
+#include "ecc/gf2_poly.hh"
+
+#include <bit>
+#include <cassert>
+#include <set>
+#include <vector>
+
+namespace harp::ecc {
+
+std::uint64_t
+polyMultiply(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t result = 0;
+    for (int i = 0; i < 64 && (a >> i) != 0; ++i)
+        if ((a >> i) & 1)
+            result ^= b << i;
+    return result;
+}
+
+int
+polyDegree(std::uint64_t poly)
+{
+    assert(poly != 0);
+    return 63 - std::countl_zero(poly);
+}
+
+std::uint64_t
+minimalPolynomial(const Gf2m &field, std::uint64_t e)
+{
+    // Conjugacy class of exponents under squaring.
+    std::set<std::uint64_t> exponents;
+    std::uint64_t exp = e % field.order();
+    while (exponents.insert(exp).second)
+        exp = (exp * 2) % field.order();
+
+    // poly(x) = prod (x + alpha^exp); the product over a full conjugacy
+    // class has GF(2) coefficients.
+    std::vector<Gf2m::Element> coeffs = {1};
+    for (const std::uint64_t root_exp : exponents) {
+        const Gf2m::Element root = field.alphaPow(root_exp);
+        std::vector<Gf2m::Element> next(coeffs.size() + 1, 0);
+        for (std::size_t i = 0; i < coeffs.size(); ++i) {
+            next[i + 1] ^= coeffs[i];
+            next[i] ^= field.multiply(coeffs[i], root);
+        }
+        coeffs = std::move(next);
+    }
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+        assert(coeffs[i] <= 1 && "minimal polynomial is over GF(2)");
+        if (coeffs[i])
+            mask |= std::uint64_t{1} << i;
+    }
+    return mask;
+}
+
+} // namespace harp::ecc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * GF(2) polynomial helpers shared by the BCH code constructions:
+ * bitmask polynomials (bit i = coefficient of x^i), carry-less multiply,
+ * and minimal polynomials of field elements.
+ */
+
+#ifndef HARP_ECC_GF2_POLY_HH
+#define HARP_ECC_GF2_POLY_HH
+
+#include <cstdint>
+
+#include "ecc/gf2m.hh"
+
+namespace harp::ecc {
+
+/** Carry-less (GF(2)) polynomial multiply of bitmask polynomials. */
+std::uint64_t polyMultiply(std::uint64_t a, std::uint64_t b);
+
+/** Degree of a nonzero bitmask polynomial. */
+int polyDegree(std::uint64_t poly);
+
+/**
+ * Minimal polynomial over GF(2) of alpha^e in the given field: the
+ * product of (x + r) over the conjugacy class
+ * {alpha^e, alpha^2e, alpha^4e, ...}. Always has GF(2) coefficients.
+ */
+std::uint64_t minimalPolynomial(const Gf2m &field, std::uint64_t e);
+
+} // namespace harp::ecc
+
+#endif // HARP_ECC_GF2_POLY_HH

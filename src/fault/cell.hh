@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Memory-cell technology types for the data-dependent error model.
+ *
+ * The paper's error model (HARP section 2.4/7.1.2) assumes true-cells:
+ * a cell can only leak (fail) when it stores charge, i.e.\ when the stored
+ * bit is '1'. Anti-cells are the complementary layout, common in real DRAM
+ * where the sense-amplifier orientation flips the encoding.
+ */
+
+#ifndef HARP_FAULT_CELL_HH
+#define HARP_FAULT_CELL_HH
+
+namespace harp::fault {
+
+/** Cell charge encoding. */
+enum class CellTechnology
+{
+    TrueCell, ///< Charged ⇔ stores logical '1' (paper's assumption).
+    AntiCell  ///< Charged ⇔ stores logical '0'.
+};
+
+/** Whether a cell holding @p stored_bit is charged (vulnerable). */
+constexpr bool
+isCharged(CellTechnology tech, bool stored_bit)
+{
+    return tech == CellTechnology::TrueCell ? stored_bit : !stored_bit;
+}
+
+} // namespace harp::fault
+
+#endif // HARP_FAULT_CELL_HH

@@ -1,0 +1,157 @@
+#include "gf2/bit_matrix.hh"
+
+#include <cassert>
+
+namespace harp::gf2 {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows, BitVector(cols))
+{
+}
+
+BitMatrix
+BitMatrix::identity(std::size_t n)
+{
+    BitMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.set(i, i, true);
+    return m;
+}
+
+BitMatrix
+BitMatrix::random(std::size_t rows, std::size_t cols,
+                  common::Xoshiro256 &rng)
+{
+    BitMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        m.data_[r] = BitVector::random(cols, rng);
+    return m;
+}
+
+bool
+BitMatrix::get(std::size_t r, std::size_t c) const
+{
+    assert(r < rows_);
+    return data_[r].get(c);
+}
+
+void
+BitMatrix::set(std::size_t r, std::size_t c, bool value)
+{
+    assert(r < rows_);
+    data_[r].set(c, value);
+}
+
+const BitVector &
+BitMatrix::row(std::size_t r) const
+{
+    assert(r < rows_);
+    return data_[r];
+}
+
+BitVector &
+BitMatrix::row(std::size_t r)
+{
+    assert(r < rows_);
+    return data_[r];
+}
+
+BitVector
+BitMatrix::column(std::size_t c) const
+{
+    assert(c < cols_);
+    BitVector col(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        col.set(r, data_[r].get(c));
+    return col;
+}
+
+BitVector
+BitMatrix::multiply(const BitVector &v) const
+{
+    assert(v.size() == cols_);
+    BitVector out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out.set(r, data_[r].dot(v));
+    return out;
+}
+
+BitMatrix
+BitMatrix::multiply(const BitMatrix &other) const
+{
+    assert(cols_ == other.rows_);
+    BitMatrix out(rows_, other.cols_);
+    // Accumulate rows of `other` selected by set bits of each of our rows;
+    // this is the word-parallel formulation of the row-times-matrix product.
+    for (std::size_t r = 0; r < rows_; ++r) {
+        BitVector acc(other.cols_);
+        data_[r].forEachSetBit([&](std::size_t k) {
+            acc ^= other.data_[k];
+        });
+        out.data_[r] = std::move(acc);
+    }
+    return out;
+}
+
+BitMatrix
+BitMatrix::transposed() const
+{
+    BitMatrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        data_[r].forEachSetBit([&](std::size_t c) {
+            out.set(c, r, true);
+        });
+    }
+    return out;
+}
+
+std::size_t
+BitMatrix::rank() const
+{
+    BitMatrix copy = *this;
+    return copy.rowReduce().size();
+}
+
+std::vector<std::size_t>
+BitMatrix::rowReduce()
+{
+    std::vector<std::size_t> pivots;
+    std::size_t next_row = 0;
+    for (std::size_t col = 0; col < cols_ && next_row < rows_; ++col) {
+        // Find a pivot row for this column.
+        std::size_t pivot = next_row;
+        while (pivot < rows_ && !data_[pivot].get(col))
+            ++pivot;
+        if (pivot == rows_)
+            continue;
+        std::swap(data_[next_row], data_[pivot]);
+        // Eliminate the column from every other row (reduced form).
+        for (std::size_t r = 0; r < rows_; ++r) {
+            if (r != next_row && data_[r].get(col))
+                data_[r] ^= data_[next_row];
+        }
+        pivots.push_back(col);
+        ++next_row;
+    }
+    return pivots;
+}
+
+bool
+BitMatrix::operator==(const BitMatrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+std::string
+BitMatrix::toString() const
+{
+    std::string out;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        out += data_[r].toString();
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace harp::gf2

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dense matrix over GF(2), stored row-major as BitVectors.
+ *
+ * Backs the ECC generator/parity-check matrices and the feasibility solves
+ * of the at-risk-bit analysis.
+ */
+
+#ifndef HARP_GF2_BIT_MATRIX_HH
+#define HARP_GF2_BIT_MATRIX_HH
+
+#include <cstddef>
+
+#include "gf2/bit_vector.hh"
+
+namespace harp::gf2 {
+
+/**
+ * Dense rows × cols matrix over GF(2).
+ */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    /** All-zero matrix. */
+    BitMatrix(std::size_t rows, std::size_t cols);
+
+    /** n × n identity. */
+    static BitMatrix identity(std::size_t n);
+
+    /** Uniform random matrix. */
+    static BitMatrix random(std::size_t rows, std::size_t cols,
+                            common::Xoshiro256 &rng);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    bool get(std::size_t r, std::size_t c) const;
+    void set(std::size_t r, std::size_t c, bool value);
+
+    const BitVector &row(std::size_t r) const;
+    BitVector &row(std::size_t r);
+
+    /** Column @p c as a vector of length rows(). */
+    BitVector column(std::size_t c) const;
+
+    /** Matrix-vector product: (*this) · v, v of length cols(). */
+    BitVector multiply(const BitVector &v) const;
+
+    /** Matrix-matrix product: (*this) · other. */
+    BitMatrix multiply(const BitMatrix &other) const;
+
+    BitMatrix transposed() const;
+
+    /** Rank via Gaussian elimination (does not modify *this). */
+    std::size_t rank() const;
+
+    /**
+     * In-place reduction to reduced row-echelon form.
+     * @return Column index of the pivot in each reduced row, in order.
+     */
+    std::vector<std::size_t> rowReduce();
+
+    bool operator==(const BitMatrix &other) const;
+    bool operator!=(const BitMatrix &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Multi-line "0"/"1" rendering for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<BitVector> data_;
+};
+
+} // namespace harp::gf2
+
+#endif // HARP_GF2_BIT_MATRIX_HH

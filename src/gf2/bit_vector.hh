@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Dense bit vector over GF(2), word-packed for fast XOR/AND/parity.
+ *
+ * This is the element type for datawords, codewords, error patterns, and
+ * parity-check matrix rows throughout the HARP reproduction.
+ */
+
+#ifndef HARP_GF2_BIT_VECTOR_HH
+#define HARP_GF2_BIT_VECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace harp::gf2 {
+
+/**
+ * Fixed-length vector over GF(2).
+ *
+ * Arithmetic is elementwise mod 2: operator^ is vector addition, dot() is
+ * the inner product. All binary operations require equal lengths.
+ */
+class BitVector
+{
+  public:
+    /** Construct an all-zero vector of @p size bits. */
+    explicit BitVector(std::size_t size = 0);
+
+    /** Construct from the low @p size bits of @p value (bit 0 first). */
+    static BitVector fromUint(std::uint64_t value, std::size_t size);
+
+    /** Construct a vector of @p size bits with the listed positions set. */
+    static BitVector fromIndices(std::size_t size,
+                                 const std::vector<std::size_t> &indices);
+
+    /** Uniform random vector of @p size bits. */
+    static BitVector random(std::size_t size, common::Xoshiro256 &rng);
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    bool get(std::size_t i) const;
+    void set(std::size_t i, bool value);
+    void flip(std::size_t i);
+
+    /** Set every bit to @p value. */
+    void fill(bool value);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    bool isZero() const;
+
+    /** Inner product mod 2. */
+    bool dot(const BitVector &other) const;
+
+    /** In-place XOR (vector addition over GF(2)). */
+    BitVector &operator^=(const BitVector &other);
+    /** In-place AND (elementwise product). */
+    BitVector &operator&=(const BitVector &other);
+    /** In-place OR (set union; not a GF(2) operation but handy for masks). */
+    BitVector &operator|=(const BitVector &other);
+
+    friend BitVector operator^(BitVector lhs, const BitVector &rhs)
+    {
+        lhs ^= rhs;
+        return lhs;
+    }
+
+    friend BitVector operator&(BitVector lhs, const BitVector &rhs)
+    {
+        lhs &= rhs;
+        return lhs;
+    }
+
+    bool operator==(const BitVector &other) const;
+    bool operator!=(const BitVector &other) const { return !(*this == other); }
+
+    /** Lexicographic order on (size, words); usable as a map key. */
+    bool operator<(const BitVector &other) const;
+
+    /** Indices of set bits in ascending order. */
+    std::vector<std::size_t> setBits() const;
+
+    /** Invoke @p fn for every set bit index in ascending order. */
+    void forEachSetBit(const std::function<void(std::size_t)> &fn) const;
+
+    /** Low 64 bits as an integer (vector may be any length). */
+    std::uint64_t toUint() const;
+
+    /** "0"/"1" string, index 0 first; for diagnostics and tests. */
+    std::string toString() const;
+
+    /** Extract bits [begin, end) as a new vector. */
+    BitVector slice(std::size_t begin, std::size_t end) const;
+
+    /** Direct word access for performance-critical consumers. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+  private:
+    void maskTail();
+
+    std::size_t size_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace harp::gf2
+
+#endif // HARP_GF2_BIT_VECTOR_HH

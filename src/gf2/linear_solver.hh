@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Solving linear systems A·x = b over GF(2).
+ *
+ * The HARP reproduction uses this for (a) data-pattern feasibility in the
+ * at-risk ground-truth analysis — "does a dataword exist that charges this
+ * set of cells?" — and (b) BEEP's pattern crafting, where target cell charge
+ * states are affine functions of the dataword.
+ */
+
+#ifndef HARP_GF2_LINEAR_SOLVER_HH
+#define HARP_GF2_LINEAR_SOLVER_HH
+
+#include <optional>
+
+#include "gf2/bit_matrix.hh"
+
+namespace harp::gf2 {
+
+/** Solution of a GF(2) linear system. */
+struct LinearSolution
+{
+    /** One particular solution x with A·x = b. */
+    BitVector particular;
+    /** Basis of the nullspace of A; the full solution set is
+     *  particular + span(nullspace). */
+    std::vector<BitVector> nullspace;
+
+    /** Number of distinct solutions is 2^nullspace.size() (may overflow
+     *  for large nullspaces; callers only use small systems). */
+    std::size_t solutionCountLog2() const { return nullspace.size(); }
+};
+
+/**
+ * Solve A·x = b over GF(2).
+ *
+ * @return std::nullopt when the system is inconsistent; otherwise a
+ *         particular solution plus a nullspace basis describing all
+ *         solutions.
+ */
+std::optional<LinearSolution> solve(const BitMatrix &a, const BitVector &b);
+
+/**
+ * Incremental affine-constraint system over GF(2).
+ *
+ * Collects constraints of the form row · x = rhs and answers consistency /
+ * sampling queries. Used to build data patterns subject to per-cell charge
+ * requirements.
+ */
+class ConstraintSystem
+{
+  public:
+    /** @param num_vars Number of unknowns (dataword length). */
+    explicit ConstraintSystem(std::size_t num_vars);
+
+    std::size_t numVars() const { return numVars_; }
+    std::size_t numConstraints() const { return rows_.size(); }
+
+    /** Add constraint row · x = rhs. */
+    void addConstraint(const BitVector &row, bool rhs);
+
+    /** Convenience: force variable @p var to @p value. */
+    void pinVariable(std::size_t var, bool value);
+
+    /** True iff at least one assignment satisfies every constraint. */
+    bool consistent() const;
+
+    /** One satisfying assignment, if any. */
+    std::optional<BitVector> solveAny() const;
+
+    /**
+     * A uniformly random satisfying assignment (random nullspace
+     * combination on top of a particular solution), if any.
+     */
+    std::optional<BitVector> solveRandom(common::Xoshiro256 &rng) const;
+
+  private:
+    std::size_t numVars_;
+    std::vector<BitVector> rows_;
+    std::vector<bool> rhs_;
+};
+
+} // namespace harp::gf2
+
+#endif // HARP_GF2_LINEAR_SOLVER_HH

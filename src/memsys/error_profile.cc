@@ -1,0 +1,106 @@
+#include "memsys/error_profile.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace harp::mem {
+
+ErrorProfile::ErrorProfile(std::size_t num_words, std::size_t word_bits)
+    : wordBits_(word_bits),
+      bitmaps_(num_words, gf2::BitVector(word_bits))
+{
+}
+
+void
+ErrorProfile::markAtRisk(std::size_t word, std::size_t bit)
+{
+    bitmaps_.at(word).set(bit, true);
+}
+
+bool
+ErrorProfile::isAtRisk(std::size_t word, std::size_t bit) const
+{
+    return bitmaps_.at(word).get(bit);
+}
+
+const gf2::BitVector &
+ErrorProfile::wordBitmap(std::size_t word) const
+{
+    return bitmaps_.at(word);
+}
+
+std::size_t
+ErrorProfile::totalAtRisk() const
+{
+    std::size_t total = 0;
+    for (const auto &bitmap : bitmaps_)
+        total += bitmap.popcount();
+    return total;
+}
+
+void
+ErrorProfile::merge(const ErrorProfile &other)
+{
+    if (other.numWords() != numWords() || other.wordBits_ != wordBits_)
+        throw std::invalid_argument("ErrorProfile::merge: shape mismatch");
+    for (std::size_t w = 0; w < bitmaps_.size(); ++w)
+        bitmaps_[w] |= other.bitmaps_[w];
+}
+
+void
+ErrorProfile::clear()
+{
+    for (auto &bitmap : bitmaps_)
+        bitmap.fill(false);
+}
+
+void
+ErrorProfile::save(std::ostream &os) const
+{
+    os << "harp-profile v1 " << numWords() << " " << wordBits_ << "\n";
+    for (std::size_t w = 0; w < bitmaps_.size(); ++w) {
+        if (bitmaps_[w].isZero())
+            continue;
+        os << w;
+        bitmaps_[w].forEachSetBit(
+            [&](std::size_t bit) { os << " " << bit; });
+        os << "\n";
+    }
+}
+
+ErrorProfile
+ErrorProfile::load(std::istream &is)
+{
+    std::string magic, version;
+    std::size_t num_words = 0, word_bits = 0;
+    if (!(is >> magic >> version >> num_words >> word_bits) ||
+        magic != "harp-profile" || version != "v1") {
+        throw std::invalid_argument("ErrorProfile::load: bad header");
+    }
+    ErrorProfile profile(num_words, word_bits);
+    std::string line;
+    std::getline(is, line); // consume the header's newline
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::size_t word = 0;
+        if (!(fields >> word) || word >= num_words)
+            throw std::invalid_argument("ErrorProfile::load: bad word");
+        std::size_t bit = 0;
+        while (fields >> bit) {
+            if (bit >= word_bits)
+                throw std::invalid_argument(
+                    "ErrorProfile::load: bad bit");
+            profile.markAtRisk(word, bit);
+        }
+        if (!fields.eof())
+            throw std::invalid_argument("ErrorProfile::load: bad line");
+    }
+    return profile;
+}
+
+} // namespace harp::mem

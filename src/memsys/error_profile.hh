@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The error profile: the list of bits known to be at risk of
+ * post-correction error, maintained by the profilers and consumed by the
+ * repair mechanism (HARP Fig. 1/5).
+ */
+
+#ifndef HARP_MEMSYS_ERROR_PROFILE_HH
+#define HARP_MEMSYS_ERROR_PROFILE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "gf2/bit_vector.hh"
+
+namespace harp::mem {
+
+/**
+ * Bit-granularity error profile over an array of ECC words.
+ *
+ * Stores one bitmap of profiled (at-risk) data-bit positions per word.
+ */
+class ErrorProfile
+{
+  public:
+    /**
+     * @param num_words Number of ECC words covered.
+     * @param word_bits Dataword length (profiled positions are data bits).
+     */
+    ErrorProfile(std::size_t num_words, std::size_t word_bits);
+
+    std::size_t numWords() const { return bitmaps_.size(); }
+    std::size_t wordBits() const { return wordBits_; }
+
+    /** Record that (word, bit) is at risk. Idempotent. */
+    void markAtRisk(std::size_t word, std::size_t bit);
+
+    bool isAtRisk(std::size_t word, std::size_t bit) const;
+
+    /** Bitmap of profiled positions in @p word. */
+    const gf2::BitVector &wordBitmap(std::size_t word) const;
+
+    /** Total profiled bit count across all words. */
+    std::size_t totalAtRisk() const;
+
+    /** Merge another profile (union). Shapes must match. */
+    void merge(const ErrorProfile &other);
+
+    /** Remove all entries. */
+    void clear();
+
+    /**
+     * Serialize to a line-oriented text format: a header line
+     * `harp-profile v1 <words> <bits>` followed by one
+     * `<word> <bit> [bit...]` line per word with at-risk entries.
+     * Profiles are built once per chip and must survive reboots to keep
+     * feeding the repair mechanism (HARP section 1).
+     */
+    void save(std::ostream &os) const;
+
+    /**
+     * Parse a profile written by save().
+     *
+     * @throws std::invalid_argument on malformed input or shape
+     *         mismatch with the stream header.
+     */
+    static ErrorProfile load(std::istream &is);
+
+  private:
+    std::size_t wordBits_;
+    std::vector<gf2::BitVector> bitmaps_;
+};
+
+} // namespace harp::mem
+
+#endif // HARP_MEMSYS_ERROR_PROFILE_HH

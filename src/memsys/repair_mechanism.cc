@@ -1,0 +1,43 @@
+#include "memsys/repair_mechanism.hh"
+
+namespace harp::mem {
+
+RepairMechanism::RepairMechanism(std::size_t num_words,
+                                 std::size_t word_bits)
+    : wordBits_(word_bits), spares_(num_words)
+{
+}
+
+void
+RepairMechanism::onWrite(std::size_t word, const gf2::BitVector &dataword,
+                         const ErrorProfile &profile)
+{
+    auto &spare = spares_.at(word);
+    profile.wordBitmap(word).forEachSetBit([&](std::size_t bit) {
+        spare[bit] = dataword.get(bit);
+    });
+}
+
+std::size_t
+RepairMechanism::repair(std::size_t word, gf2::BitVector &dataword) const
+{
+    std::size_t changed = 0;
+    for (const auto &[bit, value] : spares_.at(word)) {
+        if (dataword.get(bit) != value) {
+            dataword.set(bit, value);
+            ++changed;
+        }
+    }
+    return changed;
+}
+
+std::size_t
+RepairMechanism::spareBitsUsed() const
+{
+    std::size_t total = 0;
+    for (const auto &spare : spares_)
+        total += spare.size();
+    return total;
+}
+
+} // namespace harp::mem

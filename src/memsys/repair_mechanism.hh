@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ideal bit-granularity repair mechanism (HARP sections 2.2 and 7.4).
+ *
+ * Models the "ideal bit-repair mechanism that perfectly repairs all
+ * identified at-risk bits": profiled bits are remapped into reliable spare
+ * storage inside the memory controller. Writes capture the true values of
+ * profiled bits; reads overlay those values on the (possibly erroneous)
+ * data coming back from the chip.
+ */
+
+#ifndef HARP_MEMSYS_REPAIR_MECHANISM_HH
+#define HARP_MEMSYS_REPAIR_MECHANISM_HH
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "gf2/bit_vector.hh"
+#include "memsys/error_profile.hh"
+
+namespace harp::mem {
+
+/**
+ * Bit-remapping repair backed by an ErrorProfile.
+ *
+ * The profile may grow at any time (reactive profiling); newly profiled
+ * bits start being repaired at the next write that captures their value.
+ */
+class RepairMechanism
+{
+  public:
+    /**
+     * @param num_words Number of ECC words covered.
+     * @param word_bits Dataword length.
+     */
+    RepairMechanism(std::size_t num_words, std::size_t word_bits);
+
+    std::size_t wordBits() const { return wordBits_; }
+
+    /**
+     * Observe a write: capture spare copies of all currently-profiled bits
+     * of @p dataword.
+     */
+    void onWrite(std::size_t word, const gf2::BitVector &dataword,
+                 const ErrorProfile &profile);
+
+    /**
+     * Repair a read: overwrite profiled bits of @p dataword with their
+     * spare copies (bits profiled after the last write have no spare copy
+     * yet and are left untouched).
+     *
+     * @return Number of bits whose value was actually changed.
+     */
+    std::size_t repair(std::size_t word, gf2::BitVector &dataword) const;
+
+    /** Number of spare bits currently allocated (repair capacity used). */
+    std::size_t spareBitsUsed() const;
+
+  private:
+    std::size_t wordBits_;
+    /** Per word: profiled position -> captured value. */
+    std::vector<std::map<std::size_t, bool>> spares_;
+};
+
+} // namespace harp::mem
+
+#endif // HARP_MEMSYS_REPAIR_MECHANISM_HH

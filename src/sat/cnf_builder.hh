@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structured constraint encoding on top of the CDCL solver.
+ *
+ * Provides the encodings HARP's analyses need: XOR (parity) constraints for
+ * GF(2) relations between dataword bits and parity/syndrome bits, and small
+ * cardinality constraints.
+ */
+
+#ifndef HARP_SAT_CNF_BUILDER_HH
+#define HARP_SAT_CNF_BUILDER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/solver.hh"
+#include "sat/types.hh"
+
+namespace harp::sat {
+
+/**
+ * Convenience layer that owns a Solver and offers higher-level constraints.
+ */
+class CnfBuilder
+{
+  public:
+    CnfBuilder() = default;
+
+    /** Create @p n fresh variables and return their indices. */
+    std::vector<Var> newVars(std::size_t n);
+
+    Var newVar() { return solver_.newVar(); }
+
+    Solver &solver() { return solver_; }
+    const Solver &solver() const { return solver_; }
+
+    /** Plain clause passthrough. */
+    bool addClause(Clause clause) { return solver_.addClause(std::move(clause)); }
+
+    /**
+     * Add the parity constraint l1 ⊕ l2 ⊕ ... ⊕ ln = rhs.
+     *
+     * Short constraints are expanded directly (2^(n-1) clauses); longer
+     * ones are chunked through fresh auxiliary variables so clause count
+     * stays linear.
+     */
+    bool addXor(const std::vector<Lit> &lits, bool rhs);
+
+    /** At most one of @p lits is true (pairwise encoding). */
+    bool addAtMostOne(const std::vector<Lit> &lits);
+
+    /** Exactly one of @p lits is true. */
+    bool addExactlyOne(const std::vector<Lit> &lits);
+
+    /** a → b. */
+    bool addImplies(Lit a, Lit b);
+
+    /** Define y ↔ (a ∧ b) with a fresh variable y; returns y. */
+    Var defineAnd(Lit a, Lit b);
+
+    /** Define y ↔ (l1 ∧ l2 ∧ ... ∧ ln); returns y. */
+    Var defineAnd(const std::vector<Lit> &lits);
+
+    /** Define y ↔ (l1 ∨ l2 ∨ ... ∨ ln); returns y. */
+    Var defineOr(const std::vector<Lit> &lits);
+
+  private:
+    /** Direct CNF expansion of an XOR over ≤ chunk-size literals. */
+    bool addXorDirect(const std::vector<Lit> &lits, bool rhs);
+
+    Solver solver_;
+};
+
+} // namespace harp::sat
+
+#endif // HARP_SAT_CNF_BUILDER_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for command-line parsing and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+
+namespace harp::common {
+namespace {
+
+CommandLine
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return CommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm)
+{
+    const CommandLine cl = parse({"--rounds=128", "--prob=0.5"});
+    EXPECT_EQ(cl.getInt("rounds", 0), 128);
+    EXPECT_DOUBLE_EQ(cl.getDouble("prob", 0.0), 0.5);
+}
+
+TEST(Cli, SpaceForm)
+{
+    const CommandLine cl = parse({"--rounds", "64", "--name", "fig6"});
+    EXPECT_EQ(cl.getInt("rounds", 0), 64);
+    EXPECT_EQ(cl.getString("name", ""), "fig6");
+}
+
+TEST(Cli, BooleanFlag)
+{
+    const CommandLine cl = parse({"--csv", "--full=false", "--quick=0"});
+    EXPECT_TRUE(cl.getBool("csv", false));
+    EXPECT_FALSE(cl.getBool("full", true));
+    EXPECT_FALSE(cl.getBool("quick", true));
+    EXPECT_TRUE(cl.getBool("absent", true));
+    EXPECT_FALSE(cl.getBool("absent", false));
+}
+
+TEST(Cli, Defaults)
+{
+    const CommandLine cl = parse({});
+    EXPECT_EQ(cl.getInt("rounds", 7), 7);
+    EXPECT_DOUBLE_EQ(cl.getDouble("prob", 0.25), 0.25);
+    EXPECT_EQ(cl.getString("name", "dflt"), "dflt");
+    EXPECT_FALSE(cl.has("anything"));
+}
+
+TEST(Cli, Positional)
+{
+    const CommandLine cl = parse({"input.txt", "--flag=1", "more"});
+    ASSERT_EQ(cl.positional().size(), 2u);
+    EXPECT_EQ(cl.positional()[0], "input.txt");
+    EXPECT_EQ(cl.positional()[1], "more");
+}
+
+TEST(Cli, FlagNames)
+{
+    const CommandLine cl = parse({"--b=1", "--a=2"});
+    const auto names = cl.flagNames();
+    ASSERT_EQ(names.size(), 2u);
+    // std::map ordering: alphabetical.
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "10"});
+    t.addRow({"longer", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("|-"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatDouble(0.123456, 3), "0.123");
+    EXPECT_EQ(formatDouble(2.0, 1), "2.0");
+    EXPECT_EQ(formatSci(12345.0, 2), "1.23e+04");
+    EXPECT_EQ(formatSci(1e-17, 1), "1.0e-17");
+}
+
+} // namespace
+} // namespace harp::common

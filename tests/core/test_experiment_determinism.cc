@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Thread-count and seed determinism for the remaining experiment
+ * drivers (Fig. 4 and the Fig. 10 case study): results must be exact
+ * functions of the seed, independent of parallel scheduling — the
+ * property that makes every bench output reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/case_study_experiment.hh"
+#include "core/fig4_experiment.hh"
+
+namespace harp::core {
+namespace {
+
+TEST(ExperimentDeterminism, Fig4IndependentOfThreadCount)
+{
+    Fig4Config config;
+    config.numCodes = 6;
+    config.wordsPerCode = 8;
+    config.minPreCorrectionErrors = 2;
+    config.maxPreCorrectionErrors = 5;
+    config.seed = 42;
+
+    config.threads = 1;
+    const Fig4Result serial = runFig4Experiment(config);
+    config.threads = 8;
+    const Fig4Result parallel = runFig4Experiment(config);
+
+    ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+    for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+        EXPECT_EQ(serial.rows[i].postCorrection.count(),
+                  parallel.rows[i].postCorrection.count());
+        for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+            EXPECT_DOUBLE_EQ(
+                serial.rows[i].postCorrection.quantile(q),
+                parallel.rows[i].postCorrection.quantile(q))
+                << "row " << i << " q " << q;
+    }
+}
+
+TEST(ExperimentDeterminism, Fig4SeedSensitivity)
+{
+    Fig4Config config;
+    config.numCodes = 4;
+    config.wordsPerCode = 6;
+    config.minPreCorrectionErrors = 3;
+    config.maxPreCorrectionErrors = 3;
+    config.threads = 2;
+
+    config.seed = 1;
+    const Fig4Result a = runFig4Experiment(config);
+    config.seed = 2;
+    const Fig4Result b = runFig4Experiment(config);
+    // Different seeds draw different codes/faults: the sample sets
+    // should differ (identical medians are astronomically unlikely to
+    // co-occur with identical counts and means).
+    const bool identical =
+        a.rows[0].postCorrection.count() ==
+            b.rows[0].postCorrection.count() &&
+        a.rows[0].postCorrection.mean() ==
+            b.rows[0].postCorrection.mean();
+    EXPECT_FALSE(identical);
+}
+
+TEST(ExperimentDeterminism, CaseStudyIndependentOfThreadCount)
+{
+    CaseStudyConfig config;
+    config.perBitProbability = 0.5;
+    config.samplesPerCellCount = 4;
+    config.maxConditionedCells = 3;
+    config.rounds = 32;
+    config.seed = 7;
+
+    config.threads = 1;
+    const CaseStudyResult serial = runCaseStudyExperiment(config);
+    config.threads = 8;
+    const CaseStudyResult parallel = runCaseStudyExperiment(config);
+
+    ASSERT_EQ(serial.series.size(), parallel.series.size());
+    for (std::size_t s = 0; s < serial.series.size(); ++s) {
+        for (std::size_t r = 0; r < config.rounds; ++r) {
+            EXPECT_DOUBLE_EQ(serial.series[s].berBefore[r],
+                             parallel.series[s].berBefore[r])
+                << "series " << s << " round " << r;
+            EXPECT_DOUBLE_EQ(serial.series[s].berAfter[r],
+                             parallel.series[s].berAfter[r]);
+        }
+    }
+    EXPECT_EQ(serial.roundsToZeroAfter, parallel.roundsToZeroAfter);
+}
+
+TEST(ExperimentDeterminism, CaseStudyRepeatableForFixedSeed)
+{
+    CaseStudyConfig config;
+    config.perBitProbability = 0.75;
+    config.samplesPerCellCount = 3;
+    config.maxConditionedCells = 2;
+    config.rounds = 16;
+    config.seed = 11;
+    config.threads = 4;
+    const CaseStudyResult a = runCaseStudyExperiment(config);
+    const CaseStudyResult b = runCaseStudyExperiment(config);
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (std::size_t s = 0; s < a.series.size(); ++s)
+        EXPECT_EQ(a.series[s].berBefore, b.series[s].berBefore);
+}
+
+} // namespace
+} // namespace harp::core

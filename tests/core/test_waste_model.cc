@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the Fig. 2 storage-waste model: closed form vs.
+ * Monte-Carlo, plus the qualitative properties the paper reads off the
+ * figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/waste_model.hh"
+
+namespace harp::core {
+namespace {
+
+TEST(WasteModel, BitGranularityWastesNothing)
+{
+    for (const double rber : {1e-7, 1e-4, 1e-2, 0.5})
+        EXPECT_DOUBLE_EQ(expectedWastedFraction(1, rber), 0.0);
+}
+
+TEST(WasteModel, ZeroErrorRateWastesNothing)
+{
+    for (const std::size_t g : {1u, 32u, 64u, 512u, 1024u})
+        EXPECT_DOUBLE_EQ(expectedWastedFraction(g, 0.0), 0.0);
+}
+
+TEST(WasteModel, CoarserGranularityWastesMore)
+{
+    const double rber = 1e-3;
+    double prev = -1.0;
+    for (const std::size_t g : {1u, 32u, 64u, 512u, 1024u}) {
+        const double waste = expectedWastedFraction(g, rber);
+        EXPECT_GT(waste, prev);
+        prev = waste;
+    }
+}
+
+TEST(WasteModel, PaperWorstCaseValue)
+{
+    // The paper: "wasting over 99% of total memory capacity in the worst
+    // case for a 1024-bit granularity at a raw bit error rate of
+    // 6.8e-3".
+    const double waste = expectedWastedFraction(1024, 6.8e-3);
+    EXPECT_GT(waste, 0.99);
+}
+
+TEST(WasteModel, WasteDecreasesAtVeryHighErrorRates)
+{
+    // Beyond the peak, more bits are truly erroneous so fewer repaired
+    // bits are wasted.
+    const std::size_t g = 1024;
+    const double peak = expectedWastedFraction(g, 6.8e-3);
+    EXPECT_LT(expectedWastedFraction(g, 0.5), peak);
+    EXPECT_LT(expectedWastedFraction(g, 0.9), peak);
+}
+
+TEST(WasteModel, ClosedFormWithinUnitInterval)
+{
+    for (const std::size_t g : {2u, 64u, 1024u})
+        for (double rber = 1e-7; rber < 1.0; rber *= 10.0) {
+            const double w = expectedWastedFraction(g, rber);
+            EXPECT_GE(w, 0.0);
+            EXPECT_LE(w, 1.0);
+        }
+}
+
+TEST(WasteModel, MonteCarloMatchesClosedForm)
+{
+    common::Xoshiro256 rng(1);
+    struct Case
+    {
+        std::size_t g;
+        double rber;
+    };
+    for (const Case c : {Case{32, 1e-2}, Case{64, 5e-3}, Case{512, 1e-3},
+                         Case{8, 0.1}}) {
+        const double expected = expectedWastedFraction(c.g, c.rber);
+        const double simulated =
+            simulateWastedFraction(c.g, c.rber, 20000, rng);
+        EXPECT_NEAR(simulated, expected, 0.01)
+            << "g=" << c.g << " rber=" << c.rber;
+    }
+}
+
+} // namespace
+} // namespace harp::core

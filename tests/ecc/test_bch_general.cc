@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the general t-error-correcting BCH code (Berlekamp-Massey +
+ * Chien search), including a cross-check against the closed-form t=2
+ * decoder and exhaustive/sampled error sweeps for t = 1..4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "ecc/bch_code.hh"
+#include "ecc/bch_general.hh"
+
+namespace harp::ecc {
+namespace {
+
+/** Random distinct error positions. */
+std::set<std::size_t>
+randomErrors(std::size_t count, std::size_t n, common::Xoshiro256 &rng)
+{
+    std::set<std::size_t> errors;
+    while (errors.size() < count)
+        errors.insert(rng.nextBelow(n));
+    return errors;
+}
+
+TEST(BchGeneral, GeometryScalesWithT)
+{
+    const BchCode t1(64, 1);
+    const BchCode t2(64, 2);
+    const BchCode t3(64, 3);
+    EXPECT_EQ(t1.p(), 7u);  // degenerates to the Hamming parity count
+    EXPECT_EQ(t2.p(), 14u); // matches BchDecCode
+    EXPECT_EQ(t3.p(), 21u); // three degree-7 minimal polynomials
+    EXPECT_LT(t1.n(), t2.n());
+    EXPECT_LT(t2.n(), t3.n());
+}
+
+TEST(BchGeneral, RejectsBadT)
+{
+    EXPECT_THROW(BchCode(64, 0), std::invalid_argument);
+    EXPECT_THROW(BchCode(64, 9), std::invalid_argument);
+}
+
+TEST(BchGeneral, CleanDecode)
+{
+    const BchCode code(64, 3);
+    common::Xoshiro256 rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const gf2::BitVector d = gf2::BitVector::random(64, rng);
+        const BchGeneralDecodeResult r = code.decode(code.encode(d));
+        EXPECT_EQ(r.dataword, d);
+        EXPECT_TRUE(r.correctedPositions.empty());
+        EXPECT_FALSE(r.detectedUncorrectable);
+    }
+}
+
+TEST(BchGeneral, MatchesClosedFormT2Decoder)
+{
+    // Same k and t: the generator polynomials coincide, and decode
+    // outcomes must agree on every error pattern up to weight 3.
+    const BchCode general(64, 2);
+    const BchDecCode closed(64);
+    ASSERT_EQ(general.generatorPolynomial(),
+              closed.generatorPolynomial());
+    ASSERT_EQ(general.n(), closed.n());
+
+    common::Xoshiro256 rng(2);
+    for (int trial = 0; trial < 300; ++trial) {
+        const std::size_t weight = 1 + rng.nextBelow(3);
+        const auto errors = randomErrors(weight, general.n(), rng);
+        const std::vector<std::size_t> positions(errors.begin(),
+                                                 errors.end());
+        EXPECT_EQ(general.decodeErrorPattern(positions),
+                  closed.decodeErrorPattern(positions))
+            << "trial " << trial;
+    }
+}
+
+class BchGeneralSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+  protected:
+    std::size_t k() const { return std::get<0>(GetParam()); }
+    std::size_t t() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(BchGeneralSweep, CorrectsUpToTErrors)
+{
+    const BchCode code(k(), t());
+    common::Xoshiro256 rng(100 + k() * 10 + t());
+    const gf2::BitVector d = gf2::BitVector::random(k(), rng);
+    const gf2::BitVector clean = code.encode(d);
+    for (std::size_t weight = 1; weight <= t(); ++weight) {
+        for (int trial = 0; trial < 120; ++trial) {
+            const auto errors = randomErrors(weight, code.n(), rng);
+            gf2::BitVector c = clean;
+            for (const std::size_t pos : errors)
+                c.flip(pos);
+            const BchGeneralDecodeResult r = code.decode(c);
+            EXPECT_EQ(r.dataword, d)
+                << "weight " << weight << " trial " << trial;
+            EXPECT_EQ(r.correctedPositions,
+                      std::vector<std::size_t>(errors.begin(),
+                                               errors.end()));
+        }
+    }
+}
+
+TEST_P(BchGeneralSweep, NeverFlipsMoreThanTOnOverload)
+{
+    // t+1 .. t+2 errors: the decoder may detect or miscorrect, but can
+    // never apply more than t flips — the bound that generalizes HARP's
+    // indirect-error argument.
+    const BchCode code(k(), t());
+    common::Xoshiro256 rng(200 + k() * 10 + t());
+    const gf2::BitVector d = gf2::BitVector::random(k(), rng);
+    const gf2::BitVector clean = code.encode(d);
+    for (std::size_t overload = 1; overload <= 2; ++overload) {
+        for (int trial = 0; trial < 120; ++trial) {
+            const auto errors =
+                randomErrors(t() + overload, code.n(), rng);
+            gf2::BitVector c = clean;
+            for (const std::size_t pos : errors)
+                c.flip(pos);
+            const BchGeneralDecodeResult r = code.decode(c);
+            EXPECT_LE(r.correctedPositions.size(), t());
+            if (r.detectedUncorrectable)
+                EXPECT_TRUE(r.correctedPositions.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KTSweep, BchGeneralSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(32, 64),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t,
+                                                 std::size_t>> &info) {
+        return "k" + std::to_string(std::get<0>(info.param)) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BchGeneral, ParityRowsMatchEncoder)
+{
+    const BchCode code(32, 3);
+    common::Xoshiro256 rng(3);
+    const gf2::BitVector d = gf2::BitVector::random(32, rng);
+    const gf2::BitVector c = code.encode(d);
+    for (std::size_t j = 0; j < code.p(); ++j)
+        EXPECT_EQ(c.get(code.k() + j), code.parityRow(j).dot(d));
+}
+
+TEST(BchGeneral, T1BehavesLikeSecCode)
+{
+    // t=1 general BCH is a (shortened) Hamming code: every single error
+    // corrected, double errors never silently accepted as clean.
+    const BchCode code(64, 1);
+    common::Xoshiro256 rng(4);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    const gf2::BitVector clean = code.encode(d);
+    for (std::size_t pos = 0; pos < code.n(); ++pos) {
+        gf2::BitVector c = clean;
+        c.flip(pos);
+        const BchGeneralDecodeResult r = code.decode(c);
+        EXPECT_EQ(r.dataword, d);
+        ASSERT_EQ(r.correctedPositions.size(), 1u);
+        EXPECT_EQ(r.correctedPositions[0], pos);
+    }
+}
+
+} // namespace
+} // namespace harp::ecc

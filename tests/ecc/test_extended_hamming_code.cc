@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit and parameterized tests for the SECDED secondary ECC: corrects all
+ * single errors, detects (never miscorrects) all double errors — the
+ * property HARP's reactive profiling safety argument rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "ecc/extended_hamming_code.hh"
+
+namespace harp::ecc {
+namespace {
+
+TEST(ExtendedHamming, Dimensions)
+{
+    common::Xoshiro256 rng(1);
+    const ExtendedHammingCode code =
+        ExtendedHammingCode::randomSecDed(64, rng);
+    EXPECT_EQ(code.k(), 64u);
+    EXPECT_EQ(code.checkBits(), 8u); // 7 Hamming + 1 overall parity
+    EXPECT_EQ(code.n(), 72u);        // the classic (72, 64) SECDED shape
+}
+
+TEST(ExtendedHamming, EncodeHasEvenOverallParity)
+{
+    common::Xoshiro256 rng(2);
+    const ExtendedHammingCode code =
+        ExtendedHammingCode::randomSecDed(32, rng);
+    for (int trial = 0; trial < 20; ++trial) {
+        const gf2::BitVector d = gf2::BitVector::random(32, rng);
+        const gf2::BitVector c = code.encode(d);
+        EXPECT_EQ(c.popcount() % 2, 0u);
+    }
+}
+
+TEST(ExtendedHamming, CleanDecode)
+{
+    common::Xoshiro256 rng(3);
+    const ExtendedHammingCode code =
+        ExtendedHammingCode::randomSecDed(64, rng);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    const SecondaryDecodeResult r = code.decode(code.encode(d));
+    EXPECT_EQ(r.status, SecondaryDecodeStatus::NoError);
+    EXPECT_EQ(r.dataword, d);
+    EXPECT_FALSE(r.correctedPosition.has_value());
+}
+
+class SecDedSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SecDedSweep, EverySingleErrorCorrected)
+{
+    const std::size_t k = GetParam();
+    common::Xoshiro256 rng(100 + k);
+    const ExtendedHammingCode code =
+        ExtendedHammingCode::randomSecDed(k, rng);
+    const gf2::BitVector d = gf2::BitVector::random(k, rng);
+    const gf2::BitVector clean = code.encode(d);
+    for (std::size_t pos = 0; pos < code.n(); ++pos) {
+        gf2::BitVector c = clean;
+        c.flip(pos);
+        const SecondaryDecodeResult r = code.decode(c);
+        EXPECT_EQ(r.status, SecondaryDecodeStatus::CorrectedSingle)
+            << "error at " << pos;
+        EXPECT_EQ(r.dataword, d);
+        ASSERT_TRUE(r.correctedPosition.has_value());
+        EXPECT_EQ(*r.correctedPosition, pos);
+    }
+}
+
+TEST_P(SecDedSweep, EveryDoubleErrorDetectedNotMiscorrected)
+{
+    const std::size_t k = GetParam();
+    common::Xoshiro256 rng(200 + k);
+    const ExtendedHammingCode code =
+        ExtendedHammingCode::randomSecDed(k, rng);
+    const gf2::BitVector d = gf2::BitVector::random(k, rng);
+    const gf2::BitVector clean = code.encode(d);
+    // Exhaustive for small k; sampled pairs for larger k.
+    const bool exhaustive = code.n() <= 24;
+    const int samples = exhaustive ? 0 : 300;
+    auto check_pair = [&](std::size_t i, std::size_t j) {
+        gf2::BitVector c = clean;
+        c.flip(i);
+        c.flip(j);
+        const SecondaryDecodeResult r = code.decode(c);
+        EXPECT_EQ(r.status,
+                  SecondaryDecodeStatus::DetectedUncorrectable)
+            << "errors at " << i << "," << j;
+    };
+    if (exhaustive) {
+        for (std::size_t i = 0; i < code.n(); ++i)
+            for (std::size_t j = i + 1; j < code.n(); ++j)
+                check_pair(i, j);
+    } else {
+        for (int s = 0; s < samples; ++s) {
+            const std::size_t i = rng.nextBelow(code.n());
+            std::size_t j = rng.nextBelow(code.n());
+            while (j == i)
+                j = rng.nextBelow(code.n());
+            check_pair(i, j);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DatawordLengths, SecDedSweep,
+                         ::testing::Values(8, 16, 64, 128));
+
+TEST(ExtendedHamming, OverallParityBitErrorCorrected)
+{
+    common::Xoshiro256 rng(4);
+    const ExtendedHammingCode code =
+        ExtendedHammingCode::randomSecDed(16, rng);
+    const gf2::BitVector d = gf2::BitVector::random(16, rng);
+    gf2::BitVector c = code.encode(d);
+    c.flip(code.n() - 1); // the overall parity bit itself
+    const SecondaryDecodeResult r = code.decode(c);
+    EXPECT_EQ(r.status, SecondaryDecodeStatus::CorrectedSingle);
+    ASSERT_TRUE(r.correctedPosition.has_value());
+    EXPECT_EQ(*r.correctedPosition, code.n() - 1);
+    EXPECT_EQ(r.dataword, d);
+}
+
+TEST(ExtendedHamming, TripleErrorsNeverReportNoError)
+{
+    // SECDED guarantees end at 2 errors, but a triple error must never be
+    // reported as a clean word (it has odd parity).
+    common::Xoshiro256 rng(5);
+    const ExtendedHammingCode code =
+        ExtendedHammingCode::randomSecDed(32, rng);
+    const gf2::BitVector d = gf2::BitVector::random(32, rng);
+    const gf2::BitVector clean = code.encode(d);
+    for (int trial = 0; trial < 100; ++trial) {
+        gf2::BitVector c = clean;
+        std::set<std::size_t> positions;
+        while (positions.size() < 3)
+            positions.insert(rng.nextBelow(code.n()));
+        for (const std::size_t pos : positions)
+            c.flip(pos);
+        const SecondaryDecodeResult r = code.decode(c);
+        EXPECT_NE(r.status, SecondaryDecodeStatus::NoError);
+    }
+}
+
+} // namespace
+} // namespace harp::ecc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit and property tests for gf2::BitMatrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gf2/bit_matrix.hh"
+
+namespace harp::gf2 {
+namespace {
+
+TEST(BitMatrix, IdentityProperties)
+{
+    const BitMatrix id = BitMatrix::identity(8);
+    EXPECT_EQ(id.rows(), 8u);
+    EXPECT_EQ(id.cols(), 8u);
+    EXPECT_EQ(id.rank(), 8u);
+    common::Xoshiro256 rng(3);
+    const BitVector v = BitVector::random(8, rng);
+    EXPECT_EQ(id.multiply(v), v);
+}
+
+TEST(BitMatrix, MultiplyVectorKnown)
+{
+    // H from the paper's Equation 1 (k=4 SEC Hamming example).
+    BitMatrix h(3, 7);
+    const char *rows[] = {"1110100", "1101010", "1011001"};
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 7; ++c)
+            h.set(r, c, rows[r][c] == '1');
+    // A codeword of the example code must be in the nullspace of H.
+    // d = (1,0,0,0) -> parity (1,1,1): c = 1000111.
+    BitVector c(7);
+    c.set(0, true);
+    c.set(4, true);
+    c.set(5, true);
+    c.set(6, true);
+    EXPECT_TRUE(h.multiply(c).isZero());
+    // A single-bit error at position 2 yields syndrome = column 2 = (1,0,1).
+    c.flip(2);
+    const BitVector syndrome = h.multiply(c);
+    EXPECT_TRUE(syndrome.get(0));
+    EXPECT_FALSE(syndrome.get(1));
+    EXPECT_TRUE(syndrome.get(2));
+}
+
+TEST(BitMatrix, MatrixProductAssociatesWithVector)
+{
+    common::Xoshiro256 rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+        const BitMatrix a = BitMatrix::random(9, 13, rng);
+        const BitMatrix b = BitMatrix::random(13, 17, rng);
+        const BitVector v = BitVector::random(17, rng);
+        // (A·B)·v == A·(B·v)
+        EXPECT_EQ(a.multiply(b).multiply(v), a.multiply(b.multiply(v)));
+    }
+}
+
+TEST(BitMatrix, TransposeInvolution)
+{
+    common::Xoshiro256 rng(5);
+    const BitMatrix m = BitMatrix::random(10, 20, rng);
+    EXPECT_EQ(m.transposed().transposed(), m);
+    EXPECT_EQ(m.transposed().rows(), 20u);
+    EXPECT_EQ(m.transposed().cols(), 10u);
+}
+
+TEST(BitMatrix, TransposeColumnIsRow)
+{
+    common::Xoshiro256 rng(6);
+    const BitMatrix m = BitMatrix::random(12, 8, rng);
+    const BitMatrix mt = m.transposed();
+    for (std::size_t c = 0; c < m.cols(); ++c)
+        EXPECT_EQ(m.column(c), mt.row(c));
+}
+
+TEST(BitMatrix, RankBounds)
+{
+    common::Xoshiro256 rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        const BitMatrix m = BitMatrix::random(6, 10, rng);
+        EXPECT_LE(m.rank(), 6u);
+    }
+    const BitMatrix zero(4, 4);
+    EXPECT_EQ(zero.rank(), 0u);
+}
+
+TEST(BitMatrix, RankOfDependentRows)
+{
+    BitMatrix m(3, 4);
+    m.row(0) = BitVector::fromUint(0b0011, 4);
+    m.row(1) = BitVector::fromUint(0b0110, 4);
+    m.row(2) = BitVector::fromUint(0b0101, 4); // row0 ^ row1
+    EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(BitMatrix, RowReduceProducesPivots)
+{
+    BitMatrix m(3, 5);
+    m.row(0) = BitVector::fromUint(0b00110, 5);
+    m.row(1) = BitVector::fromUint(0b01100, 5);
+    m.row(2) = BitVector::fromUint(0b11000, 5);
+    const auto pivots = m.rowReduce();
+    EXPECT_EQ(pivots.size(), 3u);
+    // Each pivot column has exactly one set bit, in its own row.
+    for (std::size_t i = 0; i < pivots.size(); ++i) {
+        const BitVector col = m.column(pivots[i]);
+        EXPECT_EQ(col.popcount(), 1u);
+        EXPECT_TRUE(col.get(i));
+    }
+}
+
+TEST(BitMatrix, RandomFullProductDimensions)
+{
+    common::Xoshiro256 rng(31);
+    const BitMatrix a = BitMatrix::random(3, 5, rng);
+    const BitMatrix b = BitMatrix::random(5, 2, rng);
+    const BitMatrix ab = a.multiply(b);
+    EXPECT_EQ(ab.rows(), 3u);
+    EXPECT_EQ(ab.cols(), 2u);
+}
+
+TEST(BitMatrix, ToStringShape)
+{
+    BitMatrix m(2, 3);
+    m.set(0, 0, true);
+    m.set(1, 2, true);
+    EXPECT_EQ(m.toString(), "100\n001\n");
+}
+
+} // namespace
+} // namespace harp::gf2

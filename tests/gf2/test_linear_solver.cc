@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit and property tests for the GF(2) linear solver and the
+ * constraint-system wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gf2/linear_solver.hh"
+
+namespace harp::gf2 {
+namespace {
+
+TEST(LinearSolver, SolvesIdentitySystem)
+{
+    const BitMatrix a = BitMatrix::identity(5);
+    const BitVector b = BitVector::fromUint(0b10110, 5);
+    const auto sol = solve(a, b);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(sol->particular, b);
+    EXPECT_TRUE(sol->nullspace.empty());
+}
+
+TEST(LinearSolver, DetectsInconsistency)
+{
+    // x0 = 0 and x0 = 1 simultaneously.
+    BitMatrix a(2, 1);
+    a.set(0, 0, true);
+    a.set(1, 0, true);
+    BitVector b(2);
+    b.set(1, true);
+    EXPECT_FALSE(solve(a, b).has_value());
+}
+
+TEST(LinearSolver, UnderdeterminedNullspace)
+{
+    // One equation, three unknowns: x0 ^ x1 ^ x2 = 1.
+    BitMatrix a(1, 3);
+    a.set(0, 0, true);
+    a.set(0, 1, true);
+    a.set(0, 2, true);
+    BitVector b(1);
+    b.set(0, true);
+    const auto sol = solve(a, b);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(sol->nullspace.size(), 2u);
+    // Particular solution satisfies the equation.
+    EXPECT_TRUE(a.multiply(sol->particular) == b);
+    // Every nullspace combination also satisfies it.
+    for (const BitVector &basis : sol->nullspace) {
+        BitVector x = sol->particular;
+        x ^= basis;
+        EXPECT_TRUE(a.multiply(x) == b);
+    }
+}
+
+TEST(LinearSolver, RandomSystemsSolutionsVerify)
+{
+    common::Xoshiro256 rng(17);
+    int solved = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        const BitMatrix a = BitMatrix::random(8, 12, rng);
+        const BitVector b = BitVector::random(8, rng);
+        const auto sol = solve(a, b);
+        if (!sol)
+            continue;
+        ++solved;
+        EXPECT_EQ(a.multiply(sol->particular), b);
+        for (const BitVector &basis : sol->nullspace)
+            EXPECT_TRUE(a.multiply(basis).isZero());
+        // Rank-nullity: #nullspace = cols - rank.
+        EXPECT_EQ(sol->nullspace.size(), 12u - a.rank());
+    }
+    // Wide random systems are almost always consistent.
+    EXPECT_GT(solved, 40);
+}
+
+TEST(LinearSolver, SquareSingularConsistentAndInconsistent)
+{
+    // Rows: x0^x1 = b0, x0^x1 = b1. Consistent iff b0 == b1.
+    BitMatrix a(2, 2);
+    a.set(0, 0, true);
+    a.set(0, 1, true);
+    a.set(1, 0, true);
+    a.set(1, 1, true);
+    BitVector consistent(2);
+    consistent.set(0, true);
+    consistent.set(1, true);
+    EXPECT_TRUE(solve(a, consistent).has_value());
+    BitVector inconsistent(2);
+    inconsistent.set(0, true);
+    EXPECT_FALSE(solve(a, inconsistent).has_value());
+}
+
+TEST(ConstraintSystem, PinVariables)
+{
+    ConstraintSystem cs(8);
+    cs.pinVariable(2, true);
+    cs.pinVariable(5, false);
+    const auto x = cs.solveAny();
+    ASSERT_TRUE(x.has_value());
+    EXPECT_TRUE(x->get(2));
+    EXPECT_FALSE(x->get(5));
+}
+
+TEST(ConstraintSystem, ConflictingPinsInconsistent)
+{
+    ConstraintSystem cs(4);
+    cs.pinVariable(1, true);
+    cs.pinVariable(1, false);
+    EXPECT_FALSE(cs.consistent());
+    EXPECT_FALSE(cs.solveAny().has_value());
+}
+
+TEST(ConstraintSystem, ParityConstraint)
+{
+    ConstraintSystem cs(6);
+    // x0 ^ x1 ^ x2 = 1 with x0 = 1, x1 = 1 forces x2 = 1.
+    BitVector row(6);
+    row.set(0, true);
+    row.set(1, true);
+    row.set(2, true);
+    cs.addConstraint(row, true);
+    cs.pinVariable(0, true);
+    cs.pinVariable(1, true);
+    const auto x = cs.solveAny();
+    ASSERT_TRUE(x.has_value());
+    EXPECT_TRUE(x->get(2));
+}
+
+TEST(ConstraintSystem, SolveRandomSatisfiesAllConstraints)
+{
+    common::Xoshiro256 rng(23);
+    ConstraintSystem cs(16);
+    BitVector row1(16), row2(16);
+    for (std::size_t i = 0; i < 8; ++i)
+        row1.set(i, true);
+    for (std::size_t i = 4; i < 12; ++i)
+        row2.set(i, true);
+    cs.addConstraint(row1, true);
+    cs.addConstraint(row2, false);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto x = cs.solveRandom(rng);
+        ASSERT_TRUE(x.has_value());
+        BitVector t1 = *x;
+        t1 &= row1;
+        EXPECT_EQ(t1.popcount() % 2, 1u);
+        BitVector t2 = *x;
+        t2 &= row2;
+        EXPECT_EQ(t2.popcount() % 2, 0u);
+    }
+}
+
+TEST(ConstraintSystem, SolveRandomExploresSolutionSpace)
+{
+    // x0 ^ x1 = 0 has many solutions; random solving should produce at
+    // least two distinct ones over 32 draws.
+    common::Xoshiro256 rng(29);
+    ConstraintSystem cs(8);
+    BitVector row(8);
+    row.set(0, true);
+    row.set(1, true);
+    cs.addConstraint(row, false);
+    std::set<std::vector<std::size_t>> distinct;
+    for (int trial = 0; trial < 32; ++trial) {
+        const auto x = cs.solveRandom(rng);
+        ASSERT_TRUE(x.has_value());
+        distinct.insert(x->setBits());
+    }
+    EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(ConstraintSystem, EmptySystemAlwaysConsistent)
+{
+    ConstraintSystem cs(10);
+    EXPECT_TRUE(cs.consistent());
+    const auto x = cs.solveAny();
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(x->size(), 10u);
+}
+
+} // namespace
+} // namespace harp::gf2

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the error profile and the ideal bit-repair mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "memsys/error_profile.hh"
+#include "memsys/repair_mechanism.hh"
+
+namespace harp::mem {
+namespace {
+
+TEST(ErrorProfile, StartsEmpty)
+{
+    const ErrorProfile profile(4, 64);
+    EXPECT_EQ(profile.numWords(), 4u);
+    EXPECT_EQ(profile.wordBits(), 64u);
+    EXPECT_EQ(profile.totalAtRisk(), 0u);
+    EXPECT_FALSE(profile.isAtRisk(0, 0));
+}
+
+TEST(ErrorProfile, MarkIsIdempotent)
+{
+    ErrorProfile profile(2, 64);
+    profile.markAtRisk(1, 10);
+    profile.markAtRisk(1, 10);
+    EXPECT_TRUE(profile.isAtRisk(1, 10));
+    EXPECT_FALSE(profile.isAtRisk(0, 10));
+    EXPECT_EQ(profile.totalAtRisk(), 1u);
+}
+
+TEST(ErrorProfile, WordBitmap)
+{
+    ErrorProfile profile(1, 16);
+    profile.markAtRisk(0, 3);
+    profile.markAtRisk(0, 9);
+    EXPECT_EQ(profile.wordBitmap(0).setBits(),
+              (std::vector<std::size_t>{3, 9}));
+}
+
+TEST(ErrorProfile, MergeUnion)
+{
+    ErrorProfile a(2, 8), b(2, 8);
+    a.markAtRisk(0, 1);
+    b.markAtRisk(0, 2);
+    b.markAtRisk(1, 7);
+    a.merge(b);
+    EXPECT_TRUE(a.isAtRisk(0, 1));
+    EXPECT_TRUE(a.isAtRisk(0, 2));
+    EXPECT_TRUE(a.isAtRisk(1, 7));
+    EXPECT_EQ(a.totalAtRisk(), 3u);
+}
+
+TEST(ErrorProfile, MergeShapeMismatchThrows)
+{
+    ErrorProfile a(2, 8), b(2, 16), c(3, 8);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+    EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(ErrorProfile, ClearResets)
+{
+    ErrorProfile profile(1, 8);
+    profile.markAtRisk(0, 4);
+    profile.clear();
+    EXPECT_EQ(profile.totalAtRisk(), 0u);
+}
+
+TEST(ErrorProfile, OutOfRangeThrows)
+{
+    ErrorProfile profile(1, 8);
+    EXPECT_THROW(profile.markAtRisk(1, 0), std::out_of_range);
+}
+
+TEST(ErrorProfile, SaveLoadRoundTrip)
+{
+    ErrorProfile profile(5, 64);
+    profile.markAtRisk(0, 0);
+    profile.markAtRisk(0, 63);
+    profile.markAtRisk(3, 17);
+    std::stringstream stream;
+    profile.save(stream);
+    const ErrorProfile loaded = ErrorProfile::load(stream);
+    EXPECT_EQ(loaded.numWords(), 5u);
+    EXPECT_EQ(loaded.wordBits(), 64u);
+    EXPECT_EQ(loaded.totalAtRisk(), 3u);
+    EXPECT_TRUE(loaded.isAtRisk(0, 0));
+    EXPECT_TRUE(loaded.isAtRisk(0, 63));
+    EXPECT_TRUE(loaded.isAtRisk(3, 17));
+    EXPECT_FALSE(loaded.isAtRisk(1, 0));
+}
+
+TEST(ErrorProfile, SaveLoadEmptyProfile)
+{
+    ErrorProfile profile(2, 16);
+    std::stringstream stream;
+    profile.save(stream);
+    const ErrorProfile loaded = ErrorProfile::load(stream);
+    EXPECT_EQ(loaded.numWords(), 2u);
+    EXPECT_EQ(loaded.wordBits(), 16u);
+    EXPECT_EQ(loaded.totalAtRisk(), 0u);
+}
+
+TEST(ErrorProfile, LoadRejectsMalformedInput)
+{
+    auto expect_throw = [](const std::string &text) {
+        std::istringstream stream(text);
+        EXPECT_THROW(ErrorProfile::load(stream), std::invalid_argument)
+            << text;
+    };
+    expect_throw("");
+    expect_throw("not-a-profile v1 2 16\n");
+    expect_throw("harp-profile v2 2 16\n");
+    expect_throw("harp-profile v1 2 16\n9 0\n");   // word out of range
+    expect_throw("harp-profile v1 2 16\n0 99\n");  // bit out of range
+    expect_throw("harp-profile v1 2 16\n0 abc\n"); // non-numeric bit
+}
+
+TEST(ErrorProfile, SaveFormatIsStable)
+{
+    ErrorProfile profile(3, 8);
+    profile.markAtRisk(1, 2);
+    profile.markAtRisk(1, 5);
+    std::stringstream stream;
+    profile.save(stream);
+    EXPECT_EQ(stream.str(), "harp-profile v1 3 8\n1 2 5\n");
+}
+
+TEST(RepairMechanism, RepairsProfiledBitsAfterCapture)
+{
+    ErrorProfile profile(1, 16);
+    profile.markAtRisk(0, 5);
+    RepairMechanism repair(1, 16);
+
+    gf2::BitVector written = gf2::BitVector::fromUint(0xBEEF, 16);
+    repair.onWrite(0, written, profile);
+
+    gf2::BitVector read_back = written;
+    read_back.flip(5); // the profiled bit got corrupted
+    read_back.flip(9); // an unprofiled bit got corrupted too
+    EXPECT_EQ(repair.repair(0, read_back), 1u);
+    EXPECT_EQ(read_back.get(5), written.get(5));
+    EXPECT_NE(read_back.get(9), written.get(9)); // not repaired
+}
+
+TEST(RepairMechanism, NoSpareNoRepair)
+{
+    // A bit profiled after the last write has no captured value yet.
+    ErrorProfile profile(1, 16);
+    RepairMechanism repair(1, 16);
+    const gf2::BitVector written = gf2::BitVector::fromUint(0x0F0F, 16);
+    repair.onWrite(0, written, profile); // profile empty at write time
+    profile.markAtRisk(0, 2);
+
+    gf2::BitVector read_back = written;
+    read_back.flip(2);
+    EXPECT_EQ(repair.repair(0, read_back), 0u);
+}
+
+TEST(RepairMechanism, RepairIsValueAccurate)
+{
+    // Repair restores the captured value, it does not blindly flip.
+    ErrorProfile profile(1, 8);
+    profile.markAtRisk(0, 3);
+    RepairMechanism repair(1, 8);
+    gf2::BitVector written(8);
+    written.set(3, true);
+    repair.onWrite(0, written, profile);
+
+    gf2::BitVector clean_read = written;
+    EXPECT_EQ(repair.repair(0, clean_read), 0u); // value already correct
+    EXPECT_EQ(clean_read, written);
+}
+
+TEST(RepairMechanism, SpareAccounting)
+{
+    ErrorProfile profile(2, 8);
+    profile.markAtRisk(0, 1);
+    profile.markAtRisk(1, 2);
+    profile.markAtRisk(1, 3);
+    RepairMechanism repair(2, 8);
+    const gf2::BitVector d(8);
+    repair.onWrite(0, d, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 1u);
+    repair.onWrite(1, d, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 3u);
+    // Re-writing the same word does not double-count.
+    repair.onWrite(1, d, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 3u);
+}
+
+} // namespace
+} // namespace harp::mem

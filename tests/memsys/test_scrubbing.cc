@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for ECC scrubbing — the classic reactive-profiling mechanism
+ * (HARP section 2.3.2) — on the memory controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "memsys/memory_controller.hh"
+
+namespace harp::mem {
+namespace {
+
+struct Rig
+{
+    ecc::HammingCode code;
+    MemoryChip chip;
+    MemoryController controller;
+
+    explicit Rig(std::uint64_t seed = 1, std::size_t words = 2)
+        : code([&] {
+              common::Xoshiro256 rng(seed);
+              return ecc::HammingCode::randomSec(64, rng);
+          }()),
+          chip(code, words),
+          controller(chip, [&] {
+              common::Xoshiro256 rng(seed + 1);
+              return ecc::ExtendedHammingCode::randomSecDed(64, rng);
+          }())
+    {
+    }
+};
+
+TEST(Scrubbing, CleanWordNeedsNoWriteback)
+{
+    Rig rig;
+    common::Xoshiro256 rng(2);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d);
+    const ControllerReadResult r = rig.controller.scrub(0);
+    EXPECT_FALSE(r.corrupt);
+    EXPECT_EQ(r.dataword, d);
+    EXPECT_EQ(rig.controller.stats().scrubs, 1u);
+    EXPECT_EQ(rig.controller.stats().scrubWritebacks, 0u);
+}
+
+TEST(Scrubbing, WritebackClearsAccumulatedDataErrors)
+{
+    Rig rig;
+    common::Xoshiro256 rng(3);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d);
+    // One raw data error: on-die ECC corrects it on read; scrubbing must
+    // also rewrite the stored codeword so the error cannot combine with
+    // future ones.
+    gf2::BitVector mask(71);
+    mask.set(33, true);
+    rig.chip.corrupt(0, mask);
+
+    const ControllerReadResult r = rig.controller.scrub(0);
+    EXPECT_FALSE(r.corrupt);
+    EXPECT_EQ(r.dataword, d);
+    EXPECT_EQ(rig.controller.stats().scrubWritebacks, 1u);
+    // The stored codeword is clean again.
+    EXPECT_EQ(rig.chip.storedCodeword(0), rig.code.encode(d));
+}
+
+TEST(Scrubbing, ScrubDoesNotCountAsApplicationWrite)
+{
+    Rig rig;
+    common::Xoshiro256 rng(4);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d);
+    gf2::BitVector mask(71);
+    mask.set(5, true);
+    rig.chip.corrupt(0, mask);
+    rig.controller.scrub(0);
+    EXPECT_EQ(rig.controller.stats().writes, 1u);
+}
+
+TEST(Scrubbing, ParityOnlyErrorsAreInvisibleToScrub)
+{
+    // The bypass path hides parity bits, so a parity-cell error neither
+    // triggers a writeback nor harms data by itself.
+    Rig rig;
+    common::Xoshiro256 rng(5);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d);
+    gf2::BitVector mask(71);
+    mask.set(67, true); // parity cell
+    rig.chip.corrupt(0, mask);
+    const ControllerReadResult r = rig.controller.scrub(0);
+    EXPECT_FALSE(r.corrupt);
+    EXPECT_EQ(r.dataword, d);
+    EXPECT_EQ(rig.controller.stats().scrubWritebacks, 0u);
+    // The parity error persists in storage (on-die ECC opacity).
+    EXPECT_NE(rig.chip.storedCodeword(0), rig.code.encode(d));
+}
+
+TEST(Scrubbing, ScrubVersusProfileDrivenRepair)
+{
+    // The paper's motivation in miniature. Two rarely-failing at-risk
+    // data cells (p = 0.02/window). Three system configurations:
+    //
+    //  (a) no scrubbing: lone raw errors persist across windows and
+    //      eventually coincide — the word ends up permanently
+    //      uncorrectable;
+    //  (b) scrubbing only: cross-window accumulation is cleaned, but
+    //      solo failures are corrected *inside the chip* (invisible to
+    //      the controller), so the cells are never learned or repaired
+    //      and an eventual same-window double failure still sticks;
+    //  (c) scrubbing + HARP active profile: the direct-at-risk cells are
+    //      profiled (bypass path) and repaired, so even coincident
+    //      failures are absorbed — zero corrupt reads forever.
+    enum class Mode { NoScrub, ScrubOnly, ScrubWithProfile };
+    constexpr std::size_t num_words = 30;
+    constexpr int windows = 400;
+    std::array<std::size_t, 3> danger_windows{};
+    std::array<std::size_t, 3> corrupt_reads{};
+
+    for (const Mode mode : {Mode::NoScrub, Mode::ScrubOnly,
+                            Mode::ScrubWithProfile}) {
+        const std::size_t idx = static_cast<std::size_t>(mode);
+        for (std::size_t word_seed = 0; word_seed < num_words;
+             ++word_seed) {
+            Rig rig(6);
+            common::Xoshiro256 rng(7 + word_seed);
+            const gf2::BitVector d = gf2::BitVector::random(64, rng);
+            std::vector<fault::CellFault> cells;
+            for (std::size_t pos = 0; pos < 64 && cells.size() < 2;
+                 ++pos)
+                if (d.get(pos))
+                    cells.push_back({pos, 0.02});
+            ASSERT_EQ(cells.size(), 2u);
+            rig.chip.setFaultModel(0, fault::WordFaultModel(71, cells));
+
+            if (mode == Mode::ScrubWithProfile) {
+                // Outcome of HARP's active phase: both cells profiled.
+                for (const fault::CellFault &cell : cells)
+                    rig.controller.profile().markAtRisk(0,
+                                                        cell.position);
+            }
+            rig.controller.write(0, d);
+
+            common::Xoshiro256 retention(1000 + word_seed);
+            for (int window = 0; window < windows; ++window) {
+                rig.chip.retentionTick(0, retention);
+                gf2::BitVector raw = rig.controller.readRaw(0);
+                raw ^= d;
+                if (raw.popcount() >= 2)
+                    ++danger_windows[idx]; // SEC on-die code overwhelmed
+                if (mode != Mode::NoScrub) {
+                    const ControllerReadResult r =
+                        rig.controller.scrub(0);
+                    if (r.corrupt || !(r.dataword == d))
+                        ++corrupt_reads[idx];
+                }
+            }
+        }
+    }
+
+    // (a) most words accumulate into the danger state and stay there.
+    EXPECT_GT(danger_windows[0], num_words * windows / 2);
+    // (b) scrubbing cuts danger-state time by a wide margin (only the
+    // rare same-window coincidence can stick).
+    EXPECT_LT(danger_windows[1] * 2, danger_windows[0]);
+    // (c) profile-driven repair absorbs everything: no corrupt reads,
+    // even though raw double-failures still physically occur.
+    EXPECT_EQ(corrupt_reads[2], 0u);
+}
+
+TEST(Scrubbing, ScrubAllCoversEveryWord)
+{
+    Rig rig(9, 4);
+    common::Xoshiro256 rng(10);
+    for (std::size_t w = 0; w < 4; ++w)
+        rig.controller.write(w, gf2::BitVector::random(64, rng));
+    for (std::size_t w = 0; w < 4; ++w) {
+        gf2::BitVector mask(71);
+        mask.set(w * 3, true);
+        rig.chip.corrupt(w, mask);
+    }
+    EXPECT_EQ(rig.controller.scrubAll(), 0u);
+    EXPECT_EQ(rig.controller.stats().scrubs, 4u);
+    EXPECT_EQ(rig.controller.stats().scrubWritebacks, 4u);
+}
+
+} // namespace
+} // namespace harp::mem
