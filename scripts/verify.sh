@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the exact ROADMAP.md command plus a smoke-run of
+# the quickstart example. Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+./build/examples/example_quickstart > /dev/null
+
+echo "verify: OK"

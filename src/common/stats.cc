@@ -64,21 +64,34 @@ PercentileTracker::merge(const PercentileTracker &other)
     sorted_ = false;
 }
 
+void
+PercentileTracker::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
 double
 PercentileTracker::quantile(double q) const
 {
     if (samples_.empty())
         return 0.0;
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
-    }
+    ensureSorted();
     q = std::clamp(q, 0.0, 1.0);
     const double pos = q * static_cast<double>(samples_.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);
     const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
     const double frac = pos - static_cast<double>(lo);
     return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+std::vector<double>
+PercentileTracker::sortedSamples() const
+{
+    ensureSorted();
+    return samples_;
 }
 
 double

@@ -71,7 +71,18 @@ class PercentileTracker
     double median() const { return quantile(0.5); }
     double mean() const;
 
+    /**
+     * Sorted copy of every sample. Order-independent, so two trackers
+     * filled by differently-scheduled threads compare bit-identical
+     * iff they saw the same multiset of samples.
+     */
+    std::vector<double> sortedSamples() const;
+
   private:
+    /** Establish the sorted-samples_ invariant shared by quantile()
+     *  and sortedSamples(). */
+    void ensureSorted() const;
+
     mutable std::vector<double> samples_;
     mutable bool sorted_ = false;
 };

@@ -127,8 +127,9 @@ TEST_P(BchGeneralSweep, NeverFlipsMoreThanTOnOverload)
                 c.flip(pos);
             const BchGeneralDecodeResult r = code.decode(c);
             EXPECT_LE(r.correctedPositions.size(), t());
-            if (r.detectedUncorrectable)
+            if (r.detectedUncorrectable) {
                 EXPECT_TRUE(r.correctedPositions.empty());
+            }
         }
     }
 }

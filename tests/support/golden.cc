@@ -1,0 +1,86 @@
+#include "support/golden.hh"
+
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+namespace harp::test {
+namespace {
+
+std::string
+hex(std::uint64_t value)
+{
+    std::ostringstream out;
+    out << "0x" << std::hex << std::uppercase << std::setfill('0')
+        << std::setw(16) << value << "ULL";
+    return out.str();
+}
+
+} // namespace
+
+std::uint64_t
+goldenMix(std::uint64_t hash, std::uint64_t value)
+{
+    // FNV-1a, one byte at a time, so the chain is endian-independent.
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xFF;
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+goldenMix(std::uint64_t hash, const std::string &text)
+{
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+goldenMixDouble(std::uint64_t hash, double value)
+{
+    return goldenMix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t
+goldenOf(const gf2::BitVector &bits)
+{
+    std::uint64_t hash = goldenMix(kGoldenInit, bits.size());
+    for (const std::uint64_t word : bits.words())
+        hash = goldenMix(hash, word);
+    return hash;
+}
+
+std::uint64_t
+goldenOf(const std::vector<double> &values)
+{
+    std::uint64_t hash = goldenMix(kGoldenInit, values.size());
+    for (const double v : values)
+        hash = goldenMixDouble(hash, v);
+    return hash;
+}
+
+std::uint64_t
+goldenOf(const std::vector<std::uint64_t> &values)
+{
+    std::uint64_t hash = goldenMix(kGoldenInit, values.size());
+    for (const std::uint64_t v : values)
+        hash = goldenMix(hash, v);
+    return hash;
+}
+
+::testing::AssertionResult
+goldenMatches(std::uint64_t actual, std::uint64_t expected)
+{
+    if (actual == expected)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "golden mismatch: computed " << hex(actual) << ", pinned "
+           << hex(expected)
+           << " (if the change is intentional, re-pin the constant)";
+}
+
+} // namespace harp::test

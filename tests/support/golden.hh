@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Golden-value helpers: platform-stable hashing of test outputs so a
+ * test can pin a whole result (bit vectors, double series, tables) to
+ * one 64-bit constant instead of dozens of element-wise expectations.
+ */
+
+#ifndef HARP_TESTS_SUPPORT_GOLDEN_HH
+#define HARP_TESTS_SUPPORT_GOLDEN_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf2/bit_vector.hh"
+
+namespace harp::test {
+
+/** FNV-1a offset basis; the seed for all hash chains below. */
+inline constexpr std::uint64_t kGoldenInit = 0xCBF29CE484222325ULL;
+
+/** Mix one 64-bit value into a running golden hash. */
+std::uint64_t goldenMix(std::uint64_t hash, std::uint64_t value);
+
+/** Mix a byte string into a running golden hash. */
+std::uint64_t goldenMix(std::uint64_t hash, const std::string &text);
+
+/** Mix a double into a running golden hash via its bit pattern. */
+std::uint64_t goldenMixDouble(std::uint64_t hash, double value);
+
+/** Hash of a bit vector (length and contents). */
+std::uint64_t goldenOf(const gf2::BitVector &bits);
+
+/** Hash of a double series, order-sensitive. */
+std::uint64_t goldenOf(const std::vector<double> &values);
+
+/** Hash of an integer series, order-sensitive. */
+std::uint64_t goldenOf(const std::vector<std::uint64_t> &values);
+
+/**
+ * Assertion comparing a computed golden hash to its pinned value,
+ * printing both in hex so an intentional change is easy to re-pin.
+ */
+::testing::AssertionResult goldenMatches(std::uint64_t actual,
+                                         std::uint64_t expected);
+
+} // namespace harp::test
+
+#endif // HARP_TESTS_SUPPORT_GOLDEN_HH

@@ -1,0 +1,36 @@
+#include "support/property.hh"
+
+namespace harp::test {
+
+::testing::AssertionResult
+isSubsetOf(const gf2::BitVector &a, const gf2::BitVector &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure()
+               << "size mismatch: " << a.size() << " vs " << b.size();
+    if ((a & b) == a)
+        return ::testing::AssertionSuccess();
+    gf2::BitVector extra = a;
+    extra ^= a & b;
+    ::testing::AssertionResult failure = ::testing::AssertionFailure();
+    failure << "positions set in the first vector but not the second:";
+    extra.forEachSetBit([&failure](std::size_t i) { failure << " " << i; });
+    return failure;
+}
+
+::testing::AssertionResult
+identifiedWithinAtRisk(const gf2::BitVector &identified,
+                       const gf2::BitVector &atRiskMask,
+                       const std::string &profilerName)
+{
+    const ::testing::AssertionResult subset =
+        isSubsetOf(identified, atRiskMask);
+    if (subset)
+        return subset;
+    return ::testing::AssertionFailure()
+           << profilerName
+           << " identified bits that no installed fault can produce: "
+           << subset.message();
+}
+
+} // namespace harp::test

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Property-test harness: seed-sweep driver plus reusable checkers for
+ * the invariants every HARP layer must keep — ECC encode/decode
+ * round-trips and profiler soundness (an identified-bit set that only
+ * names data positions the profiler actually observed at risk).
+ */
+
+#ifndef HARP_TESTS_SUPPORT_PROPERTY_HH
+#define HARP_TESTS_SUPPORT_PROPERTY_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "gf2/bit_vector.hh"
+
+namespace harp::test {
+
+/**
+ * Run @p fn(seed, rng) for @p count independent seeds derived from
+ * @p base. Failures inside @p fn carry a SCOPED_TRACE naming the
+ * failing seed, so any property violation is reproducible directly.
+ */
+template <typename Fn>
+void
+forEachSeed(std::size_t count, Fn &&fn, std::uint64_t base = 0x48415250ULL)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t seed = common::deriveSeed(base, {i});
+        SCOPED_TRACE("property seed " + std::to_string(seed) + " (trial " +
+                     std::to_string(i) + ")");
+        common::Xoshiro256 rng(seed);
+        fn(seed, rng);
+    }
+}
+
+/** AssertionResult form of "every set bit of a is also set in b". */
+::testing::AssertionResult isSubsetOf(const gf2::BitVector &a,
+                                      const gf2::BitVector &b);
+
+/**
+ * Generic encode/decode round-trip property, valid for any code type
+ * with k(), n(), encode(), and decode() returning a result carrying a
+ * `.dataword` (HammingCode, ExtendedHammingCode, BchCode):
+ *
+ *  1. a clean codeword decodes back to its dataword, and
+ *  2. a single random codeword-bit error is corrected.
+ */
+template <typename Code>
+::testing::AssertionResult
+roundTripsCleanly(const Code &code, common::Xoshiro256 &rng)
+{
+    const gf2::BitVector dataword = gf2::BitVector::random(code.k(), rng);
+    const gf2::BitVector codeword = code.encode(dataword);
+    if (codeword.size() != code.n())
+        return ::testing::AssertionFailure()
+               << "encode produced " << codeword.size() << " bits, expected n="
+               << code.n();
+
+    const auto clean = code.decode(codeword);
+    if (clean.dataword != dataword)
+        return ::testing::AssertionFailure()
+               << "clean codeword decoded to " << clean.dataword.toString()
+               << ", expected " << dataword.toString();
+
+    gf2::BitVector corrupted = codeword;
+    const std::size_t errorPosition = rng.nextBelow(code.n());
+    corrupted.flip(errorPosition);
+    const auto repaired = code.decode(corrupted);
+    if (repaired.dataword != dataword)
+        return ::testing::AssertionFailure()
+               << "single error at position " << errorPosition
+               << " decoded to " << repaired.dataword.toString()
+               << ", expected " << dataword.toString();
+
+    return ::testing::AssertionSuccess();
+}
+
+/**
+ * Profiler soundness over one simulated round: every data-bit position
+ * where the post-correction read diverged from the written dataword is
+ * a genuine post-correction error, so a profiler that has observed the
+ * round must not have identified bits outside @p atRiskMask (the union
+ * of positions that can possibly err under the installed fault model).
+ */
+::testing::AssertionResult
+identifiedWithinAtRisk(const gf2::BitVector &identified,
+                       const gf2::BitVector &atRiskMask,
+                       const std::string &profilerName);
+
+} // namespace harp::test
+
+#endif // HARP_TESTS_SUPPORT_PROPERTY_HH

@@ -1,0 +1,42 @@
+#include "support/seeded_fixture.hh"
+
+#include <string>
+
+#include "support/golden.hh"
+
+namespace harp::test {
+
+std::uint64_t
+currentTestSeed()
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info == nullptr)
+        return goldenMix(kGoldenInit, std::string("harp.no-active-test"));
+    return goldenMix(kGoldenInit, std::string(info->test_suite_name()) + "." +
+                                      info->name());
+}
+
+std::uint64_t
+SeededTest::seed() const
+{
+    return currentTestSeed();
+}
+
+common::Xoshiro256 &
+SeededTest::rng()
+{
+    if (!rngInitialized_) {
+        rng_ = common::Xoshiro256(seed());
+        rngInitialized_ = true;
+    }
+    return rng_;
+}
+
+common::Xoshiro256
+SeededTest::makeRng(std::uint64_t key) const
+{
+    return common::Xoshiro256(common::deriveSeed(seed(), {key}));
+}
+
+} // namespace harp::test

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GoogleTest fixture providing per-test deterministic randomness.
+ *
+ * Every test gets its own seed derived from the test's full name, so
+ * adding or reordering tests never perturbs another test's random
+ * stream, and a failing test can be reproduced in isolation from its
+ * printed seed alone.
+ */
+
+#ifndef HARP_TESTS_SUPPORT_SEEDED_FIXTURE_HH
+#define HARP_TESTS_SUPPORT_SEEDED_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace harp::test {
+
+/**
+ * Fixture whose rng() is seeded from the current test's "Suite.Name".
+ *
+ * Derive from it instead of hand-picking Xoshiro256 seed constants in
+ * each test body.
+ */
+class SeededTest : public ::testing::Test
+{
+  protected:
+    /** Deterministic seed for the currently running test. */
+    std::uint64_t seed() const;
+
+    /** Lazily constructed generator seeded with seed(). */
+    common::Xoshiro256 &rng();
+
+    /** Independent child generator for stream @p key (see deriveSeed). */
+    common::Xoshiro256 makeRng(std::uint64_t key) const;
+
+  private:
+    bool rngInitialized_ = false;
+    common::Xoshiro256 rng_{0};
+};
+
+/** Seed derived from the currently running test's full name. */
+std::uint64_t currentTestSeed();
+
+} // namespace harp::test
+
+#endif // HARP_TESTS_SUPPORT_SEEDED_FIXTURE_HH
