@@ -1,59 +1,14 @@
 /**
  * @file
- * Ablation (HARP section 7.1.2): the paper evaluates (71,64) codes and
- * "verified that our observations hold for longer (136,128) codes".
- * This bench runs the Fig. 6-style direct-coverage sweep at both code
- * lengths and prints them side by side.
+ * Alias binary for `harp_run ablation_code_length`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    core::CoverageConfig base = bench::coverageConfigFromCli(cli);
-    base.perBitProbability = cli.getDouble("prob", 0.5);
-
-    std::cout << "=== Ablation: on-die ECC code length (71,64) vs. "
-                 "(136,128) ===\n"
-              << "p=" << base.perBitProbability << " rounds="
-              << base.rounds << "\n\n";
-
-    const auto checkpoints = bench::roundCheckpoints(base.rounds);
-    std::vector<std::string> headers = {"code", "pre_errors", "profiler"};
-    for (const std::size_t cp : checkpoints)
-        headers.push_back("r" + std::to_string(cp));
-    common::Table table(headers);
-
-    for (const std::size_t k : {std::size_t{64}, std::size_t{128}}) {
-        for (const std::size_t n : bench::paperErrorCounts) {
-            core::CoverageConfig config = base;
-            config.k = k;
-            config.numPreCorrectionErrors = n;
-            const core::CoverageResult result =
-                core::runCoverageExperiment(config);
-            const std::string code_name =
-                "(" + std::to_string(k + (k == 64 ? 7 : 8)) + "," +
-                std::to_string(k) + ")";
-            for (std::size_t p = 0; p < result.profilers.size(); ++p) {
-                std::vector<std::string> row = {
-                    code_name, std::to_string(n),
-                    result.profilers[p].name};
-                for (const std::size_t cp : checkpoints)
-                    row.push_back(common::formatDouble(
-                        result.directCoverage(p, cp - 1), 4));
-                table.addRow(std::move(row));
-            }
-        }
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nExpected: the profiler ordering (HARP > Naive > "
-                 "BEEP in coverage speed) and curve\nshapes are "
-                 "unchanged between the two code lengths.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "ablation_code_length");
 }

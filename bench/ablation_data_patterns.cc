@@ -1,72 +1,14 @@
 /**
  * @file
- * Ablation (HARP section 7.1.2's methodology note): how the choice of
- * active-profiling data pattern — random-with-inversion vs. static
- * charged (0xFF) vs. checkered-with-inversion — affects direct-error
- * coverage for Naive and HARP profiling.
- *
- * The paper states that the random pattern "performs on par or better
- * than the static charged and checkered patterns that do not explore
- * different pre-correction error combinations", and that Naive "fails
- * to achieve full coverage when using static data patterns".
+ * Alias binary for `harp_run ablation_data_patterns`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    core::CoverageConfig base = bench::coverageConfigFromCli(cli);
-    base.perBitProbability = cli.getDouble("prob", 0.5);
-    base.numPreCorrectionErrors =
-        static_cast<std::size_t>(cli.getInt("pre-errors", 4));
-
-    std::cout << "=== Ablation: data-pattern policy vs. direct coverage "
-                 "===\n"
-              << "pre-errors=" << base.numPreCorrectionErrors
-              << " p=" << base.perBitProbability << " rounds="
-              << base.rounds << "\n\n";
-
-    const auto checkpoints = bench::roundCheckpoints(base.rounds);
-    std::vector<std::string> headers = {"pattern", "profiler"};
-    for (const std::size_t cp : checkpoints)
-        headers.push_back("r" + std::to_string(cp));
-    common::Table table(headers);
-
-    for (const core::PatternKind kind :
-         {core::PatternKind::Random, core::PatternKind::Charged,
-          core::PatternKind::Checkered}) {
-        core::CoverageConfig config = base;
-        config.pattern = kind;
-        const core::CoverageResult result =
-            core::runCoverageExperiment(config);
-        for (std::size_t p = 0; p < result.profilers.size(); ++p) {
-            // Focus the ablation on Naive (0) and HARP-U (2).
-            if (p != 0 && p != 2)
-                continue;
-            std::vector<std::string> row = {
-                core::patternKindName(kind),
-                result.profilers[p].name};
-            for (const std::size_t cp : checkpoints)
-                row.push_back(common::formatDouble(
-                    result.directCoverage(p, cp - 1), 4));
-            table.addRow(std::move(row));
-        }
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nExpected: the charged pattern can strand Naive below "
-                 "full coverage (cells that only\nfail in combinations "
-                 "the static pattern never charges); HARP with "
-                 "inverting\npatterns reaches full coverage regardless "
-                 "(every cell is charged every two rounds).\nNote the "
-                 "static charged pattern never charges ~half the parity "
-                 "cells, so even\nHARP's observable direct coverage is "
-                 "unaffected, but Naive's combination\nexploration "
-                 "stalls.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "ablation_data_patterns");
 }

@@ -1,222 +1,14 @@
 /**
  * @file
- * Extension experiment: HARP under a *double-error-correcting* on-die
- * ECC (the generalization HARP defers to future work — section 2.5.1
- * footnote 9 and section 6.3.2).
- *
- * The paper's key insight bounds the number of concurrent indirect
- * errors by the on-die code's correction capability N. This bench swaps
- * the (71,64) SEC Hamming code for a (78,64) DEC BCH code and verifies
- * the generalized claims empirically:
- *
- *   1. once all direct-at-risk bits are profiled, at most N = 2
- *      simultaneous post-correction errors remain possible;
- *   2. a single-error-correcting secondary ECC is therefore *not*
- *      sufficient, but a double-error-correcting one is;
- *   3. HARP's active phase (bypass reads) is unaffected by the stronger
- *      code — it still reaches full direct coverage at the same speed.
+ * Alias binary for `harp_run extension_dec_on_die_ecc`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-#include <set>
-
-#include "bench_common.hh"
-#include "common/rng.hh"
-#include "common/stats.hh"
-#include "core/data_pattern.hh"
-#include "ecc/bch_code.hh"
-#include "ecc/bch_general.hh"
-#include "fault/fault_model.hh"
-#include "gf2/linear_solver.hh"
-
-namespace {
-
-using namespace harp;
-
-/** Post-correction data errors of a failing-cell subset on the BCH word. */
-std::vector<std::size_t>
-postErrors(const ecc::BchDecCode &code, const fault::WordFaultModel &fm,
-           std::uint32_t mask)
-{
-    std::vector<std::size_t> failing;
-    for (std::size_t i = 0; i < fm.numFaults(); ++i)
-        if ((mask >> i) & 1)
-            failing.push_back(fm.faults()[i].position);
-    return code.decodeErrorPattern(failing);
-}
-
-/** True iff some dataword charges every cell of the subset. */
-bool
-feasible(const ecc::BchDecCode &code, const fault::WordFaultModel &fm,
-         std::uint32_t mask)
-{
-    gf2::ConstraintSystem cs(code.k());
-    for (std::size_t i = 0; i < fm.numFaults(); ++i) {
-        if (((mask >> i) & 1) == 0)
-            continue;
-        const std::size_t pos = fm.faults()[i].position;
-        if (pos < code.k())
-            cs.pinVariable(pos, true);
-        else
-            cs.addConstraint(code.parityRow(pos - code.k()), true);
-    }
-    return cs.consistent();
-}
-
-} // namespace
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t words =
-        static_cast<std::size_t>(cli.getInt("words", 200));
-    const std::size_t rounds =
-        static_cast<std::size_t>(cli.getInt("rounds", 128));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 1));
-
-    const ecc::BchDecCode code(64);
-    std::cout << "=== Extension: HARP with DEC BCH on-die ECC ===\n"
-              << "code: (" << code.n() << "," << code.k()
-              << ") BCH over GF(2^" << code.field().m()
-              << "), t = " << ecc::BchDecCode::correctionCapability()
-              << "; " << words << " words per config, " << rounds
-              << " active rounds\n\n";
-
-    common::Table table({"pre_errors", "max_simul_no_profile_p100",
-                         "max_simul_direct_profile_p100",
-                         "words_unsafe_with_SEC_secondary",
-                         "words_unsafe_with_DEC_secondary",
-                         "harp_full_direct_coverage"});
-
-    for (const std::size_t n : {2u, 3u, 4u, 5u, 6u}) {
-        common::RunningStat max_empty, max_direct;
-        std::size_t unsafe_sec = 0, unsafe_dec = 0, full_coverage = 0;
-
-        for (std::size_t w = 0; w < words; ++w) {
-            common::Xoshiro256 fault_rng(
-                common::deriveSeed(seed, {0xFA17u, n, w}));
-            const fault::WordFaultModel fm =
-                fault::WordFaultModel::makeUniformFixedCount(
-                    code.n(), n, 0.5, fault_rng);
-
-            // Ground truth by enumeration (as AtRiskAnalyzer does for
-            // the SEC code).
-            std::set<std::size_t> direct;
-            for (const fault::CellFault &f : fm.faults())
-                if (f.position < code.k())
-                    direct.insert(f.position);
-
-            std::size_t worst_empty = 0, worst_direct = 0;
-            for (std::uint32_t mask = 1;
-                 mask < (std::uint32_t{1} << fm.numFaults()); ++mask) {
-                if (!feasible(code, fm, mask))
-                    continue;
-                const auto errors = postErrors(code, fm, mask);
-                worst_empty = std::max(worst_empty, errors.size());
-                std::size_t unprofiled = 0;
-                for (const std::size_t e : errors)
-                    if (direct.count(e) == 0)
-                        ++unprofiled;
-                worst_direct = std::max(worst_direct, unprofiled);
-            }
-            max_empty.add(static_cast<double>(worst_empty));
-            max_direct.add(static_cast<double>(worst_direct));
-            if (worst_direct > 1)
-                ++unsafe_sec;
-            if (worst_direct > 2)
-                ++unsafe_dec; // the generalized bound says: never
-
-            // HARP-U active phase on the BCH chip: bypass reads are
-            // ECC-agnostic, so coverage behaviour must match the SEC
-            // case.
-            core::PatternGenerator patterns(
-                core::PatternKind::Random, code.k(),
-                common::deriveSeed(seed, {0xACE5u, n, w}));
-            common::Xoshiro256 inject_rng(
-                common::deriveSeed(seed, {0x113Cu, n, w}));
-            gf2::BitVector identified(code.k());
-            for (std::size_t r = 0; r < rounds; ++r) {
-                const gf2::BitVector d = patterns.pattern(r);
-                const gf2::BitVector stored = code.encode(d);
-                gf2::BitVector received = stored;
-                received ^= fm.injectErrors(stored, inject_rng);
-                gf2::BitVector raw = received.slice(0, code.k());
-                raw ^= d;
-                identified |= raw;
-            }
-            bool covered = true;
-            for (const std::size_t pos : direct)
-                covered = covered && identified.get(pos);
-            if (covered)
-                ++full_coverage;
-        }
-
-        table.addRow({std::to_string(n),
-                      common::formatDouble(max_empty.max(), 0),
-                      common::formatDouble(max_direct.max(), 0),
-                      std::to_string(unsafe_sec),
-                      std::to_string(unsafe_dec),
-                      std::to_string(full_coverage) + "/" +
-                          std::to_string(words)});
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nGeneralized HARP bound (section 6.3.2): with a t=2 "
-                 "on-die code and full direct\ncoverage, at most 2 "
-                 "simultaneous post-correction errors remain possible "
-                 "(column 3\nnever exceeds 2, column 5 is always 0) — a "
-                 "DEC secondary ECC is sufficient, while\ncolumn 4 shows "
-                 "a SEC secondary ECC is not.\n";
-
-    // --- Sweep the on-die correction capability t = 1..3 with the
-    // general Berlekamp-Massey decoder: the worst-case number of
-    // simultaneous unprofiled (indirect) errors equals t exactly.
-    std::cout << "\n--- Correction-capability sweep (general BCH, "
-                 "Berlekamp-Massey decoder) ---\n";
-    const std::size_t sweep_words =
-        std::min<std::size_t>(words, 100);
-    const std::size_t sweep_n = 6;
-    common::Table sweep({"on_die_t", "code", "max_simul_after_direct",
-                         "bound_t_respected"});
-    for (const std::size_t t : {1u, 2u, 3u}) {
-        const ecc::BchCode code_t(64, t);
-        std::size_t worst = 0;
-        for (std::size_t w = 0; w < sweep_words; ++w) {
-            common::Xoshiro256 fault_rng(
-                common::deriveSeed(seed, {0x5EEDu, t, w}));
-            const fault::WordFaultModel fm =
-                fault::WordFaultModel::makeUniformFixedCount(
-                    code_t.n(), sweep_n, 0.5, fault_rng);
-            std::set<std::size_t> direct;
-            for (const fault::CellFault &f : fm.faults())
-                if (f.position < code_t.k())
-                    direct.insert(f.position);
-            for (std::uint32_t mask = 1;
-                 mask < (std::uint32_t{1} << fm.numFaults()); ++mask) {
-                std::vector<std::size_t> failing;
-                for (std::size_t i = 0; i < fm.numFaults(); ++i)
-                    if ((mask >> i) & 1)
-                        failing.push_back(fm.faults()[i].position);
-                std::size_t unprofiled = 0;
-                for (const std::size_t e :
-                     code_t.decodeErrorPattern(failing))
-                    if (direct.count(e) == 0)
-                        ++unprofiled;
-                worst = std::max(worst, unprofiled);
-            }
-        }
-        sweep.addRow({std::to_string(t),
-                      "(" + std::to_string(code_t.n()) + "," +
-                          std::to_string(code_t.k()) + ")",
-                      std::to_string(worst),
-                      worst <= t ? "yes" : "NO"});
-    }
-    bench::printTable(sweep, cli, std::cout);
-    std::cout << "\nThe required secondary-ECC correction capability "
-                 "equals the on-die code's t\n(column 3 == column 1), "
-                 "for every t.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "extension_dec_on_die_ecc");
 }

@@ -1,126 +1,14 @@
 /**
  * @file
- * Extension experiment: HARP's stated limitation under low-probability
- * errors (HARP sections 2.4 and 6.4).
- *
- * HARP's safety argument assumes the active phase achieves full coverage
- * of direct errors. Cells that fail with very low probability (e.g.
- * variable-retention-time-like behaviour) can evade a finite active
- * budget; any missed direct bit re-enables multi-bit patterns during
- * reactive profiling. This bench quantifies that risk: words carry a mix
- * of ordinary (p = 0.5) and low-probability at-risk cells, and we sweep
- * the low probability and the active-round budget, reporting
- *
- *   - direct-coverage shortfall after the active phase,
- *   - the fraction of words left unsafe for a SEC secondary ECC
- *     (max simultaneous unprofiled post-correction errors > 1),
- *
- * demonstrating both the limitation and its mitigation (longer active
- * profiling, the paper's suggested complementary techniques).
+ * Alias binary for `harp_run extension_low_probability`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-#include "common/rng.hh"
-#include "core/at_risk_analyzer.hh"
-#include "core/harp_profiler.hh"
-#include "core/round_engine.hh"
-#include "ecc/hamming_code.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t words =
-        static_cast<std::size_t>(cli.getInt("words", 150));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 1));
-    const std::size_t n_normal =
-        static_cast<std::size_t>(cli.getInt("normal-cells", 3));
-    const std::size_t n_low =
-        static_cast<std::size_t>(cli.getInt("low-cells", 2));
-
-    std::cout << "=== Extension: low-probability errors vs. HARP's "
-                 "active phase (sections 2.4/6.4) ===\n"
-              << words << " words; " << n_normal
-              << " cells at p=0.5 plus " << n_low
-              << " low-probability cells per word\n\n";
-
-    common::Table table({"p_low", "active_rounds",
-                         "direct_coverage", "missed_direct_bits",
-                         "words_unsafe_for_SEC_secondary"});
-
-    for (const double p_low : {0.1, 0.02, 0.004}) {
-        for (const std::size_t rounds :
-             {std::size_t{128}, std::size_t{512}, std::size_t{2048}}) {
-            std::size_t direct_total = 0, direct_found = 0;
-            std::size_t missed_bits = 0, unsafe_words = 0;
-
-            for (std::size_t w = 0; w < words; ++w) {
-                common::Xoshiro256 code_rng(
-                    common::deriveSeed(seed, {0xC0DEu, w}));
-                const ecc::HammingCode code =
-                    ecc::HammingCode::randomSec(64, code_rng);
-
-                // Mixed fault model: distinct positions, two tiers.
-                common::Xoshiro256 fault_rng(common::deriveSeed(
-                    seed, {0xFA17u, w,
-                           static_cast<std::uint64_t>(p_low * 1e6)}));
-                const fault::WordFaultModel placement =
-                    fault::WordFaultModel::makeUniformFixedCount(
-                        code.n(), n_normal + n_low, 0.5, fault_rng);
-                std::vector<fault::CellFault> cells = placement.faults();
-                for (std::size_t i = 0; i < cells.size(); ++i)
-                    cells[i].probability =
-                        i < n_normal ? 0.5 : p_low;
-                const fault::WordFaultModel fm(code.n(), cells);
-
-                const core::AtRiskAnalyzer analyzer(code, fm);
-                core::HarpUProfiler harp(code.k());
-                core::RoundEngine engine(
-                    code, fm, core::PatternKind::Random,
-                    common::deriveSeed(seed, {0xE221u, w, rounds}));
-                std::vector<core::Profiler *> ps = {&harp};
-                for (std::size_t r = 0; r < rounds; ++r)
-                    engine.runRound(ps);
-
-                const std::size_t total =
-                    analyzer.directAtRisk().popcount();
-                gf2::BitVector covered = harp.identified();
-                covered &= analyzer.directAtRisk();
-                const std::size_t found = covered.popcount();
-                direct_total += total;
-                direct_found += found;
-                missed_bits += total - found;
-                if (analyzer.maxSimultaneousErrors(harp.identified()) >
-                    1)
-                    ++unsafe_words;
-            }
-
-            table.addRow(
-                {common::formatDouble(p_low, 3),
-                 std::to_string(rounds),
-                 common::formatDouble(
-                     direct_total == 0
-                         ? 1.0
-                         : static_cast<double>(direct_found) /
-                               static_cast<double>(direct_total),
-                     4),
-                 std::to_string(missed_bits),
-                 std::to_string(unsafe_words) + "/" +
-                     std::to_string(words)});
-        }
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nReading the table: low-probability cells evade short "
-                 "active budgets (coverage < 1,\nunsafe words > 0) — the "
-                 "theoretical limitation HARP acknowledges in section "
-                 "6.4.\nLonger active profiling (or the complementary "
-                 "low-probability techniques of\nsection 2.4: error "
-                 "amplification, periodic scrubbing, stronger secondary "
-                 "ECC)\ndrives the shortfall toward zero.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "extension_low_probability");
 }

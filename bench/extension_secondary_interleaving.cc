@@ -1,174 +1,14 @@
 /**
  * @file
- * Extension experiment: secondary-ECC word layout across on-die ECC
- * words (HARP section 6.3).
- *
- * The paper assumes one secondary ECC word per on-die ECC word and notes
- * that "interleaving secondary ECC words across multiple on-die ECC
- * words could require stronger secondary ECC". This bench quantifies
- * that trade-off end to end: a 128-bit secondary word spans TWO on-die
- * (71,64) words. After a complete HARP active phase (all direct errors
- * profiled and repaired), each on-die word still contributes up to one
- * indirect error per access — so the interleaved secondary word can see
- * two simultaneous errors:
- *
- *   - a SECDED secondary (the single-word-sufficient choice) detects
- *     but cannot correct those events;
- *   - a DEC BCH secondary (t = 2, built on the repo's GF(2^m) substrate)
- *     corrects every one of them.
+ * Alias binary for `harp_run extension_secondary_interleaving`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-#include "common/rng.hh"
-#include "core/at_risk_analyzer.hh"
-#include "ecc/bch_code.hh"
-#include "ecc/extended_hamming_code.hh"
-#include "fault/fault_model.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t pairs =
-        static_cast<std::size_t>(cli.getInt("pairs", 40));
-    const std::size_t accesses =
-        static_cast<std::size_t>(cli.getInt("accesses", 2000));
-    const double prob = cli.getDouble("prob", 0.5);
-    const std::size_t n_cells =
-        static_cast<std::size_t>(cli.getInt("pre-errors", 4));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 1));
-
-    common::Xoshiro256 setup_rng(seed);
-    const ecc::ExtendedHammingCode secded =
-        ecc::ExtendedHammingCode::randomSecDed(128, setup_rng);
-    const ecc::BchDecCode bch(128);
-
-    std::cout << "=== Extension: interleaved secondary ECC words "
-                 "(section 6.3) ===\n"
-              << "one 128-bit secondary word spans two (71,64) on-die "
-                 "words; " << pairs << " pairs x " << accesses
-              << " accesses; " << n_cells << " at-risk cells/word, p="
-              << prob << "\n"
-              << "secondary candidates: (" << secded.n() << ",128) "
-              << "SECDED vs (" << bch.n() << ",128) DEC BCH\n\n";
-
-    std::size_t single_indirect = 0, double_indirect = 0;
-    std::size_t secded_uncorrectable = 0, secded_wrong = 0;
-    std::size_t bch_failures = 0;
-
-    for (std::size_t pair = 0; pair < pairs; ++pair) {
-        // Two independent on-die words with full HARP direct profiles.
-        std::vector<ecc::HammingCode> codes;
-        std::vector<fault::WordFaultModel> faults;
-        std::vector<gf2::BitVector> profiles;
-        for (std::size_t w = 0; w < 2; ++w) {
-            common::Xoshiro256 rng(
-                common::deriveSeed(seed, {pair, w, 0xC0DEu}));
-            codes.push_back(ecc::HammingCode::randomSec(64, rng));
-            common::Xoshiro256 frng(
-                common::deriveSeed(seed, {pair, w, 0xFA17u}));
-            faults.push_back(
-                fault::WordFaultModel::makeUniformFixedCount(
-                    codes[w].n(), n_cells, prob, frng));
-            const core::AtRiskAnalyzer analyzer(codes[w], faults[w]);
-            profiles.push_back(analyzer.directAtRisk());
-        }
-
-        common::Xoshiro256 access_rng(
-            common::deriveSeed(seed, {pair, 0xACCE55u}));
-        for (std::size_t a = 0; a < accesses; ++a) {
-            // Fresh write + retention + read per on-die word, with the
-            // ideal repair masking every profiled (direct) bit.
-            gf2::BitVector joined_written(128);
-            gf2::BitVector joined_read(128);
-            std::size_t residual_errors = 0;
-            for (std::size_t w = 0; w < 2; ++w) {
-                const gf2::BitVector d =
-                    gf2::BitVector::random(64, access_rng);
-                const gf2::BitVector stored = codes[w].encode(d);
-                gf2::BitVector received = stored;
-                received ^=
-                    faults[w].injectErrors(stored, access_rng);
-                gf2::BitVector post =
-                    codes[w].decode(received).dataword;
-                // Ideal repair of profiled bits.
-                profiles[w].forEachSetBit([&](std::size_t bit) {
-                    post.set(bit, d.get(bit));
-                });
-                for (std::size_t i = 0; i < 64; ++i) {
-                    joined_written.set(w * 64 + i, d.get(i));
-                    joined_read.set(w * 64 + i, post.get(i));
-                    residual_errors +=
-                        (post.get(i) != d.get(i)) ? 1 : 0;
-                }
-            }
-            if (residual_errors == 1)
-                ++single_indirect;
-            if (residual_errors >= 2)
-                ++double_indirect;
-            if (residual_errors == 0)
-                continue;
-
-            // SECDED secondary over the interleaved 128-bit word.
-            {
-                const gf2::BitVector check =
-                    secded.encode(joined_written)
-                        .slice(128, secded.n());
-                gf2::BitVector codeword(secded.n());
-                for (std::size_t i = 0; i < 128; ++i)
-                    codeword.set(i, joined_read.get(i));
-                for (std::size_t i = 0; i < check.size(); ++i)
-                    codeword.set(128 + i, check.get(i));
-                const ecc::SecondaryDecodeResult r =
-                    secded.decode(codeword);
-                if (r.status ==
-                    ecc::SecondaryDecodeStatus::DetectedUncorrectable)
-                    ++secded_uncorrectable;
-                else if (!(r.dataword == joined_written))
-                    ++secded_wrong;
-            }
-            // DEC BCH secondary over the same word.
-            {
-                const gf2::BitVector check =
-                    bch.encode(joined_written).slice(128, bch.n());
-                gf2::BitVector codeword(bch.n());
-                for (std::size_t i = 0; i < 128; ++i)
-                    codeword.set(i, joined_read.get(i));
-                for (std::size_t i = 0; i < check.size(); ++i)
-                    codeword.set(128 + i, check.get(i));
-                const ecc::BchDecodeResult r = bch.decode(codeword);
-                if (r.detectedUncorrectable ||
-                    !(r.dataword == joined_written))
-                    ++bch_failures;
-            }
-        }
-    }
-
-    common::Table table({"metric", "count", "per_access"});
-    const double total =
-        static_cast<double>(pairs) * static_cast<double>(accesses);
-    auto add = [&](const char *name, std::size_t count) {
-        table.addRow({name, std::to_string(count),
-                      common::formatSci(
-                          static_cast<double>(count) / total, 2)});
-    };
-    add("accesses with 1 residual (indirect) error", single_indirect);
-    add("accesses with >=2 residual errors (interleaving hazard)",
-        double_indirect);
-    add("SECDED secondary: detected-uncorrectable", secded_uncorrectable);
-    add("SECDED secondary: silent wrong data", secded_wrong);
-    add("DEC BCH secondary: any failure", bch_failures);
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nConclusion (section 6.3): per-on-die-word SEC "
-                 "secondary ECC is sufficient, but a\nsecondary word "
-                 "interleaved across two on-die words must tolerate two "
-                 "simultaneous\nindirect errors — SECDED stalls on every "
-                 "such event while the t=2 BCH corrects\nthem all "
-                 "(expect 0 in the last row).\n";
-    return bch_failures == 0 ? 0 : 1;
+    return harp::runner::runnerMain(argc, argv, "extension_secondary_interleaving");
 }

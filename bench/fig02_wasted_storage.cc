@@ -1,60 +1,14 @@
 /**
  * @file
- * Reproduces HARP Fig. 2: expected wasted storage capacity vs. raw bit
- * error rate when repairing uniform-random single-bit errors at repair
- * granularities of 1, 32, 64, 512 and 1024 bits.
- *
- * Prints the closed-form series the figure plots, plus a Monte-Carlo
- * cross-check column at each point.
+ * Alias binary for `harp_run fig02_wasted_storage`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <cmath>
-#include <iostream>
-
-#include "bench_common.hh"
-#include "common/rng.hh"
-#include "core/waste_model.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t mc_blocks =
-        static_cast<std::size_t>(cli.getInt("blocks", 4000));
-    common::Xoshiro256 rng(
-        static_cast<std::uint64_t>(cli.getInt("seed", 1)));
-
-    std::cout << "=== HARP Fig. 2: expected wasted storage vs. RBER ===\n"
-              << "E[waste] = (1 - (1-p)^g) - p; Monte-Carlo cross-check "
-              << "over " << mc_blocks << " blocks per point\n\n";
-
-    const std::vector<std::size_t> granularities = {1024, 512, 64, 32, 1};
-
-    common::Table table({"rber", "granularity_bits", "expected_waste",
-                         "monte_carlo", "abs_error"});
-    // RBER sweep 1e-7 .. ~0.5 (log-spaced), matching the figure's x-axis.
-    for (double rber = 1e-7; rber <= 0.5; rber *= std::sqrt(10.0)) {
-        for (const std::size_t g : granularities) {
-            const double expected =
-                core::expectedWastedFraction(g, rber);
-            const double simulated = core::simulateWastedFraction(
-                g, rber, mc_blocks, rng);
-            table.addRow({common::formatSci(rber, 2), std::to_string(g),
-                          common::formatDouble(expected, 6),
-                          common::formatDouble(simulated, 6),
-                          common::formatSci(
-                              std::abs(expected - simulated), 1)});
-        }
-    }
-    bench::printTable(table, cli, std::cout);
-
-    // The paper's headline observation for this figure.
-    std::cout << "\nWorst case at 1024-bit granularity, RBER 6.8e-3: "
-              << common::formatDouble(
-                     core::expectedWastedFraction(1024, 6.8e-3) * 100.0,
-                     2)
-              << "% of capacity wasted (paper: >99%).\n"
-              << "Bit-granularity repair (g=1) wastes 0% at every RBER.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "fig02_wasted_storage");
 }

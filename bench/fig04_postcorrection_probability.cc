@@ -1,70 +1,14 @@
 /**
  * @file
- * Reproduces HARP Fig. 4: distribution (violin summary) of each at-risk
- * bit's probability of post-correction error, before vs. after on-die
- * ECC, as the number of injected pre-correction at-risk cells grows from
- * 2 to 8. Pattern 0xFF (all data cells charged), per-bit probability 0.5,
- * randomly generated (71,64) codes.
+ * Alias binary for `harp_run fig04_postcorrection_probability`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-#include "core/fig4_experiment.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-
-    core::Fig4Config config;
-    config.k = static_cast<std::size_t>(cli.getInt("k", 64));
-    config.numCodes = static_cast<std::size_t>(cli.getInt("codes", 40));
-    config.wordsPerCode =
-        static_cast<std::size_t>(cli.getInt("words", 40));
-    config.perBitProbability = cli.getDouble("prob", 0.5);
-    config.seed = static_cast<std::uint64_t>(cli.getInt("seed", 1));
-    config.threads = static_cast<std::size_t>(cli.getInt("threads", 0));
-
-    std::cout << "=== HARP Fig. 4: per-bit post-correction error "
-                 "probability distribution ===\n"
-              << "codes=" << config.numCodes
-              << " words/code=" << config.wordsPerCode
-              << " pattern=0xFF p=" << config.perBitProbability << "\n\n";
-
-    const core::Fig4Result result = core::runFig4Experiment(config);
-
-    common::Table table({"pre_correction_errors", "series", "p5", "p25",
-                         "median", "p75", "p95", "mean", "samples"});
-    for (const core::Fig4Row &row : result.rows) {
-        const auto &post = row.postCorrection;
-        table.addRow({std::to_string(row.numPreCorrectionErrors),
-                      "post-correction",
-                      common::formatDouble(post.quantile(0.05), 4),
-                      common::formatDouble(post.quantile(0.25), 4),
-                      common::formatDouble(post.median(), 4),
-                      common::formatDouble(post.quantile(0.75), 4),
-                      common::formatDouble(post.quantile(0.95), 4),
-                      common::formatDouble(post.mean(), 4),
-                      std::to_string(post.count())});
-        const auto &pre = row.preCorrection;
-        table.addRow({std::to_string(row.numPreCorrectionErrors),
-                      "pre-correction",
-                      common::formatDouble(pre.quantile(0.05), 4),
-                      common::formatDouble(pre.quantile(0.25), 4),
-                      common::formatDouble(pre.median(), 4),
-                      common::formatDouble(pre.quantile(0.75), 4),
-                      common::formatDouble(pre.quantile(0.95), 4),
-                      common::formatDouble(pre.mean(), 4),
-                      std::to_string(pre.count())});
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nPaper's observations to verify: pre-correction "
-                 "probabilities are all 0.5 by design;\npost-correction "
-                 "probabilities spread widely and their mass shifts "
-                 "toward 0 as the\nnumber of pre-correction errors "
-                 "grows (bits become harder to identify).\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "fig04_postcorrection_probability");
 }

@@ -1,123 +1,14 @@
 /**
  * @file
- * Reproduces HARP Fig. 6: coverage of bits at risk of direct error
- * (y-axis) across profiling rounds (x-axis, log-spaced checkpoints), for
- * Naive, BEEP, HARP-U and HARP-A, swept over 2/3/4/5 pre-correction
- * errors per ECC word and per-bit probabilities 25/50/75/100%.
- *
- * Also prints the paper's headline metric: the round at which each
- * profiler reaches 99th-percentile(=full, here aggregate) coverage, and
- * HARP's speedup over the best baseline.
+ * Alias binary for `harp_run fig06_direct_coverage`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    core::CoverageConfig base = bench::coverageConfigFromCli(cli);
-
-    std::cout << "=== HARP Fig. 6: direct-error coverage vs. profiling "
-                 "rounds ===\n"
-              << "codes=" << base.numCodes
-              << " words/code=" << base.wordsPerCode
-              << " rounds=" << base.rounds << " k=" << base.k << "\n\n";
-
-    const auto checkpoints = bench::roundCheckpoints(base.rounds);
-
-    std::vector<std::string> headers = {"per_bit_prob", "pre_errors",
-                                        "profiler"};
-    for (const std::size_t cp : checkpoints)
-        headers.push_back("r" + std::to_string(cp));
-    common::Table table(headers);
-
-    // Rounds to full aggregate direct coverage, per (prob, n, profiler).
-    common::Table speedups({"per_bit_prob", "pre_errors",
-                            "harp_full_round", "naive_full_round",
-                            "beep_full_round", "harp_vs_best_baseline"});
-
-    for (const double prob : bench::paperProbabilities) {
-        for (const std::size_t n : bench::paperErrorCounts) {
-            core::CoverageConfig config = base;
-            config.perBitProbability = prob;
-            config.numPreCorrectionErrors = n;
-            const core::CoverageResult result =
-                core::runCoverageExperiment(config);
-
-            std::vector<std::size_t> full_round(result.profilers.size(),
-                                                config.rounds + 1);
-            for (std::size_t p = 0; p < result.profilers.size(); ++p) {
-                std::vector<std::string> row = {
-                    common::formatDouble(prob, 2), std::to_string(n),
-                    result.profilers[p].name};
-                for (const std::size_t cp : checkpoints)
-                    row.push_back(common::formatDouble(
-                        result.directCoverage(p, cp - 1), 4));
-                table.addRow(std::move(row));
-                for (std::size_t r = 0; r < config.rounds; ++r) {
-                    if (result.profilers[p].directIdentifiedSum[r] ==
-                        result.totalDirectAtRisk) {
-                        full_round[p] = r + 1;
-                        break;
-                    }
-                }
-            }
-            const std::size_t harp = full_round[2];
-            const std::size_t naive = full_round[0];
-            const std::size_t beep = full_round[1];
-            const std::size_t best_baseline = std::min(naive, beep);
-            const std::string ratio =
-                (harp <= config.rounds && best_baseline <= config.rounds)
-                    ? common::formatDouble(
-                          static_cast<double>(harp) /
-                              static_cast<double>(best_baseline),
-                          3)
-                    : "n/a";
-            auto show = [&](std::size_t r) {
-                return r <= config.rounds ? std::to_string(r)
-                                          : (">" +
-                                             std::to_string(config.rounds));
-            };
-            speedups.addRow({common::formatDouble(prob, 2),
-                             std::to_string(n), show(harp), show(naive),
-                             show(beep), ratio});
-        }
-    }
-
-    bench::printTable(table, cli, std::cout);
-    std::cout << "\nRounds to FULL aggregate direct coverage (paper: "
-                 "HARP reaches 99th-pct coverage in\n20.6/36.4/52.9/62.1% "
-                 "of the best baseline's rounds at n=2/3/4/5, p=0.5):\n\n";
-    bench::printTable(speedups, cli, std::cout);
-
-    // Supplementary: identified bits outside the ground-truth at-risk
-    // sets (wasted repair capacity). HARP's observations are sound by
-    // construction; BEEP's inference may over-approximate.
-    std::cout << "\nFalse positives after the full budget (mean per "
-                 "word, p=0.5):\n\n";
-    common::Table fp({"pre_errors", "Naive", "BEEP", "HARP-U",
-                      "HARP-A"});
-    for (const std::size_t n : bench::paperErrorCounts) {
-        core::CoverageConfig config = base;
-        config.perBitProbability = 0.5;
-        config.numPreCorrectionErrors = n;
-        const core::CoverageResult result =
-            core::runCoverageExperiment(config);
-        std::vector<std::string> row = {std::to_string(n)};
-        for (std::size_t p = 0; p < 4; ++p) {
-            const double mean =
-                static_cast<double>(
-                    result.profilers[p]
-                        .falsePositiveSum[config.rounds - 1]) /
-                static_cast<double>(result.numWords);
-            row.push_back(common::formatDouble(mean, 3));
-        }
-        fp.addRow(std::move(row));
-    }
-    bench::printTable(fp, cli, std::cout);
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "fig06_direct_coverage");
 }

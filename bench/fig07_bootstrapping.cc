@@ -1,74 +1,14 @@
 /**
  * @file
- * Reproduces HARP Fig. 7: distribution of the number of profiling rounds
- * each profiler spends "bootstrapping" — i.e., before it identifies its
- * first direct error in an ECC word. Words where no direct error is ever
- * identified within the budget are reported at rounds+1 (the paper
- * conservatively plots them at the 128-round cap).
+ * Alias binary for `harp_run fig07_bootstrapping`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    core::CoverageConfig base = bench::coverageConfigFromCli(cli);
-
-    std::cout << "=== HARP Fig. 7: rounds spent bootstrapping (first "
-                 "direct error) ===\n"
-              << "codes=" << base.numCodes
-              << " words/code=" << base.wordsPerCode
-              << " rounds=" << base.rounds << "\n\n";
-
-    common::Table table({"per_bit_prob", "pre_errors", "profiler", "p25",
-                         "median", "p75", "p99", "max",
-                         "never_bootstrapped"});
-
-    for (const double prob : bench::paperProbabilities) {
-        for (const std::size_t n : bench::paperErrorCounts) {
-            core::CoverageConfig config = base;
-            config.perBitProbability = prob;
-            config.numPreCorrectionErrors = n;
-            const core::CoverageResult result =
-                core::runCoverageExperiment(config);
-            for (const core::ProfilerAggregate &agg : result.profilers) {
-                const auto &boot = agg.bootstrapRounds;
-                // Count words that never identified a direct error.
-                std::size_t never = 0;
-                const double cap =
-                    static_cast<double>(config.rounds);
-                // quantile(1.0) == rounds+1 iff some word never did;
-                // count via thresholding on retained samples.
-                for (double q = 1.0; q >= 0.0; q -= 1.0 / 512.0) {
-                    if (boot.quantile(q) > cap)
-                        never = static_cast<std::size_t>(
-                            (1.0 - q) *
-                            static_cast<double>(boot.count()));
-                    else
-                        break;
-                }
-                table.addRow(
-                    {common::formatDouble(prob, 2), std::to_string(n),
-                     agg.name,
-                     common::formatDouble(boot.quantile(0.25), 1),
-                     common::formatDouble(boot.median(), 1),
-                     common::formatDouble(boot.quantile(0.75), 1),
-                     common::formatDouble(boot.quantile(0.99), 1),
-                     common::formatDouble(boot.quantile(1.0), 0),
-                     std::to_string(never)});
-            }
-        }
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nPaper's observations to verify: HARP identifies the "
-                 "first direct error far sooner\nthan Naive or BEEP; "
-                 "HARP never fails to bootstrap within 128 rounds; BEEP "
-                 "sometimes\nnever observes an error at low per-bit "
-                 "probabilities.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "fig07_bootstrapping");
 }

@@ -1,61 +1,14 @@
 /**
  * @file
- * Reproduces HARP Fig. 8: missed indirect errors per ECC word (i.e., the
- * at-risk bits the reactive phase must still identify) across profiling
- * rounds, for HARP-A, HARP-U, Naive, BEEP and the HARP-A+BEEP hybrid.
+ * Alias binary for `harp_run fig08_indirect_coverage`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    core::CoverageConfig base = bench::coverageConfigFromCli(cli);
-    base.includeHarpABeep = true;
-
-    std::cout << "=== HARP Fig. 8: missed indirect errors per ECC word "
-                 "vs. profiling rounds ===\n"
-              << "codes=" << base.numCodes
-              << " words/code=" << base.wordsPerCode
-              << " rounds=" << base.rounds << "\n\n";
-
-    const auto checkpoints = bench::roundCheckpoints(base.rounds);
-    std::vector<std::string> headers = {"per_bit_prob", "pre_errors",
-                                        "profiler"};
-    for (const std::size_t cp : checkpoints)
-        headers.push_back("r" + std::to_string(cp));
-    common::Table table(headers);
-
-    for (const double prob : bench::paperProbabilities) {
-        for (const std::size_t n : bench::paperErrorCounts) {
-            core::CoverageConfig config = base;
-            config.perBitProbability = prob;
-            config.numPreCorrectionErrors = n;
-            const core::CoverageResult result =
-                core::runCoverageExperiment(config);
-            for (std::size_t p = 0; p < result.profilers.size(); ++p) {
-                std::vector<std::string> row = {
-                    common::formatDouble(prob, 2), std::to_string(n),
-                    result.profilers[p].name};
-                for (const std::size_t cp : checkpoints)
-                    row.push_back(common::formatDouble(
-                        result.missedIndirectPerWord(p, cp - 1), 3));
-                table.addRow(std::move(row));
-            }
-        }
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nPaper's observations to verify: HARP-U identifies "
-                 "(almost) no indirect errors;\nHARP-A instantly "
-                 "identifies the subset predictable from direct errors; "
-                 "Naive and BEEP\nslowly expose indirect errors by "
-                 "observation (BEEP more than Naive in the long\nrun); "
-                 "HARP-A+BEEP reaches comparable coverage in fewer "
-                 "rounds.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "fig08_indirect_coverage");
 }

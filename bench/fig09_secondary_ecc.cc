@@ -1,90 +1,14 @@
 /**
  * @file
- * Reproduces HARP Fig. 9: secondary-ECC provisioning.
- *
- *  (a) Histogram of the maximum number of simultaneous post-correction
- *      errors possible per ECC word after the full active-profiling
- *      budget, per profiler.
- *  (b) Number of profiling rounds needed before no more than x
- *      simultaneous post-correction errors remain possible (99th
- *      percentile across words) — the correction capability the
- *      secondary ECC must provision for reactive profiling.
+ * Alias binary for `harp_run fig09_secondary_ecc`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    core::CoverageConfig base = bench::coverageConfigFromCli(cli);
-
-    std::cout << "=== HARP Fig. 9: secondary ECC correction capability "
-                 "===\n"
-              << "codes=" << base.numCodes
-              << " words/code=" << base.wordsPerCode
-              << " rounds=" << base.rounds << "\n\n";
-
-    common::Table hist_table({"per_bit_prob", "pre_errors", "profiler",
-                              "frac_max0", "frac_max1", "frac_max2",
-                              "frac_max3", "frac_max4plus"});
-    common::Table bound_table({"per_bit_prob", "pre_errors", "profiler",
-                               "rounds_to_le1_p99", "rounds_to_le2_p99",
-                               "rounds_to_le3_p99"});
-
-    for (const double prob : bench::paperProbabilities) {
-        for (const std::size_t n : bench::paperErrorCounts) {
-            core::CoverageConfig config = base;
-            config.perBitProbability = prob;
-            config.numPreCorrectionErrors = n;
-            const core::CoverageResult result =
-                core::runCoverageExperiment(config);
-            for (const core::ProfilerAggregate &agg : result.profilers) {
-                // Fig. 9a: distribution of the final max-simultaneous
-                // error count.
-                const auto &hist = agg.maxSimultaneousFinal;
-                double frac4plus = 0.0;
-                for (std::size_t b = 4; b < hist.numBins(); ++b)
-                    frac4plus += hist.fraction(b);
-                hist_table.addRow(
-                    {common::formatDouble(prob, 2), std::to_string(n),
-                     agg.name, common::formatDouble(hist.fraction(0), 3),
-                     common::formatDouble(hist.fraction(1), 3),
-                     common::formatDouble(hist.fraction(2), 3),
-                     common::formatDouble(hist.fraction(3), 3),
-                     common::formatDouble(frac4plus, 3)});
-
-                // Fig. 9b: 99th-percentile rounds to bound <= x.
-                auto show = [&](std::size_t x) {
-                    const double v =
-                        agg.roundsToBound[x - 1].quantile(0.99);
-                    if (v > static_cast<double>(config.rounds))
-                        return std::string(">") +
-                               std::to_string(config.rounds);
-                    return common::formatDouble(v, 0);
-                };
-                bound_table.addRow({common::formatDouble(prob, 2),
-                                    std::to_string(n), agg.name, show(1),
-                                    show(2), show(3)});
-            }
-        }
-    }
-
-    std::cout << "--- Fig. 9a: fraction of ECC words by max simultaneous "
-                 "post-correction errors (after full budget) ---\n";
-    bench::printTable(hist_table, cli, std::cout);
-    std::cout << "\n--- Fig. 9b: rounds to bound simultaneous errors "
-                 "(99th percentile) ---\n";
-    bench::printTable(bound_table, cli, std::cout);
-
-    std::cout << "\nPaper's observations to verify: HARP words never "
-                 "admit more than one simultaneous\npost-correction "
-                 "error after profiling (a single-error-correcting "
-                 "secondary ECC\nsuffices); Naive and BEEP leave "
-                 "multi-bit tails; HARP reaches the <=1 bound in\nfar "
-                 "fewer rounds than the baselines.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "fig09_secondary_ecc");
 }

@@ -1,99 +1,14 @@
 /**
  * @file
- * Reproduces HARP Fig. 10 (section 7.4 case study): data-retention bit
- * error rate of a system with an ideal bit-repair mechanism, before
- * (left panel) and after (right panel) reactive profiling with a
- * single-error-correcting secondary ECC, as a function of active
- * profiling rounds. Facets: per-bit pre-correction error probability;
- * series: retention RBER in {1e-4, 1e-6, 1e-8}.
- *
- * Ends with the paper's headline metric: how much faster HARP drives
- * the post-reactive BER to zero than Naive (paper: 3.7x at p = 0.75).
+ * Alias binary for `harp_run fig10_case_study`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-#include "core/case_study_experiment.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-
-    core::CaseStudyConfig base;
-    base.k = static_cast<std::size_t>(cli.getInt("k", 64));
-    base.samplesPerCellCount =
-        static_cast<std::size_t>(cli.getInt("samples", 24));
-    base.maxConditionedCells =
-        static_cast<std::size_t>(cli.getInt("max-cells", 5));
-    base.rounds = static_cast<std::size_t>(cli.getInt("rounds", 128));
-    base.seed = static_cast<std::uint64_t>(cli.getInt("seed", 1));
-    base.threads = static_cast<std::size_t>(cli.getInt("threads", 0));
-
-    std::cout << "=== HARP Fig. 10: DRAM data-retention case study ===\n"
-              << "samples/cell-count=" << base.samplesPerCellCount
-              << " conditioned cell counts=1.." << base.maxConditionedCells
-              << " rounds=" << base.rounds << "\n\n";
-
-    const auto checkpoints = bench::roundCheckpoints(base.rounds);
-    std::vector<std::string> headers = {"per_bit_prob", "rber",
-                                        "profiler", "panel"};
-    for (const std::size_t cp : checkpoints)
-        headers.push_back("r" + std::to_string(cp));
-    common::Table table(headers);
-
-    common::Table headline({"per_bit_prob", "profiler",
-                            "rounds_to_zero_after_reactive",
-                            "slowdown_vs_harp_u"});
-
-    for (const double prob : bench::paperProbabilities) {
-        core::CaseStudyConfig config = base;
-        config.perBitProbability = prob;
-        const core::CaseStudyResult result =
-            core::runCaseStudyExperiment(config);
-
-        for (const core::CaseStudySeries &series : result.series) {
-            std::vector<std::string> before = {
-                common::formatDouble(prob, 2),
-                common::formatSci(series.rber, 0), series.profiler,
-                "before"};
-            std::vector<std::string> after = {
-                common::formatDouble(prob, 2),
-                common::formatSci(series.rber, 0), series.profiler,
-                "after"};
-            for (const std::size_t cp : checkpoints) {
-                before.push_back(
-                    common::formatSci(series.berBefore[cp - 1], 2));
-                after.push_back(
-                    common::formatSci(series.berAfter[cp - 1], 2));
-            }
-            table.addRow(std::move(before));
-            table.addRow(std::move(after));
-        }
-
-        const std::size_t harp_u_rounds = result.roundsToZeroAfter[2];
-        for (std::size_t p = 0; p < result.profilerNames.size(); ++p) {
-            const std::size_t rounds = result.roundsToZeroAfter[p];
-            std::string shown = rounds <= config.rounds
-                                    ? std::to_string(rounds)
-                                    : (">" + std::to_string(config.rounds));
-            std::string ratio = "n/a";
-            if (rounds <= config.rounds && harp_u_rounds <= config.rounds)
-                ratio = common::formatDouble(
-                    static_cast<double>(rounds) /
-                        static_cast<double>(harp_u_rounds),
-                    2);
-            headline.addRow({common::formatDouble(prob, 2),
-                             result.profilerNames[p], shown, ratio});
-        }
-    }
-
-    bench::printTable(table, cli, std::cout);
-    std::cout << "\n--- Rounds until post-reactive BER reaches zero "
-                 "(paper headline: Naive needs 3.7x\nHARP's rounds at "
-                 "p=0.75; BEEP never reaches zero) ---\n";
-    bench::printTable(headline, cli, std::cout);
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "fig10_case_study");
 }

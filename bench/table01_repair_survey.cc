@@ -1,64 +1,14 @@
 /**
  * @file
- * Reproduces HARP Table 1: survey of prevalent memory repair mechanisms
- * by profiling granularity. The table itself is a literature survey
- * (static data); this binary reprints it and augments each granularity
- * class with the quantitative waste model of Fig. 2 at two sample RBERs,
- * tying the survey to the motivation experiment.
+ * Alias binary for `harp_run table01_repair_survey`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-#include "core/waste_model.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-
-    std::cout << "=== HARP Table 1: survey of memory repair mechanisms "
-                 "===\n\n";
-
-    struct Row
-    {
-        const char *granularity;
-        const char *size_bits;
-        std::size_t representative_bits;
-        const char *examples;
-    };
-    const Row rows[] = {
-        {"System page", "32K", 32768,
-         "RAPID, RIO, page retirement"},
-        {"DRAM external row", "2-64K", 16384,
-         "PPR, Agnos, RAIDR, DIVA"},
-        {"DRAM internal row/col", "512-1024", 1024,
-         "row/col sparing, Solar"},
-        {"Cache block", "256-512", 512, "FREE-p, CiDRA"},
-        {"Processor word", "32-64", 64, "ArchShield"},
-        {"Byte", "8", 8, "DRM"},
-        {"Single bit", "1", 1,
-         "ECP, SECRET, REMAP, SFaultMap, HOTH, FLOWER, SAFER, Bit-fix"},
-    };
-
-    common::Table table({"profiling_granularity", "size_bits", "examples",
-                         "waste_at_rber_1e-4", "waste_at_rber_1e-2"});
-    for (const Row &row : rows) {
-        table.addRow(
-            {row.granularity, row.size_bits, row.examples,
-             common::formatDouble(core::expectedWastedFraction(
-                                      row.representative_bits, 1e-4),
-                                  6),
-             common::formatDouble(core::expectedWastedFraction(
-                                      row.representative_bits, 1e-2),
-                                  6)});
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nFiner repair granularity -> less internal "
-                 "fragmentation at high error rates,\nwhich is why "
-                 "bit-granularity repair (HARP's target use case) wins "
-                 "for RBER > 1e-4.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "table01_repair_survey");
 }

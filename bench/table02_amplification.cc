@@ -1,71 +1,14 @@
 /**
  * @file
- * Reproduces HARP Table 2: on-die ECC amplifies n bits at risk of
- * pre-correction error into up to 2^n - 1 bits at risk of
- * post-correction error. Prints the closed forms from the table and the
- * measured maximum/mean across randomly generated codes and fault
- * placements (the worst case requires every uncorrectable pattern to
- * alias to a distinct data column).
+ * Alias binary for `harp_run table02_amplification`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
  */
 
-#include <iostream>
-
-#include "bench_common.hh"
-#include "common/rng.hh"
-#include "common/stats.hh"
-#include "core/at_risk_analyzer.hh"
-#include "ecc/hamming_code.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t k = static_cast<std::size_t>(cli.getInt("k", 64));
-    const std::size_t trials =
-        static_cast<std::size_t>(cli.getInt("trials", 400));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 1));
-
-    std::cout << "=== HARP Table 2: at-risk bit amplification ===\n"
-              << "closed forms + measured max/mean over " << trials
-              << " random (" << k + ecc::HammingCode::minParityBits(k)
-              << "," << k << ") codes per n\n\n";
-
-    common::Table table({"n_pre_correction", "unique_patterns_2^n-1",
-                         "uncorrectable_2^n-n-1", "worst_case_at_risk",
-                         "measured_max", "measured_mean"});
-
-    for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
-        const std::size_t unique = (std::size_t{1} << n) - 1;
-        const std::size_t uncorrectable =
-            (std::size_t{1} << n) - n - 1;
-        common::RunningStat at_risk;
-        for (std::size_t t = 0; t < trials; ++t) {
-            common::Xoshiro256 code_rng(
-                common::deriveSeed(seed, {n, t, 0xC0DEu}));
-            const ecc::HammingCode code =
-                ecc::HammingCode::randomSec(k, code_rng);
-            common::Xoshiro256 fault_rng(
-                common::deriveSeed(seed, {n, t, 0xFA17u}));
-            const fault::WordFaultModel faults =
-                fault::WordFaultModel::makeUniformFixedCount(
-                    code.n(), n, 0.5, fault_rng);
-            const core::AtRiskAnalyzer analyzer(code, faults);
-            at_risk.add(static_cast<double>(
-                analyzer.postCorrectionAtRisk().popcount()));
-        }
-        table.addRow({std::to_string(n), std::to_string(unique),
-                      std::to_string(uncorrectable),
-                      std::to_string(unique),
-                      common::formatDouble(at_risk.max(), 0),
-                      common::formatDouble(at_risk.mean(), 2)});
-    }
-    bench::printTable(table, cli, std::cout);
-
-    std::cout << "\nThe worst case (2^n - 1) assumes every uncorrectable "
-                 "pattern maps to a unique data\nbit; random codes "
-                 "approach it from below because some syndromes alias "
-                 "parity columns\nor match no column (shortened code).\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "table02_amplification");
 }

@@ -1,242 +1,15 @@
 /**
  * @file
- * BEER-style reverse engineering of an unknown on-die ECC function
- * (Patel et al., "Bit-Exact ECC Recovery", MICRO 2020 — the prior work
- * HARP-A builds on to obtain the parity-check matrix).
- *
- * A memory chip hides its systematic SEC Hamming code. The experimenter
- * can program data patterns and induce worst-case retention errors in
- * chosen charged cells, observing only post-correction data. Every
- * pair-failure experiment yields one constraint on the hidden
- * parity-check columns:
- *
- *   - observed error set {i, j, m}: H[i] ^ H[j] = H[m] (miscorrection)
- *   - observed error set {i, j}:    H[i] ^ H[j] matches no data column
- *
- * The demo encodes all such constraints into CNF, solves with the
- * repository's CDCL SAT solver, and verifies that the recovered code is
- * unique (UNSAT after adding a blocking clause) and bit-exact.
- *
- * Run:  ./beer_reverse_engineering [--k N(<=16)] [--seed N]
+ * Alias binary for `harp_run beer_reverse_engineering`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/specs_examples.cc, and the
+ * narrative walkthrough of this flow lives in docs/ARCHITECTURE.md.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/cli.hh"
-#include "common/rng.hh"
-#include "ecc/hamming_code.hh"
-#include "gf2/linear_solver.hh"
-#include "sat/cnf_builder.hh"
-
-namespace {
-
-using namespace harp;
-
-/**
- * Oracle for one retention experiment: exactly the two chosen cells
- * fail. Returns the post-correction error positions the experimenter
- * observes (data side only). Mirrors a real BEER experiment where the
- * data pattern charges exactly the targeted cells and the refresh window
- * is long enough that every charged at-risk cell fails.
- */
-std::optional<std::vector<std::size_t>>
-runPairExperiment(const ecc::HammingCode &code, std::size_t i,
-                  std::size_t j)
-{
-    // Find a dataword charging cells {i, j}. Only the targeted cells are
-    // at risk in this experiment, so other charged cells cannot fail and
-    // need not be discharged.
-    gf2::ConstraintSystem cs(code.k());
-    for (const std::size_t cell : {i, j}) {
-        if (cell < code.k())
-            cs.pinVariable(cell, true);
-        else
-            cs.addConstraint(code.parityRow(cell - code.k()), true);
-    }
-    const auto pattern = cs.solveAny();
-    if (!pattern)
-        return std::nullopt; // experiment cannot be set up; skipped
-    gf2::BitVector received = code.encode(*pattern);
-    received.flip(i);
-    received.flip(j);
-    const ecc::DecodeResult decoded = code.decode(received);
-    gf2::BitVector diff = decoded.dataword;
-    diff ^= *pattern;
-    return diff.setBits();
-}
-
-} // namespace
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t k = static_cast<std::size_t>(cli.getInt("k", 8));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 5));
-    if (k > 16) {
-        std::cerr << "demo supports k <= 16 (SAT instance size)\n";
-        return 1;
-    }
-
-    common::Xoshiro256 rng(seed);
-    const ecc::HammingCode hidden = ecc::HammingCode::randomSec(k, rng);
-    const std::size_t p = hidden.p();
-    std::cout << "Hidden on-die ECC: (" << hidden.n() << "," << k
-              << ") systematic SEC Hamming code; recovering its " << k
-              << " data parity-columns from pair-failure experiments...\n";
-
-    // --- CNF encoding ----------------------------------------------------
-    sat::CnfBuilder cnf;
-    // x[c][b]: bit b of hidden data column c.
-    std::vector<std::vector<sat::Var>> x(k);
-    for (std::size_t c = 0; c < k; ++c)
-        x[c] = cnf.newVars(p);
-    auto lit = [&](std::size_t c, std::size_t b) {
-        return sat::Lit::make(x[c][b], true);
-    };
-
-    // Structural constraints: weight >= 2 (systematic code, no collision
-    // with identity parity columns), and pairwise-distinct columns.
-    for (std::size_t c = 0; c < k; ++c) {
-        sat::Clause nonzero;
-        for (std::size_t b = 0; b < p; ++b)
-            nonzero.push_back(lit(c, b));
-        cnf.addClause(nonzero);
-        for (std::size_t b = 0; b < p; ++b) {
-            // x[c][b] -> some other bit set.
-            sat::Clause not_weight1;
-            not_weight1.push_back(~lit(c, b));
-            for (std::size_t b2 = 0; b2 < p; ++b2)
-                if (b2 != b)
-                    not_weight1.push_back(lit(c, b2));
-            cnf.addClause(not_weight1);
-        }
-    }
-    for (std::size_t c1 = 0; c1 < k; ++c1) {
-        for (std::size_t c2 = c1 + 1; c2 < k; ++c2) {
-            // Some bit differs: OR over difference variables.
-            std::vector<sat::Lit> diffs;
-            for (std::size_t b = 0; b < p; ++b) {
-                const sat::Var d = cnf.newVar();
-                // d = x[c1][b] xor x[c2][b]
-                cnf.addXor({lit(c1, b), lit(c2, b),
-                            sat::Lit::make(d, true)},
-                           false);
-                diffs.push_back(sat::Lit::make(d, true));
-            }
-            cnf.addClause(sat::Clause(diffs.begin(), diffs.end()));
-        }
-    }
-
-    // Observation constraints from every pair experiment.
-    std::size_t experiments = 0, miscorrections = 0;
-    auto column_known = [&](std::size_t cell) {
-        return cell >= k; // parity columns are identity (systematic)
-    };
-    for (std::size_t i = 0; i < hidden.n(); ++i) {
-        for (std::size_t j = i + 1; j < hidden.n(); ++j) {
-            const auto observed = runPairExperiment(hidden, i, j);
-            if (!observed)
-                continue; // experiment infeasible: no constraint
-            ++experiments;
-            // Expected observed set always contains the data members of
-            // {i, j}; any extra position m is a miscorrection target.
-            std::vector<std::size_t> extras;
-            for (const std::size_t e : *observed)
-                if (e != i && e != j)
-                    extras.push_back(e);
-
-            // Syndrome s = H[i] ^ H[j] expressed per bit as a literal
-            // list plus a constant from any known (parity) columns.
-            for (std::size_t b = 0; b < p; ++b) {
-                std::vector<sat::Lit> xor_lits;
-                bool constant = false;
-                for (const std::size_t cell : {i, j}) {
-                    if (column_known(cell))
-                        constant ^= ((hidden.codewordColumn(cell) >> b) &
-                                     1) != 0;
-                    else
-                        xor_lits.push_back(lit(cell, b));
-                }
-                if (!extras.empty()) {
-                    ++miscorrections;
-                    // s == H[m]: per-bit equality.
-                    const std::size_t m = extras.front();
-                    xor_lits.push_back(lit(m, b));
-                    cnf.addXor(xor_lits, constant);
-                }
-            }
-            if (extras.empty()) {
-                // No miscorrection observed: s differs from every data
-                // column other than i and j themselves.
-                for (std::size_t c = 0; c < k; ++c) {
-                    if (c == i || c == j)
-                        continue;
-                    std::vector<sat::Lit> diffs;
-                    for (std::size_t b = 0; b < p; ++b) {
-                        const sat::Var d = cnf.newVar();
-                        std::vector<sat::Lit> xor_def;
-                        bool constant = false;
-                        for (const std::size_t cell : {i, j}) {
-                            if (column_known(cell))
-                                constant ^=
-                                    ((hidden.codewordColumn(cell) >> b) &
-                                     1) != 0;
-                            else
-                                xor_def.push_back(lit(cell, b));
-                        }
-                        xor_def.push_back(lit(c, b));
-                        xor_def.push_back(sat::Lit::make(d, true));
-                        cnf.addXor(xor_def, constant);
-                        diffs.push_back(sat::Lit::make(d, true));
-                    }
-                    cnf.addClause(sat::Clause(diffs.begin(), diffs.end()));
-                }
-            }
-        }
-    }
-    std::cout << experiments << " pair experiments run, "
-              << miscorrections / p << " exposed miscorrections; CNF has "
-              << cnf.solver().numVars() << " vars, "
-              << cnf.solver().numClauses() << " clauses\n";
-
-    // --- Solve and verify --------------------------------------------------
-    if (cnf.solver().solve() != sat::SolveResult::Sat) {
-        std::cerr << "UNSAT: constraints inconsistent (bug)\n";
-        return 1;
-    }
-    std::vector<std::uint32_t> recovered(k, 0);
-    for (std::size_t c = 0; c < k; ++c)
-        for (std::size_t b = 0; b < p; ++b)
-            if (cnf.solver().modelValue(x[c][b]))
-                recovered[c] |= std::uint32_t{1} << b;
-
-    bool exact = true;
-    for (std::size_t c = 0; c < k; ++c)
-        exact = exact && (recovered[c] == hidden.dataColumn(c));
-    std::cout << "Recovered parity-check columns are "
-              << (exact ? "BIT-EXACT" : "NOT exact") << "\n";
-
-    // Uniqueness: block this model and ask again (BEER's check).
-    sat::Clause blocking;
-    for (std::size_t c = 0; c < k; ++c)
-        for (std::size_t b = 0; b < p; ++b)
-            blocking.push_back(sat::Lit::make(
-                x[c][b], !cnf.solver().modelValue(x[c][b])));
-    cnf.addClause(blocking);
-    const bool unique =
-        cnf.solver().solve() == sat::SolveResult::Unsat;
-    std::cout << "Solution is " << (unique ? "UNIQUE" : "NOT unique")
-              << " given the experiments\n";
-
-    if (exact && unique) {
-        std::cout << "\nThis is how HARP-A obtains the parity-check "
-                     "matrix it uses to precompute\nindirect-error "
-                     "targets (HARP section 6.3.1, via BEER).\n";
-        return 0;
-    }
-    return 1;
+    return harp::runner::runnerMain(argc, argv, "beer_reverse_engineering");
 }

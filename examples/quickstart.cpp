@@ -1,97 +1,15 @@
 /**
  * @file
- * Quickstart: profile a simulated DRAM chip with on-die ECC using HARP.
- *
- * Demonstrates the core public API in ~60 lines:
- *  1. build a random (71,64) on-die SEC Hamming code,
- *  2. attach a data-retention fault model to one ECC word,
- *  3. run HARP-U and Naive profiling side by side for 32 rounds,
- *  4. compare both against the exact ground truth.
- *
- * Run:  ./quickstart [--rounds N] [--pre-errors N] [--prob P] [--seed N]
+ * Alias binary for `harp_run quickstart`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/specs_examples.cc, and the
+ * narrative walkthrough of this flow lives in docs/ARCHITECTURE.md.
  */
 
-#include <iostream>
-
-#include "common/cli.hh"
-#include "common/rng.hh"
-#include "core/at_risk_analyzer.hh"
-#include "core/harp_profiler.hh"
-#include "core/naive_profiler.hh"
-#include "core/round_engine.hh"
-#include "ecc/hamming_code.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t rounds =
-        static_cast<std::size_t>(cli.getInt("rounds", 32));
-    const std::size_t pre_errors =
-        static_cast<std::size_t>(cli.getInt("pre-errors", 4));
-    const double prob = cli.getDouble("prob", 0.5);
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 42));
-
-    // 1. The memory chip's proprietary on-die ECC: a random systematic
-    //    (71,64) single-error-correcting Hamming code.
-    common::Xoshiro256 code_rng(seed);
-    const ecc::HammingCode on_die =
-        ecc::HammingCode::randomSec(64, code_rng);
-    std::cout << "On-die ECC: (" << on_die.n() << "," << on_die.k()
-              << ") SEC Hamming code\n";
-
-    // 2. A data-retention fault model: `pre_errors` at-risk cells placed
-    //    uniformly over the codeword, each failing with probability
-    //    `prob` when charged.
-    common::Xoshiro256 fault_rng(seed + 1);
-    const fault::WordFaultModel faults =
-        fault::WordFaultModel::makeUniformFixedCount(on_die.n(),
-                                                     pre_errors, prob,
-                                                     fault_rng);
-    std::cout << "At-risk cells (ground truth, hidden from profilers): ";
-    for (const std::size_t pos : faults.atRiskPositions())
-        std::cout << pos << (pos >= on_die.k() ? "(parity) " : " ");
-    std::cout << "\n\n";
-
-    // 3. Profile: HARP-U (bypass read path) vs Naive (post-correction
-    //    observations only), against identical injected errors.
-    core::NaiveProfiler naive(on_die.k());
-    core::HarpUProfiler harp(on_die.k());
-    core::RoundEngine engine(on_die, faults, core::PatternKind::Random,
-                             seed + 2);
-    std::vector<core::Profiler *> profilers = {&naive, &harp};
-    for (std::size_t r = 0; r < rounds; ++r) {
-        engine.runRound(profilers);
-        if ((r + 1) % 8 == 0) {
-            std::cout << "after round " << (r + 1) << ": HARP-U found "
-                      << harp.identified().popcount()
-                      << " at-risk bits, Naive found "
-                      << naive.identified().popcount() << "\n";
-        }
-    }
-
-    // 4. Compare against exact ground truth.
-    const core::AtRiskAnalyzer analyzer(on_die, faults);
-    const std::size_t direct_total = analyzer.directAtRisk().popcount();
-    auto coverage = [&](const core::Profiler &p) {
-        gf2::BitVector covered = p.identified();
-        covered &= analyzer.directAtRisk();
-        return covered.popcount();
-    };
-    std::cout << "\nGround truth: " << direct_total
-              << " bits at risk of direct error, "
-              << analyzer.indirectAtRisk().popcount()
-              << " at risk of indirect error\n";
-    std::cout << "HARP-U direct coverage: " << coverage(harp) << "/"
-              << direct_total << "\n";
-    std::cout << "Naive  direct coverage: " << coverage(naive) << "/"
-              << direct_total << "\n";
-    std::cout << "\nWith HARP's profile, at most "
-              << analyzer.maxSimultaneousErrors(harp.identified())
-              << " simultaneous post-correction error(s) remain "
-                 "possible,\nso a single-error-correcting secondary ECC "
-                 "can safely finish the job reactively.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "quickstart");
 }

@@ -1,149 +1,15 @@
 /**
  * @file
- * End-to-end retention case study on the full memory-system model
- * (HARP section 7.4 in miniature).
- *
- * Builds a complete HARP-enabled system — memory chip with on-die ECC,
- * memory controller with bit-repair, error profile, and SECDED secondary
- * ECC — then:
- *  1. runs HARP's active profiling phase over every word via the
- *     decode-bypass read path,
- *  2. switches to normal operation at an aggressive (error-prone)
- *     refresh rate, letting reactive profiling catch indirect errors,
- *  3. reports end-to-end reliability: corrupted reads, reactive
- *     identifications, and repair capacity used.
- *
- * Run:  ./retention_case_study [--words N] [--rber R] [--prob P]
- *                              [--active-rounds N] [--accesses N]
+ * Alias binary for `harp_run retention_case_study`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/specs_examples.cc, and the
+ * narrative walkthrough of this flow lives in docs/ARCHITECTURE.md.
  */
 
-#include <iostream>
-
-#include "common/cli.hh"
-#include "common/rng.hh"
-#include "common/table.hh"
-#include "core/data_pattern.hh"
-#include "ecc/extended_hamming_code.hh"
-#include "memsys/memory_controller.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t num_words =
-        static_cast<std::size_t>(cli.getInt("words", 256));
-    const double rber = cli.getDouble("rber", 0.01);
-    const double prob = cli.getDouble("prob", 0.5);
-    const std::size_t active_rounds =
-        static_cast<std::size_t>(cli.getInt("active-rounds", 64));
-    const std::size_t accesses =
-        static_cast<std::size_t>(cli.getInt("accesses", 20000));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 7));
-
-    // --- System construction -------------------------------------------
-    common::Xoshiro256 code_rng(seed);
-    const ecc::HammingCode on_die =
-        ecc::HammingCode::randomSec(64, code_rng);
-    mem::MemoryChip chip(on_die, num_words);
-    common::Xoshiro256 secondary_rng(seed + 1);
-    mem::MemoryController controller(
-        chip, ecc::ExtendedHammingCode::randomSecDed(64, secondary_rng));
-
-    // Attach retention fault models: every cell at risk with probability
-    // `rber` (the aggressive-refresh regime Fig. 10 models).
-    common::Xoshiro256 fault_rng(seed + 2);
-    std::size_t total_at_risk = 0;
-    for (std::size_t w = 0; w < num_words; ++w) {
-        auto model = fault::WordFaultModel::makeUniformRber(
-            on_die.n(), rber, prob, fault_rng);
-        total_at_risk += model.numFaults();
-        chip.setFaultModel(w, std::move(model));
-    }
-    std::cout << "System: " << num_words << " ECC words, RBER=" << rber
-              << " -> " << total_at_risk
-              << " at-risk cells chip-wide, p(fail|charged)=" << prob
-              << "\n\n";
-
-    // --- Phase 1: HARP active profiling --------------------------------
-    common::Xoshiro256 retention_rng(seed + 3);
-    for (std::size_t w = 0; w < num_words; ++w) {
-        core::PatternGenerator patterns(
-            core::PatternKind::Random, 64,
-            common::deriveSeed(seed, {0xACF1u, w}));
-        for (std::size_t r = 0; r < active_rounds; ++r) {
-            const gf2::BitVector pattern = patterns.pattern(r);
-            controller.write(w, pattern);
-            chip.retentionTick(w, retention_rng);
-            gf2::BitVector raw = controller.readRaw(w);
-            raw ^= pattern;
-            raw.forEachSetBit([&](std::size_t bit) {
-                controller.profile().markAtRisk(w, bit);
-            });
-        }
-    }
-    const std::size_t active_found = controller.profile().totalAtRisk();
-    std::cout << "Active phase (" << active_rounds
-              << " rounds/word, bypass reads): profiled " << active_found
-              << " bits at risk of direct error\n";
-
-    // --- Phase 2: normal operation + reactive profiling ----------------
-    common::Xoshiro256 workload_rng(seed + 4);
-    std::vector<gf2::BitVector> shadow(num_words, gf2::BitVector(64));
-    for (std::size_t w = 0; w < num_words; ++w) {
-        shadow[w] = gf2::BitVector::random(64, workload_rng);
-        controller.write(w, shadow[w]);
-    }
-    std::size_t silent_corruptions = 0;
-    const std::size_t scrub_interval = num_words * 4;
-    for (std::size_t a = 0; a < accesses; ++a) {
-        const std::size_t w = workload_rng.nextBelow(num_words);
-        if (workload_rng.nextBernoulli(0.5)) {
-            shadow[w] = gf2::BitVector::random(64, workload_rng);
-            controller.write(w, shadow[w]);
-        } else {
-            chip.retentionTick(w, retention_rng);
-            const mem::ControllerReadResult r = controller.read(w);
-            if (!r.corrupt && !(r.dataword == shadow[w]))
-                ++silent_corruptions;
-            // Writes refresh the word; reads leave errors accumulated.
-        }
-        // Patrol scrubbing (section 2.3.2) keeps raw errors from
-        // accumulating in rarely-written words.
-        if (a % scrub_interval == scrub_interval - 1)
-            controller.scrubAll();
-    }
-
-    const mem::ControllerStats &stats = controller.stats();
-    std::cout << "\nReactive phase (" << accesses
-              << " accesses at the aggressive refresh rate):\n";
-    std::cout << "  secondary ECC corrections:       "
-              << stats.secondaryCorrections << "\n";
-    std::cout << "  reactive identifications:        "
-              << stats.reactiveIdentifications
-              << " (bits at risk of indirect error)\n";
-    std::cout << "  repaired-bit read fixes:         "
-              << stats.repairedBits << "\n";
-    std::cout << "  patrol scrubs / writebacks:      " << stats.scrubs
-              << " / " << stats.scrubWritebacks << "\n";
-    std::cout << "  uncorrectable (detected) events: "
-              << stats.uncorrectableEvents << "\n";
-    std::cout << "  silent corruptions:              "
-              << silent_corruptions << "\n";
-    std::cout << "  repair capacity used:            "
-              << controller.profile().totalAtRisk() << " bits ("
-              << common::formatDouble(
-                     100.0 *
-                         static_cast<double>(
-                             controller.profile().totalAtRisk()) /
-                         static_cast<double>(num_words * 64),
-                     3)
-              << "% of data capacity)\n";
-
-    std::cout << "\nBecause active profiling covered every direct error, "
-                 "the secondary SEC code could\nabsorb each remaining "
-                 "indirect error on first failure: expect zero silent "
-                 "corruptions\nand zero uncorrectable events above.\n";
-    return silent_corruptions == 0 ? 0 : 1;
+    return harp::runner::runnerMain(argc, argv, "retention_case_study");
 }

@@ -1,99 +1,15 @@
 /**
  * @file
- * Secondary-ECC sizing walkthrough (the Fig. 9 question, interactively):
- * how strong must the memory controller's secondary ECC be to safely
- * perform reactive profiling after a given active-profiling budget?
- *
- * For one ECC word with a configurable number of at-risk cells, tracks —
- * round by round — the maximum number of simultaneous post-correction
- * errors that remain possible under each profiler's current profile.
- * That maximum IS the required secondary-ECC correction capability.
- *
- * Run:  ./secondary_ecc_sizing [--pre-errors N] [--prob P] [--rounds N]
+ * Alias binary for `harp_run secondary_ecc_sizing`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/specs_examples.cc, and the
+ * narrative walkthrough of this flow lives in docs/ARCHITECTURE.md.
  */
 
-#include <iomanip>
-#include <iostream>
-
-#include "common/cli.hh"
-#include "common/rng.hh"
-#include "core/at_risk_analyzer.hh"
-#include "core/beep_profiler.hh"
-#include "core/harp_profiler.hh"
-#include "core/naive_profiler.hh"
-#include "core/round_engine.hh"
+#include "runner/cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace harp;
-    const common::CommandLine cli(argc, argv);
-    const std::size_t pre_errors =
-        static_cast<std::size_t>(cli.getInt("pre-errors", 5));
-    const double prob = cli.getDouble("prob", 0.5);
-    const std::size_t rounds =
-        static_cast<std::size_t>(cli.getInt("rounds", 64));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 11));
-
-    common::Xoshiro256 code_rng(seed);
-    const ecc::HammingCode on_die =
-        ecc::HammingCode::randomSec(64, code_rng);
-    common::Xoshiro256 fault_rng(seed + 1);
-    const fault::WordFaultModel faults =
-        fault::WordFaultModel::makeUniformFixedCount(
-            on_die.n(), pre_errors, prob, fault_rng);
-    const core::AtRiskAnalyzer analyzer(on_die, faults);
-
-    std::cout << "One (71,64) ECC word with " << pre_errors
-              << " at-risk cells (p=" << prob << ")\n"
-              << "Ground truth: " << analyzer.directAtRisk().popcount()
-              << " direct-at-risk bits, "
-              << analyzer.indirectAtRisk().popcount()
-              << " indirect-at-risk bits, "
-              << analyzer.outcomes().size()
-              << " feasible error patterns\n\n";
-
-    core::NaiveProfiler naive(on_die.k());
-    core::BeepProfiler beep(on_die);
-    core::HarpUProfiler harp_u(on_die.k());
-    core::HarpAProfiler harp_a(on_die);
-    std::vector<core::Profiler *> profilers = {&naive, &beep, &harp_u,
-                                               &harp_a};
-    core::RoundEngine engine(on_die, faults, core::PatternKind::Random,
-                             seed + 2);
-
-    const gf2::BitVector empty(on_die.k());
-    std::cout << "Required secondary-ECC correction capability after "
-                 "each round\n(= max simultaneous unrepaired "
-                 "post-correction errors):\n\n";
-    std::cout << std::setw(7) << "round";
-    for (const core::Profiler *p : profilers)
-        std::cout << std::setw(13) << p->name();
-    std::cout << "\n" << std::setw(7) << 0;
-    for (std::size_t i = 0; i < profilers.size(); ++i)
-        std::cout << std::setw(13)
-                  << analyzer.maxSimultaneousErrors(empty);
-    std::cout << "\n";
-
-    for (std::size_t r = 0; r < rounds; ++r) {
-        engine.runRound(profilers);
-        const bool checkpoint =
-            (r + 1) <= 8 || ((r + 1) & r) == 0 || r + 1 == rounds;
-        if (!checkpoint)
-            continue;
-        std::cout << std::setw(7) << (r + 1);
-        for (const core::Profiler *p : profilers)
-            std::cout << std::setw(13)
-                      << analyzer.maxSimultaneousErrors(p->identified());
-        std::cout << "\n";
-    }
-
-    std::cout << "\nReading the table: a value of 1 means a single-error-"
-                 "correcting secondary ECC\n(one per on-die ECC word) "
-                 "suffices for safe reactive profiling — HARP reaches 1\n"
-                 "as soon as its active phase has seen each direct error "
-                 "once; baselines can stay\nabove 1 for the whole "
-                 "budget.\n";
-    return 0;
+    return harp::runner::runnerMain(argc, argv, "secondary_ecc_sizing");
 }

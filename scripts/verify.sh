@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the exact ROADMAP.md command plus a smoke-run of
-# the quickstart example. Exits nonzero on any failure.
+# Tier-1 verification: the exact ROADMAP.md command, a smoke campaign
+# through the harp_run experiment runner (incl. an alias binary), and a
+# docs lint (Doxygen warnings are errors; skipped when doxygen is not
+# installed). Exits nonzero on any failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,6 +11,43 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-./build/examples/example_quickstart > /dev/null
+# --- harp_run smoke -------------------------------------------------------
+# The registry must expose every ported bench + example experiment.
+listing="$(./build/src/harp_run --list)"
+echo "$listing" | grep -q "18 experiments (14 bench, 4 example)" || {
+    echo "verify: harp_run --list does not show 18 experiments" >&2
+    exit 1
+}
+
+# One small campaign end-to-end: runs two experiments, writes JSONL +
+# summary, and must be reproducible (equal result hashes across runs).
+smoke_dir="build/verify-smoke"
+rm -rf "$smoke_dir"
+./build/src/harp_run quickstart table01_repair_survey \
+    --seed 1 --threads 2 --out "$smoke_dir/a" > /dev/null
+./build/src/harp_run quickstart table01_repair_survey \
+    --seed 1 --threads 1 --out "$smoke_dir/b" > /dev/null
+for f in quickstart.jsonl table01_repair_survey.jsonl summary.json; do
+    test -s "$smoke_dir/a/$f" || {
+        echo "verify: missing campaign output $f" >&2
+        exit 1
+    }
+done
+cmp -s "$smoke_dir/a/quickstart.jsonl" "$smoke_dir/b/quickstart.jsonl" || {
+    echo "verify: campaign results differ across thread counts" >&2
+    exit 1
+}
+
+# Alias binaries forward into the same runner.
+./build/examples/example_quickstart --out "$smoke_dir/alias" > /dev/null
+
+# --- Docs lint ------------------------------------------------------------
+if command -v doxygen > /dev/null 2>&1; then
+    cmake -B build -S . -DHARP_BUILD_DOCS=ON > /dev/null
+    cmake --build build --target docs
+    cmake -B build -S . -DHARP_BUILD_DOCS=OFF > /dev/null
+else
+    echo "verify: doxygen not installed, skipping docs lint"
+fi
 
 echo "verify: OK"

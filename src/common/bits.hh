@@ -9,6 +9,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace harp::common {
 
@@ -59,6 +60,24 @@ constexpr bool
 atMostOneBit(std::uint64_t x)
 {
     return (x & (x - 1)) == 0;
+}
+
+/** FNV-1a offset basis: the initial value for fnv1a64 hash chains. */
+inline constexpr std::uint64_t fnv1a64Init = 0xCBF29CE484222325ULL;
+
+/**
+ * FNV-1a over a byte string, continuing from @p hash. Platform-stable,
+ * so result hashes can be pinned in golden tests and compared across
+ * campaign runs.
+ */
+constexpr std::uint64_t
+fnv1a64(std::string_view bytes, std::uint64_t hash = fnv1a64Init)
+{
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x00000100000001B3ULL;
+    }
+    return hash;
 }
 
 } // namespace harp::common

@@ -40,6 +40,13 @@ class CommandLine
     /** Flag names that were parsed, for unknown-flag validation. */
     std::vector<std::string> flagNames() const;
 
+    /** All parsed name -> raw-text flag pairs (for forwarding flags to
+     *  another consumer, e.g.\ campaign tunable overrides). */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return flags_;
+    }
+
   private:
     std::map<std::string, std::string> flags_;
     std::vector<std::string> positional_;

@@ -84,10 +84,13 @@ class Profiler
      */
     const gf2::BitVector &identified() const { return identified_; }
 
+    /** Dataword length of the profiled ECC word. */
     std::size_t k() const { return k_; }
 
   protected:
+    /** Dataword length of the profiled ECC word. */
     std::size_t k_;
+    /** Data-bit positions identified as at risk so far. */
     gf2::BitVector identified_;
 };
 

@@ -30,12 +30,15 @@ class ErrorProfile
      */
     ErrorProfile(std::size_t num_words, std::size_t word_bits);
 
+    /** Number of ECC words covered by the profile. */
     std::size_t numWords() const { return bitmaps_.size(); }
+    /** Dataword length (profiled positions are data bits). */
     std::size_t wordBits() const { return wordBits_; }
 
     /** Record that (word, bit) is at risk. Idempotent. */
     void markAtRisk(std::size_t word, std::size_t bit);
 
+    /** True iff (word, bit) has been profiled as at risk. */
     bool isAtRisk(std::size_t word, std::size_t bit) const;
 
     /** Bitmap of profiled positions in @p word. */

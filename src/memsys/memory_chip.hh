@@ -46,8 +46,11 @@ class MemoryChip
      */
     MemoryChip(ecc::HammingCode on_die_ecc, std::size_t num_words);
 
+    /** Number of addressable ECC words. */
     std::size_t numWords() const { return storage_.size(); }
+    /** Dataword length k of the on-die ECC code. */
     std::size_t datawordBits() const { return onDieEcc_.k(); }
+    /** Codeword length n of the on-die ECC code. */
     std::size_t codewordBits() const { return onDieEcc_.n(); }
 
     /** The on-die ECC function. Real chips keep this secret; profilers
@@ -57,6 +60,7 @@ class MemoryChip
     /** Attach a fault model to word @p word. */
     void setFaultModel(std::size_t word, fault::WordFaultModel model);
 
+    /** Fault model currently attached to word @p word. */
     const fault::WordFaultModel &faultModel(std::size_t word) const;
 
     /** Encode @p dataword through on-die ECC and store it. */

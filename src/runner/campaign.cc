@@ -1,0 +1,264 @@
+#include "runner/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/thread_pool.hh"
+
+namespace harp::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One (point, repeat) job of an experiment's grid expansion. */
+struct Job
+{
+    std::size_t pointIndex = 0;
+    std::size_t repeat = 0;
+    std::uint64_t seed = 0;
+};
+
+std::uint64_t
+jobSeed(std::uint64_t campaign_seed, const std::string &experiment,
+        std::size_t point, std::size_t repeat)
+{
+    // Salt with the experiment name so campaigns are insensitive to
+    // registration/selection order, then with the job coordinates so
+    // every job owns an independent stream.
+    return common::deriveSeed(campaign_seed,
+                              {common::fnv1a64(experiment), point, repeat});
+}
+
+ParamGrid
+gridWithOverrides(const ExperimentSpec &spec,
+                  const std::map<std::string, std::string> &overrides)
+{
+    ParamGrid grid = spec.grid;
+    for (const auto &[name, text] : overrides) {
+        if (grid.findAxis(name) != nullptr)
+            grid = grid.collapsed(name, text);
+    }
+    return grid;
+}
+
+/** Run one experiment's jobs, returning its JSONL lines in job order. */
+std::vector<std::string>
+runJobs(const ExperimentSpec &spec, const std::vector<ParamPoint> &points,
+        const std::vector<Job> &jobs, const CampaignOptions &options,
+        std::size_t pool_threads, std::vector<double> &job_seconds)
+{
+    std::vector<std::string> lines(jobs.size());
+    std::vector<std::string> errors(jobs.size());
+    job_seconds.assign(jobs.size(), 0.0);
+
+    const auto runOne = [&](std::size_t j) {
+        const Job &job = jobs[j];
+        const auto start = Clock::now();
+        try {
+            const RunContext ctx(points[job.pointIndex], options.overrides,
+                                 job.seed, job.repeat, /*threads=*/1);
+            const JsonValue metrics = spec.run(ctx);
+            if (const auto error = validateSchema(spec.schema, metrics))
+                throw std::runtime_error("schema violation: " + *error);
+            JsonValue line = JsonValue::object();
+            line.set("experiment", JsonValue(spec.name));
+            line.set("point", JsonValue(job.pointIndex));
+            line.set("repeat", JsonValue(job.repeat));
+            line.set("seed", JsonValue(std::to_string(job.seed)));
+            line.set("params", points[job.pointIndex].toJson());
+            line.set("metrics", metrics);
+            lines[j] = line.dump();
+        } catch (const std::exception &e) {
+            errors[j] = e.what();
+        }
+        job_seconds[j] = secondsSince(start);
+    };
+
+    if (pool_threads <= 1 || jobs.size() <= 1) {
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            runOne(j);
+    } else {
+        common::ThreadPool pool(pool_threads);
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            pool.submit([&, j] { runOne(j); });
+        pool.wait();
+    }
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (!errors[j].empty())
+            throw std::runtime_error(
+                spec.name + " [" + points[jobs[j].pointIndex].toString() +
+                " repeat=" + std::to_string(jobs[j].repeat) +
+                "]: " + errors[j]);
+    }
+    return lines;
+}
+
+} // namespace
+
+std::string
+formatResultHash(std::uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+        hash >>= 4;
+    }
+    return out;
+}
+
+JsonValue
+CampaignSummary::toJson(bool include_timings) const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema_version", JsonValue(1));
+    JsonValue campaign = JsonValue::object();
+    campaign.set("seed", JsonValue(std::to_string(seed)));
+    campaign.set("threads", JsonValue(threads));
+    campaign.set("repeat", JsonValue(repeat));
+    doc.set("campaign", campaign);
+
+    JsonValue list = JsonValue::array();
+    for (const ExperimentRunSummary &e : experiments) {
+        JsonValue obj = JsonValue::object();
+        obj.set("name", JsonValue(e.name));
+        obj.set("points", JsonValue(e.points));
+        obj.set("repeats", JsonValue(e.repeats));
+        obj.set("jsonl", JsonValue(e.jsonlPath));
+        obj.set("result_hash", JsonValue(formatResultHash(e.resultHash)));
+        if (include_timings) {
+            obj.set("wall_seconds", JsonValue(e.wallSeconds));
+            obj.set("jobs_per_second", JsonValue(e.jobsPerSecond));
+            JsonValue latency = JsonValue::object();
+            latency.set("mean", JsonValue(e.jobSecondsMean));
+            latency.set("p50", JsonValue(e.jobSecondsP50));
+            latency.set("p90", JsonValue(e.jobSecondsP90));
+            latency.set("max", JsonValue(e.jobSecondsMax));
+            obj.set("job_seconds", latency);
+        }
+        list.push(std::move(obj));
+    }
+    doc.set("experiments", list);
+    if (include_timings)
+        doc.set("total_wall_seconds", JsonValue(totalWallSeconds));
+    return doc;
+}
+
+CampaignSummary
+runCampaign(const std::vector<const ExperimentSpec *> &specs,
+            const CampaignOptions &options, std::ostream &log)
+{
+    CampaignSummary summary;
+    summary.seed = options.seed;
+    summary.threads = options.threads;
+    summary.repeat = options.repeat;
+
+    const std::size_t pool_threads =
+        options.threads != 0
+            ? options.threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const auto campaign_start = Clock::now();
+
+    for (const ExperimentSpec *spec : specs) {
+        const ParamGrid grid = gridWithOverrides(*spec, options.overrides);
+        const std::vector<ParamPoint> points = grid.expand();
+
+        std::vector<Job> jobs;
+        jobs.reserve(points.size() * options.repeat);
+        for (std::size_t p = 0; p < points.size(); ++p)
+            for (std::size_t r = 0; r < options.repeat; ++r)
+                jobs.push_back(
+                    {p, r, jobSeed(options.seed, spec->name, p, r)});
+
+        if (options.dryRun) {
+            log << spec->name << ": " << points.size() << " point(s) x "
+                << options.repeat << " repeat(s)\n";
+            for (const Job &job : jobs)
+                log << "  point " << job.pointIndex << " repeat "
+                    << job.repeat << " seed " << job.seed << "  ["
+                    << points[job.pointIndex].toString() << "]\n";
+            continue;
+        }
+
+        log << spec->name << ": running " << jobs.size() << " job(s) on "
+            << pool_threads << " thread(s)..." << std::flush;
+        const auto start = Clock::now();
+        std::vector<double> job_seconds;
+        const std::vector<std::string> lines =
+            runJobs(*spec, points, jobs, options, pool_threads,
+                    job_seconds);
+
+        ExperimentRunSummary exp;
+        exp.name = spec->name;
+        exp.points = points.size();
+        exp.repeats = options.repeat;
+        exp.wallSeconds = secondsSince(start);
+        exp.jobsPerSecond =
+            exp.wallSeconds > 0.0
+                ? static_cast<double>(jobs.size()) / exp.wallSeconds
+                : 0.0;
+
+        common::PercentileTracker latency;
+        for (const double s : job_seconds)
+            latency.add(s);
+        exp.jobSecondsMean = latency.mean();
+        exp.jobSecondsP50 = latency.quantile(0.5);
+        exp.jobSecondsP90 = latency.quantile(0.9);
+        exp.jobSecondsMax = latency.quantile(1.0);
+
+        std::uint64_t hash = common::fnv1a64Init;
+        for (const std::string &line : lines) {
+            hash = common::fnv1a64(line, hash);
+            hash = common::fnv1a64("\n", hash);
+        }
+        exp.resultHash = hash;
+
+        std::filesystem::create_directories(options.outDir);
+        exp.jsonlPath = (std::filesystem::path(options.outDir) /
+                         (spec->name + ".jsonl"))
+                            .string();
+        {
+            std::ofstream out(exp.jsonlPath,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                throw std::runtime_error("cannot write " + exp.jsonlPath);
+            for (const std::string &line : lines)
+                out << line << '\n';
+        }
+
+        log << " done in " << exp.wallSeconds << "s (hash "
+            << formatResultHash(exp.resultHash) << ")\n";
+        summary.experiments.push_back(std::move(exp));
+    }
+
+    summary.totalWallSeconds = secondsSince(campaign_start);
+    if (!options.dryRun && !summary.experiments.empty()) {
+        std::filesystem::create_directories(options.outDir);
+        const std::string path =
+            (std::filesystem::path(options.outDir) / "summary.json")
+                .string();
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("cannot write " + path);
+        out << summary.toJson().dump(2) << '\n';
+        log << "summary: " << path << "\n";
+    }
+    return summary;
+}
+
+} // namespace harp::runner

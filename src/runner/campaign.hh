@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Campaign driver: expands each selected experiment's parameter grid,
+ * shards (point, repeat) jobs across a thread pool, validates every
+ * metrics object against the experiment's schema, and emits
+ *
+ *  - `<out>/<experiment>.jsonl` — one JSON line per (point, repeat) in
+ *    grid order, containing only deterministic content, and
+ *  - `<out>/summary.json`       — per-experiment wall time, throughput,
+ *    point-latency percentiles and a 64-bit result hash over the JSONL
+ *    bytes.
+ *
+ * Seeds are derived per (experiment name, point index, repeat index)
+ * from the campaign seed, so a fixed `--seed` produces bit-identical
+ * JSONL files — and therefore result hashes — for any `--threads`.
+ */
+
+#ifndef HARP_RUNNER_CAMPAIGN_HH
+#define HARP_RUNNER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/registry.hh"
+
+namespace harp::runner {
+
+/** Everything `harp_run` forwards into one campaign. */
+struct CampaignOptions
+{
+    /** Campaign seed; every job seed derives from it. */
+    std::uint64_t seed = 1;
+    /** Worker threads for sharding grid points; 0 = hardware
+     *  concurrency. Experiments themselves run single-threaded. */
+    std::size_t threads = 0;
+    /** Repetitions of every grid point (distinct derived seeds). */
+    std::size_t repeat = 1;
+    /** Print the expanded jobs instead of running them. */
+    bool dryRun = false;
+    /** Output directory for JSONL and summary files. */
+    std::string outDir = "results";
+    /** Tunable/axis overrides from the command line (name -> text). */
+    std::map<std::string, std::string> overrides;
+};
+
+/** Per-experiment outcome of a campaign. */
+struct ExperimentRunSummary
+{
+    std::string name;
+    std::size_t points = 0;
+    std::size_t repeats = 1;
+    std::string jsonlPath;
+    /** FNV-1a over the experiment's JSONL bytes (deterministic). */
+    std::uint64_t resultHash = 0;
+    double wallSeconds = 0.0;
+    double jobsPerSecond = 0.0;
+    /** Per-(point, repeat) latency statistics, seconds. */
+    double jobSecondsMean = 0.0;
+    double jobSecondsP50 = 0.0;
+    double jobSecondsP90 = 0.0;
+    double jobSecondsMax = 0.0;
+};
+
+/** Whole-campaign outcome. */
+struct CampaignSummary
+{
+    std::uint64_t seed = 1;
+    std::size_t threads = 0;
+    std::size_t repeat = 1;
+    std::vector<ExperimentRunSummary> experiments;
+    double totalWallSeconds = 0.0;
+
+    /** The summary.json document. Timing fields are included only when
+     *  @p include_timings (hashes stay comparable across machines). */
+    JsonValue toJson(bool include_timings = true) const;
+};
+
+/** @p hash rendered as 16 lowercase hex digits. */
+std::string formatResultHash(std::uint64_t hash);
+
+/**
+ * Run @p specs under @p options, logging progress to @p log.
+ *
+ * @throws std::runtime_error when an experiment's metrics fail schema
+ *         validation or an output file cannot be written.
+ */
+CampaignSummary runCampaign(const std::vector<const ExperimentSpec *> &specs,
+                            const CampaignOptions &options,
+                            std::ostream &log);
+
+} // namespace harp::runner
+
+#endif // HARP_RUNNER_CAMPAIGN_HH

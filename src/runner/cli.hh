@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Command-line front end shared by `harp_run` and the per-experiment
+ * alias binaries (the former bench/example executables, which forward
+ * into the same campaign driver with a pre-selected experiment).
+ */
+
+#ifndef HARP_RUNNER_CLI_HH
+#define HARP_RUNNER_CLI_HH
+
+namespace harp::runner {
+
+/**
+ * Entry point behind `harp_run` and every alias binary.
+ *
+ * Grammar:
+ *   harp_run --list
+ *   harp_run [selectors...] [--label L] [--all] [--dry-run]
+ *            [--seed N] [--threads N] [--repeat N] [--out DIR]
+ *            [--<tunable> value]...
+ *
+ * Selectors are experiment names or `label:<label>`. Any other flag
+ * must name a sweep axis (collapsing it to one value) or a declared
+ * tunable of a selected experiment.
+ *
+ * @param forced_experiment When non-null, the binary is an alias: that
+ *        experiment is pre-selected and positional selectors are
+ *        rejected.
+ * @return 0 on success, 1 on a runtime failure, 2 on a usage error.
+ */
+int runnerMain(int argc, const char *const *argv,
+               const char *forced_experiment = nullptr);
+
+} // namespace harp::runner
+
+#endif // HARP_RUNNER_CLI_HH

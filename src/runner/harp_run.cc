@@ -1,0 +1,14 @@
+/**
+ * @file
+ * `harp_run`: the unified experiment-campaign CLI. Every paper figure,
+ * table, ablation, extension and example walkthrough is registered as
+ * an ExperimentSpec; this binary lists, dry-runs and executes them.
+ */
+
+#include "runner/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return harp::runner::runnerMain(argc, argv);
+}

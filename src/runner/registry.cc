@@ -1,0 +1,98 @@
+#include "runner/registry.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace harp::runner {
+
+void
+Registry::add(ExperimentSpec spec)
+{
+    if (spec.name.empty())
+        throw std::invalid_argument("experiment spec has no name");
+    if (!spec.run)
+        throw std::invalid_argument("experiment '" + spec.name +
+                                    "' has no run callback");
+    if (find(spec.name) != nullptr)
+        throw std::invalid_argument("duplicate experiment '" + spec.name +
+                                    "'");
+    specs_.push_back(std::move(spec));
+}
+
+const ExperimentSpec *
+Registry::find(const std::string &name) const
+{
+    for (const ExperimentSpec &spec : specs_)
+        if (spec.name == name)
+            return &spec;
+    return nullptr;
+}
+
+std::vector<const ExperimentSpec *>
+Registry::all() const
+{
+    std::vector<const ExperimentSpec *> out;
+    out.reserve(specs_.size());
+    for (const ExperimentSpec &spec : specs_)
+        out.push_back(&spec);
+    std::sort(out.begin(), out.end(),
+              [](const ExperimentSpec *a, const ExperimentSpec *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::vector<const ExperimentSpec *>
+Registry::withLabel(const std::string &label) const
+{
+    std::vector<const ExperimentSpec *> out;
+    for (const ExperimentSpec *spec : all())
+        if (spec->hasLabel(label))
+            out.push_back(spec);
+    return out;
+}
+
+std::vector<const ExperimentSpec *>
+Registry::select(const std::vector<std::string> &selectors) const
+{
+    std::vector<const ExperimentSpec *> out;
+    const auto addUnique = [&](const ExperimentSpec *spec) {
+        if (std::find(out.begin(), out.end(), spec) == out.end())
+            out.push_back(spec);
+    };
+    for (const std::string &selector : selectors) {
+        if (selector.rfind("label:", 0) == 0) {
+            const auto matched = withLabel(selector.substr(6));
+            if (matched.empty())
+                throw std::invalid_argument("no experiment has label '" +
+                                            selector.substr(6) + "'");
+            for (const ExperimentSpec *spec : matched)
+                addUnique(spec);
+            continue;
+        }
+        const ExperimentSpec *spec = find(selector);
+        if (spec == nullptr)
+            throw std::invalid_argument(
+                "unknown experiment '" + selector +
+                "' (try `harp_run --list`)");
+        addUnique(spec);
+    }
+    return out;
+}
+
+const Registry &
+builtinRegistry()
+{
+    static const Registry registry = [] {
+        Registry r;
+        registerMotivationSpecs(r);
+        registerCoverageSpecs(r);
+        registerCaseStudySpecs(r);
+        registerExtensionSpecs(r);
+        registerExampleSpecs(r);
+        return r;
+    }();
+    return registry;
+}
+
+} // namespace harp::runner

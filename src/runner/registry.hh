@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment registry: the named catalogue `harp_run` selects from.
+ *
+ * Registration is explicit (registerBuiltinExperiments) rather than via
+ * static initializers — the specs live in a static library, and the
+ * linker would silently drop unreferenced translation units along with
+ * their self-registering globals.
+ */
+
+#ifndef HARP_RUNNER_REGISTRY_HH
+#define HARP_RUNNER_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/experiment_spec.hh"
+
+namespace harp::runner {
+
+/**
+ * Catalogue of experiment specs, ordered by name.
+ */
+class Registry
+{
+  public:
+    /** Add a spec. @throws std::invalid_argument on a duplicate name or
+     *  a spec without a run callback. */
+    void add(ExperimentSpec spec);
+
+    /** Spec by exact name; nullptr when absent. */
+    const ExperimentSpec *find(const std::string &name) const;
+
+    /** All specs sorted by name. */
+    std::vector<const ExperimentSpec *> all() const;
+
+    /** Specs carrying @p label, sorted by name. */
+    std::vector<const ExperimentSpec *>
+    withLabel(const std::string &label) const;
+
+    /**
+     * Resolve selectors to specs: each selector is an experiment name
+     * or "label:<label>". Duplicates are dropped, order follows the
+     * first selector that matched each spec.
+     * @throws std::invalid_argument on an unknown selector.
+     */
+    std::vector<const ExperimentSpec *>
+    select(const std::vector<std::string> &selectors) const;
+
+    std::size_t size() const { return specs_.size(); }
+
+  private:
+    std::vector<ExperimentSpec> specs_;
+};
+
+/** Registry preloaded with every built-in experiment. */
+const Registry &builtinRegistry();
+
+/** @name Per-module spec registration (called by builtinRegistry) */
+///@{
+void registerMotivationSpecs(Registry &registry);
+void registerCoverageSpecs(Registry &registry);
+void registerCaseStudySpecs(Registry &registry);
+void registerExtensionSpecs(Registry &registry);
+void registerExampleSpecs(Registry &registry);
+///@}
+
+} // namespace harp::runner
+
+#endif // HARP_RUNNER_REGISTRY_HH

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Integration tests for the campaign driver: JSONL/summary emission,
+ * schema validity of every emitted metrics object, axis collapsing from
+ * overrides, repeats, and the determinism contract — a seed-fixed
+ * campaign produces identical result hashes across 1/4/hardware-thread
+ * sharding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "runner/campaign.hh"
+#include "runner/registry.hh"
+
+namespace harp::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Self-cleaning output directory under the system temp dir. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_(fs::temp_directory_path() /
+                ("harp_campaign_" + tag + "_" +
+                 std::to_string(::getpid())))
+    {
+        fs::remove_all(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+    fs::path path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Cheap scale-down overrides so integration runs stay fast. */
+std::map<std::string, std::string>
+fastOverrides()
+{
+    return {{"blocks", "200"}, {"trials", "20"}, {"rounds", "8"}};
+}
+
+CampaignSummary
+runFast(const std::vector<std::string> &selectors,
+        const CampaignOptions &base, std::ostream &log)
+{
+    const auto specs = builtinRegistry().select(selectors);
+    return runCampaign(specs, base, log);
+}
+
+TEST(Campaign, EmitsSchemaValidJsonlInGridOrder)
+{
+    const TempDir dir("jsonl");
+    CampaignOptions options;
+    options.seed = 1;
+    options.threads = 1;
+    options.outDir = dir.str();
+    options.overrides = fastOverrides();
+
+    std::ostringstream log;
+    const CampaignSummary summary =
+        runFast({"table02_amplification"}, options, log);
+    ASSERT_EQ(summary.experiments.size(), 1u);
+    const ExperimentRunSummary &exp = summary.experiments[0];
+    EXPECT_EQ(exp.points, 7u);
+
+    const ExperimentSpec *spec =
+        builtinRegistry().find("table02_amplification");
+    ASSERT_NE(spec, nullptr);
+    const auto points = spec->grid.expand();
+
+    std::istringstream jsonl(readFile(exp.jsonlPath));
+    std::string line;
+    std::size_t index = 0;
+    while (std::getline(jsonl, line)) {
+        const JsonValue doc = JsonValue::parse(line);
+        ASSERT_NE(doc.find("experiment"), nullptr);
+        EXPECT_EQ(doc.find("experiment")->asString(),
+                  "table02_amplification");
+        // Lines appear in grid-expansion order.
+        EXPECT_EQ(doc.find("point")->asInt(),
+                  static_cast<std::int64_t>(index));
+        EXPECT_EQ(*doc.find("params"), points[index].toJson());
+        // Every metrics object round-trips schema-valid through text.
+        const auto error = validateSchema(spec->schema,
+                                          *doc.find("metrics"));
+        EXPECT_FALSE(error.has_value()) << *error;
+        ++index;
+    }
+    EXPECT_EQ(index, 7u);
+}
+
+TEST(Campaign, SummaryJsonParsesAndMatchesReturnValue)
+{
+    const TempDir dir("summary");
+    CampaignOptions options;
+    options.seed = 3;
+    options.threads = 2;
+    options.outDir = dir.str();
+    options.overrides = fastOverrides();
+
+    std::ostringstream log;
+    const CampaignSummary summary =
+        runFast({"quickstart", "table01_repair_survey"}, options, log);
+
+    const JsonValue doc =
+        JsonValue::parse(readFile(dir.path() / "summary.json"));
+    ASSERT_NE(doc.find("experiments"), nullptr);
+    ASSERT_EQ(doc.find("experiments")->size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const JsonValue &exp = doc.find("experiments")->at(i);
+        EXPECT_EQ(exp.find("name")->asString(),
+                  summary.experiments[i].name);
+        EXPECT_EQ(exp.find("result_hash")->asString(),
+                  formatResultHash(summary.experiments[i].resultHash));
+        EXPECT_EQ(
+            exp.find("points")->asInt(),
+            static_cast<std::int64_t>(summary.experiments[i].points));
+        // Timing fields exist (values are machine-dependent).
+        EXPECT_NE(exp.find("wall_seconds"), nullptr);
+        EXPECT_NE(exp.find("job_seconds"), nullptr);
+    }
+    EXPECT_EQ(doc.find("campaign")->find("seed")->asString(), "3");
+}
+
+TEST(Campaign, OverridesCollapseAxesAndScaleTunables)
+{
+    const TempDir dir("collapse");
+    CampaignOptions options;
+    options.seed = 1;
+    options.threads = 1;
+    options.outDir = dir.str();
+    options.overrides = {{"rber", "0.01"}, {"blocks", "100"}};
+
+    std::ostringstream log;
+    const CampaignSummary summary =
+        runFast({"fig02_wasted_storage"}, options, log);
+    // The rber axis (14 values) collapses to 1; granularity (5) stays.
+    ASSERT_EQ(summary.experiments.size(), 1u);
+    EXPECT_EQ(summary.experiments[0].points, 5u);
+
+    std::istringstream jsonl(
+        readFile(summary.experiments[0].jsonlPath));
+    std::string line;
+    while (std::getline(jsonl, line)) {
+        const JsonValue doc = JsonValue::parse(line);
+        EXPECT_DOUBLE_EQ(
+            doc.find("params")->find("rber")->asDouble(), 0.01);
+    }
+}
+
+TEST(Campaign, RepeatsGetDistinctSeeds)
+{
+    const TempDir dir("repeat");
+    CampaignOptions options;
+    options.seed = 1;
+    options.threads = 1;
+    options.repeat = 3;
+    options.outDir = dir.str();
+    options.overrides = fastOverrides();
+
+    std::ostringstream log;
+    const CampaignSummary summary = runFast({"quickstart"}, options, log);
+    EXPECT_EQ(summary.experiments[0].points, 1u);
+    EXPECT_EQ(summary.experiments[0].repeats, 3u);
+
+    std::istringstream jsonl(
+        readFile(summary.experiments[0].jsonlPath));
+    std::string line;
+    std::vector<std::string> seeds;
+    std::size_t repeat_index = 0;
+    while (std::getline(jsonl, line)) {
+        const JsonValue doc = JsonValue::parse(line);
+        EXPECT_EQ(doc.find("repeat")->asInt(),
+                  static_cast<std::int64_t>(repeat_index++));
+        seeds.push_back(doc.find("seed")->asString());
+    }
+    ASSERT_EQ(seeds.size(), 3u);
+    EXPECT_NE(seeds[0], seeds[1]);
+    EXPECT_NE(seeds[1], seeds[2]);
+}
+
+TEST(Campaign, SchemaViolationSurfacesAsError)
+{
+    ExperimentSpec bad;
+    bad.name = "bad_spec";
+    bad.description = "emits an undeclared field";
+    bad.labels = {"test"};
+    bad.schema = {{"declared", JsonType::Int, ""}};
+    bad.run = [](const RunContext &) {
+        JsonValue metrics = JsonValue::object();
+        metrics.set("declared", JsonValue(1));
+        metrics.set("surprise", JsonValue(2));
+        return metrics;
+    };
+    Registry registry;
+    registry.add(bad);
+
+    const TempDir dir("badspec");
+    CampaignOptions options;
+    options.outDir = dir.str();
+    std::ostringstream log;
+    EXPECT_THROW(
+        runCampaign(registry.select({"bad_spec"}), options, log),
+        std::runtime_error);
+}
+
+/**
+ * The determinism contract behind the perf-trajectory loop: a
+ * seed-fixed campaign emits byte-identical JSONL (hence equal result
+ * hashes) when sharded over 1, 4 or hardware-concurrency threads.
+ */
+TEST(CampaignDeterminism, SeedFixedHashesAgreeAcrossShardCounts)
+{
+    // Multi-point experiments from three different spec families keep
+    // this representative while staying fast.
+    const std::vector<std::string> selectors = {
+        "fig02_wasted_storage", "table02_amplification", "quickstart"};
+
+    std::vector<CampaignSummary> runs;
+    std::vector<std::string> jsonl_bytes;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                      std::size_t{0} /* hardware */}) {
+        const TempDir dir("shard" + std::to_string(threads));
+        CampaignOptions options;
+        options.seed = 7;
+        options.threads = threads;
+        options.outDir = dir.str();
+        options.overrides = fastOverrides();
+        std::ostringstream log;
+        runs.push_back(runFast(selectors, options, log));
+        std::string bytes;
+        for (const ExperimentRunSummary &exp : runs.back().experiments)
+            bytes += readFile(exp.jsonlPath);
+        jsonl_bytes.push_back(std::move(bytes));
+    }
+
+    ASSERT_EQ(runs.size(), 3u);
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].experiments.size(),
+                  runs[0].experiments.size());
+        for (std::size_t e = 0; e < runs[0].experiments.size(); ++e) {
+            EXPECT_EQ(runs[r].experiments[e].resultHash,
+                      runs[0].experiments[e].resultHash)
+                << runs[0].experiments[e].name << " with "
+                << runs[r].threads << " threads";
+        }
+        EXPECT_EQ(jsonl_bytes[r], jsonl_bytes[0]);
+    }
+}
+
+/** Changing the seed must change the results (the hash actually hashes
+ *  content, not structure). */
+TEST(CampaignDeterminism, DifferentSeedsProduceDifferentHashes)
+{
+    std::vector<std::uint64_t> hashes;
+    for (const std::uint64_t seed : {1u, 2u}) {
+        const TempDir dir("seed" + std::to_string(seed));
+        CampaignOptions options;
+        options.seed = seed;
+        options.threads = 1;
+        options.outDir = dir.str();
+        options.overrides = fastOverrides();
+        std::ostringstream log;
+        const CampaignSummary summary =
+            runFast({"table02_amplification"}, options, log);
+        hashes.push_back(summary.experiments[0].resultHash);
+    }
+    EXPECT_NE(hashes[0], hashes[1]);
+}
+
+} // namespace
+} // namespace harp::runner

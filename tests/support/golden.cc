@@ -3,6 +3,9 @@
 #include <bit>
 #include <iomanip>
 #include <sstream>
+#include <string_view>
+
+#include "common/bits.hh"
 
 namespace harp::test {
 namespace {
@@ -21,22 +24,18 @@ hex(std::uint64_t value)
 std::uint64_t
 goldenMix(std::uint64_t hash, std::uint64_t value)
 {
-    // FNV-1a, one byte at a time, so the chain is endian-independent.
-    for (int byte = 0; byte < 8; ++byte) {
-        hash ^= (value >> (8 * byte)) & 0xFF;
-        hash *= 0x100000001B3ULL;
-    }
-    return hash;
+    // Serialize little-endian-style by hand so the chain is
+    // endian-independent, then reuse the shared FNV-1a.
+    char bytes[8];
+    for (int byte = 0; byte < 8; ++byte)
+        bytes[byte] = static_cast<char>((value >> (8 * byte)) & 0xFF);
+    return common::fnv1a64(std::string_view(bytes, 8), hash);
 }
 
 std::uint64_t
 goldenMix(std::uint64_t hash, const std::string &text)
 {
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001B3ULL;
-    }
-    return hash;
+    return common::fnv1a64(text, hash);
 }
 
 std::uint64_t

@@ -14,12 +14,14 @@
 #include <string>
 #include <vector>
 
+#include "common/bits.hh"
 #include "gf2/bit_vector.hh"
 
 namespace harp::test {
 
-/** FNV-1a offset basis; the seed for all hash chains below. */
-inline constexpr std::uint64_t kGoldenInit = 0xCBF29CE484222325ULL;
+/** FNV-1a offset basis; the seed for all hash chains below (the same
+ *  chain common::fnv1a64 continues). */
+inline constexpr std::uint64_t kGoldenInit = common::fnv1a64Init;
 
 /** Mix one 64-bit value into a running golden hash. */
 std::uint64_t goldenMix(std::uint64_t hash, std::uint64_t value);
