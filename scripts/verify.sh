@@ -12,10 +12,11 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 # --- harp_run smoke -------------------------------------------------------
-# The registry must expose every ported bench + example experiment.
+# The registry must expose every ported bench + example experiment plus
+# the engine-throughput perf experiment.
 listing="$(./build/src/harp_run --list)"
-echo "$listing" | grep -q "18 experiments (14 bench, 4 example)" || {
-    echo "verify: harp_run --list does not show 18 experiments" >&2
+echo "$listing" | grep -q "19 experiments (15 bench, 4 example)" || {
+    echo "verify: harp_run --list does not show 19 experiments" >&2
     exit 1
 }
 
@@ -40,6 +41,24 @@ cmp -s "$smoke_dir/a/quickstart.jsonl" "$smoke_dir/b/quickstart.jsonl" || {
 
 # Alias binaries forward into the same runner.
 ./build/examples/example_quickstart --out "$smoke_dir/alias" > /dev/null
+
+# --- Engine equivalence ---------------------------------------------------
+# A seed-fixed campaign must be byte-identical under the scalar and
+# sliced64 profiling engines (70 words/code exercises a ragged 64+6
+# sliced block; fig10 exercises heterogeneous per-lane codes).
+for engine in scalar sliced64; do
+    ./build/src/harp_run fig06_direct_coverage fig10_case_study \
+        --seed 5 --threads 2 --engine "$engine" \
+        --codes 1 --words 70 --rounds 6 --prob 0.5 --pre_errors 3 \
+        --samples 5 --max_cells 2 \
+        --out "$smoke_dir/engine-$engine" > /dev/null
+done
+for f in fig06_direct_coverage.jsonl fig10_case_study.jsonl; do
+    cmp -s "$smoke_dir/engine-scalar/$f" "$smoke_dir/engine-sliced64/$f" || {
+        echo "verify: $f differs between scalar and sliced64 engines" >&2
+        exit 1
+    }
+done
 
 # --- Docs lint ------------------------------------------------------------
 if command -v doxygen > /dev/null 2>&1; then

@@ -2,45 +2,53 @@
 
 #include <bit>
 
-#include "gf2/linear_solver.hh"
+#include "common/bits.hh"
 
 namespace harp::core {
 
 BeepProfiler::BeepProfiler(const ecc::HammingCode &code)
-    : Profiler(code.k()), code_(code)
+    : Profiler(code.k()), code_(code), suspectedMask_(code.n()),
+      reach1_(common::wordsFor(std::size_t{1} << code.p()), 0),
+      reach2_(common::wordsFor(std::size_t{1} << code.p()), 0)
 {
 }
 
 void
 BeepProfiler::addSuspectedCell(std::size_t codeword_position)
 {
-    suspected_.insert(codeword_position);
+    if (!suspectedMask_.get(codeword_position)) {
+        suspectedMask_.set(codeword_position, true);
+        suspected_.insert(codeword_position);
+        ++suspectsVersion_;
+        pendingColumns_.push_back(code_.codewordColumn(codeword_position));
+    }
     observedAnyError_ = true;
 }
 
 std::optional<gf2::BitVector>
 BeepProfiler::craftPattern(std::size_t probe) const
 {
-    gf2::ConstraintSystem cs(k_);
-    std::vector<bool> targeted(code_.n(), false);
-    auto charge = [&](std::size_t cell) {
-        targeted[cell] = true;
-        if (code_.isDataPosition(cell)) {
-            cs.pinVariable(cell, true);
-        } else {
-            cs.addConstraint(code_.parityRow(cell - k_), true);
-        }
-    };
+    // Every data cell's charge is pinned — suspects and a data probe
+    // are charged, all other data cells discharged — so the crafted
+    // word is fully determined and "solving" reduces to evaluating the
+    // feasibility of the targeted parity cells: parity cell j stores
+    // parityRow(j) . d, which must be 1 (charged) for parity-region
+    // targets. (Parity cells outside the target set float.)
+    gf2::BitVector dataword(k_);
     for (const std::size_t cell : suspected_)
-        charge(cell);
-    charge(probe);
-    // Discharge all remaining data cells so that any direct error observed
-    // this round is attributable to the targeted set. Parity cells outside
-    // the target set float (their charge is whatever the solve implies).
-    for (std::size_t i = 0; i < k_; ++i)
-        if (!targeted[i])
-            cs.pinVariable(i, false);
-    return cs.solveAny();
+        if (code_.isDataPosition(cell))
+            dataword.set(cell, true);
+    if (code_.isDataPosition(probe))
+        dataword.set(probe, true);
+
+    for (const std::size_t cell : suspected_)
+        if (!code_.isDataPosition(cell) &&
+            !code_.parityRow(cell - k_).dot(dataword))
+            return std::nullopt;
+    if (!code_.isDataPosition(probe) &&
+        !code_.parityRow(probe - k_).dot(dataword))
+        return std::nullopt;
+    return dataword;
 }
 
 gf2::BitVector
@@ -48,40 +56,73 @@ BeepProfiler::chooseDataword(std::size_t round,
                              const gf2::BitVector &suggested,
                              common::Xoshiro256 &rng)
 {
+    gf2::BitVector out;
+    if (chooseDatawordInto(round, suggested, rng, out))
+        return suggested;
+    return out;
+}
+
+bool
+BeepProfiler::chooseDatawordInto(std::size_t round,
+                                 const gf2::BitVector &suggested,
+                                 common::Xoshiro256 &rng,
+                                 gf2::BitVector &out)
+{
     (void)rng;
     (void)round;
+    (void)suggested;
     // Bootstrap phase: random patterns until the first confirmed error.
     if (!observedAnyError_ || suspected_.empty())
-        return suggested;
+        return true;
 
     // Probe phase: cycle through non-suspected codeword positions and
-    // craft a pattern for the first feasible probe target.
+    // craft a pattern for the first feasible probe target. Crafts are
+    // pure functions of (suspect set, probe), so they are cached until
+    // the suspect set grows.
     const std::size_t n = code_.n();
+    if (craftCacheVersion_ != suspectsVersion_ || craftCache_.size() != n) {
+        craftCache_.assign(n, std::nullopt);
+        craftCacheVersion_ = suspectsVersion_;
+    }
     for (std::size_t attempt = 0; attempt < n; ++attempt) {
         const std::size_t probe = probeCursor_;
         probeCursor_ = (probeCursor_ + 1) % n;
-        if (suspected_.count(probe) > 0)
+        if (suspectedMask_.get(probe))
             continue;
-        if (auto crafted = craftPattern(probe))
-            return *crafted;
+        if (!craftCache_[probe].has_value())
+            craftCache_[probe] = craftPattern(probe);
+        if (const auto &crafted = *craftCache_[probe]) {
+            out = *crafted;
+            return false;
+        }
     }
-    return suggested;
+    return true;
 }
 
 void
 BeepProfiler::observe(const RoundObservation &obs)
 {
-    gf2::BitVector diff = obs.writtenData;
-    diff ^= obs.postCorrectionData;
-    if (diff.isZero())
+    scratchA_ = obs.writtenData;
+    scratchA_ ^= obs.postCorrectionData;
+    if (scratchA_.isZero())
         return;
     observedAnyError_ = true;
-    identified_ |= diff;
+    identified_ |= scratchA_;
     // Every observed post-correction error position becomes a suspected
     // pre-correction at-risk cell. Some of these are actually indirect
     // errors (miscorrections); charging them in later patterns is merely
     // wasteful, not harmful.
-    diff.forEachSetBit([&](std::size_t pos) { suspected_.insert(pos); });
+    scratchA_.forEachSetBit(
+        [&](std::size_t pos) { addSuspectedCell(pos); });
+    precomputeIfSuspectsChanged();
+}
+
+void
+BeepProfiler::precomputeIfSuspectsChanged()
+{
+    if (precomputedVersion_ == suspectsVersion_)
+        return;
+    precomputedVersion_ = suspectsVersion_;
     precomputeFromSuspects();
 }
 
@@ -90,33 +131,51 @@ BeepProfiler::precomputeFromSuspects()
 {
     // BEEP knows H, so (like HARP-A) it can compute the miscorrection
     // target of every uncorrectable combination of suspected cells and
-    // pre-add those bits to its profile.
-    const std::vector<std::size_t> cells(suspected_.begin(),
-                                         suspected_.end());
-    const std::size_t m = cells.size();
-    constexpr std::size_t enum_limit = 16;
-    auto consider = [&](std::uint32_t syndrome) {
-        const auto target = code_.syndromeToPosition(syndrome);
-        if (target && code_.isDataPosition(*target))
-            identified_.set(*target, true);
-    };
-    if (m <= enum_limit) {
-        for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << m);
-             ++mask) {
-            if (std::popcount(mask) < 2)
-                continue;
-            std::uint32_t syndrome = 0;
-            for (std::size_t i = 0; i < m; ++i)
-                if ((mask >> i) & 1)
-                    syndrome ^= code_.codewordColumn(cells[i]);
-            consider(syndrome);
+    // pre-add those bits to its profile. The XORs of all suspect
+    // subsets of size >= 2 live in the 2^p syndrome space and are
+    // maintained incrementally: folding in a new column v adds v to
+    // every size>=2 subset (reach2 ^ v) and forms new pairs from every
+    // single column (reach1 ^ v).
+    const auto shiftXorInto = [](const std::vector<std::uint64_t> &from,
+                                 std::uint32_t v,
+                                 std::vector<std::uint64_t> &into) {
+        for (std::size_t w = 0; w < from.size(); ++w) {
+            std::uint64_t word = from[w];
+            while (word != 0) {
+                const std::uint32_t t = static_cast<std::uint32_t>(
+                    w * common::wordBits +
+                    static_cast<std::size_t>(std::countr_zero(word)));
+                word &= word - 1;
+                const std::uint32_t shifted = t ^ v;
+                into[common::wordIndex(shifted)] |=
+                    std::uint64_t{1} << common::bitOffset(shifted);
+            }
         }
-        return;
+    };
+    std::vector<std::uint64_t> snapshot;
+    for (const std::uint32_t v : pendingColumns_) {
+        snapshot = reach2_;
+        shiftXorInto(snapshot, v, reach2_);
+        shiftXorInto(reach1_, v, reach2_);
+        reach1_[common::wordIndex(v)] |= std::uint64_t{1}
+                                         << common::bitOffset(v);
     }
-    for (std::size_t i = 0; i < m; ++i)
-        for (std::size_t j = i + 1; j < m; ++j)
-            consider(code_.codewordColumn(cells[i]) ^
-                     code_.codewordColumn(cells[j]));
+    pendingColumns_.clear();
+
+    // Mark the data-position decode target of every achievable
+    // uncorrectable syndrome.
+    for (std::size_t w = 0; w < reach2_.size(); ++w) {
+        std::uint64_t word = reach2_[w];
+        while (word != 0) {
+            const std::uint32_t syndrome = static_cast<std::uint32_t>(
+                w * common::wordBits +
+                static_cast<std::size_t>(std::countr_zero(word)));
+            word &= word - 1;
+            const auto target = code_.syndromeToPosition(syndrome);
+            if (target && code_.isDataPosition(*target))
+                identified_.set(*target, true);
+        }
+    }
 }
 
 } // namespace harp::core

@@ -38,6 +38,11 @@ class BeepProfiler : public Profiler
                                   const gf2::BitVector &suggested,
                                   common::Xoshiro256 &rng) override;
 
+    bool chooseDatawordInto(std::size_t round,
+                            const gf2::BitVector &suggested,
+                            common::Xoshiro256 &rng,
+                            gf2::BitVector &out) override;
+
     void observe(const RoundObservation &obs) override;
 
     /** Codeword positions currently believed to be at risk of
@@ -70,10 +75,49 @@ class BeepProfiler : public Profiler
      *  from the current suspect set. */
     void precomputeFromSuspects();
 
+    /**
+     * precomputeFromSuspects() iff the suspect set grew since the last
+     * recompute. Crafted patterns and miscorrection targets are pure
+     * functions of the suspect set, so skipping the recompute (and
+     * caching craftPattern() results per probe until the set grows) is
+     * output-identical — the suspect set stabilizes after the first few
+     * error observations, turning BEEP's per-round work into cache
+     * lookups.
+     */
+    void precomputeIfSuspectsChanged();
+
     const ecc::HammingCode &code_;
     std::set<std::size_t> suspected_;
+    /** Bitmask mirror of suspected_ for O(1) membership tests on the
+     *  per-round hot path (the set stays the public/API view). */
+    gf2::BitVector suspectedMask_;
     std::size_t probeCursor_ = 0;
     bool observedAnyError_ = false;
+
+  private:
+    /** Bumped whenever suspected_ actually grows. */
+    std::size_t suspectsVersion_ = 0;
+    /** suspectsVersion_ at the last precomputeFromSuspects(). */
+    std::size_t precomputedVersion_ = 0;
+    /** suspectsVersion_ the craft cache was built for. */
+    std::size_t craftCacheVersion_ = 0;
+    /** Per probe position: cached craftPattern() result (inner nullopt
+     *  = infeasible); outer nullopt = not yet computed. */
+    std::vector<std::optional<std::optional<gf2::BitVector>>> craftCache_;
+
+    /**
+     * Achievable-syndrome sets over the 2^p syndrome space, maintained
+     * incrementally as suspects arrive (one bit per syndrome value):
+     * reach1_ holds the suspects' own columns (single-cell syndromes),
+     * reach2_ the XOR of every suspect subset of size >= 2 — exactly
+     * the uncorrectable combinations precomputeFromSuspects() mines
+     * for miscorrection targets. Updating on a new column v is three
+     * bitset ops (reach2 |= reach2^v | reach1^v; reach1 |= {v}), which
+     * replaces the previous O(2^suspects) subset enumeration.
+     */
+    std::vector<std::uint64_t> reach1_, reach2_;
+    /** Columns of suspects not yet folded into reach1_/reach2_. */
+    std::vector<std::uint32_t> pendingColumns_;
 };
 
 } // namespace harp::core

@@ -1,5 +1,6 @@
 #include "core/case_study_experiment.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -11,9 +12,69 @@
 #include "core/harp_profiler.hh"
 #include "core/naive_profiler.hh"
 #include "core/round_engine.hh"
+#include "core/sliced_round_engine.hh"
 #include "ecc/hamming_code.hh"
 
 namespace harp::core {
+
+namespace {
+
+/**
+ * One Monte-Carlo sample of the case study: its own random code, fault
+ * model, profiler set and per-round residual counters. Observation
+ * logic is shared by both engines, so results are engine-independent.
+ */
+struct SampleSim
+{
+    SampleSim(const CaseStudyConfig &config, std::size_t n,
+              std::size_t sample)
+        : code([&] {
+              common::Xoshiro256 code_rng(common::deriveSeed(
+                  config.seed, {0xC0DEu, n, sample}));
+              return ecc::HammingCode::randomSec(config.k, code_rng);
+          }()),
+          faults([&] {
+              common::Xoshiro256 fault_rng(common::deriveSeed(
+                  config.seed, {0xFA17u, n, sample}));
+              return fault::WordFaultModel::makeUniformFixedCount(
+                  code.n(), n, config.perBitProbability, fault_rng);
+          }()),
+          analyzer(code, faults),
+          engineSeed(
+              common::deriveSeed(config.seed, {0xE221u, n, sample}))
+    {
+        profilers.push_back(std::make_unique<NaiveProfiler>(code.k()));
+        profilers.push_back(std::make_unique<BeepProfiler>(code));
+        profilers.push_back(std::make_unique<HarpUProfiler>(code.k()));
+        profilers.push_back(std::make_unique<HarpAProfiler>(code));
+        for (auto &p : profilers)
+            raw.push_back(p.get());
+        localBefore.assign(profilers.size(),
+                           std::vector<std::uint64_t>(config.rounds, 0));
+        localAfter = localBefore;
+    }
+
+    /** Record residuals for all profilers after round index @p r. */
+    void accumulateRound(std::size_t r)
+    {
+        for (std::size_t pi = 0; pi < raw.size(); ++pi) {
+            const gf2::BitVector &ident = raw[pi]->identified();
+            localBefore[pi][r] = analyzer.unidentifiedAtRisk(ident);
+            localAfter[pi][r] = analyzer.unsafeBitsAfterReactive(ident);
+        }
+    }
+
+    ecc::HammingCode code;
+    fault::WordFaultModel faults;
+    AtRiskAnalyzer analyzer;
+    std::uint64_t engineSeed;
+    std::vector<std::unique_ptr<Profiler>> profilers;
+    std::vector<Profiler *> raw;
+    std::vector<std::vector<std::uint64_t>> localBefore;
+    std::vector<std::vector<std::uint64_t>> localAfter;
+};
+
+} // namespace
 
 double
 binomialPmf(std::size_t n, std::size_t trials, double p)
@@ -51,60 +112,82 @@ runCaseStudyExperiment(const CaseStudyConfig &config)
     auto after_sum = before_sum;
 
     std::mutex merge_mutex;
-    const std::size_t total_tasks = max_n * config.samplesPerCellCount;
-
-    common::parallelFor(total_tasks, [&](std::size_t task) {
-        const std::size_t n = 1 + task / config.samplesPerCellCount;
-        const std::size_t sample = task % config.samplesPerCellCount;
-
-        common::Xoshiro256 code_rng(
-            common::deriveSeed(config.seed, {0xC0DEu, n, sample}));
-        const ecc::HammingCode code =
-            ecc::HammingCode::randomSec(config.k, code_rng);
-
-        common::Xoshiro256 fault_rng(
-            common::deriveSeed(config.seed, {0xFA17u, n, sample}));
-        const fault::WordFaultModel faults =
-            fault::WordFaultModel::makeUniformFixedCount(
-                code.n(), n, config.perBitProbability, fault_rng);
-
-        const AtRiskAnalyzer analyzer(code, faults);
-
-        std::vector<std::unique_ptr<Profiler>> profilers;
-        profilers.push_back(std::make_unique<NaiveProfiler>(code.k()));
-        profilers.push_back(std::make_unique<BeepProfiler>(code));
-        profilers.push_back(std::make_unique<HarpUProfiler>(code.k()));
-        profilers.push_back(std::make_unique<HarpAProfiler>(code));
-        std::vector<Profiler *> raw;
-        for (auto &p : profilers)
-            raw.push_back(p.get());
-
-        RoundEngine engine(code, faults, config.pattern,
-                           common::deriveSeed(config.seed,
-                                              {0xE221u, n, sample}));
-
-        std::vector<std::vector<std::uint64_t>> local_before(
-            num_profilers, std::vector<std::uint64_t>(config.rounds, 0));
-        auto local_after = local_before;
-
-        for (std::size_t r = 0; r < config.rounds; ++r) {
-            engine.runRound(raw);
-            for (std::size_t pi = 0; pi < raw.size(); ++pi) {
-                const gf2::BitVector &ident = raw[pi]->identified();
-                local_before[pi][r] = analyzer.unidentifiedAtRisk(ident);
-                local_after[pi][r] =
-                    analyzer.unsafeBitsAfterReactive(ident);
-            }
-        }
-
-        std::lock_guard<std::mutex> lock(merge_mutex);
+    const auto mergeSample = [&](std::size_t n, const SampleSim &sim) {
+        // Caller holds merge_mutex; sums are order-insensitive, so the
+        // merged totals do not depend on scheduling or the engine.
         for (std::size_t pi = 0; pi < num_profilers; ++pi) {
             for (std::size_t r = 0; r < config.rounds; ++r) {
-                before_sum[pi][n][r] += local_before[pi][r];
-                after_sum[pi][n][r] += local_after[pi][r];
+                before_sum[pi][n][r] += sim.localBefore[pi][r];
+                after_sum[pi][n][r] += sim.localAfter[pi][r];
             }
         }
-    }, config.threads);
+    };
+
+    if (config.engine == EngineKind::Scalar) {
+        const std::size_t total_tasks =
+            max_n * config.samplesPerCellCount;
+        common::parallelFor(total_tasks, [&](std::size_t task) {
+            const std::size_t n = 1 + task / config.samplesPerCellCount;
+            const std::size_t sample = task % config.samplesPerCellCount;
+
+            SampleSim sim(config, n, sample);
+            RoundEngine engine(sim.code, sim.faults, config.pattern,
+                               sim.engineSeed);
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                engine.runRound(sim.raw);
+                sim.accumulateRound(r);
+            }
+
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            mergeSample(n, sim);
+        }, config.threads);
+    } else {
+        // Sliced64: one task per block of <= 64 samples, batched
+        // straight across conditioned cell counts — every sample has
+        // its own random code anyway; lanes only share k.
+        constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
+        const std::size_t total_samples =
+            max_n * config.samplesPerCellCount;
+        const std::size_t num_blocks =
+            (total_samples + lanes - 1) / lanes;
+        common::parallelFor(num_blocks, [&](std::size_t block) {
+            const std::size_t begin = block * lanes;
+            const std::size_t end =
+                std::min(begin + lanes, total_samples);
+
+            std::vector<std::unique_ptr<SampleSim>> sims;
+            std::vector<std::size_t> sim_n;
+            std::vector<const ecc::HammingCode *> code_ptrs;
+            std::vector<const fault::WordFaultModel *> fault_ptrs;
+            std::vector<std::uint64_t> seeds;
+            std::vector<std::vector<Profiler *>> lane_profilers;
+            for (std::size_t g = begin; g < end; ++g) {
+                const std::size_t n =
+                    1 + g / config.samplesPerCellCount;
+                const std::size_t sample =
+                    g % config.samplesPerCellCount;
+                sims.push_back(
+                    std::make_unique<SampleSim>(config, n, sample));
+                sim_n.push_back(n);
+                code_ptrs.push_back(&sims.back()->code);
+                fault_ptrs.push_back(&sims.back()->faults);
+                seeds.push_back(sims.back()->engineSeed);
+                lane_profilers.push_back(sims.back()->raw);
+            }
+
+            SlicedRoundEngine engine(code_ptrs, fault_ptrs,
+                                     config.pattern, seeds);
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                engine.runRound(lane_profilers);
+                for (auto &sim : sims)
+                    sim->accumulateRound(r);
+            }
+
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            for (std::size_t i = 0; i < sims.size(); ++i)
+                mergeSample(sim_n[i], *sims[i]);
+        }, config.threads);
+    }
 
     // Mix the conditional expectations with Binomial weights.
     const std::size_t codeword_bits =

@@ -1,5 +1,6 @@
 #include "core/coverage_experiment.hh"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 
@@ -11,6 +12,7 @@
 #include "core/harp_profiler.hh"
 #include "core/naive_profiler.hh"
 #include "core/round_engine.hh"
+#include "core/sliced_round_engine.hh"
 #include "ecc/hamming_code.hh"
 
 namespace harp::core {
@@ -35,6 +37,135 @@ countIntersection(const gf2::BitVector &a, const gf2::BitVector &b)
     tmp &= b;
     return tmp.popcount();
 }
+
+/**
+ * Everything one simulated ECC word carries through a coverage run:
+ * ground truth, profiler set, and per-round statistics. Both engines
+ * drive words through the identical observation code, so their merged
+ * aggregates are byte-identical for a fixed seed.
+ */
+struct WordSim
+{
+    WordSim(const CoverageConfig &config, const ecc::HammingCode &code,
+            std::uint64_t fault_seed)
+        : faults(makeFaults(config, code, fault_seed)),
+          analyzer(code, faults)
+    {
+        profilers.push_back(std::make_unique<NaiveProfiler>(code.k()));
+        profilers.push_back(std::make_unique<BeepProfiler>(code));
+        profilers.push_back(std::make_unique<HarpUProfiler>(code.k()));
+        profilers.push_back(std::make_unique<HarpAProfiler>(code));
+        if (config.includeHarpABeep)
+            profilers.push_back(std::make_unique<HarpABeepProfiler>(code));
+        raw.reserve(profilers.size());
+        for (auto &p : profilers)
+            raw.push_back(p.get());
+
+        directTotal = analyzer.directAtRisk().popcount();
+        indirectTotal = analyzer.indirectAtRisk().popcount();
+        anyGt = analyzer.directAtRisk();
+        anyGt |= analyzer.indirectAtRisk();
+
+        stats.resize(profilers.size());
+        for (auto &s : stats) {
+            s.directIdentified.assign(config.rounds, 0);
+            s.indirectMissed.assign(config.rounds, 0);
+            s.falsePositives.assign(config.rounds, 0);
+            s.bootstrapRound = static_cast<double>(config.rounds + 1);
+            for (auto &r : s.roundsToBound)
+                r = static_cast<double>(config.rounds + 1);
+        }
+
+        // Check the "0 rounds of profiling" bound state first.
+        const gf2::BitVector empty_profile(code.k());
+        const std::size_t initial_max =
+            analyzer.maxSimultaneousErrors(empty_profile);
+        for (auto &s : stats)
+            for (std::size_t x = 1; x <= maxTrackedBound; ++x)
+                if (initial_max <= x)
+                    s.roundsToBound[x - 1] = 0.0;
+    }
+
+    static fault::WordFaultModel makeFaults(const CoverageConfig &config,
+                                            const ecc::HammingCode &code,
+                                            std::uint64_t fault_seed)
+    {
+        common::Xoshiro256 fault_rng(fault_seed);
+        return fault::WordFaultModel::makeUniformFixedCount(
+            code.n(), config.numPreCorrectionErrors,
+            config.perBitProbability, fault_rng);
+    }
+
+    /** Record every profiler's state after round index @p r. */
+    void accumulateRound(const CoverageConfig &config, std::size_t r)
+    {
+        const gf2::BitVector &direct_gt = analyzer.directAtRisk();
+        const gf2::BitVector &indirect_gt = analyzer.indirectAtRisk();
+        for (std::size_t pi = 0; pi < raw.size(); ++pi) {
+            const gf2::BitVector &ident = raw[pi]->identified();
+            const std::size_t direct_found =
+                countIntersection(ident, direct_gt);
+            const std::size_t indirect_found =
+                countIntersection(ident, indirect_gt);
+            stats[pi].directIdentified[r] = direct_found;
+            stats[pi].indirectMissed[r] = indirectTotal - indirect_found;
+            stats[pi].falsePositives[r] =
+                ident.popcount() - countIntersection(ident, anyGt);
+            if (direct_found > 0 &&
+                stats[pi].bootstrapRound >
+                    static_cast<double>(config.rounds)) {
+                stats[pi].bootstrapRound = static_cast<double>(r + 1);
+            }
+            const std::size_t max_simul =
+                analyzer.maxSimultaneousErrors(ident);
+            for (std::size_t x = 1; x <= maxTrackedBound; ++x) {
+                if (max_simul <= x &&
+                    stats[pi].roundsToBound[x - 1] >
+                        static_cast<double>(config.rounds)) {
+                    stats[pi].roundsToBound[x - 1] =
+                        static_cast<double>(r + 1);
+                }
+            }
+            if (r + 1 == config.rounds) {
+                stats[pi].maxSimulFinal =
+                    static_cast<std::int64_t>(max_simul);
+            }
+        }
+    }
+
+    /** Merge into the experiment aggregates; caller holds the mutex. */
+    void merge(const CoverageConfig &config, CoverageResult &result) const
+    {
+        result.totalDirectAtRisk += directTotal;
+        result.totalIndirectAtRisk += indirectTotal;
+        result.numWords += 1;
+        for (std::size_t pi = 0; pi < stats.size(); ++pi) {
+            ProfilerAggregate &agg = result.profilers[pi];
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                agg.directIdentifiedSum[r] +=
+                    stats[pi].directIdentified[r];
+                agg.indirectMissedSum[r] += stats[pi].indirectMissed[r];
+                agg.falsePositiveSum[r] += stats[pi].falsePositives[r];
+            }
+            agg.bootstrapRounds.add(stats[pi].bootstrapRound);
+            agg.maxSimultaneousFinal.add(stats[pi].maxSimulFinal);
+            for (std::size_t x = 0; x < maxTrackedBound; ++x)
+                agg.roundsToBound[x].add(stats[pi].roundsToBound[x]);
+        }
+    }
+
+    fault::WordFaultModel faults;
+    AtRiskAnalyzer analyzer;
+    std::vector<std::unique_ptr<Profiler>> profilers;
+    std::vector<Profiler *> raw;
+    gf2::BitVector anyGt;
+    std::size_t directTotal = 0;
+    std::size_t indirectTotal = 0;
+    std::vector<WordStats> stats;
+};
+
+/** Words per sliced task: one engine batches up to a full lane set. */
+constexpr std::size_t sliceLanes = gf2::BitSlice64::laneCount;
 
 } // namespace
 
@@ -78,126 +209,97 @@ runCoverageExperiment(const CoverageConfig &config)
     }
 
     std::mutex merge_mutex;
-    const std::size_t total_tasks = config.numCodes * config.wordsPerCode;
 
-    common::parallelFor(total_tasks, [&](std::size_t task) {
-        const std::size_t code_idx = task / config.wordsPerCode;
-        const std::size_t word_idx = task % config.wordsPerCode;
+    // Deterministic per-word streams, independent of scheduling and of
+    // the engine: the sliced path derives the exact same code, fault
+    // and engine seeds per (code_idx, word_idx) as the scalar path.
+    const auto codeSeed = [&](std::size_t code_idx) {
+        return common::deriveSeed(config.seed, {0xC0DEu, code_idx});
+    };
+    const auto faultSeed = [&](std::size_t code_idx, std::size_t word_idx) {
+        return common::deriveSeed(config.seed,
+                                  {0xFA17u, code_idx, word_idx});
+    };
+    const auto engineSeed = [&](std::size_t code_idx,
+                                std::size_t word_idx) {
+        return common::deriveSeed(config.seed,
+                                  {0xE221u, code_idx, word_idx});
+    };
 
-        // Deterministic per-task streams, independent of scheduling.
-        common::Xoshiro256 code_rng(
-            common::deriveSeed(config.seed, {0xC0DEu, code_idx}));
-        const ecc::HammingCode code =
-            ecc::HammingCode::randomSec(config.k, code_rng);
+    if (config.engine == EngineKind::Scalar) {
+        const std::size_t total_tasks =
+            config.numCodes * config.wordsPerCode;
+        common::parallelFor(total_tasks, [&](std::size_t task) {
+            const std::size_t code_idx = task / config.wordsPerCode;
+            const std::size_t word_idx = task % config.wordsPerCode;
 
-        common::Xoshiro256 fault_rng(common::deriveSeed(
-            config.seed, {0xFA17u, code_idx, word_idx}));
-        const fault::WordFaultModel faults =
-            fault::WordFaultModel::makeUniformFixedCount(
-                code.n(), config.numPreCorrectionErrors,
-                config.perBitProbability, fault_rng);
+            common::Xoshiro256 code_rng(codeSeed(code_idx));
+            const ecc::HammingCode code =
+                ecc::HammingCode::randomSec(config.k, code_rng);
+            WordSim word(config, code, faultSeed(code_idx, word_idx));
 
-        const AtRiskAnalyzer analyzer(code, faults);
-        const gf2::BitVector &direct_gt = analyzer.directAtRisk();
-        const gf2::BitVector &indirect_gt = analyzer.indirectAtRisk();
-        gf2::BitVector any_gt = direct_gt;
-        any_gt |= indirect_gt;
-        const std::size_t direct_total = direct_gt.popcount();
-        const std::size_t indirect_total = indirect_gt.popcount();
+            RoundEngine engine(code, word.faults, config.pattern,
+                               engineSeed(code_idx, word_idx));
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                engine.runRound(word.raw);
+                word.accumulateRound(config, r);
+            }
 
-        // Instantiate the profiler set (order matches `names`).
-        std::vector<std::unique_ptr<Profiler>> profilers;
-        profilers.push_back(std::make_unique<NaiveProfiler>(code.k()));
-        profilers.push_back(std::make_unique<BeepProfiler>(code));
-        profilers.push_back(std::make_unique<HarpUProfiler>(code.k()));
-        profilers.push_back(std::make_unique<HarpAProfiler>(code));
-        if (config.includeHarpABeep)
-            profilers.push_back(
-                std::make_unique<HarpABeepProfiler>(code));
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            word.merge(config, result);
+        }, config.threads);
+        return result;
+    }
 
-        std::vector<Profiler *> raw;
-        raw.reserve(profilers.size());
-        for (auto &p : profilers)
-            raw.push_back(p.get());
+    // Sliced64: one task per block of up to 64 words, batched straight
+    // across code boundaries — lanes carry their own code, so blocks
+    // stay full even when wordsPerCode is small.
+    const std::size_t total_words = config.numCodes * config.wordsPerCode;
+    const std::size_t num_blocks =
+        (total_words + sliceLanes - 1) / sliceLanes;
+    common::parallelFor(num_blocks, [&](std::size_t block) {
+        const std::size_t begin = block * sliceLanes;
+        const std::size_t end =
+            std::min(begin + sliceLanes, total_words);
 
-        RoundEngine engine(code, faults, config.pattern,
-                           common::deriveSeed(config.seed,
-                                              {0xE221u, code_idx,
-                                               word_idx}));
-
-        std::vector<WordStats> stats(profilers.size());
-        for (auto &s : stats) {
-            s.directIdentified.assign(config.rounds, 0);
-            s.indirectMissed.assign(config.rounds, 0);
-            s.falsePositives.assign(config.rounds, 0);
-            s.bootstrapRound =
-                static_cast<double>(config.rounds + 1);
-            for (auto &r : s.roundsToBound)
-                r = static_cast<double>(config.rounds + 1);
+        // Materialize each code once per block (global word indices are
+        // consecutive, so words of one code are contiguous).
+        std::vector<std::unique_ptr<ecc::HammingCode>> codes;
+        std::size_t built_code_idx = config.numCodes; // sentinel
+        std::vector<std::unique_ptr<WordSim>> words;
+        std::vector<const ecc::HammingCode *> code_ptrs;
+        std::vector<const fault::WordFaultModel *> fault_ptrs;
+        std::vector<std::uint64_t> seeds;
+        std::vector<std::vector<Profiler *>> lane_profilers;
+        for (std::size_t g = begin; g < end; ++g) {
+            const std::size_t code_idx = g / config.wordsPerCode;
+            const std::size_t word_idx = g % config.wordsPerCode;
+            if (code_idx != built_code_idx) {
+                common::Xoshiro256 code_rng(codeSeed(code_idx));
+                codes.push_back(std::make_unique<ecc::HammingCode>(
+                    ecc::HammingCode::randomSec(config.k, code_rng)));
+                built_code_idx = code_idx;
+            }
+            const ecc::HammingCode &code = *codes.back();
+            words.push_back(std::make_unique<WordSim>(
+                config, code, faultSeed(code_idx, word_idx)));
+            code_ptrs.push_back(&code);
+            fault_ptrs.push_back(&words.back()->faults);
+            seeds.push_back(engineSeed(code_idx, word_idx));
+            lane_profilers.push_back(words.back()->raw);
         }
 
-        // Check the "0 rounds of profiling" bound state first.
-        const gf2::BitVector empty_profile(code.k());
-        const std::size_t initial_max =
-            analyzer.maxSimultaneousErrors(empty_profile);
-        for (auto &s : stats)
-            for (std::size_t x = 1; x <= maxTrackedBound; ++x)
-                if (initial_max <= x)
-                    s.roundsToBound[x - 1] = 0.0;
-
+        SlicedRoundEngine engine(code_ptrs, fault_ptrs, config.pattern,
+                                 seeds);
         for (std::size_t r = 0; r < config.rounds; ++r) {
-            engine.runRound(raw);
-            for (std::size_t pi = 0; pi < raw.size(); ++pi) {
-                const gf2::BitVector &ident = raw[pi]->identified();
-                const std::size_t direct_found =
-                    countIntersection(ident, direct_gt);
-                const std::size_t indirect_found =
-                    countIntersection(ident, indirect_gt);
-                stats[pi].directIdentified[r] = direct_found;
-                stats[pi].indirectMissed[r] =
-                    indirect_total - indirect_found;
-                stats[pi].falsePositives[r] =
-                    ident.popcount() - countIntersection(ident, any_gt);
-                if (direct_found > 0 &&
-                    stats[pi].bootstrapRound >
-                        static_cast<double>(config.rounds)) {
-                    stats[pi].bootstrapRound =
-                        static_cast<double>(r + 1);
-                }
-                const std::size_t max_simul =
-                    analyzer.maxSimultaneousErrors(ident);
-                for (std::size_t x = 1; x <= maxTrackedBound; ++x) {
-                    if (max_simul <= x &&
-                        stats[pi].roundsToBound[x - 1] >
-                            static_cast<double>(config.rounds)) {
-                        stats[pi].roundsToBound[x - 1] =
-                            static_cast<double>(r + 1);
-                    }
-                }
-                if (r + 1 == config.rounds) {
-                    stats[pi].maxSimulFinal =
-                        static_cast<std::int64_t>(max_simul);
-                }
-            }
+            engine.runRound(lane_profilers);
+            for (auto &word : words)
+                word->accumulateRound(config, r);
         }
 
         std::lock_guard<std::mutex> lock(merge_mutex);
-        result.totalDirectAtRisk += direct_total;
-        result.totalIndirectAtRisk += indirect_total;
-        result.numWords += 1;
-        for (std::size_t pi = 0; pi < stats.size(); ++pi) {
-            ProfilerAggregate &agg = result.profilers[pi];
-            for (std::size_t r = 0; r < config.rounds; ++r) {
-                agg.directIdentifiedSum[r] +=
-                    stats[pi].directIdentified[r];
-                agg.indirectMissedSum[r] += stats[pi].indirectMissed[r];
-                agg.falsePositiveSum[r] += stats[pi].falsePositives[r];
-            }
-            agg.bootstrapRounds.add(stats[pi].bootstrapRound);
-            agg.maxSimultaneousFinal.add(stats[pi].maxSimulFinal);
-            for (std::size_t x = 0; x < maxTrackedBound; ++x)
-                agg.roundsToBound[x].add(stats[pi].roundsToBound[x]);
-        }
+        for (const auto &word : words)
+            word->merge(config, result);
     }, config.threads);
 
     return result;

@@ -51,22 +51,25 @@ PatternGenerator::PatternGenerator(PatternKind kind, std::size_t k,
 gf2::BitVector
 PatternGenerator::pattern(std::size_t round)
 {
-    if (kind_ == PatternKind::Charged)
-        return base_;
+    gf2::BitVector out;
+    patternInto(round, out);
+    return out;
+}
 
+void
+PatternGenerator::patternInto(std::size_t round, gf2::BitVector &out)
+{
     if (kind_ == PatternKind::Random && round >= nextFreshRound_) {
         // New random base every two rounds (pattern + inverse pairs).
-        base_ = gf2::BitVector::random(k_, rng_);
+        base_.randomize(rng_);
         nextFreshRound_ = round + 2 - (round % 2);
     }
 
-    if (round % 2 == 0)
-        return base_;
-    gf2::BitVector inverted = base_;
-    gf2::BitVector ones(k_);
-    ones.fill(true);
-    inverted ^= ones;
-    return inverted;
+    out = base_;
+    // Charged stays all-ones; random/checkered invert on odd rounds.
+    if (kind_ != PatternKind::Charged && round % 2 == 1)
+        for (std::size_t w = 0; w < base_.words().size(); ++w)
+            out.setWord(w, ~base_.words()[w]);
 }
 
 } // namespace harp::core

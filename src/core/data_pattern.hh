@@ -55,6 +55,13 @@ class PatternGenerator
      *  round numbers (the random policy advances its stream). */
     gf2::BitVector pattern(std::size_t round);
 
+    /**
+     * Allocation-free variant of pattern(): writes the round's
+     * dataword into @p out (assigned/resized as needed), consuming the
+     * same RNG stream. Used by the sliced engine's hot path.
+     */
+    void patternInto(std::size_t round, gf2::BitVector &out);
+
   private:
     PatternKind kind_;
     std::size_t k_;

@@ -1,0 +1,29 @@
+#include "core/engine_kind.hh"
+
+#include <stdexcept>
+
+namespace harp::core {
+
+std::string
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Scalar:
+        return "scalar";
+      case EngineKind::Sliced64:
+        return "sliced64";
+    }
+    return "unknown";
+}
+
+EngineKind
+engineKindFromName(const std::string &name)
+{
+    if (name == "scalar")
+        return EngineKind::Scalar;
+    if (name == "sliced64")
+        return EngineKind::Sliced64;
+    throw std::invalid_argument("unknown engine kind: " + name);
+}
+
+} // namespace harp::core

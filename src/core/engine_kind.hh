@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Selection between the scalar and bit-sliced profiling-round engines.
+ *
+ * Both engines execute the exact same simulation — identical seed
+ * derivation, RNG stream consumption and GF(2) arithmetic — so a
+ * seed-fixed experiment produces byte-identical results under either.
+ * The sliced engine simply retires 64 ECC words per word-op on the
+ * encode/inject/decode hot path (see core/sliced_round_engine.hh).
+ */
+
+#ifndef HARP_CORE_ENGINE_KIND_HH
+#define HARP_CORE_ENGINE_KIND_HH
+
+#include <string>
+
+namespace harp::core {
+
+/** Profiling-round engine implementation. */
+enum class EngineKind
+{
+    Scalar,   ///< One ECC word at a time (core/round_engine.hh).
+    Sliced64, ///< 64 ECC words per lane-op (core/sliced_round_engine.hh).
+};
+
+/** Human-readable engine name ("scalar", "sliced64"). */
+std::string engineKindName(EngineKind kind);
+
+/** Parse an engine name; throws std::invalid_argument on bad input. */
+EngineKind engineKindFromName(const std::string &name);
+
+} // namespace harp::core
+
+#endif // HARP_CORE_ENGINE_KIND_HH

@@ -10,40 +10,40 @@ HarpABeepProfiler::HarpABeepProfiler(const ecc::HammingCode &code,
 {
 }
 
-gf2::BitVector
-HarpABeepProfiler::chooseDataword(std::size_t round,
-                                  const gf2::BitVector &suggested,
-                                  common::Xoshiro256 &rng)
+bool
+HarpABeepProfiler::chooseDatawordInto(std::size_t round,
+                                      const gf2::BitVector &suggested,
+                                      common::Xoshiro256 &rng,
+                                      gf2::BitVector &out)
 {
     // Active phase: standard worst-case patterns until the direct profile
     // has been stable long enough to believe it is complete; afterwards
     // BEEP's crafted patterns hunt the remaining indirect errors.
     if (!craftingActive())
-        return suggested;
-    return BeepProfiler::chooseDataword(round, suggested, rng);
+        return true;
+    return BeepProfiler::chooseDatawordInto(round, suggested, rng, out);
 }
 
 void
 HarpABeepProfiler::observe(const RoundObservation &obs)
 {
     // Direct errors via the decode-bypass path, exactly as HARP-U.
-    gf2::BitVector direct = obs.writtenData;
-    direct ^= obs.rawData;
-    gf2::BitVector fresh = direct;
-    gf2::BitVector known = direct;
-    known &= identifiedDirect_;
-    fresh ^= known; // newly seen direct errors only
-    if (!fresh.isZero()) {
+    scratchA_ = obs.writtenData;
+    scratchA_ ^= obs.rawData; // direct errors this round
+    scratchB_ = scratchA_;
+    scratchB_ &= identifiedDirect_;
+    scratchA_ ^= scratchB_; // newly seen direct errors only
+    if (!scratchA_.isZero()) {
         roundsSinceNewDirect_ = 0;
-        identifiedDirect_ |= fresh;
-        identified_ |= fresh;
+        identifiedDirect_ |= scratchA_;
+        identified_ |= scratchA_;
         // Seed BEEP's crafting with the confirmed at-risk cells and
         // refresh the precomputed miscorrection targets (HARP-A's
         // prediction step, using BEEP's machinery).
-        fresh.forEachSetBit([&](std::size_t pos) {
+        scratchA_.forEachSetBit([&](std::size_t pos) {
             addSuspectedCell(pos);
         });
-        precomputeFromSuspects();
+        precomputeIfSuspectsChanged();
     } else {
         ++roundsSinceNewDirect_;
     }

@@ -39,9 +39,10 @@ class HarpABeepProfiler : public BeepProfiler
     std::string name() const override { return "HARP-A+BEEP"; }
     bool usesBypassPath() const override { return true; }
 
-    gf2::BitVector chooseDataword(std::size_t round,
-                                  const gf2::BitVector &suggested,
-                                  common::Xoshiro256 &rng) override;
+    bool chooseDatawordInto(std::size_t round,
+                            const gf2::BitVector &suggested,
+                            common::Xoshiro256 &rng,
+                            gf2::BitVector &out) override;
 
     void observe(const RoundObservation &obs) override;
 

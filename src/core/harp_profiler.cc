@@ -15,10 +15,10 @@ HarpUProfiler::observe(const RoundObservation &obs)
     // The bypass path exposes raw (pre-correction) data bits: a mismatch
     // with the written data is a direct error at that cell, identified
     // independently of all other cells.
-    gf2::BitVector diff = obs.writtenData;
-    diff ^= obs.rawData;
-    identifiedDirect_ |= diff;
-    identified_ |= diff;
+    scratchA_ = obs.writtenData;
+    scratchA_ ^= obs.rawData;
+    identifiedDirect_ |= scratchA_;
+    identified_ |= scratchA_;
 }
 
 HarpAProfiler::HarpAProfiler(const ecc::HammingCode &code)

@@ -12,9 +12,9 @@ NaiveProfiler::observe(const RoundObservation &obs)
 {
     // Every mismatch between the programmed and post-correction data is a
     // post-correction error at that bit: mark it at-risk.
-    gf2::BitVector diff = obs.writtenData;
-    diff ^= obs.postCorrectionData;
-    identified_ |= diff;
+    scratchA_ = obs.writtenData;
+    scratchA_ ^= obs.postCorrectionData;
+    identified_ |= scratchA_;
 }
 
 } // namespace harp::core

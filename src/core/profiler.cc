@@ -16,4 +16,13 @@ Profiler::chooseDataword(std::size_t round, const gf2::BitVector &suggested,
     return suggested;
 }
 
+bool
+Profiler::chooseDatawordInto(std::size_t round,
+                             const gf2::BitVector &suggested,
+                             common::Xoshiro256 &rng, gf2::BitVector &out)
+{
+    out = chooseDataword(round, suggested, rng);
+    return false;
+}
+
 } // namespace harp::core

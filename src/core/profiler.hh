@@ -75,6 +75,23 @@ class Profiler
                                           const gf2::BitVector &suggested,
                                           common::Xoshiro256 &rng);
 
+    /**
+     * Allocation-free variant of chooseDataword() used by the round
+     * engines on the hot path.
+     *
+     * @return true iff the profiler programs @p suggested verbatim —
+     *         in that case @p out may be left untouched and the caller
+     *         must use @p suggested (engines exploit this to share one
+     *         datapath evaluation between all suggested-verbatim
+     *         profilers of a round). On false, the chosen word has
+     *         been written into @p out (copy-assignment reuses its
+     *         capacity). The default delegates to chooseDataword().
+     */
+    virtual bool chooseDatawordInto(std::size_t round,
+                                    const gf2::BitVector &suggested,
+                                    common::Xoshiro256 &rng,
+                                    gf2::BitVector &out);
+
     /** Observe the outcome of the round the profiler just programmed. */
     virtual void observe(const RoundObservation &obs) = 0;
 
@@ -92,6 +109,13 @@ class Profiler
     std::size_t k_;
     /** Data-bit positions identified as at risk so far. */
     gf2::BitVector identified_;
+    /**
+     * Reusable scratch vectors for allocation-free observe()
+     * implementations (profiling runs observe() millions of times;
+     * copy-assignment into these reuses their capacity). Valid only
+     * within one observe() call.
+     */
+    gf2::BitVector scratchA_, scratchB_;
 };
 
 } // namespace harp::core

@@ -17,19 +17,20 @@ RoundEngine::RoundEngine(const ecc::HammingCode &code,
 void
 RoundEngine::runRound(const std::vector<Profiler *> &profilers)
 {
-    const gf2::BitVector suggested = patterns_.pattern(round_);
+    patterns_.patternInto(round_, suggested_);
 
     // One shared uniform variate per at-risk cell (common random numbers).
-    std::vector<double> uniforms(faults_.numFaults());
-    for (double &u : uniforms)
+    uniforms_.resize(faults_.numFaults());
+    for (double &u : uniforms_)
         u = crnRng_.nextDouble();
 
     for (Profiler *profiler : profilers) {
-        const gf2::BitVector written =
-            profiler->chooseDataword(round_, suggested, profilerRng_);
+        const bool verbatim = profiler->chooseDatawordInto(
+            round_, suggested_, profilerRng_, written_);
+        const gf2::BitVector &written = verbatim ? suggested_ : written_;
         const gf2::BitVector stored = code_.encode(written);
         gf2::BitVector received = stored;
-        received ^= faults_.injectErrorsCrn(stored, uniforms);
+        received ^= faults_.injectErrorsCrn(stored, uniforms_);
 
         const ecc::DecodeResult decoded = code_.decode(received);
         const gf2::BitVector raw = received.slice(0, code_.k());

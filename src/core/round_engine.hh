@@ -54,6 +54,10 @@ class RoundEngine
     PatternGenerator patterns_;
     common::Xoshiro256 crnRng_;
     common::Xoshiro256 profilerRng_;
+    // Round-persistent scratch (capacity reused across rounds).
+    gf2::BitVector suggested_;
+    gf2::BitVector written_;
+    std::vector<double> uniforms_;
     std::size_t round_ = 0;
 };
 

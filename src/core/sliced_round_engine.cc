@@ -1,0 +1,124 @@
+#include "core/sliced_round_engine.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace harp::core {
+
+SlicedRoundEngine::SlicedRoundEngine(
+    const std::vector<const ecc::HammingCode *> &codes,
+    const std::vector<const fault::WordFaultModel *> &faults,
+    PatternKind pattern, const std::vector<std::uint64_t> &seeds)
+    : lanes_(codes.size()),
+      k_(codes.empty() ? 0 : codes[0]->k()),
+      sliced_(codes),
+      injector_(faults),
+      written_(k_),
+      stored_(sliced_.n()),
+      received_(sliced_.n()),
+      post_(k_)
+{
+    if (faults.size() != lanes_ || seeds.size() != lanes_)
+        throw std::invalid_argument(
+            "SlicedRoundEngine: codes/faults/seeds lane counts differ");
+    if (injector_.wordBits() != sliced_.n())
+        throw std::invalid_argument(
+            "SlicedRoundEngine: fault models must cover n cells");
+
+    patterns_.reserve(lanes_);
+    crnRngs_.reserve(lanes_);
+    profilerRngs_.reserve(lanes_);
+    for (std::size_t w = 0; w < lanes_; ++w) {
+        // Identical child-stream derivation to RoundEngine's members.
+        patterns_.emplace_back(pattern, k_,
+                               common::deriveSeed(seeds[w], {0x9A77E2u}));
+        crnRngs_.emplace_back(common::deriveSeed(seeds[w], {0xC28Bu}));
+        profilerRngs_.emplace_back(
+            common::deriveSeed(seeds[w], {0x9120F1u}));
+    }
+    suggestedVec_.resize(lanes_);
+    writtenVec_.resize(lanes_);
+    postVec_.assign(lanes_, gf2::BitVector(k_));
+    rawVec_.assign(lanes_, gf2::BitVector(k_));
+    postSuggestedVec_.assign(lanes_, gf2::BitVector(k_));
+    rawSuggestedVec_.assign(lanes_, gf2::BitVector(k_));
+}
+
+void
+SlicedRoundEngine::runDatapath(const std::vector<gf2::BitVector> &written,
+                               std::vector<gf2::BitVector> &post,
+                               std::vector<gf2::BitVector> &raw,
+                               bool need_raw)
+{
+    written_.gather(written);
+    sliced_.encode(written_, stored_);
+    received_ = stored_;
+    injector_.apply(stored_, received_);
+    sliced_.decodeData(received_, post_);
+    post_.scatter(post);
+    if (need_raw)
+        received_.scatterPrefix(k_, raw);
+}
+
+void
+SlicedRoundEngine::runRound(
+    const std::vector<std::vector<Profiler *>> &profilers)
+{
+    assert(profilers.size() == lanes_);
+    const std::size_t slots = profilers.empty() ? 0 : profilers[0].size();
+
+    // Per-lane pattern generation and common-random-number draws, in
+    // the same per-lane stream order as the scalar engine.
+    for (std::size_t w = 0; w < lanes_; ++w)
+        patterns_[w].patternInto(round_, suggestedVec_[w]);
+    injector_.drawRound(crnRngs_);
+
+    bool suggested_ready = false;
+    bool lane_verbatim[gf2::BitSlice64::laneCount];
+    for (std::size_t s = 0; s < slots; ++s) {
+        bool verbatim = true;
+        for (std::size_t w = 0; w < lanes_; ++w) {
+            assert(profilers[w].size() == slots);
+            lane_verbatim[w] = profilers[w][s]->chooseDatawordInto(
+                round_, suggestedVec_[w], profilerRngs_[w],
+                writtenVec_[w]);
+            verbatim = verbatim && lane_verbatim[w];
+        }
+
+        // Slots that programmed the suggested pattern verbatim in every
+        // lane see identical observations (common random numbers fix
+        // the trials within a round): run their datapath once per round.
+        if (verbatim) {
+            if (!suggested_ready) {
+                runDatapath(suggestedVec_, postSuggestedVec_,
+                            rawSuggestedVec_, true);
+                suggested_ready = true;
+            }
+            for (std::size_t w = 0; w < lanes_; ++w) {
+                const RoundObservation obs{round_, suggestedVec_[w],
+                                           postSuggestedVec_[w],
+                                           rawSuggestedVec_[w]};
+                profilers[w][s]->observe(obs);
+            }
+        } else {
+            // Mixed slot: materialize the suggested word into the
+            // lanes whose profiler left the output buffer untouched.
+            bool need_raw = false;
+            for (std::size_t w = 0; w < lanes_; ++w) {
+                if (lane_verbatim[w])
+                    writtenVec_[w] = suggestedVec_[w];
+                need_raw = need_raw || profilers[w][s]->usesBypassPath();
+            }
+            // The sliced datapath: 64 words per lane-op.
+            runDatapath(writtenVec_, postVec_, rawVec_, need_raw);
+            for (std::size_t w = 0; w < lanes_; ++w) {
+                const RoundObservation obs{round_, writtenVec_[w],
+                                           postVec_[w], rawVec_[w]};
+                profilers[w][s]->observe(obs);
+            }
+        }
+    }
+    ++round_;
+}
+
+} // namespace harp::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Bit-sliced profiling-round engine: 64 independent ECC words per
+ * lane-operation.
+ *
+ * Drop-in sibling of core/round_engine.hh. Each lane simulates one ECC
+ * word with its own code (equal k across lanes), fault model, data
+ * patterns and RNG streams — derived from per-lane seeds with the
+ * *same* derivation constants as the scalar RoundEngine, so every
+ * per-word outcome (written/post-correction/raw data, and therefore
+ * every profiler's identified set) is bit-identical to running 64
+ * scalar engines. What changes is the cost: the encode -> inject ->
+ * syndrome-decode datapath runs on transposed gf2::BitSlice64 lanes,
+ * retiring 64 profiling rounds per word-op instead of one.
+ *
+ * Profilers stay the ordinary per-word objects; the engine gathers
+ * their chosen datawords into lanes, runs the sliced datapath, and
+ * scatters the observations back (a pair of 64x64 bit transposes per
+ * profiler slot per round).
+ */
+
+#ifndef HARP_CORE_SLICED_ROUND_ENGINE_HH
+#define HARP_CORE_SLICED_ROUND_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/data_pattern.hh"
+#include "core/profiler.hh"
+#include "ecc/sliced_hamming.hh"
+#include "fault/sliced_injector.hh"
+#include "gf2/bit_slice.hh"
+
+namespace harp::core {
+
+/**
+ * Executes profiling rounds for up to 64 simulated ECC words at once.
+ */
+class SlicedRoundEngine
+{
+  public:
+    /**
+     * @param codes   One on-die ECC code per lane (1..64, equal k; the
+     *                arrangements may differ, so heterogeneous-code
+     *                workloads like the Fig. 10 case study slice too).
+     * @param faults  One fault model per lane (word length n).
+     * @param pattern Shared data-pattern policy for non-crafting
+     *                profilers.
+     * @param seeds   One seed per lane, used exactly as RoundEngine
+     *                uses its seed (same child-stream derivation).
+     */
+    SlicedRoundEngine(const std::vector<const ecc::HammingCode *> &codes,
+                      const std::vector<const fault::WordFaultModel *> &faults,
+                      PatternKind pattern,
+                      const std::vector<std::uint64_t> &seeds);
+
+    /** Number of live lanes (simulated words). */
+    std::size_t lanes() const { return lanes_; }
+
+    /**
+     * Run one profiling round for every lane.
+     *
+     * @param profilers profilers[w] is lane w's profiler set; every
+     *                  lane must pass the same number of profilers
+     *                  (slot s of every lane is driven together).
+     */
+    void
+    runRound(const std::vector<std::vector<Profiler *>> &profilers);
+
+    /** Number of rounds executed so far. */
+    std::size_t roundsRun() const { return round_; }
+
+  private:
+    std::size_t lanes_;
+    std::size_t k_;
+    ecc::SlicedHammingCode sliced_;
+    fault::SlicedCrnInjector injector_;
+    std::vector<PatternGenerator> patterns_;
+    std::vector<common::Xoshiro256> crnRngs_;
+    std::vector<common::Xoshiro256> profilerRngs_;
+
+    /** Run gather -> encode -> inject -> decode -> scatter for one
+     *  profiler slot's chosen datawords. @p need_raw skips the
+     *  decode-bypass scatter when no observer of this datapath reads
+     *  rawData (it then keeps its previous contents). */
+    void runDatapath(const std::vector<gf2::BitVector> &written,
+                     std::vector<gf2::BitVector> &post,
+                     std::vector<gf2::BitVector> &raw, bool need_raw);
+
+    // Round-persistent scratch: no allocations on the hot path.
+    gf2::BitSlice64 written_;
+    gf2::BitSlice64 stored_;
+    gf2::BitSlice64 received_;
+    gf2::BitSlice64 post_;
+    std::vector<gf2::BitVector> suggestedVec_;
+    std::vector<gf2::BitVector> writtenVec_;
+    std::vector<gf2::BitVector> postVec_;
+    std::vector<gf2::BitVector> rawVec_;
+    /** Datapath outcome of the *suggested* pattern, computed at most
+     *  once per round and shared by every profiler slot that programs
+     *  the suggested word verbatim (the CRN trials are fixed within a
+     *  round, so those slots see identical observations). */
+    std::vector<gf2::BitVector> postSuggestedVec_;
+    std::vector<gf2::BitVector> rawSuggestedVec_;
+
+    std::size_t round_ = 0;
+};
+
+} // namespace harp::core
+
+#endif // HARP_CORE_SLICED_ROUND_ENGINE_HH

@@ -1,0 +1,178 @@
+#include "ecc/sliced_hamming.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace harp::ecc {
+
+SlicedHammingCode::SlicedHammingCode(
+    const std::vector<const HammingCode *> &codes)
+{
+    build(codes);
+}
+
+SlicedHammingCode::SlicedHammingCode(const HammingCode &code,
+                                     std::size_t lanes)
+{
+    build(std::vector<const HammingCode *>(lanes, &code));
+}
+
+void
+SlicedHammingCode::build(const std::vector<const HammingCode *> &codes)
+{
+    if (codes.empty() || codes.size() > gf2::BitSlice64::laneCount)
+        throw std::invalid_argument("SlicedHammingCode: need 1..64 lanes");
+    k_ = codes[0]->k();
+    p_ = codes[0]->p();
+    lanes_ = codes.size();
+    assert(p_ <= 32); // syndrome scratch arrays are sized for p <= 32
+    for (const HammingCode *code : codes)
+        if (code->k() != k_)
+            throw std::invalid_argument(
+                "SlicedHammingCode: lanes must share k");
+
+    columnBits_.assign(k_ * p_, 0);
+    for (std::size_t w = 0; w < lanes_; ++w) {
+        for (std::size_t i = 0; i < k_; ++i) {
+            const std::uint32_t col = codes[w]->dataColumn(i);
+            for (std::size_t j = 0; j < p_; ++j)
+                if ((col >> j) & 1)
+                    columnBits_[i * p_ + j] |= std::uint64_t{1} << w;
+        }
+    }
+}
+
+void
+SlicedHammingCode::encode(const gf2::BitSlice64 &data,
+                          gf2::BitSlice64 &codeword) const
+{
+    assert(data.positions() == k_ && codeword.positions() == n());
+    for (std::size_t j = 0; j < p_; ++j)
+        codeword.lane(k_ + j) = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+        const std::uint64_t d = data.lane(i);
+        codeword.lane(i) = d;
+        const std::uint64_t *col = &columnBits_[i * p_];
+        for (std::size_t j = 0; j < p_; ++j)
+            codeword.lane(k_ + j) ^= d & col[j];
+    }
+}
+
+void
+SlicedHammingCode::syndromes(const gf2::BitSlice64 &received,
+                             std::uint64_t *out) const
+{
+    assert(received.positions() >= n());
+    for (std::size_t j = 0; j < p_; ++j)
+        out[j] = received.lane(k_ + j);
+    for (std::size_t i = 0; i < k_; ++i) {
+        const std::uint64_t r = received.lane(i);
+        const std::uint64_t *col = &columnBits_[i * p_];
+        for (std::size_t j = 0; j < p_; ++j)
+            out[j] ^= r & col[j];
+    }
+}
+
+std::uint64_t
+SlicedHammingCode::correctionMasks(const std::uint64_t *s,
+                                   gf2::BitSlice64 &match_out) const
+{
+    assert(match_out.positions() == k_);
+    std::uint64_t matched_any = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+        const std::uint64_t *col = &columnBits_[i * p_];
+        // Lanes whose syndrome equals this lane's column i. Data
+        // columns have weight >= 2, so a zero syndrome can never match
+        // and needs no separate exclusion.
+        std::uint64_t match = ~std::uint64_t{0};
+        for (std::size_t j = 0; j < p_; ++j)
+            match &= ~(s[j] ^ col[j]);
+        match_out.lane(i) = match;
+        matched_any |= match;
+    }
+    // Parity columns are the unit vectors e_j, identical in every lane.
+    for (std::size_t j = 0; j < p_; ++j) {
+        std::uint64_t match = s[j];
+        for (std::size_t j2 = 0; j2 < p_; ++j2)
+            if (j2 != j)
+                match &= ~s[j2];
+        matched_any |= match;
+    }
+    return matched_any;
+}
+
+void
+SlicedHammingCode::decodeData(const gf2::BitSlice64 &received,
+                              gf2::BitSlice64 &data_out) const
+{
+    assert(received.positions() >= n());
+    assert(data_out.positions() == k_);
+    std::uint64_t s[32];
+    syndromes(received, s);
+    for (std::size_t i = 0; i < k_; ++i) {
+        const std::uint64_t *col = &columnBits_[i * p_];
+        std::uint64_t match = ~std::uint64_t{0};
+        for (std::size_t j = 0; j < p_; ++j)
+            match &= ~(s[j] ^ col[j]);
+        data_out.lane(i) = received.lane(i) ^ match;
+    }
+}
+
+SlicedExtendedHammingCode::SlicedExtendedHammingCode(
+    const std::vector<const ExtendedHammingCode *> &codes)
+    : inner_([&codes] {
+          std::vector<const HammingCode *> inner;
+          inner.reserve(codes.size());
+          for (const ExtendedHammingCode *code : codes)
+              inner.push_back(&code->inner());
+          return SlicedHammingCode(inner);
+      }())
+{
+}
+
+void
+SlicedExtendedHammingCode::encode(const gf2::BitSlice64 &data,
+                                  gf2::BitSlice64 &codeword) const
+{
+    assert(codeword.positions() == n());
+    inner_.encode(data, codeword);
+    std::uint64_t overall = 0;
+    for (std::size_t pos = 0; pos < inner_.n(); ++pos)
+        overall ^= codeword.lane(pos);
+    codeword.lane(n() - 1) = overall;
+}
+
+void
+SlicedExtendedHammingCode::decode(const gf2::BitSlice64 &received,
+                                  gf2::BitSlice64 &data_out,
+                                  std::uint64_t &corrected_out,
+                                  std::uint64_t &detected_out) const
+{
+    assert(received.positions() == n());
+    assert(data_out.positions() == k());
+
+    std::uint64_t s[32];
+    inner_.syndromes(received, s);
+    std::uint64_t s_nonzero = 0;
+    for (std::size_t j = 0; j < inner_.p(); ++j)
+        s_nonzero |= s[j];
+
+    // Parity of the whole received codeword: 1 = odd error count.
+    std::uint64_t overall = 0;
+    for (std::size_t pos = 0; pos < n(); ++pos)
+        overall ^= received.lane(pos);
+
+    gf2::BitSlice64 match(k());
+    const std::uint64_t matched_any = inner_.correctionMasks(s, match);
+
+    // Odd parity: a single error; correctable iff the syndrome is zero
+    // (the overall bit itself) or matches some column. Even parity with
+    // a nonzero syndrome: a double error — detected, never corrected.
+    corrected_out = overall & (~s_nonzero | matched_any);
+    detected_out = (~overall & s_nonzero) | (overall & s_nonzero & ~matched_any);
+
+    for (std::size_t i = 0; i < k(); ++i)
+        data_out.lane(i) = received.lane(i) ^ (overall & match.lane(i));
+}
+
+} // namespace harp::ecc

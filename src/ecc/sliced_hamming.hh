@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bit-sliced evaluation of up to 64 systematic SEC Hamming codes (and
+ * their SECDED extensions) at once.
+ *
+ * Parity-check evaluation over GF(2) is pure linear algebra, so with
+ * codewords held in transposed gf2::BitSlice64 layout (one uint64 lane
+ * per codeword position, one lane *bit* per independent ECC word) the
+ * whole encode/decode hot path becomes word-parallel:
+ *
+ *  - encoding: each parity lane is an XOR-reduction of data lanes,
+ *    masked by which lanes' codes include that data column;
+ *  - syndrome decoding: the corrected-position selection becomes an
+ *    AND/XOR mask cascade (lane bit set iff that lane's syndrome equals
+ *    that lane's parity column), with no per-word branching.
+ *
+ * Lanes may carry *different* codes of the same dataword length k,
+ * which is what lets the sliced profiling engine batch both
+ * coverage-style workloads (64 words of one code) and case-study-style
+ * workloads (64 words of 64 distinct random codes). Results are
+ * bit-identical to the scalar HammingCode/ExtendedHammingCode paths.
+ */
+
+#ifndef HARP_ECC_SLICED_HAMMING_HH
+#define HARP_ECC_SLICED_HAMMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/extended_hamming_code.hh"
+#include "ecc/hamming_code.hh"
+#include "gf2/bit_slice.hh"
+
+namespace harp::ecc {
+
+/**
+ * Up to 64 SEC Hamming codes evaluated lane-parallel.
+ *
+ * All lanes must share the dataword length k (and therefore the parity
+ * count p); the parity-column *arrangements* may differ per lane.
+ */
+class SlicedHammingCode
+{
+  public:
+    /**
+     * Build from one code per lane (1..64 entries, equal k). The codes
+     * are only read during construction; no references are retained.
+     */
+    explicit SlicedHammingCode(const std::vector<const HammingCode *> &codes);
+
+    /** Homogeneous convenience: the same code in @p lanes lanes. */
+    SlicedHammingCode(const HammingCode &code, std::size_t lanes);
+
+    std::size_t k() const { return k_; }
+    std::size_t p() const { return p_; }
+    /** Codeword length n = k + p (identical across lanes). */
+    std::size_t n() const { return k_ + p_; }
+    /** Number of live lanes. */
+    std::size_t lanes() const { return lanes_; }
+
+    /**
+     * Encode all lanes: @p data has k positions, @p codeword n
+     * positions. Codeword positions [0,k) copy the data lanes,
+     * positions [k,n) receive each lane's parity bits.
+     */
+    void encode(const gf2::BitSlice64 &data,
+                gf2::BitSlice64 &codeword) const;
+
+    /**
+     * Per-lane syndromes of a received codeword slice: @p out[j] gets
+     * the lane mask of syndrome bit j (j < p()).
+     */
+    void syndromes(const gf2::BitSlice64 &received,
+                   std::uint64_t *out) const;
+
+    /**
+     * Per-data-position correction masks for precomputed syndrome
+     * lanes @p s (from syndromes()): @p match_out (k positions) gets,
+     * for each data position, the lanes whose syndrome equals that
+     * lane's column there.
+     *
+     * @return Lane mask where the syndrome matched *any* codeword
+     *         column (data or parity) — the correctable-single-error
+     *         lanes among those with a nonzero syndrome.
+     */
+    std::uint64_t correctionMasks(const std::uint64_t *s,
+                                  gf2::BitSlice64 &match_out) const;
+
+    /**
+     * Syndrome-decode all lanes to their post-correction *datawords*
+     * (@p data_out has k positions). Matches HammingCode::decode
+     * exactly on the data bits: a lane whose syndrome equals one of its
+     * data columns gets that bit flipped; zero, parity-column and
+     * unmatched (shortened-code) syndromes leave the data untouched.
+     */
+    void decodeData(const gf2::BitSlice64 &received,
+                    gf2::BitSlice64 &data_out) const;
+
+  private:
+    void build(const std::vector<const HammingCode *> &codes);
+
+    std::size_t k_ = 0;
+    std::size_t p_ = 0;
+    std::size_t lanes_ = 0;
+    /** columnBits_[i * p + j]: lanes whose data column i has bit j set. */
+    std::vector<std::uint64_t> columnBits_;
+};
+
+/**
+ * Up to 64 SECDED (extended Hamming) codes evaluated lane-parallel,
+ * mirroring ExtendedHammingCode::decode semantics per lane.
+ */
+class SlicedExtendedHammingCode
+{
+  public:
+    /** Build from one code per lane (1..64 entries, equal k). */
+    explicit SlicedExtendedHammingCode(
+        const std::vector<const ExtendedHammingCode *> &codes);
+
+    std::size_t k() const { return inner_.k(); }
+    /** Codeword length including the overall parity bit. */
+    std::size_t n() const { return inner_.n() + 1; }
+    std::size_t lanes() const { return inner_.lanes(); }
+
+    /** Encode all lanes (@p data k positions, @p codeword n positions,
+     *  the last being the overall parity bit). */
+    void encode(const gf2::BitSlice64 &data,
+                gf2::BitSlice64 &codeword) const;
+
+    /**
+     * SECDED decode of all lanes.
+     *
+     * @param received       Received codewords (n positions).
+     * @param data_out       Post-correction datawords (k positions);
+     *                       for detected-uncorrectable lanes this is
+     *                       the uncorrected data, as in the scalar
+     *                       decoder.
+     * @param corrected_out  Lane mask: single error corrected.
+     * @param detected_out   Lane mask: uncorrectable (>= 2 errors)
+     *                       detected.
+     */
+    void decode(const gf2::BitSlice64 &received, gf2::BitSlice64 &data_out,
+                std::uint64_t &corrected_out,
+                std::uint64_t &detected_out) const;
+
+  private:
+    SlicedHammingCode inner_;
+};
+
+} // namespace harp::ecc
+
+#endif // HARP_ECC_SLICED_HAMMING_HH

@@ -33,13 +33,19 @@ class BitMatrix
     static BitMatrix random(std::size_t rows, std::size_t cols,
                             common::Xoshiro256 &rng);
 
+    /** Number of rows. */
     std::size_t rows() const { return rows_; }
+    /** Number of columns. */
     std::size_t cols() const { return cols_; }
 
+    /** Element at row @p r, column @p c. */
     bool get(std::size_t r, std::size_t c) const;
+    /** Set the element at row @p r, column @p c to @p value. */
     void set(std::size_t r, std::size_t c, bool value);
 
+    /** Row @p r as a length-cols() vector. */
     const BitVector &row(std::size_t r) const;
+    /** Mutable row @p r; callers must preserve its length. */
     BitVector &row(std::size_t r);
 
     /** Column @p c as a vector of length rows(). */
@@ -51,6 +57,7 @@ class BitMatrix
     /** Matrix-matrix product: (*this) · other. */
     BitMatrix multiply(const BitMatrix &other) const;
 
+    /** The cols() × rows() transpose. */
     BitMatrix transposed() const;
 
     /** Rank via Gaussian elimination (does not modify *this). */

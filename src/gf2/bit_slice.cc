@@ -1,0 +1,117 @@
+#include "gf2/bit_slice.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace harp::gf2 {
+
+void
+transpose64x64(std::uint64_t m[64])
+{
+    // Recursive quadrant swap (Hacker's Delight 7-3, adapted to
+    // LSB-first columns): at step j, element (r, c+j) trades places
+    // with (r+j, c) for every r, c whose j-bit is clear.
+    for (std::size_t j = 32; j != 0; j >>= 1) {
+        // Bits c with (c & j) == 0, e.g. 0x00000000FFFFFFFF for j=32.
+        const std::uint64_t mask =
+            ~std::uint64_t{0} / ((std::uint64_t{1} << j) + 1);
+        for (std::size_t r = 0; r < 64; ++r) {
+            if ((r & j) != 0)
+                continue;
+            const std::uint64_t t = ((m[r] >> j) ^ m[r | j]) & mask;
+            m[r] ^= t << j;
+            m[r | j] ^= t;
+        }
+    }
+}
+
+BitSlice64::BitSlice64(std::size_t positions)
+    : lanes_(positions, 0)
+{
+}
+
+void
+BitSlice64::clear()
+{
+    lanes_.assign(lanes_.size(), 0);
+}
+
+bool
+BitSlice64::get(std::size_t pos, std::size_t word) const
+{
+    assert(pos < lanes_.size() && word < laneCount);
+    return (lanes_[pos] >> word) & 1;
+}
+
+void
+BitSlice64::set(std::size_t pos, std::size_t word, bool value)
+{
+    assert(pos < lanes_.size() && word < laneCount);
+    const std::uint64_t mask = std::uint64_t{1} << word;
+    if (value)
+        lanes_[pos] |= mask;
+    else
+        lanes_[pos] &= ~mask;
+}
+
+void
+BitSlice64::gather(const std::vector<BitVector> &words)
+{
+    assert(words.size() <= laneCount);
+    const std::size_t positions = lanes_.size();
+    const std::size_t blocks = common::wordsFor(positions);
+    std::uint64_t block[64];
+    for (std::size_t b = 0; b < blocks; ++b) {
+        for (std::size_t w = 0; w < laneCount; ++w) {
+            if (w < words.size()) {
+                assert(words[w].size() == positions);
+                block[w] = words[w].words()[b];
+            } else {
+                block[w] = 0;
+            }
+        }
+        transpose64x64(block);
+        const std::size_t base = b * common::wordBits;
+        const std::size_t valid =
+            std::min(common::wordBits, positions - base);
+        for (std::size_t i = 0; i < valid; ++i)
+            lanes_[base + i] = block[i];
+    }
+}
+
+void
+BitSlice64::scatterPrefix(std::size_t count,
+                          std::vector<BitVector> &words) const
+{
+    assert(count <= lanes_.size());
+    assert(words.size() <= laneCount);
+    const std::size_t blocks = common::wordsFor(count);
+    std::uint64_t block[64];
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t base = b * common::wordBits;
+        const std::size_t valid = std::min(common::wordBits, count - base);
+        for (std::size_t i = 0; i < valid; ++i)
+            block[i] = lanes_[base + i];
+        for (std::size_t i = valid; i < common::wordBits; ++i)
+            block[i] = 0;
+        transpose64x64(block);
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            assert(words[w].size() == count);
+            words[w].setWord(b, block[w]);
+        }
+    }
+}
+
+BitVector
+BitSlice64::extractWord(std::size_t word) const
+{
+    assert(word < laneCount);
+    BitVector out(lanes_.size());
+    for (std::size_t pos = 0; pos < lanes_.size(); ++pos)
+        out.set(pos, get(pos, word));
+    return out;
+}
+
+} // namespace harp::gf2

@@ -42,10 +42,16 @@ BitVector
 BitVector::random(std::size_t size, common::Xoshiro256 &rng)
 {
     BitVector v(size);
-    for (auto &word : v.words_)
-        word = rng();
-    v.maskTail();
+    v.randomize(rng);
     return v;
+}
+
+void
+BitVector::randomize(common::Xoshiro256 &rng)
+{
+    for (auto &word : words_)
+        word = rng();
+    maskTail();
 }
 
 bool
@@ -80,6 +86,15 @@ BitVector::fill(bool value)
     for (auto &word : words_)
         word = pattern;
     maskTail();
+}
+
+void
+BitVector::setWord(std::size_t w, std::uint64_t value)
+{
+    assert(w < words_.size());
+    words_[w] = value;
+    if (w + 1 == words_.size())
+        words_[w] &= tailMask(size_);
 }
 
 std::size_t

@@ -41,6 +41,10 @@ class BitVector
     /** Uniform random vector of @p size bits. */
     static BitVector random(std::size_t size, common::Xoshiro256 &rng);
 
+    /** Refill this vector with uniform random bits in place, consuming
+     *  the same RNG stream as random() of equal size. */
+    void randomize(common::Xoshiro256 &rng);
+
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
@@ -101,6 +105,13 @@ class BitVector
 
     /** Direct word access for performance-critical consumers. */
     const std::vector<std::uint64_t> &words() const { return words_; }
+
+    /**
+     * Overwrite storage word @p w with @p value (bits beyond size() are
+     * masked off). The allocation-free store used by bit-sliced
+     * scatter paths; semantically equivalent to 64 set() calls.
+     */
+    void setWord(std::size_t w, std::uint64_t value);
 
   private:
     void maskTail();

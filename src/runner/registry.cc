@@ -90,6 +90,7 @@ builtinRegistry()
         registerCaseStudySpecs(r);
         registerExtensionSpecs(r);
         registerExampleSpecs(r);
+        registerPerfSpecs(r);
         return r;
     }();
     return registry;

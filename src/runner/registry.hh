@@ -63,6 +63,7 @@ void registerCoverageSpecs(Registry &registry);
 void registerCaseStudySpecs(Registry &registry);
 void registerExtensionSpecs(Registry &registry);
 void registerExampleSpecs(Registry &registry);
+void registerPerfSpecs(Registry &registry);
 ///@}
 
 } // namespace harp::runner

@@ -273,6 +273,7 @@ makeAblationCodeLength()
         {"words", "24", "simulated ECC words per code"},
         {"rounds", "128", "active-profiling rounds"},
         {"prob", "0.5", "per-bit failure probability of at-risk cells"},
+        engineTunable(),
     };
     spec.schema = {
         {"code", JsonType::String, "(n,k) of the evaluated code"},
@@ -331,6 +332,7 @@ makeAblationDataPatterns()
         {"rounds", "128", "active-profiling rounds"},
         {"prob", "0.5", "per-bit failure probability of at-risk cells"},
         {"pre_errors", "4", "at-risk cells per ECC word"},
+        engineTunable(),
     };
     spec.schema = {
         {"checkpoints", JsonType::Array, "log-spaced round numbers"},

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Performance experiment: profiling-round throughput of the scalar
+ * vs. bit-sliced engines on a Fig. 6-sized coverage workload.
+ *
+ * Unlike every other spec, the timing fields of this experiment's
+ * metrics are machine- and run-dependent, so its JSONL (and therefore
+ * its result_hash) is intentionally *not* reproducible across runs.
+ * The `profile_checksum` field, however, is deterministic and must be
+ * identical for both engines — the in-band witness that the speedup is
+ * measured over bit-identical simulations (docs/PERFORMANCE.md).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "common/bits.hh"
+#include "core/beep_profiler.hh"
+#include "core/harp_profiler.hh"
+#include "core/naive_profiler.hh"
+#include "core/round_engine.hh"
+#include "core/sliced_round_engine.hh"
+#include "ecc/hamming_code.hh"
+#include "runner/registry.hh"
+#include "runner/sweeps.hh"
+
+namespace harp::runner {
+
+namespace {
+
+using namespace harp;
+
+/** Scale of one throughput measurement (Fig. 6 defaults). */
+struct PerfWorkload
+{
+    std::size_t k = 64;
+    std::size_t numCodes = 8;
+    std::size_t wordsPerCode = 24;
+    std::size_t rounds = 128;
+    std::size_t preErrors = 4;
+    double probability = 0.5;
+    std::uint64_t seed = 1;
+};
+
+/** One simulated word: the Fig. 6 profiler set, no ground-truth
+ *  analysis — this experiment times the profiling rounds themselves. */
+struct PerfWord
+{
+    PerfWord(const PerfWorkload &workload, const ecc::HammingCode &word_code,
+             std::size_t code_idx, std::size_t word_idx)
+        : code(word_code),
+          faults([&] {
+              common::Xoshiro256 fault_rng(common::deriveSeed(
+                  workload.seed, {0xFA17u, code_idx, word_idx}));
+              return fault::WordFaultModel::makeUniformFixedCount(
+                  code.n(), workload.preErrors, workload.probability,
+                  fault_rng);
+          }()),
+          engineSeed(common::deriveSeed(workload.seed,
+                                        {0xE221u, code_idx, word_idx}))
+    {
+        profilers.push_back(
+            std::make_unique<core::NaiveProfiler>(code.k()));
+        profilers.push_back(std::make_unique<core::BeepProfiler>(code));
+        profilers.push_back(
+            std::make_unique<core::HarpUProfiler>(code.k()));
+        profilers.push_back(std::make_unique<core::HarpAProfiler>(code));
+        for (auto &p : profilers)
+            raw.push_back(p.get());
+    }
+
+    const ecc::HammingCode &code;
+    fault::WordFaultModel faults;
+    std::uint64_t engineSeed;
+    std::vector<std::unique_ptr<core::Profiler>> profilers;
+    std::vector<core::Profiler *> raw;
+};
+
+/** The words of one workload, grouped per code (= per sliced block). */
+struct PerfFleet
+{
+    explicit PerfFleet(const PerfWorkload &workload)
+    {
+        codes.reserve(workload.numCodes);
+        for (std::size_t c = 0; c < workload.numCodes; ++c) {
+            common::Xoshiro256 code_rng(
+                common::deriveSeed(workload.seed, {0xC0DEu, c}));
+            codes.push_back(
+                ecc::HammingCode::randomSec(workload.k, code_rng));
+        }
+        for (std::size_t c = 0; c < workload.numCodes; ++c) {
+            words.emplace_back();
+            for (std::size_t w = 0; w < workload.wordsPerCode; ++w)
+                words.back().push_back(std::make_unique<PerfWord>(
+                    workload, codes[c], c, w));
+        }
+    }
+
+    /** FNV-1a over every profiler's final identified profile, in
+     *  deterministic (code, word, profiler) order. */
+    std::uint64_t checksum() const
+    {
+        std::uint64_t hash = common::fnv1a64Init;
+        for (const auto &code_words : words) {
+            for (const auto &word : code_words) {
+                for (const core::Profiler *profiler : word->raw) {
+                    for (const std::uint64_t v :
+                         profiler->identified().words()) {
+                        const char *bytes =
+                            reinterpret_cast<const char *>(&v);
+                        hash = common::fnv1a64(
+                            std::string_view(bytes, sizeof(v)), hash);
+                    }
+                }
+            }
+        }
+        return hash;
+    }
+
+    std::vector<ecc::HammingCode> codes;
+    std::vector<std::vector<std::unique_ptr<PerfWord>>> words;
+};
+
+/** Drive every word of @p fleet through all rounds with one engine;
+ *  returns wall seconds of the profiling loop alone. */
+double
+driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
+           core::EngineKind engine)
+{
+    const auto start = std::chrono::steady_clock::now();
+    if (engine == core::EngineKind::Scalar) {
+        for (auto &code_words : fleet.words) {
+            for (auto &word : code_words) {
+                core::RoundEngine round_engine(word->code, word->faults,
+                                               core::PatternKind::Random,
+                                               word->engineSeed);
+                for (std::size_t r = 0; r < workload.rounds; ++r)
+                    round_engine.runRound(word->raw);
+            }
+        }
+    } else {
+        // Batch blocks straight across code boundaries: lanes carry
+        // their own code, so every block is as full as possible.
+        constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
+        std::vector<PerfWord *> flat;
+        for (auto &code_words : fleet.words)
+            for (auto &word : code_words)
+                flat.push_back(word.get());
+        for (std::size_t begin = 0; begin < flat.size(); begin += lanes) {
+            const std::size_t end =
+                std::min(begin + lanes, flat.size());
+            std::vector<const ecc::HammingCode *> code_ptrs;
+            std::vector<const fault::WordFaultModel *> fault_ptrs;
+            std::vector<std::uint64_t> seeds;
+            std::vector<std::vector<core::Profiler *>> lane_profilers;
+            for (std::size_t w = begin; w < end; ++w) {
+                code_ptrs.push_back(&flat[w]->code);
+                fault_ptrs.push_back(&flat[w]->faults);
+                seeds.push_back(flat[w]->engineSeed);
+                lane_profilers.push_back(flat[w]->raw);
+            }
+            core::SlicedRoundEngine round_engine(
+                code_ptrs, fault_ptrs, core::PatternKind::Random, seeds);
+            for (std::size_t r = 0; r < workload.rounds; ++r)
+                round_engine.runRound(lane_profilers);
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/** Best-of-@p reps wall time plus the (deterministic) profile
+ *  checksum for one engine. */
+std::pair<double, std::uint64_t>
+measureEngine(const PerfWorkload &workload, core::EngineKind engine,
+              std::size_t reps)
+{
+    double best = 0.0;
+    std::uint64_t checksum = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        PerfFleet fleet(workload);
+        const double seconds = driveFleet(fleet, workload, engine);
+        if (rep == 0 || seconds < best)
+            best = seconds;
+        checksum = fleet.checksum();
+    }
+    return {best, checksum};
+}
+
+ExperimentSpec
+makePerfEngineThroughput()
+{
+    ExperimentSpec spec;
+    spec.name = "perf_engine_throughput";
+    spec.description =
+        "Profiling-round throughput: scalar vs. sliced64 engine on a "
+        "Fig. 6-sized workload (timing fields are machine-dependent)";
+    spec.labels = {"bench", "perf"};
+    spec.grid = ParamGrid();
+    spec.tunables = {
+        {"k", "64", "dataword length of the on-die ECC code"},
+        {"codes", "8", "randomly generated codes"},
+        {"words", "24", "simulated ECC words per code"},
+        {"rounds", "128", "active-profiling rounds"},
+        {"prob", "0.5", "per-bit failure probability of at-risk cells"},
+        {"pre_errors", "4", "at-risk cells per ECC word"},
+        {"reps", "3", "measurement repetitions (best-of)"},
+    };
+    spec.schema = {
+        {"words_total", JsonType::Int, "simulated ECC words"},
+        {"rounds", JsonType::Int, "profiling rounds per word"},
+        {"profiler_rounds", JsonType::Int,
+         "words x rounds x profilers driven per engine"},
+        {"scalar_wall_seconds", JsonType::Double,
+         "best-of-reps wall time of the scalar profiling loop"},
+        {"sliced64_wall_seconds", JsonType::Double,
+         "best-of-reps wall time of the sliced64 profiling loop"},
+        {"scalar_rounds_per_sec", JsonType::Double,
+         "profiler-rounds/s under the scalar engine"},
+        {"sliced64_rounds_per_sec", JsonType::Double,
+         "profiler-rounds/s under the sliced64 engine"},
+        {"speedup", JsonType::Double,
+         "sliced64 throughput / scalar throughput"},
+        {"profiles_match", JsonType::Bool,
+         "both engines produced identical identified profiles"},
+        {"profile_checksum", JsonType::String,
+         "FNV-1a over all final identified profiles (deterministic; "
+         "equal for both engines)"},
+    };
+    spec.run = [](const RunContext &ctx) {
+        PerfWorkload workload;
+        workload.k = static_cast<std::size_t>(ctx.getInt("k", 64));
+        workload.numCodes =
+            static_cast<std::size_t>(ctx.getInt("codes", 8));
+        workload.wordsPerCode =
+            static_cast<std::size_t>(ctx.getInt("words", 24));
+        workload.rounds =
+            static_cast<std::size_t>(ctx.getInt("rounds", 128));
+        workload.preErrors =
+            static_cast<std::size_t>(ctx.getInt("pre_errors", 4));
+        workload.probability = ctx.getDouble("prob", 0.5);
+        workload.seed = ctx.seed();
+        // At least one rep: --reps 0 would otherwise report a
+        // zero-checksum "match" without measuring anything.
+        const auto reps = std::max<std::size_t>(
+            1, static_cast<std::size_t>(ctx.getInt("reps", 3)));
+
+        auto [scalar_seconds, scalar_checksum] =
+            measureEngine(workload, core::EngineKind::Scalar, reps);
+        auto [sliced_seconds, sliced_checksum] =
+            measureEngine(workload, core::EngineKind::Sliced64, reps);
+        // Degenerate workloads (--words 0, --rounds 0) can time as
+        // exactly zero; clamp so the throughput/speedup divisions stay
+        // finite (JSON serializes non-finite doubles as null, which
+        // would violate the declared schema).
+        scalar_seconds = std::max(scalar_seconds, 1e-9);
+        sliced_seconds = std::max(sliced_seconds, 1e-9);
+
+        const std::size_t words_total =
+            workload.numCodes * workload.wordsPerCode;
+        const double profiler_rounds = static_cast<double>(
+            words_total * workload.rounds * std::size_t{4});
+
+        JsonValue metrics = JsonValue::object();
+        metrics.set("words_total", JsonValue(words_total));
+        metrics.set("rounds", JsonValue(workload.rounds));
+        metrics.set("profiler_rounds",
+                    JsonValue(static_cast<std::uint64_t>(profiler_rounds)));
+        metrics.set("scalar_wall_seconds", JsonValue(scalar_seconds));
+        metrics.set("sliced64_wall_seconds", JsonValue(sliced_seconds));
+        metrics.set("scalar_rounds_per_sec",
+                    JsonValue(profiler_rounds / scalar_seconds));
+        metrics.set("sliced64_rounds_per_sec",
+                    JsonValue(profiler_rounds / sliced_seconds));
+        metrics.set("speedup",
+                    JsonValue(scalar_seconds / sliced_seconds));
+        metrics.set("profiles_match",
+                    JsonValue(scalar_checksum == sliced_checksum));
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(scalar_checksum));
+        metrics.set("profile_checksum", JsonValue(std::string(hex)));
+        return metrics;
+    };
+    return spec;
+}
+
+} // namespace
+
+void
+registerPerfSpecs(Registry &registry)
+{
+    registry.add(makePerfEngineThroughput());
+}
+
+} // namespace harp::runner

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Bit-identity tests for the sliced profiling engine: a
+ * SlicedRoundEngine driving N lanes must produce, for every profiler
+ * of every lane after every round, exactly the state that N scalar
+ * RoundEngines produce from the same per-word seeds — across code
+ * lengths, data patterns, heterogeneous per-lane codes, and ragged
+ * lane counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/beep_profiler.hh"
+#include "core/case_study_experiment.hh"
+#include "core/coverage_experiment.hh"
+#include "core/harp_a_beep_profiler.hh"
+#include "core/harp_profiler.hh"
+#include "core/naive_profiler.hh"
+#include "core/round_engine.hh"
+#include "core/sliced_round_engine.hh"
+#include "support/property.hh"
+
+namespace harp::core {
+namespace {
+
+using test::forEachSeed;
+
+/** The full profiler set of the paper's evaluation for one word. */
+std::vector<std::unique_ptr<Profiler>>
+makeProfilerSet(const ecc::HammingCode &code)
+{
+    std::vector<std::unique_ptr<Profiler>> set;
+    set.push_back(std::make_unique<NaiveProfiler>(code.k()));
+    set.push_back(std::make_unique<BeepProfiler>(code));
+    set.push_back(std::make_unique<HarpUProfiler>(code.k()));
+    set.push_back(std::make_unique<HarpAProfiler>(code));
+    set.push_back(std::make_unique<HarpABeepProfiler>(code));
+    return set;
+}
+
+/**
+ * Run @p lanes words for @p rounds under both engines with identical
+ * per-word seed derivation and assert per-round, per-profiler
+ * identical identified() profiles.
+ */
+void
+checkEngineEquivalence(const std::vector<ecc::HammingCode> &codes,
+                       const std::vector<fault::WordFaultModel> &faults,
+                       PatternKind pattern, std::size_t rounds,
+                       std::uint64_t seed)
+{
+    const std::size_t lanes = codes.size();
+
+    // Scalar reference: one engine + profiler set per word.
+    std::vector<std::vector<std::unique_ptr<Profiler>>> scalar_sets;
+    std::vector<std::unique_ptr<RoundEngine>> scalar_engines;
+    // Sliced: one engine over all lanes, same profiler classes.
+    std::vector<std::vector<std::unique_ptr<Profiler>>> sliced_sets;
+    std::vector<const ecc::HammingCode *> code_ptrs;
+    std::vector<const fault::WordFaultModel *> fault_ptrs;
+    std::vector<std::uint64_t> lane_seeds;
+    for (std::size_t w = 0; w < lanes; ++w) {
+        const std::uint64_t word_seed = common::deriveSeed(seed, {w});
+        scalar_sets.push_back(makeProfilerSet(codes[w]));
+        scalar_engines.push_back(std::make_unique<RoundEngine>(
+            codes[w], faults[w], pattern, word_seed));
+        sliced_sets.push_back(makeProfilerSet(codes[w]));
+        code_ptrs.push_back(&codes[w]);
+        fault_ptrs.push_back(&faults[w]);
+        lane_seeds.push_back(word_seed);
+    }
+    SlicedRoundEngine sliced_engine(code_ptrs, fault_ptrs, pattern,
+                                    lane_seeds);
+    ASSERT_EQ(sliced_engine.lanes(), lanes);
+
+    std::vector<std::vector<Profiler *>> sliced_raw(lanes);
+    std::vector<std::vector<Profiler *>> scalar_raw(lanes);
+    for (std::size_t w = 0; w < lanes; ++w) {
+        for (auto &p : sliced_sets[w])
+            sliced_raw[w].push_back(p.get());
+        for (auto &p : scalar_sets[w])
+            scalar_raw[w].push_back(p.get());
+    }
+
+    for (std::size_t r = 0; r < rounds; ++r) {
+        sliced_engine.runRound(sliced_raw);
+        for (std::size_t w = 0; w < lanes; ++w)
+            scalar_engines[w]->runRound(scalar_raw[w]);
+        for (std::size_t w = 0; w < lanes; ++w) {
+            for (std::size_t s = 0; s < scalar_raw[w].size(); ++s) {
+                ASSERT_EQ(sliced_raw[w][s]->identified(),
+                          scalar_raw[w][s]->identified())
+                    << "round " << r << ", lane " << w << ", profiler "
+                    << scalar_raw[w][s]->name();
+            }
+        }
+    }
+    EXPECT_EQ(sliced_engine.roundsRun(), rounds);
+}
+
+TEST(SlicedRoundEngine, BitIdenticalToScalarHomogeneousCode)
+{
+    forEachSeed(2, [](std::uint64_t seed, common::Xoshiro256 &rng) {
+        for (const PatternKind pattern :
+             {PatternKind::Random, PatternKind::Charged,
+              PatternKind::Checkered}) {
+            const ecc::HammingCode code =
+                ecc::HammingCode::randomSec(64, rng);
+            std::vector<ecc::HammingCode> codes(64, code);
+            std::vector<fault::WordFaultModel> faults;
+            for (std::size_t w = 0; w < codes.size(); ++w)
+                faults.push_back(
+                    fault::WordFaultModel::makeUniformFixedCount(
+                        code.n(), 2 + w % 4, 0.5, rng));
+            checkEngineEquivalence(codes, faults, pattern, 24, seed);
+        }
+    });
+}
+
+TEST(SlicedRoundEngine, BitIdenticalWithHeterogeneousCodesAndRaggedTail)
+{
+    // Case-study shape: every lane its own random code, and fewer live
+    // words than lanes fit (the ragged tail of a 64-word block).
+    forEachSeed(2, [](std::uint64_t seed, common::Xoshiro256 &rng) {
+        for (const std::size_t lanes : {std::size_t{1}, std::size_t{5},
+                                        std::size_t{23}}) {
+            std::vector<ecc::HammingCode> codes;
+            std::vector<fault::WordFaultModel> faults;
+            for (std::size_t w = 0; w < lanes; ++w) {
+                codes.push_back(ecc::HammingCode::randomSec(64, rng));
+                faults.push_back(
+                    fault::WordFaultModel::makeUniformFixedCount(
+                        codes[w].n(), 1 + w % 5, 0.25 + 0.25 * (w % 4),
+                        rng));
+            }
+            checkEngineEquivalence(codes, faults, PatternKind::Random,
+                                   20, seed);
+        }
+    });
+}
+
+TEST(SlicedRoundEngine, BitIdenticalAtK128)
+{
+    forEachSeed(1, [](std::uint64_t seed, common::Xoshiro256 &rng) {
+        std::vector<ecc::HammingCode> codes;
+        std::vector<fault::WordFaultModel> faults;
+        for (std::size_t w = 0; w < 16; ++w) {
+            codes.push_back(ecc::HammingCode::randomSec(128, rng));
+            faults.push_back(
+                fault::WordFaultModel::makeUniformFixedCount(
+                    codes[w].n(), 3, 0.75, rng));
+        }
+        checkEngineEquivalence(codes, faults, PatternKind::Random, 16,
+                               seed);
+    });
+}
+
+TEST(SlicedRoundEngine, HandlesFaultFreeLanes)
+{
+    // Lanes without any at-risk cell must stay error-free and cost no
+    // RNG draws, exactly like a scalar engine over a clean word.
+    forEachSeed(1, [](std::uint64_t seed, common::Xoshiro256 &rng) {
+        std::vector<ecc::HammingCode> codes;
+        std::vector<fault::WordFaultModel> faults;
+        for (std::size_t w = 0; w < 8; ++w) {
+            codes.push_back(ecc::HammingCode::randomSec(64, rng));
+            faults.push_back(
+                fault::WordFaultModel::makeUniformFixedCount(
+                    codes[w].n(), w % 2 == 0 ? 0 : 3, 1.0, rng));
+        }
+        checkEngineEquivalence(codes, faults, PatternKind::Charged, 12,
+                               seed);
+    });
+}
+
+/**
+ * Whole-experiment equivalence: the coverage experiment must emit
+ * byte-identical aggregates under both engines — the property the
+ * runner's `--engine` tunable and campaign result_hash equality rely
+ * on. wordsPerCode = 70 forces a ragged second block (64 + 6 lanes).
+ */
+TEST(EngineEquivalence, CoverageExperimentAggregatesMatch)
+{
+    CoverageConfig config;
+    config.k = 64;
+    config.numCodes = 2;
+    config.wordsPerCode = 70;
+    config.rounds = 10;
+    config.numPreCorrectionErrors = 3;
+    config.perBitProbability = 0.5;
+    config.includeHarpABeep = true;
+    config.seed = 99;
+    config.threads = 2;
+
+    config.engine = EngineKind::Scalar;
+    const CoverageResult scalar = runCoverageExperiment(config);
+    config.engine = EngineKind::Sliced64;
+    const CoverageResult sliced = runCoverageExperiment(config);
+
+    EXPECT_EQ(scalar.totalDirectAtRisk, sliced.totalDirectAtRisk);
+    EXPECT_EQ(scalar.totalIndirectAtRisk, sliced.totalIndirectAtRisk);
+    EXPECT_EQ(scalar.numWords, sliced.numWords);
+    ASSERT_EQ(scalar.profilers.size(), sliced.profilers.size());
+    for (std::size_t p = 0; p < scalar.profilers.size(); ++p) {
+        const ProfilerAggregate &a = scalar.profilers[p];
+        const ProfilerAggregate &b = sliced.profilers[p];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.directIdentifiedSum, b.directIdentifiedSum) << a.name;
+        EXPECT_EQ(a.indirectMissedSum, b.indirectMissedSum) << a.name;
+        EXPECT_EQ(a.falsePositiveSum, b.falsePositiveSum) << a.name;
+        EXPECT_EQ(a.bootstrapRounds.sortedSamples(),
+                  b.bootstrapRounds.sortedSamples())
+            << a.name;
+        ASSERT_EQ(a.maxSimultaneousFinal.numBins(),
+                  b.maxSimultaneousFinal.numBins());
+        for (std::size_t bin = 0; bin < a.maxSimultaneousFinal.numBins();
+             ++bin)
+            EXPECT_EQ(a.maxSimultaneousFinal.bin(bin),
+                      b.maxSimultaneousFinal.bin(bin))
+                << a.name << " bin " << bin;
+        for (std::size_t x = 0; x < maxTrackedBound; ++x)
+            EXPECT_EQ(a.roundsToBound[x].sortedSamples(),
+                      b.roundsToBound[x].sortedSamples())
+                << a.name << " bound " << x + 1;
+    }
+}
+
+/** Same property for the Fig. 10 case study, whose sliced blocks carry
+ *  a different random code in every lane. */
+TEST(EngineEquivalence, CaseStudyExperimentSeriesMatch)
+{
+    CaseStudyConfig config;
+    config.k = 64;
+    config.perBitProbability = 0.75;
+    config.maxConditionedCells = 3;
+    config.samplesPerCellCount = 9;
+    config.rounds = 12;
+    config.seed = 17;
+    config.threads = 2;
+
+    config.engine = EngineKind::Scalar;
+    const CaseStudyResult scalar = runCaseStudyExperiment(config);
+    config.engine = EngineKind::Sliced64;
+    const CaseStudyResult sliced = runCaseStudyExperiment(config);
+
+    EXPECT_EQ(scalar.roundsToZeroAfter, sliced.roundsToZeroAfter);
+    ASSERT_EQ(scalar.series.size(), sliced.series.size());
+    for (std::size_t i = 0; i < scalar.series.size(); ++i) {
+        EXPECT_EQ(scalar.series[i].profiler, sliced.series[i].profiler);
+        EXPECT_EQ(scalar.series[i].rber, sliced.series[i].rber);
+        // Conditional sums are integers mixed with identical Binomial
+        // weights in identical order: exact double equality holds.
+        EXPECT_EQ(scalar.series[i].berBefore, sliced.series[i].berBefore);
+        EXPECT_EQ(scalar.series[i].berAfter, sliced.series[i].berAfter);
+    }
+}
+
+TEST(SlicedRoundEngine, RejectsInconsistentLaneCounts)
+{
+    common::Xoshiro256 rng(3);
+    const ecc::HammingCode code = ecc::HammingCode::randomSec(64, rng);
+    const fault::WordFaultModel faults =
+        fault::WordFaultModel::makeUniformFixedCount(code.n(), 2, 0.5,
+                                                     rng);
+    EXPECT_THROW(SlicedRoundEngine({&code, &code}, {&faults},
+                                   PatternKind::Random, {1, 2}),
+                 std::invalid_argument);
+    EXPECT_THROW(SlicedRoundEngine({&code}, {&faults},
+                                   PatternKind::Random, {1, 2}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace harp::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the BitSlice64 transposed word block: the 64x64 bit
+ * transpose, gather/scatter round trips (including ragged lane counts
+ * and non-multiple-of-64 position counts), and prefix scatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf2/bit_slice.hh"
+#include "support/property.hh"
+#include "support/seeded_fixture.hh"
+
+namespace harp::gf2 {
+namespace {
+
+using test::forEachSeed;
+
+TEST(Transpose64, MatchesNaiveOnRandomMatrices)
+{
+    forEachSeed(8, [](std::uint64_t, common::Xoshiro256 &rng) {
+        std::uint64_t m[64];
+        std::uint64_t original[64];
+        for (std::size_t r = 0; r < 64; ++r)
+            original[r] = m[r] = rng();
+        transpose64x64(m);
+        for (std::size_t r = 0; r < 64; ++r)
+            for (std::size_t c = 0; c < 64; ++c)
+                ASSERT_EQ((m[r] >> c) & 1, (original[c] >> r) & 1)
+                    << "element (" << r << "," << c << ")";
+    });
+}
+
+TEST(Transpose64, IsAnInvolution)
+{
+    forEachSeed(4, [](std::uint64_t, common::Xoshiro256 &rng) {
+        std::uint64_t m[64];
+        std::uint64_t original[64];
+        for (std::size_t r = 0; r < 64; ++r)
+            original[r] = m[r] = rng();
+        transpose64x64(m);
+        transpose64x64(m);
+        for (std::size_t r = 0; r < 64; ++r)
+            ASSERT_EQ(m[r], original[r]);
+    });
+}
+
+TEST(BitSlice64, GatherScatterRoundTrips)
+{
+    const std::size_t position_counts[] = {1, 5, 63, 64, 65, 71, 128, 137};
+    const std::size_t lane_counts[] = {1, 5, 63, 64};
+    forEachSeed(3, [&](std::uint64_t, common::Xoshiro256 &rng) {
+        for (const std::size_t positions : position_counts) {
+            for (const std::size_t lanes : lane_counts) {
+                std::vector<BitVector> words;
+                for (std::size_t w = 0; w < lanes; ++w)
+                    words.push_back(BitVector::random(positions, rng));
+
+                BitSlice64 slice(positions);
+                slice.gather(words);
+                // Lane bits match the gathered words...
+                for (std::size_t w = 0; w < lanes; ++w)
+                    for (std::size_t pos = 0; pos < positions; ++pos)
+                        ASSERT_EQ(slice.get(pos, w), words[w].get(pos))
+                            << positions << " positions, lane " << w
+                            << ", pos " << pos;
+                // ...unpopulated lanes are zeroed...
+                for (std::size_t w = lanes; w < 64; ++w)
+                    ASSERT_TRUE(slice.extractWord(w).isZero());
+                // ...and scatter restores the originals.
+                std::vector<BitVector> out(lanes, BitVector(positions));
+                slice.scatter(out);
+                for (std::size_t w = 0; w < lanes; ++w)
+                    ASSERT_EQ(out[w], words[w]);
+            }
+        }
+    });
+}
+
+TEST(BitSlice64, ScatterPrefixExtractsLeadingPositions)
+{
+    forEachSeed(3, [](std::uint64_t, common::Xoshiro256 &rng) {
+        const std::size_t positions = 71; // (71,64) codeword length
+        const std::size_t prefix = 64;
+        std::vector<BitVector> words;
+        for (std::size_t w = 0; w < 10; ++w)
+            words.push_back(BitVector::random(positions, rng));
+        BitSlice64 slice(positions);
+        slice.gather(words);
+
+        std::vector<BitVector> out(words.size(), BitVector(prefix));
+        slice.scatterPrefix(prefix, out);
+        for (std::size_t w = 0; w < words.size(); ++w)
+            ASSERT_EQ(out[w], words[w].slice(0, prefix)) << "lane " << w;
+    });
+}
+
+TEST(BitSlice64, LaneAccessAndSetBit)
+{
+    BitSlice64 slice(3);
+    EXPECT_EQ(slice.positions(), 3u);
+    slice.set(2, 63, true);
+    slice.set(0, 0, true);
+    EXPECT_TRUE(slice.get(2, 63));
+    EXPECT_TRUE(slice.get(0, 0));
+    EXPECT_FALSE(slice.get(1, 0));
+    EXPECT_EQ(slice.lane(0), 1u);
+    EXPECT_EQ(slice.lane(2), std::uint64_t{1} << 63);
+    slice.lane(1) = 0xFF;
+    EXPECT_TRUE(slice.get(1, 7));
+    slice.clear();
+    EXPECT_EQ(slice.lane(1), 0u);
+}
+
+TEST(BitVectorSetWord, MasksTailBits)
+{
+    BitVector v(70);
+    v.setWord(0, ~std::uint64_t{0});
+    v.setWord(1, ~std::uint64_t{0});
+    EXPECT_EQ(v.popcount(), 70u);
+    v.setWord(1, 0);
+    EXPECT_EQ(v.popcount(), 64u);
+}
+
+} // namespace
+} // namespace harp::gf2

@@ -268,6 +268,74 @@ TEST(CampaignDeterminism, SeedFixedHashesAgreeAcrossShardCounts)
     }
 }
 
+/**
+ * The engine contract behind `--engine`: scalar and sliced64 campaigns
+ * over the coverage and case-study specs must emit byte-identical
+ * JSONL (equal result hashes) for a fixed seed. wordsPerCode = 70
+ * exercises a ragged sliced block (64 + 6 lanes).
+ */
+TEST(CampaignDeterminism, EngineOverridesHashIdentically)
+{
+    std::vector<CampaignSummary> runs;
+    std::vector<std::string> jsonl_bytes;
+    for (const char *engine : {"scalar", "sliced64"}) {
+        const TempDir dir(std::string("engine_") + engine);
+        CampaignOptions options;
+        options.seed = 11;
+        options.threads = 2;
+        options.outDir = dir.str();
+        options.overrides = {{"engine", engine}, {"codes", "1"},
+                             {"words", "70"},    {"rounds", "6"},
+                             {"prob", "0.5"},    {"pre_errors", "3"},
+                             {"samples", "5"},   {"max_cells", "2"}};
+        std::ostringstream log;
+        runs.push_back(runFast(
+            {"fig06_direct_coverage", "fig10_case_study"}, options, log));
+        std::string bytes;
+        for (const ExperimentRunSummary &exp : runs.back().experiments)
+            bytes += readFile(exp.jsonlPath);
+        jsonl_bytes.push_back(std::move(bytes));
+    }
+    ASSERT_EQ(runs.size(), 2u);
+    for (std::size_t e = 0; e < runs[0].experiments.size(); ++e)
+        EXPECT_EQ(runs[0].experiments[e].resultHash,
+                  runs[1].experiments[e].resultHash)
+            << runs[0].experiments[e].name;
+    EXPECT_EQ(jsonl_bytes[0], jsonl_bytes[1]);
+}
+
+/** The perf experiment runs end-to-end through the campaign driver and
+ *  reports matching profiles between its two engine measurements. */
+TEST(Campaign, PerfEngineThroughputSmoke)
+{
+    const TempDir dir("perf");
+    CampaignOptions options;
+    options.seed = 1;
+    options.threads = 1;
+    options.outDir = dir.str();
+    options.overrides = {{"codes", "1"}, {"words", "8"}, {"rounds", "8"},
+                         {"reps", "1"}};
+
+    std::ostringstream log;
+    const CampaignSummary summary =
+        runFast({"perf_engine_throughput"}, options, log);
+    ASSERT_EQ(summary.experiments.size(), 1u);
+
+    std::istringstream jsonl(
+        readFile(summary.experiments[0].jsonlPath));
+    std::string line;
+    ASSERT_TRUE(std::getline(jsonl, line));
+    const JsonValue doc = JsonValue::parse(line);
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_NE(metrics->find("profiles_match"), nullptr);
+    ASSERT_NE(metrics->find("speedup"), nullptr);
+    ASSERT_NE(metrics->find("profiler_rounds"), nullptr);
+    EXPECT_TRUE(metrics->find("profiles_match")->asBool());
+    EXPECT_GT(metrics->find("speedup")->asDouble(), 0.0);
+    EXPECT_EQ(metrics->find("profiler_rounds")->asInt(), 8 * 8 * 4);
+}
+
 /** Changing the seed must change the results (the hash actually hashes
  *  content, not structure). */
 TEST(CampaignDeterminism, DifferentSeedsProduceDifferentHashes)

@@ -15,14 +15,16 @@ namespace {
 TEST(Registry, BuiltinCatalogueIsComplete)
 {
     const Registry &registry = builtinRegistry();
-    // 14 former bench binaries + 4 former examples.
-    EXPECT_EQ(registry.size(), 18u);
-    EXPECT_EQ(registry.withLabel("bench").size(), 14u);
+    // 14 former bench binaries + 4 former examples + the engine perf
+    // experiment.
+    EXPECT_EQ(registry.size(), 19u);
+    EXPECT_EQ(registry.withLabel("bench").size(), 15u);
     EXPECT_EQ(registry.withLabel("example").size(), 4u);
     EXPECT_EQ(registry.withLabel("figure").size(), 7u);
     EXPECT_EQ(registry.withLabel("table").size(), 2u);
     EXPECT_EQ(registry.withLabel("ablation").size(), 2u);
     EXPECT_EQ(registry.withLabel("extension").size(), 3u);
+    EXPECT_EQ(registry.withLabel("perf").size(), 1u);
 
     const char *expected[] = {
         "ablation_code_length",
@@ -38,6 +40,7 @@ TEST(Registry, BuiltinCatalogueIsComplete)
         "fig08_indirect_coverage",
         "fig09_secondary_ecc",
         "fig10_case_study",
+        "perf_engine_throughput",
         "quickstart",
         "retention_case_study",
         "secondary_ecc_sizing",
