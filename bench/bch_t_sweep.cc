@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Alias binary for `harp_run bch_t_sweep`: forwards into the unified
+ * experiment-campaign runner with this experiment pre-selected. The
+ * experiment itself is defined in src/runner/ (see `harp_run --list`).
+ */
+
+#include "runner/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return harp::runner::runnerMain(argc, argv, "bch_t_sweep");
+}

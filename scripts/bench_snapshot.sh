@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: runs the perf_engine_throughput experiment
+# (Hamming + t-error BCH workloads) through harp_run and writes a
+# machine-readable snapshot JSON with rounds/s per engine, the
+# sliced/scalar speedups, memo statistics and the profile checksums.
+#
+#   scripts/bench_snapshot.sh            # full workload -> BENCH_PR4.json
+#   scripts/bench_snapshot.sh --smoke    # tiny workload, wiring check only
+#
+# Full mode enforces the tracked floor: the sliced64 engine must be
+# >= 5x scalar on the BCH workload with profiles_match=true (the
+# bit-identity witness). Smoke mode (used by verify.sh) only checks
+# the wiring and the witness, never timing — timings on loaded
+# machines are noise at smoke scale.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE=full
+OUT=BENCH_PR4.json
+SEED=1
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --smoke) MODE=smoke; shift ;;
+      --out) OUT=$2; shift 2 ;;
+      --seed) SEED=$2; shift 2 ;;
+      *)
+        echo "usage: $0 [--smoke] [--out FILE] [--seed N]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+RUN=./build/src/harp_run
+[[ -x $RUN ]] || {
+    echo "bench_snapshot: $RUN missing — build first (cmake --build build)" >&2
+    exit 1
+}
+
+tmpdir=build/bench-snapshot
+rm -rf "$tmpdir"
+if [[ $MODE == smoke ]]; then
+    "$RUN" perf_engine_throughput --seed "$SEED" --threads 1 \
+        --codes 2 --words 16 --rounds 16 --reps 1 \
+        --out "$tmpdir" > /dev/null
+else
+    "$RUN" perf_engine_throughput --seed "$SEED" --threads 1 \
+        --out "$tmpdir" > /dev/null
+fi
+
+jsonl="$tmpdir/perf_engine_throughput.jsonl"
+[[ -s $jsonl ]] || {
+    echo "bench_snapshot: missing $jsonl" >&2
+    exit 1
+}
+
+# Every workload row must carry the bit-identity witness.
+rows=$(wc -l < "$jsonl")
+matches=$(grep -c '"profiles_match":true' "$jsonl" || true)
+if [[ $rows -ne 2 || $matches -ne 2 ]]; then
+    echo "bench_snapshot: expected 2 rows with profiles_match=true," \
+         "got $rows rows / $matches matches" >&2
+    exit 1
+fi
+
+# Full mode: the BCH workload must stay on the fast path (>= 5x).
+if [[ $MODE == full ]]; then
+    awk '
+        /"workload":"bch"/ {
+            if (match($0, /"speedup":[0-9.eE+-]+/)) {
+                v = substr($0, RSTART + 10, RLENGTH - 10) + 0
+                if (v < 5) {
+                    printf "bench_snapshot: BCH speedup %.2fx below the 5x floor\n", v > "/dev/stderr"
+                    bad = 1
+                }
+            }
+        }
+        END { exit bad }
+    ' "$jsonl"
+fi
+
+# The JSONL rows are single-line JSON objects: wrap them verbatim.
+{
+    echo '{'
+    echo '  "schema_version": 1,'
+    echo '  "bench": "perf_engine_throughput",'
+    echo "  \"mode\": \"$MODE\","
+    echo "  \"seed\": $SEED,"
+    echo '  "workloads": ['
+    sed -e 's/^/    /' -e '$!s/$/,/' "$jsonl"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "bench_snapshot: wrote $OUT ($MODE mode, $rows workloads)"

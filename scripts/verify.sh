@@ -15,8 +15,8 @@ cmake --build build -j
 # The registry must expose every ported bench + example experiment plus
 # the engine-throughput perf experiment.
 listing="$(./build/src/harp_run --list)"
-echo "$listing" | grep -q "19 experiments (15 bench, 4 example)" || {
-    echo "verify: harp_run --list does not show 19 experiments" >&2
+echo "$listing" | grep -q "20 experiments (16 bench, 4 example)" || {
+    echo "verify: harp_run --list does not show 20 experiments" >&2
     exit 1
 }
 
@@ -59,6 +59,30 @@ for f in fig06_direct_coverage.jsonl fig10_case_study.jsonl; do
         exit 1
     }
 done
+
+# The BCH t-sweep must be byte-identical too: the memoized sliced BCH
+# datapath is exactly equivalent to the scalar Berlekamp-Massey
+# decoder (70 words/point exercises a ragged 64 + 6 sliced block).
+for engine in scalar sliced64; do
+    ./build/src/harp_run bch_t_sweep \
+        --seed 9 --threads 2 --engine "$engine" \
+        --words 70 --rounds 6 \
+        --out "$smoke_dir/bch-$engine" > /dev/null
+done
+cmp -s "$smoke_dir/bch-scalar/bch_t_sweep.jsonl" \
+       "$smoke_dir/bch-sliced64/bch_t_sweep.jsonl" || {
+    echo "verify: bch_t_sweep.jsonl differs between scalar and sliced64" >&2
+    exit 1
+}
+
+# --- Perf snapshot (smoke) ------------------------------------------------
+# Wiring + bit-identity witness of the engine-throughput bench; the
+# full-scale snapshot (speedup floors) is scripts/bench_snapshot.sh.
+scripts/bench_snapshot.sh --smoke --out "$smoke_dir/BENCH_PR4.json"
+test -s "$smoke_dir/BENCH_PR4.json" || {
+    echo "verify: bench_snapshot smoke wrote no snapshot" >&2
+    exit 1
+}
 
 # --- Docs lint ------------------------------------------------------------
 if command -v doxygen > /dev/null 2>&1; then

@@ -1,16 +1,51 @@
 #include "core/round_engine.hh"
 
+#include <stdexcept>
+
 namespace harp::core {
+
+namespace {
+
+/** Reject a null codec before the member initializers dereference it. */
+std::unique_ptr<const ecc::WordCodec>
+requireCodec(std::unique_ptr<const ecc::WordCodec> codec)
+{
+    if (codec == nullptr)
+        throw std::invalid_argument("RoundEngine: null codec");
+    return codec;
+}
+
+} // namespace
+
+RoundEngine::RoundEngine(std::unique_ptr<const ecc::WordCodec> codec,
+                         const fault::WordFaultModel &faults,
+                         PatternKind pattern, std::uint64_t seed)
+    : codec_(requireCodec(std::move(codec))),
+      faults_(faults),
+      patterns_(pattern, codec_->k(),
+                common::deriveSeed(seed, {0x9A77E2u})),
+      crnRng_(common::deriveSeed(seed, {0xC28Bu})),
+      profilerRng_(common::deriveSeed(seed, {0x9120F1u})),
+      stored_(codec_->n()),
+      received_(codec_->n()),
+      post_(codec_->k()),
+      raw_(codec_->k())
+{
+}
 
 RoundEngine::RoundEngine(const ecc::HammingCode &code,
                          const fault::WordFaultModel &faults,
                          PatternKind pattern, std::uint64_t seed)
-    : code_(code),
-      faults_(faults),
-      patterns_(pattern, code.k(),
-                common::deriveSeed(seed, {0x9A77E2u})),
-      crnRng_(common::deriveSeed(seed, {0xC28Bu})),
-      profilerRng_(common::deriveSeed(seed, {0x9120F1u}))
+    : RoundEngine(std::make_unique<ecc::HammingWordCodec>(code), faults,
+                  pattern, seed)
+{
+}
+
+RoundEngine::RoundEngine(const ecc::BchCode &code,
+                         const fault::WordFaultModel &faults,
+                         PatternKind pattern, std::uint64_t seed)
+    : RoundEngine(std::make_unique<ecc::BchWordCodec>(code), faults,
+                  pattern, seed)
 {
 }
 
@@ -28,14 +63,14 @@ RoundEngine::runRound(const std::vector<Profiler *> &profilers)
         const bool verbatim = profiler->chooseDatawordInto(
             round_, suggested_, profilerRng_, written_);
         const gf2::BitVector &written = verbatim ? suggested_ : written_;
-        const gf2::BitVector stored = code_.encode(written);
-        gf2::BitVector received = stored;
-        received ^= faults_.injectErrorsCrn(stored, uniforms_);
+        codec_->encodeInto(written, stored_);
+        received_.assignPrefix(stored_);
+        received_ ^= faults_.injectErrorsCrn(stored_, uniforms_);
 
-        const ecc::DecodeResult decoded = code_.decode(received);
-        const gf2::BitVector raw = received.slice(0, code_.k());
+        codec_->decodeDataInto(received_, post_);
+        raw_.assignPrefix(received_);
 
-        const RoundObservation obs{round_, written, decoded.dataword, raw};
+        const RoundObservation obs{round_, written, post_, raw_};
         profiler->observe(obs);
     }
     ++round_;

@@ -9,17 +9,26 @@
  * probability. This realizes the paper's fairness requirement (section
  * 7.1.2: "the exact same set of ECC words, pre-correction error patterns,
  * and data patterns") even though profilers may write different patterns.
+ *
+ * The engine is code-agnostic: it drives any ecc::WordCodec (SEC
+ * Hamming or general t-error BCH out of the box), with convenience
+ * constructors for the concrete code classes. The encode/decode hot
+ * path runs on reused member scratch — no per-round allocation beyond
+ * the fault model's error-mask sample.
  */
 
 #ifndef HARP_CORE_ROUND_ENGINE_HH
 #define HARP_CORE_ROUND_ENGINE_HH
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.hh"
 #include "core/data_pattern.hh"
 #include "core/profiler.hh"
+#include "ecc/bch_general.hh"
 #include "ecc/hamming_code.hh"
+#include "ecc/word_codec.hh"
 #include "fault/fault_model.hh"
 
 namespace harp::core {
@@ -32,13 +41,26 @@ class RoundEngine
 {
   public:
     /**
-     * @param code    The word's on-die ECC code.
+     * @param codec   The word's on-die ECC code, behind the scalar
+     *                codec interface (the engine takes ownership of
+     *                the adapter; the underlying code must outlive the
+     *                engine).
      * @param faults  The word's fault model.
      * @param pattern Shared data-pattern policy for non-crafting profilers.
      * @param seed    Seed for patterns, common random numbers, and
      *                profiler-private randomness.
      */
+    RoundEngine(std::unique_ptr<const ecc::WordCodec> codec,
+                const fault::WordFaultModel &faults, PatternKind pattern,
+                std::uint64_t seed);
+
+    /** Convenience over a SEC Hamming word. */
     RoundEngine(const ecc::HammingCode &code,
+                const fault::WordFaultModel &faults, PatternKind pattern,
+                std::uint64_t seed);
+
+    /** Convenience over a general t-error BCH word. */
+    RoundEngine(const ecc::BchCode &code,
                 const fault::WordFaultModel &faults, PatternKind pattern,
                 std::uint64_t seed);
 
@@ -49,7 +71,7 @@ class RoundEngine
     std::size_t roundsRun() const { return round_; }
 
   private:
-    const ecc::HammingCode &code_;
+    std::unique_ptr<const ecc::WordCodec> codec_;
     const fault::WordFaultModel &faults_;
     PatternGenerator patterns_;
     common::Xoshiro256 crnRng_;
@@ -57,6 +79,10 @@ class RoundEngine
     // Round-persistent scratch (capacity reused across rounds).
     gf2::BitVector suggested_;
     gf2::BitVector written_;
+    gf2::BitVector stored_;
+    gf2::BitVector received_;
+    gf2::BitVector post_;
+    gf2::BitVector raw_;
     std::vector<double> uniforms_;
     std::size_t round_ = 0;
 };

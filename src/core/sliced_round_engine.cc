@@ -3,25 +3,41 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ecc/sliced_bch.hh"
+#include "ecc/sliced_hamming.hh"
+
 namespace harp::core {
 
+namespace {
+
+/** Reject a null datapath before the delegating ctor dereferences it. */
+const ecc::SlicedCode &
+requireCode(const std::unique_ptr<const ecc::SlicedCode> &code)
+{
+    if (code == nullptr)
+        throw std::invalid_argument("SlicedRoundEngine: null sliced code");
+    return *code;
+}
+
+} // namespace
+
 SlicedRoundEngine::SlicedRoundEngine(
-    const std::vector<const ecc::HammingCode *> &codes,
+    const ecc::SlicedCode &code,
     const std::vector<const fault::WordFaultModel *> &faults,
     PatternKind pattern, const std::vector<std::uint64_t> &seeds)
-    : lanes_(codes.size()),
-      k_(codes.empty() ? 0 : codes[0]->k()),
-      sliced_(codes),
+    : code_(&code),
+      lanes_(faults.size()),
+      k_(code.k()),
       injector_(faults),
       written_(k_),
-      stored_(sliced_.n()),
-      received_(sliced_.n()),
+      stored_(code.n()),
+      received_(code.n()),
       post_(k_)
 {
-    if (faults.size() != lanes_ || seeds.size() != lanes_)
+    if (seeds.size() != lanes_ || lanes_ > code.lanes())
         throw std::invalid_argument(
             "SlicedRoundEngine: codes/faults/seeds lane counts differ");
-    if (injector_.wordBits() != sliced_.n())
+    if (injector_.wordBits() != code.n())
         throw std::invalid_argument(
             "SlicedRoundEngine: fault models must cover n cells");
 
@@ -44,6 +60,36 @@ SlicedRoundEngine::SlicedRoundEngine(
     rawSuggestedVec_.assign(lanes_, gf2::BitVector(k_));
 }
 
+SlicedRoundEngine::SlicedRoundEngine(
+    std::unique_ptr<const ecc::SlicedCode> code,
+    const std::vector<const fault::WordFaultModel *> &faults,
+    PatternKind pattern, const std::vector<std::uint64_t> &seeds)
+    : SlicedRoundEngine(requireCode(code), faults, pattern, seeds)
+{
+    if (faults.size() != code->lanes())
+        throw std::invalid_argument(
+            "SlicedRoundEngine: codes/faults/seeds lane counts differ");
+    owned_ = std::move(code);
+}
+
+SlicedRoundEngine::SlicedRoundEngine(
+    const std::vector<const ecc::HammingCode *> &codes,
+    const std::vector<const fault::WordFaultModel *> &faults,
+    PatternKind pattern, const std::vector<std::uint64_t> &seeds)
+    : SlicedRoundEngine(std::make_unique<ecc::SlicedHammingCode>(codes),
+                        faults, pattern, seeds)
+{
+}
+
+SlicedRoundEngine::SlicedRoundEngine(
+    const std::vector<const ecc::BchCode *> &codes,
+    const std::vector<const fault::WordFaultModel *> &faults,
+    PatternKind pattern, const std::vector<std::uint64_t> &seeds)
+    : SlicedRoundEngine(std::make_unique<ecc::SlicedBchCode>(codes),
+                        faults, pattern, seeds)
+{
+}
+
 void
 SlicedRoundEngine::runDatapath(const std::vector<gf2::BitVector> &written,
                                std::vector<gf2::BitVector> &post,
@@ -51,10 +97,10 @@ SlicedRoundEngine::runDatapath(const std::vector<gf2::BitVector> &written,
                                bool need_raw)
 {
     written_.gather(written);
-    sliced_.encode(written_, stored_);
+    code_->encode(written_, stored_);
     received_ = stored_;
     injector_.apply(stored_, received_);
-    sliced_.decodeData(received_, post_);
+    code_->decodeData(received_, post_);
     post_.scatter(post);
     if (need_raw)
         received_.scatterPrefix(k_, raw);

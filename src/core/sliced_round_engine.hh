@@ -4,14 +4,19 @@
  * lane-operation.
  *
  * Drop-in sibling of core/round_engine.hh. Each lane simulates one ECC
- * word with its own code (equal k across lanes), fault model, data
- * patterns and RNG streams — derived from per-lane seeds with the
- * *same* derivation constants as the scalar RoundEngine, so every
- * per-word outcome (written/post-correction/raw data, and therefore
- * every profiler's identified set) is bit-identical to running 64
- * scalar engines. What changes is the cost: the encode -> inject ->
- * syndrome-decode datapath runs on transposed gf2::BitSlice64 lanes,
- * retiring 64 profiling rounds per word-op instead of one.
+ * word with its own fault model, data patterns and RNG streams —
+ * derived from per-lane seeds with the *same* derivation constants as
+ * the scalar RoundEngine, so every per-word outcome (written /
+ * post-correction / raw data, and therefore every profiler's
+ * identified set) is bit-identical to running 64 scalar engines. What
+ * changes is the cost: the encode -> inject -> syndrome-decode
+ * datapath runs on transposed gf2::BitSlice64 lanes, retiring 64
+ * profiling rounds per word-op instead of one.
+ *
+ * The engine is code-agnostic: it drives any ecc::SlicedCode
+ * implementation — sliced SEC Hamming (per-lane column arrangements
+ * may differ) or sliced t-error BCH (memoized syndrome decoding) —
+ * with convenience constructors for both families.
  *
  * Profilers stay the ordinary per-word objects; the engine gathers
  * their chosen datawords into lanes, runs the sliced datapath, and
@@ -23,12 +28,15 @@
 #define HARP_CORE_SLICED_ROUND_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hh"
 #include "core/data_pattern.hh"
 #include "core/profiler.hh"
-#include "ecc/sliced_hamming.hh"
+#include "ecc/bch_general.hh"
+#include "ecc/hamming_code.hh"
+#include "ecc/sliced_code.hh"
 #include "fault/sliced_injector.hh"
 #include "gf2/bit_slice.hh"
 
@@ -41,22 +49,54 @@ class SlicedRoundEngine
 {
   public:
     /**
-     * @param codes   One on-die ECC code per lane (1..64, equal k; the
-     *                arrangements may differ, so heterogeneous-code
-     *                workloads like the Fig. 10 case study slice too).
-     * @param faults  One fault model per lane (word length n).
+     * Generic non-owning form over any sliced code block: @p code must
+     * outlive the engine and may be *shared* by several engines (e.g.
+     * consecutive 64-word blocks of one BCH workload amortizing one
+     * syndrome-memo warm-up — but not concurrently; see
+     * ecc/sliced_bch.hh). The engine drives faults.size() lanes, which
+     * may be fewer than code.lanes(): surplus code lanes stay zeroed
+     * by gather() and cost nothing.
+     *
+     * @param code    The lanes' sliced ECC datapath.
+     * @param faults  One fault model per live lane (word length n).
      * @param pattern Shared data-pattern policy for non-crafting
      *                profilers.
      * @param seeds   One seed per lane, used exactly as RoundEngine
      *                uses its seed (same child-stream derivation).
      */
+    SlicedRoundEngine(const ecc::SlicedCode &code,
+                      const std::vector<const fault::WordFaultModel *> &faults,
+                      PatternKind pattern,
+                      const std::vector<std::uint64_t> &seeds);
+
+    /** Owning form: like above, but the engine keeps the datapath
+     *  alive; requires exactly one fault model per code lane. */
+    SlicedRoundEngine(std::unique_ptr<const ecc::SlicedCode> code,
+                      const std::vector<const fault::WordFaultModel *> &faults,
+                      PatternKind pattern,
+                      const std::vector<std::uint64_t> &seeds);
+
+    /** Convenience over SEC Hamming lanes (1..64, equal k; the
+     *  arrangements may differ, so heterogeneous-code workloads like
+     *  the Fig. 10 case study slice too). */
     SlicedRoundEngine(const std::vector<const ecc::HammingCode *> &codes,
+                      const std::vector<const fault::WordFaultModel *> &faults,
+                      PatternKind pattern,
+                      const std::vector<std::uint64_t> &seeds);
+
+    /** Convenience over t-error BCH lanes (1..64, all the same code
+     *  function; decoded through the memoized sliced BCH datapath). */
+    SlicedRoundEngine(const std::vector<const ecc::BchCode *> &codes,
                       const std::vector<const fault::WordFaultModel *> &faults,
                       PatternKind pattern,
                       const std::vector<std::uint64_t> &seeds);
 
     /** Number of live lanes (simulated words). */
     std::size_t lanes() const { return lanes_; }
+
+    /** The sliced datapath driving these lanes (e.g.\ for memo-table
+     *  statistics of a SlicedBchCode). */
+    const ecc::SlicedCode &slicedCode() const { return *code_; }
 
     /**
      * Run one profiling round for every lane.
@@ -72,9 +112,12 @@ class SlicedRoundEngine
     std::size_t roundsRun() const { return round_; }
 
   private:
+    const ecc::SlicedCode *code_;
+    /** Set by the owning constructors; null when the caller shares the
+     *  datapath across engines. */
+    std::unique_ptr<const ecc::SlicedCode> owned_;
     std::size_t lanes_;
     std::size_t k_;
-    ecc::SlicedHammingCode sliced_;
     fault::SlicedCrnInjector injector_;
     std::vector<PatternGenerator> patterns_;
     std::vector<common::Xoshiro256> crnRngs_;

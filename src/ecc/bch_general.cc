@@ -1,6 +1,7 @@
 #include "ecc/bch_general.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -80,6 +81,18 @@ BchCode::BchCode(std::size_t k, std::size_t t)
         for (std::size_t j = 0; j < parityBits_; ++j)
             if ((parityMasks_[i] >> j) & 1)
                 parityRows_[j].set(i, true);
+
+    // Decode-time tables: every syndrome term and Chien evaluation
+    // point is a fixed power of alpha, so the hot path is pure lookups.
+    synAlpha_.assign(n() * 2 * t_, 0);
+    for (std::size_t c = 0; c < n(); ++c)
+        for (std::size_t j = 0; j < 2 * t_; ++j)
+            synAlpha_[c * 2 * t_ + j] =
+                field_.alphaPow(static_cast<std::uint64_t>(j + 1) * c);
+    chienXInv_.assign(n(), 0);
+    for (std::size_t i = 0; i < n(); ++i)
+        chienXInv_[i] = field_.alphaPow(
+            (field_.order() - (i % field_.order())) % field_.order());
 }
 
 std::size_t
@@ -102,8 +115,18 @@ BchCode::positionOf(std::size_t coeff) const
 gf2::BitVector
 BchCode::encode(const gf2::BitVector &dataword) const
 {
-    assert(dataword.size() == k_);
     gf2::BitVector codeword(n());
+    encodeInto(dataword, codeword);
+    return codeword;
+}
+
+void
+BchCode::encodeInto(const gf2::BitVector &dataword,
+                    gf2::BitVector &codeword) const
+{
+    assert(dataword.size() == k_);
+    assert(codeword.size() == n());
+    codeword.fill(false);
     std::uint64_t parity = 0;
     dataword.forEachSetBit([&](std::size_t i) {
         codeword.set(i, true);
@@ -112,16 +135,20 @@ BchCode::encode(const gf2::BitVector &dataword) const
     for (std::size_t j = 0; j < parityBits_; ++j)
         if ((parity >> j) & 1)
             codeword.set(k_ + j, true);
-    return codeword;
 }
 
-std::optional<std::vector<Gf2m::Element>>
-BchCode::berlekampMassey(const std::vector<Gf2m::Element> &s) const
+bool
+BchCode::berlekampMassey() const
 {
     // Standard Berlekamp-Massey over GF(2^m). Lambda and B are
-    // polynomials with Lambda[0] == 1 throughout.
-    std::vector<Gf2m::Element> lambda = {1};
-    std::vector<Gf2m::Element> b = {1};
+    // polynomials with Lambda[0] == 1 throughout, held in member
+    // scratch so steady state allocates nothing.
+    const std::vector<Gf2m::Element> &s = synScratch_;
+    std::vector<Gf2m::Element> &lambda = lambdaScratch_;
+    std::vector<Gf2m::Element> &b = bScratch_;
+    std::vector<Gf2m::Element> &next = nextScratch_;
+    lambda.assign(1, 1);
+    b.assign(1, 1);
     std::size_t reg_len = 0;   // current LFSR length L
     std::size_t shift = 1;     // x^shift multiplier for B
     Gf2m::Element b_disc = 1;  // discrepancy associated with B
@@ -138,95 +165,107 @@ BchCode::berlekampMassey(const std::vector<Gf2m::Element> &s) const
         }
         // lambda' = lambda - (delta/b_disc) * x^shift * B.
         const Gf2m::Element scale = field_.divide(delta, b_disc);
-        std::vector<Gf2m::Element> next = lambda;
+        next.assign(lambda.begin(), lambda.end());
         if (next.size() < b.size() + shift)
             next.resize(b.size() + shift, 0);
         for (std::size_t i = 0; i < b.size(); ++i)
             next[i + shift] ^= field_.multiply(scale, b[i]);
 
         if (2 * reg_len <= step) {
-            b = lambda;
+            b.assign(lambda.begin(), lambda.end());
             b_disc = delta;
             reg_len = step + 1 - reg_len;
             shift = 1;
         } else {
             ++shift;
         }
-        lambda = std::move(next);
+        lambda.swap(next);
     }
 
     // Trim trailing zeros; validate the locator degree.
     while (lambda.size() > 1 && lambda.back() == 0)
         lambda.pop_back();
-    if (reg_len > t_ || lambda.size() - 1 != reg_len)
-        return std::nullopt; // more than t errors signalled
-    return lambda;
+    return reg_len <= t_ && lambda.size() - 1 == reg_len;
 }
 
-std::optional<std::vector<std::size_t>>
-BchCode::chienSearch(const std::vector<Gf2m::Element> &lambda) const
+bool
+BchCode::chienSearch() const
 {
+    const std::vector<Gf2m::Element> &lambda = lambdaScratch_;
+    std::vector<std::size_t> &roots = rootsScratch_;
+    roots.clear();
     const std::size_t degree = lambda.size() - 1;
     if (degree == 0)
-        return std::vector<std::size_t>{};
-    std::vector<std::size_t> roots;
-    // Error at coefficient i <=> Lambda(alpha^{-i}) == 0.
+        return true;
+    // Error at coefficient i <=> Lambda(alpha^{-i}) == 0; Horner over
+    // the precomputed evaluation points.
     for (std::size_t i = 0; i < n() && roots.size() <= degree; ++i) {
-        const Gf2m::Element x = field_.alphaPow(
-            (field_.order() - (i % field_.order())) % field_.order());
-        Gf2m::Element acc = 0;
-        Gf2m::Element x_pow = 1;
-        for (const Gf2m::Element coeff : lambda) {
-            acc ^= field_.multiply(coeff, x_pow);
-            x_pow = field_.multiply(x_pow, x);
-        }
+        const Gf2m::Element x = chienXInv_[i];
+        Gf2m::Element acc = lambda[degree];
+        for (std::size_t d = degree; d-- > 0;)
+            acc = field_.multiply(acc, x) ^ lambda[d];
         if (acc == 0)
             roots.push_back(i);
     }
     // All deg(Lambda) roots must land inside the shortened code.
-    if (roots.size() != degree)
-        return std::nullopt;
-    return roots;
+    return roots.size() == degree;
 }
 
 BchGeneralDecodeResult
 BchCode::decode(const gf2::BitVector &codeword) const
 {
-    assert(codeword.size() == n());
     BchGeneralDecodeResult result;
+    decodeInto(codeword, result);
+    return result;
+}
 
-    // Syndromes S_1 .. S_2t over the received polynomial.
-    std::vector<Gf2m::Element> syndromes(2 * t_, 0);
-    codeword.forEachSetBit([&](std::size_t pos) {
-        const std::size_t c = coefficientOf(pos);
-        for (std::size_t j = 0; j < syndromes.size(); ++j)
-            syndromes[j] ^= field_.alphaPow(
-                static_cast<std::uint64_t>(j + 1) * c);
-    });
+void
+BchCode::decodeInto(const gf2::BitVector &codeword,
+                    BchGeneralDecodeResult &result) const
+{
+    assert(codeword.size() == n());
+    result.correctedPositions.clear();
+    result.detectedUncorrectable = false;
+    if (result.dataword.size() != k_)
+        result.dataword = gf2::BitVector(k_);
+    result.dataword.assignPrefix(codeword);
 
+    // Syndromes S_1 .. S_2t over the received polynomial, via the
+    // per-coefficient alpha-power table.
+    synScratch_.assign(2 * t_, 0);
     bool all_zero = true;
-    for (const Gf2m::Element s : syndromes)
-        all_zero = all_zero && (s == 0);
-    gf2::BitVector corrected = codeword;
-    if (!all_zero) {
-        const auto lambda = berlekampMassey(syndromes);
-        const auto coeffs =
-            lambda ? chienSearch(*lambda) : std::nullopt;
-        if (!coeffs) {
-            result.detectedUncorrectable = true;
-        } else {
-            for (const std::size_t c : *coeffs) {
-                const auto pos = positionOf(c);
-                assert(pos.has_value());
-                corrected.flip(*pos);
-                result.correctedPositions.push_back(*pos);
-            }
-            std::sort(result.correctedPositions.begin(),
-                      result.correctedPositions.end());
+    const std::vector<std::uint64_t> &words = codeword.words();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = words[w];
+        while (bits != 0) {
+            const std::size_t pos =
+                w * 64 +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const Gf2m::Element *row =
+                &synAlpha_[coefficientOf(pos) * 2 * t_];
+            for (std::size_t j = 0; j < 2 * t_; ++j)
+                synScratch_[j] ^= row[j];
         }
     }
-    result.dataword = corrected.slice(0, k_);
-    return result;
+    for (const Gf2m::Element s : synScratch_)
+        all_zero = all_zero && (s == 0);
+    if (all_zero)
+        return;
+
+    if (!berlekampMassey() || !chienSearch()) {
+        result.detectedUncorrectable = true;
+        return;
+    }
+    for (const std::size_t c : rootsScratch_) {
+        const auto pos = positionOf(c);
+        assert(pos.has_value());
+        result.correctedPositions.push_back(*pos);
+        if (*pos < k_)
+            result.dataword.flip(*pos);
+    }
+    std::sort(result.correctedPositions.begin(),
+              result.correctedPositions.end());
 }
 
 std::vector<std::size_t>

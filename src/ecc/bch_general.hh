@@ -8,6 +8,15 @@
  * 6.3.2): the secondary-ECC strength a system needs scales with the
  * on-die code's correction capability, and this class provides the
  * arbitrary-t codes to study that scaling.
+ *
+ * The decode hot path is allocation-free: syndromes come from a
+ * precomputed per-coefficient alpha-power table, the Berlekamp-Massey
+ * and Chien stages run on reusable member scratch, and decodeInto()
+ * writes into a caller-owned result whose buffers persist across
+ * calls. Because that scratch is per-instance, decoding the *same*
+ * BchCode object from multiple threads requires external
+ * synchronization — give each concurrently-driven word its own copy
+ * (the class is cheaply copyable).
  */
 
 #ifndef HARP_ECC_BCH_GENERAL_HH
@@ -60,8 +69,22 @@ class BchCode
     /** Encode dataword (length k) into codeword (length n). */
     gf2::BitVector encode(const gf2::BitVector &dataword) const;
 
+    /** Allocation-free encode into a pre-sized codeword (length n). */
+    void encodeInto(const gf2::BitVector &dataword,
+                    gf2::BitVector &codeword) const;
+
     /** Full decode: syndromes -> Berlekamp-Massey -> Chien search. */
     BchGeneralDecodeResult decode(const gf2::BitVector &codeword) const;
+
+    /**
+     * Allocation-free decode into a reusable result object: after the
+     * first call with the same @p result, steady state performs no
+     * heap allocation (scratch lives in the code instance and the
+     * result's buffers are reused). Not thread-safe on a shared
+     * instance — see the file comment.
+     */
+    void decodeInto(const gf2::BitVector &codeword,
+                    BchGeneralDecodeResult &result) const;
 
     /** Post-correction data error positions of a raw error pattern. */
     std::vector<std::size_t>
@@ -77,25 +100,32 @@ class BchCode
     /** Generator polynomial g(x) as a GF(2) bitmask. */
     std::uint64_t generatorPolynomial() const { return generator_; }
 
-  private:
+    /**
+     * Polynomial-coefficient index of codeword position @p pos: data
+     * positions map to the high coefficients, parity positions to the
+     * low ones (systematic layout over x^p * d(x) + q(x)).
+     */
     std::size_t coefficientOf(std::size_t pos) const;
+
+    /** Codeword position of coefficient @p coeff; nullopt when the
+     *  coefficient lies outside the shortened code. */
     std::optional<std::size_t> positionOf(std::size_t coeff) const;
 
+  private:
     /**
-     * Berlekamp-Massey: error-locator polynomial Lambda over GF(2^m)
-     * from the 2t syndromes; nullopt when the register length exceeds t
-     * (more than t errors).
+     * Berlekamp-Massey over the member syndrome scratch: fills
+     * lambdaScratch_ with the error-locator polynomial. False when the
+     * register length exceeds t (more than t errors signalled).
      */
-    std::optional<std::vector<Gf2m::Element>>
-    berlekampMassey(const std::vector<Gf2m::Element> &syndromes) const;
+    bool berlekampMassey() const;
 
     /**
-     * Chien search: coefficient indices i < n with Lambda(alpha^-i) = 0.
-     * nullopt when the root count does not match deg Lambda (errors
-     * outside the shortened range or a degenerate locator).
+     * Chien search over lambdaScratch_: fills rootsScratch_ with the
+     * coefficient indices i < n where Lambda(alpha^-i) = 0. False when
+     * the root count does not match deg Lambda (errors outside the
+     * shortened range or a degenerate locator).
      */
-    std::optional<std::vector<std::size_t>>
-    chienSearch(const std::vector<Gf2m::Element> &lambda) const;
+    bool chienSearch() const;
 
     std::size_t k_;
     std::size_t t_;
@@ -104,6 +134,18 @@ class BchCode
     std::uint64_t generator_;
     std::vector<std::uint64_t> parityMasks_;
     std::vector<gf2::BitVector> parityRows_;
+    /** synAlpha_[c * 2t + j] = alpha^((j+1) * c) for coefficient c < n:
+     *  the syndrome contribution of an error at coefficient c. */
+    std::vector<Gf2m::Element> synAlpha_;
+    /** chienXInv_[i] = alpha^(-i), the Chien evaluation points. */
+    std::vector<Gf2m::Element> chienXInv_;
+
+    // Decode scratch (see the thread-safety note in the file comment).
+    mutable std::vector<Gf2m::Element> synScratch_;
+    mutable std::vector<Gf2m::Element> lambdaScratch_;
+    mutable std::vector<Gf2m::Element> bScratch_;
+    mutable std::vector<Gf2m::Element> nextScratch_;
+    mutable std::vector<std::size_t> rootsScratch_;
 };
 
 } // namespace harp::ecc

@@ -81,13 +81,41 @@ HammingCode::codewordColumn(std::size_t pos) const
 gf2::BitVector
 HammingCode::encode(const gf2::BitVector &dataword) const
 {
-    assert(dataword.size() == k_);
     gf2::BitVector codeword(n());
+    encodeInto(dataword, codeword);
+    return codeword;
+}
+
+void
+HammingCode::encodeInto(const gf2::BitVector &dataword,
+                        gf2::BitVector &codeword) const
+{
+    assert(dataword.size() == k_);
+    assert(codeword.size() == n());
+    codeword.fill(false);
     for (std::size_t i = 0; i < k_; ++i)
         codeword.set(i, dataword.get(i));
     for (std::size_t j = 0; j < p_; ++j)
         codeword.set(k_ + j, parityRows_[j].dot(dataword));
-    return codeword;
+}
+
+void
+HammingCode::decodeDataInto(const gf2::BitVector &received,
+                            gf2::BitVector &data_out) const
+{
+    assert(data_out.size() == k_);
+    data_out.assignPrefix(received);
+    // syndrome() semantics without its data-slice allocation: data_out
+    // already holds the received prefix the parity rows dot against.
+    std::uint32_t s = 0;
+    for (std::size_t j = 0; j < p_; ++j)
+        if (parityRows_[j].dot(data_out) != received.get(k_ + j))
+            s |= std::uint32_t{1} << j;
+    if (s == 0)
+        return;
+    if (const auto pos = syndromeToPosition(s))
+        if (isDataPosition(*pos))
+            data_out.flip(*pos);
 }
 
 std::uint32_t

@@ -87,6 +87,19 @@ class HammingCode
     /** Encode dataword (length k) into codeword (length n). */
     gf2::BitVector encode(const gf2::BitVector &dataword) const;
 
+    /** Allocation-free encode into a pre-sized codeword (length n). */
+    void encodeInto(const gf2::BitVector &dataword,
+                    gf2::BitVector &codeword) const;
+
+    /**
+     * Allocation-free post-correction dataword of @p received into
+     * @p data_out (pre-sized k): exactly decode().dataword — only
+     * data-position corrections change the dataword; parity
+     * corrections and unmatched (shortened-code) syndromes do not.
+     */
+    void decodeDataInto(const gf2::BitVector &received,
+                        gf2::BitVector &data_out) const;
+
     /** Syndrome of a (possibly erroneous) codeword. */
     std::uint32_t syndrome(const gf2::BitVector &codeword) const;
 

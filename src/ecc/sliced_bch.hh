@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bit-sliced evaluation of up to 64 t-error-correcting BCH words at
+ * once.
+ *
+ * BCH encoding and power-sum syndrome evaluation are GF(2)-linear, so
+ * both become masked XOR-reductions over precomputed per-position
+ * matrices in the transposed gf2::BitSlice64 layout, exactly like the
+ * sliced Hamming datapath. What is *not* linear is the correction step
+ * (Berlekamp-Massey + Chien search), so the sliced decoder resolves it
+ * through a syndrome -> decode-action memo table instead:
+ *
+ *  - per lane, the packed 2t*m-bit syndrome is extracted with a 64x64
+ *    bit transpose and looked up in the table;
+ *  - a hit applies the memoized data-bit flips with one XOR per flip;
+ *  - a miss falls back to the scalar allocation-free
+ *    BchCode::decodeInto and populates the table.
+ *
+ * The memoization is *exact*: BM + Chien are pure syndrome decoding,
+ * so the decode action (which positions to flip, or "detected
+ * uncorrectable") is a function of the syndrome alone. Under the
+ * repository's fault models each word sees few distinct pre-correction
+ * error patterns, so hit rates approach 1 after warm-up and steady
+ * state costs ~one hash lookup per erroneous lane.
+ *
+ * All lanes must carry the *same* code function: a BCH code is fully
+ * determined by (k, t) (there is no per-lane arrangement freedom as in
+ * the random Hamming codes), which is also what makes the shared memo
+ * table valid across lanes. Results are bit-identical to the scalar
+ * BchCode::decode path per lane.
+ *
+ * Thread safety: the memo table and scratch are per-instance mutable
+ * state; decodeData() on a shared instance needs external
+ * synchronization. Engines own their instance, so this never arises on
+ * the standard paths.
+ */
+
+#ifndef HARP_ECC_SLICED_BCH_HH
+#define HARP_ECC_SLICED_BCH_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ecc/bch_general.hh"
+#include "ecc/sliced_code.hh"
+#include "gf2/bit_slice.hh"
+#include "gf2/bit_vector.hh"
+
+namespace harp::ecc {
+
+/**
+ * Up to 64 words of one t-error-correcting BCH code evaluated
+ * lane-parallel, with memoized syndrome decoding.
+ */
+class SlicedBchCode final : public SlicedCode
+{
+  public:
+    /**
+     * Build from one code per lane (1..64 entries). All entries must
+     * describe the same code: equal k and equal generator polynomial.
+     * The codes are only read during construction; the fallback
+     * decoder is a private copy, so no references are retained.
+     */
+    explicit SlicedBchCode(const std::vector<const BchCode *> &codes);
+
+    /** Homogeneous convenience: the same code in @p lanes lanes. */
+    SlicedBchCode(const BchCode &code, std::size_t lanes);
+
+    std::size_t k() const override { return code_.k(); }
+    std::size_t n() const override { return code_.n(); }
+    std::size_t lanes() const override { return lanes_; }
+    /** Correction capability t shared by all lanes. */
+    std::size_t t() const { return code_.t(); }
+
+    void encode(const gf2::BitSlice64 &data,
+                gf2::BitSlice64 &codeword) const override;
+
+    /**
+     * Per-lane packed power-sum syndromes of a received codeword
+     * slice: @p out[b] gets the lane mask of syndrome bit b, where bit
+     * b = j*m + u is bit u of S_{j+1} over GF(2^m) (b <
+     * syndromeBits()).
+     */
+    void syndromes(const gf2::BitSlice64 &received,
+                   std::uint64_t *out) const;
+
+    /** Packed syndrome width 2t*m in bits. */
+    std::size_t syndromeBits() const { return syndromeBits_; }
+
+    void decodeData(const gf2::BitSlice64 &received,
+                    gf2::BitSlice64 &data_out) const override;
+
+    /** Memo lookups that hit since construction. */
+    std::uint64_t memoHits() const { return memoHits_; }
+    /** Memo lookups that missed (scalar-decode fallbacks). */
+    std::uint64_t memoMisses() const { return memoMisses_; }
+    /** Distinct nonzero syndromes memoized so far. */
+    std::size_t memoEntries() const { return memo_.size(); }
+
+  private:
+    /** Packed syndrome key (up to 256 bits; 2t*m <= 224 for t <= 8,
+     *  m <= 14). Unused words are zero. */
+    struct MemoKey
+    {
+        std::array<std::uint64_t, 4> words{};
+        bool operator==(const MemoKey &o) const { return words == o.words; }
+    };
+    struct MemoKeyHash
+    {
+        std::size_t operator()(const MemoKey &key) const
+        {
+            std::uint64_t h = 1469598103934665603ull;
+            for (const std::uint64_t w : key.words) {
+                h ^= w;
+                h *= 1099511628211ull;
+            }
+            return static_cast<std::size_t>(h);
+        }
+    };
+    /** Memoized outcome of one nonzero syndrome: the data-bit flips to
+     *  apply. Parity-only corrections and detected-uncorrectable
+     *  syndromes both memoize an empty flip list — either way the
+     *  dataword is left untouched, exactly as the scalar decoder
+     *  reports it. */
+    struct MemoAction
+    {
+        std::uint8_t numFlips = 0;
+        std::array<std::uint16_t, 8> flips{};
+    };
+
+    void build(const std::vector<const BchCode *> &codes);
+    const MemoAction &lookupAction(const MemoKey &key,
+                                   const gf2::BitSlice64 &received,
+                                   std::size_t lane) const;
+
+    BchCode code_;
+    std::size_t lanes_ = 0;
+    std::size_t syndromeBits_ = 0;
+    /** CSR of parity-bit indices per data position: encoding XORs data
+     *  lane i into parity lanes parityIdx_[parityOff_[i]..[i+1]). */
+    std::vector<std::uint32_t> parityOff_;
+    std::vector<std::uint32_t> parityIdx_;
+    /** CSR of packed-syndrome bit indices per codeword position. */
+    std::vector<std::uint32_t> synOff_;
+    std::vector<std::uint32_t> synIdx_;
+
+    // Decode scratch + memo (see the thread-safety note above).
+    mutable std::vector<std::uint64_t> synScratch_;
+    mutable std::array<std::array<std::uint64_t, 64>, 4> laneKeyScratch_;
+    mutable gf2::BitVector wordScratch_;
+    mutable BchGeneralDecodeResult decodeScratch_;
+    mutable std::unordered_map<MemoKey, MemoAction, MemoKeyHash> memo_;
+    mutable std::uint64_t memoHits_ = 0;
+    mutable std::uint64_t memoMisses_ = 0;
+};
+
+} // namespace harp::ecc
+
+#endif // HARP_ECC_SLICED_BCH_HH

@@ -143,6 +143,14 @@ SlicedExtendedHammingCode::encode(const gf2::BitSlice64 &data,
 }
 
 void
+SlicedExtendedHammingCode::decodeData(const gf2::BitSlice64 &received,
+                                      gf2::BitSlice64 &data_out) const
+{
+    std::uint64_t corrected = 0, detected = 0;
+    decode(received, data_out, corrected, detected);
+}
+
+void
 SlicedExtendedHammingCode::decode(const gf2::BitSlice64 &received,
                                   gf2::BitSlice64 &data_out,
                                   std::uint64_t &corrected_out,

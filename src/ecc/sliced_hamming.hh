@@ -29,6 +29,7 @@
 
 #include "ecc/extended_hamming_code.hh"
 #include "ecc/hamming_code.hh"
+#include "ecc/sliced_code.hh"
 #include "gf2/bit_slice.hh"
 
 namespace harp::ecc {
@@ -39,7 +40,7 @@ namespace harp::ecc {
  * All lanes must share the dataword length k (and therefore the parity
  * count p); the parity-column *arrangements* may differ per lane.
  */
-class SlicedHammingCode
+class SlicedHammingCode final : public SlicedCode
 {
   public:
     /**
@@ -51,12 +52,12 @@ class SlicedHammingCode
     /** Homogeneous convenience: the same code in @p lanes lanes. */
     SlicedHammingCode(const HammingCode &code, std::size_t lanes);
 
-    std::size_t k() const { return k_; }
+    std::size_t k() const override { return k_; }
     std::size_t p() const { return p_; }
     /** Codeword length n = k + p (identical across lanes). */
-    std::size_t n() const { return k_ + p_; }
+    std::size_t n() const override { return k_ + p_; }
     /** Number of live lanes. */
-    std::size_t lanes() const { return lanes_; }
+    std::size_t lanes() const override { return lanes_; }
 
     /**
      * Encode all lanes: @p data has k positions, @p codeword n
@@ -64,7 +65,7 @@ class SlicedHammingCode
      * positions [k,n) receive each lane's parity bits.
      */
     void encode(const gf2::BitSlice64 &data,
-                gf2::BitSlice64 &codeword) const;
+                gf2::BitSlice64 &codeword) const override;
 
     /**
      * Per-lane syndromes of a received codeword slice: @p out[j] gets
@@ -94,7 +95,7 @@ class SlicedHammingCode
      * unmatched (shortened-code) syndromes leave the data untouched.
      */
     void decodeData(const gf2::BitSlice64 &received,
-                    gf2::BitSlice64 &data_out) const;
+                    gf2::BitSlice64 &data_out) const override;
 
   private:
     void build(const std::vector<const HammingCode *> &codes);
@@ -110,22 +111,28 @@ class SlicedHammingCode
  * Up to 64 SECDED (extended Hamming) codes evaluated lane-parallel,
  * mirroring ExtendedHammingCode::decode semantics per lane.
  */
-class SlicedExtendedHammingCode
+class SlicedExtendedHammingCode final : public SlicedCode
 {
   public:
     /** Build from one code per lane (1..64 entries, equal k). */
     explicit SlicedExtendedHammingCode(
         const std::vector<const ExtendedHammingCode *> &codes);
 
-    std::size_t k() const { return inner_.k(); }
+    std::size_t k() const override { return inner_.k(); }
     /** Codeword length including the overall parity bit. */
-    std::size_t n() const { return inner_.n() + 1; }
-    std::size_t lanes() const { return inner_.lanes(); }
+    std::size_t n() const override { return inner_.n() + 1; }
+    std::size_t lanes() const override { return inner_.lanes(); }
 
     /** Encode all lanes (@p data k positions, @p codeword n positions,
      *  the last being the overall parity bit). */
     void encode(const gf2::BitSlice64 &data,
-                gf2::BitSlice64 &codeword) const;
+                gf2::BitSlice64 &codeword) const override;
+
+    /** SECDED decode to post-correction datawords alone (the
+     *  SlicedCode view; detected-uncorrectable lanes keep the
+     *  uncorrected data, as in the scalar decoder). */
+    void decodeData(const gf2::BitSlice64 &received,
+                    gf2::BitSlice64 &data_out) const override;
 
     /**
      * SECDED decode of all lanes.

@@ -29,7 +29,10 @@ namespace harp::fault {
  * Common-random-number fault injector over up to 64 lanes.
  *
  * One WordFaultModel per lane (equal word length n; at-risk cells,
- * probabilities and cell technologies may differ freely). Per round,
+ * probabilities and cell technologies may differ freely). The word
+ * length is whatever the engine's ecc::SlicedCode reports — the
+ * injector is shared unchanged by the Hamming and BCH datapaths, whose
+ * codewords differ in parity width. Per round,
  * drawRound() consumes each lane's RNG exactly as the scalar path
  * would; apply() then flips received bits lane-parallel, any number of
  * times per round (once per profiler).

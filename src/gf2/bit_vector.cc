@@ -214,6 +214,15 @@ BitVector::slice(std::size_t begin, std::size_t end) const
 }
 
 void
+BitVector::assignPrefix(const BitVector &src)
+{
+    assert(src.size_ >= size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        words_[w] = src.words_[w];
+    maskTail();
+}
+
+void
 BitVector::maskTail()
 {
     if (!words_.empty())

@@ -103,6 +103,14 @@ class BitVector
     /** Extract bits [begin, end) as a new vector. */
     BitVector slice(std::size_t begin, std::size_t end) const;
 
+    /**
+     * Overwrite this vector with the first size() bits of @p src
+     * (@p src must be at least as long). The allocation-free
+     * counterpart of `dst = src.slice(0, dst.size())` used on the
+     * round-engine hot paths.
+     */
+    void assignPrefix(const BitVector &src);
+
     /** Direct word access for performance-critical consumers. */
     const std::vector<std::uint64_t> &words() const { return words_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -92,8 +93,22 @@ runJobs(const ExperimentSpec &spec, const std::vector<ParamPoint> &points,
         for (std::size_t j = 0; j < jobs.size(); ++j)
             runOne(j);
     } else {
-        common::ThreadPool pool(pool_threads);
+        // Submit longest-expected-first (stable on the cost key) so a
+        // heavy grid point never starts last and stretches the tail.
+        // Results land at their original index, so the output is in
+        // job order and byte-identical regardless of submission order.
+        std::vector<std::size_t> order(jobs.size());
         for (std::size_t j = 0; j < jobs.size(); ++j)
+            order[j] = j;
+        std::vector<double> cost(jobs.size());
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            cost[j] = jobCostKey(points[jobs[j].pointIndex]);
+        std::stable_sort(order.begin(), order.end(),
+                         [&cost](std::size_t a, std::size_t b) {
+                             return cost[a] > cost[b];
+                         });
+        common::ThreadPool pool(pool_threads);
+        for (const std::size_t j : order)
             pool.submit([&, j] { runOne(j); });
         pool.wait();
     }
@@ -109,6 +124,19 @@ runJobs(const ExperimentSpec &spec, const std::vector<ParamPoint> &points,
 }
 
 } // namespace
+
+double
+jobCostKey(const ParamPoint &point)
+{
+    double cost = 1.0;
+    for (const auto &[name, value] : point.entries()) {
+        if (value.type() != ParamValue::Type::Int)
+            continue;
+        const double v = static_cast<double>(value.asInt());
+        cost *= std::max(1.0, std::abs(v));
+    }
+    return cost;
+}
 
 std::string
 formatResultHash(std::uint64_t hash)

@@ -82,6 +82,18 @@ struct CampaignSummary
 std::string formatResultHash(std::uint64_t hash);
 
 /**
+ * Heuristic cost key of one grid point: the product of its
+ * integer-valued parameters (clamped to >= 1). Monte-Carlo experiment
+ * cost scales multiplicatively with scale-like integer axes (rounds,
+ * words, pre_errors, on_die_t, ...), so on heterogeneous sweeps the
+ * campaign driver submits jobs longest-expected-first to the thread
+ * pool — the scheduling analogue of longest-processing-time-first —
+ * which cuts tail latency without changing results: output stays in
+ * grid-expansion job order and byte-identical for any `--threads`.
+ */
+double jobCostKey(const ParamPoint &point);
+
+/**
  * Run @p specs under @p options, logging progress to @p log.
  *
  * @throws std::runtime_error when an experiment's metrics fail schema

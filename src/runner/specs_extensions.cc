@@ -1,11 +1,16 @@
 /**
  * @file
  * Experiment specs for the extension studies beyond the paper's
- * evaluation: stronger (t-error-correcting) on-die ECC, low-probability
- * errors vs. the active phase, and secondary ECC words interleaved
- * across on-die words.
+ * evaluation: stronger (t-error-correcting) on-die ECC — both the
+ * exact small-word bound study and the Monte-Carlo `bch_t_sweep` on
+ * the engine-selectable fast path — low-probability errors vs. the
+ * active phase, and secondary ECC words interleaved across on-die
+ * words.
  */
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <set>
 
 #include "common/rng.hh"
@@ -13,11 +18,14 @@
 #include "core/at_risk_analyzer.hh"
 #include "core/data_pattern.hh"
 #include "core/harp_profiler.hh"
+#include "core/naive_profiler.hh"
 #include "core/round_engine.hh"
+#include "core/sliced_round_engine.hh"
 #include "ecc/bch_code.hh"
 #include "ecc/bch_general.hh"
 #include "ecc/extended_hamming_code.hh"
 #include "ecc/hamming_code.hh"
+#include "ecc/sliced_bch.hh"
 #include "fault/fault_model.hh"
 #include "gf2/linear_solver.hh"
 #include "runner/registry.hh"
@@ -45,6 +53,39 @@ feasibleOnBch(const ecc::BchCode &code, const fault::WordFaultModel &fm,
             cs.addConstraint(code.parityRow(pos - code.k()), true);
     }
     return cs.consistent();
+}
+
+/**
+ * Ground truth by enumeration of feasible failing subsets through the
+ * general decoder (<= 2^numFaults subsets): the worst simultaneous
+ * post-correction data errors over any subset, in total and restricted
+ * to positions where @p unprofiled says the profile misses.
+ *
+ * @return {worst total errors, worst unprofiled errors}.
+ */
+std::pair<std::size_t, std::size_t>
+worstFeasibleErrors(const ecc::BchCode &code,
+                    const fault::WordFaultModel &fm,
+                    const std::function<bool(std::size_t)> &unprofiled)
+{
+    std::size_t worst_total = 0, worst_unprofiled = 0;
+    for (std::uint32_t mask = 1;
+         mask < (std::uint32_t{1} << fm.numFaults()); ++mask) {
+        if (!feasibleOnBch(code, fm, mask))
+            continue;
+        std::vector<std::size_t> failing;
+        for (std::size_t i = 0; i < fm.numFaults(); ++i)
+            if ((mask >> i) & 1)
+                failing.push_back(fm.faults()[i].position);
+        const auto errors = code.decodeErrorPattern(failing);
+        worst_total = std::max(worst_total, errors.size());
+        std::size_t count = 0;
+        for (const std::size_t e : errors)
+            if (unprofiled(e))
+                ++count;
+        worst_unprofiled = std::max(worst_unprofiled, count);
+    }
+    return {worst_total, worst_unprofiled};
 }
 
 /**
@@ -125,24 +166,9 @@ makeDecOnDieEcc()
                 if (f.position < code.k())
                     direct.insert(f.position);
 
-            // Ground truth by enumeration of feasible failing subsets.
-            std::size_t worst_empty = 0, worst_direct = 0;
-            for (std::uint32_t mask = 1;
-                 mask < (std::uint32_t{1} << fm.numFaults()); ++mask) {
-                if (!feasibleOnBch(code, fm, mask))
-                    continue;
-                std::vector<std::size_t> failing;
-                for (std::size_t i = 0; i < fm.numFaults(); ++i)
-                    if ((mask >> i) & 1)
-                        failing.push_back(fm.faults()[i].position);
-                const auto errors = code.decodeErrorPattern(failing);
-                worst_empty = std::max(worst_empty, errors.size());
-                std::size_t unprofiled = 0;
-                for (const std::size_t e : errors)
-                    if (direct.count(e) == 0)
-                        ++unprofiled;
-                worst_direct = std::max(worst_direct, unprofiled);
-            }
+            const auto [worst_empty, worst_direct] = worstFeasibleErrors(
+                code, fm,
+                [&direct](std::size_t e) { return direct.count(e) == 0; });
             worst_empty_all = std::max(worst_empty_all, worst_empty);
             worst_direct_all = std::max(worst_direct_all, worst_direct);
             if (worst_direct > 1)
@@ -193,6 +219,194 @@ makeDecOnDieEcc()
     return spec;
 }
 
+/**
+ * Monte-Carlo sweep of the on-die code's correction capability t
+ * through the round engines: the scaling study HARP section 6.3.2
+ * sketches ("significantly more complex on-die ECC"), on the same
+ * engine-selectable fast path as the coverage experiments. The sliced
+ * engine runs the BCH datapath through ecc::SlicedBchCode (masked
+ * XOR parity/syndromes + memoized correction); `--engine scalar` and
+ * `--engine sliced64` emit byte-identical JSONL for a fixed seed.
+ */
+ExperimentSpec
+makeBchTSweep()
+{
+    ExperimentSpec spec;
+    spec.name = "bch_t_sweep";
+    spec.description =
+        "Profiler coverage and worst-case unprofiled errors under "
+        "t-error-correcting on-die BCH, t swept through the general "
+        "decoder";
+    spec.labels = {"bench", "extension"};
+
+    ParamAxis t_axis{"on_die_t", {}};
+    for (const std::size_t t : {1, 2, 3})
+        t_axis.values.emplace_back(t);
+    ParamAxis n_axis{"pre_errors", {}};
+    for (const std::size_t n : {2, 3, 4, 5})
+        n_axis.values.emplace_back(n);
+    spec.grid = ParamGrid({t_axis, n_axis});
+
+    spec.tunables = {
+        {"k", "64", "dataword length of the on-die BCH code"},
+        {"words", "64", "simulated ECC words per point"},
+        {"rounds", "64", "active-profiling rounds"},
+        {"prob", "0.5", "per-bit failure probability of at-risk cells"},
+        engineTunable(),
+    };
+    spec.schema = {
+        {"code", JsonType::String, "(n,k) of the on-die BCH code"},
+        {"words", JsonType::Int, "simulated words"},
+        {"rounds", JsonType::Int, "profiling rounds per word"},
+        {"naive_direct_coverage", JsonType::Double,
+         "Naive: identified direct bits / ground-truth direct bits"},
+        {"harpu_direct_coverage", JsonType::Double,
+         "HARP-U: identified direct bits / ground-truth direct bits"},
+        {"harpu_full_direct_words", JsonType::Int,
+         "words whose HARP-U profile covers every direct bit"},
+        {"max_simul_no_profile", JsonType::Int,
+         "worst simultaneous post-correction errors with an empty "
+         "profile"},
+        {"max_simul_harpu_profile", JsonType::Int,
+         "worst simultaneous unprofiled errors under the HARP-U "
+         "profile"},
+        {"bound_respected", JsonType::Bool,
+         "every fully-covered word leaves <= t simultaneous unprofiled "
+         "errors (the generalized HARP bound)"},
+    };
+    spec.run = [](const RunContext &ctx) {
+        const auto t = static_cast<std::size_t>(
+            ctx.point().find("on_die_t")->asInt());
+        const auto n_errors = static_cast<std::size_t>(
+            ctx.point().find("pre_errors")->asInt());
+        const auto k = static_cast<std::size_t>(ctx.getInt("k", 64));
+        const auto words =
+            static_cast<std::size_t>(ctx.getInt("words", 64));
+        const auto rounds =
+            static_cast<std::size_t>(ctx.getInt("rounds", 64));
+        const double prob = ctx.getDouble("prob", 0.5);
+        const core::EngineKind engine = engineFromContext(ctx);
+
+        const ecc::BchCode code(k, t);
+
+        // Per-word state with the standard per-word seed derivations;
+        // both engines consume the identical per-word streams.
+        struct SweepWord
+        {
+            fault::WordFaultModel faults;
+            std::unique_ptr<core::NaiveProfiler> naive;
+            std::unique_ptr<core::HarpUProfiler> harp;
+            std::uint64_t engineSeed = 0;
+        };
+        std::vector<SweepWord> sims(words);
+        for (std::size_t w = 0; w < words; ++w) {
+            common::Xoshiro256 fault_rng(
+                common::deriveSeed(ctx.seed(), {0xFA17u, w}));
+            sims[w].faults = fault::WordFaultModel::makeUniformFixedCount(
+                code.n(), n_errors, prob, fault_rng);
+            sims[w].naive =
+                std::make_unique<core::NaiveProfiler>(code.k());
+            sims[w].harp =
+                std::make_unique<core::HarpUProfiler>(code.k());
+            sims[w].engineSeed =
+                common::deriveSeed(ctx.seed(), {0xE221u, w});
+        }
+
+        if (engine == core::EngineKind::Scalar) {
+            for (SweepWord &sim : sims) {
+                core::RoundEngine round_engine(code, sim.faults,
+                                               core::PatternKind::Random,
+                                               sim.engineSeed);
+                const std::vector<core::Profiler *> ps = {
+                    sim.naive.get(), sim.harp.get()};
+                for (std::size_t r = 0; r < rounds; ++r)
+                    round_engine.runRound(ps);
+            }
+        } else if (words > 0) {
+            // One sliced datapath shared by every 64-word block: the
+            // syndrome-memo warm-up is paid once per grid point.
+            constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
+            const ecc::SlicedBchCode sliced(code,
+                                            std::min(lanes, words));
+            for (std::size_t begin = 0; begin < words; begin += lanes) {
+                const std::size_t end = std::min(begin + lanes, words);
+                std::vector<const fault::WordFaultModel *> fault_ptrs;
+                std::vector<std::uint64_t> seeds;
+                std::vector<std::vector<core::Profiler *>> lane_profilers;
+                for (std::size_t w = begin; w < end; ++w) {
+                    fault_ptrs.push_back(&sims[w].faults);
+                    seeds.push_back(sims[w].engineSeed);
+                    lane_profilers.push_back(
+                        {sims[w].naive.get(), sims[w].harp.get()});
+                }
+                core::SlicedRoundEngine round_engine(
+                    sliced, fault_ptrs, core::PatternKind::Random,
+                    seeds);
+                for (std::size_t r = 0; r < rounds; ++r)
+                    round_engine.runRound(lane_profilers);
+            }
+        }
+
+        // Ground truth per word by enumeration of feasible failing
+        // subsets through the general decoder (<= 2^pre_errors).
+        std::size_t direct_total = 0;
+        std::size_t naive_found = 0, harp_found = 0;
+        std::size_t full_words = 0;
+        std::size_t worst_empty_all = 0, worst_harp_all = 0;
+        bool bound_respected = true;
+        for (const SweepWord &sim : sims) {
+            std::set<std::size_t> direct;
+            for (const fault::CellFault &f : sim.faults.faults())
+                if (f.position < code.k())
+                    direct.insert(f.position);
+            direct_total += direct.size();
+            bool full = true;
+            for (const std::size_t pos : direct) {
+                naive_found += sim.naive->identified().get(pos) ? 1 : 0;
+                const bool harp_hit = sim.harp->identified().get(pos);
+                harp_found += harp_hit ? 1 : 0;
+                full = full && harp_hit;
+            }
+            if (full)
+                ++full_words;
+
+            const auto [worst_empty, worst_harp] = worstFeasibleErrors(
+                code, sim.faults, [&sim](std::size_t e) {
+                    return !sim.harp->identified().get(e);
+                });
+            worst_empty_all = std::max(worst_empty_all, worst_empty);
+            worst_harp_all = std::max(worst_harp_all, worst_harp);
+            if (full && worst_harp > t)
+                bound_respected = false;
+        }
+
+        JsonValue metrics = JsonValue::object();
+        metrics.set("code", JsonValue("(" + std::to_string(code.n()) +
+                                      "," + std::to_string(code.k()) +
+                                      ")"));
+        metrics.set("words", JsonValue(words));
+        metrics.set("rounds", JsonValue(rounds));
+        metrics.set(
+            "naive_direct_coverage",
+            JsonValue(direct_total == 0
+                          ? 1.0
+                          : static_cast<double>(naive_found) /
+                                static_cast<double>(direct_total)));
+        metrics.set(
+            "harpu_direct_coverage",
+            JsonValue(direct_total == 0
+                          ? 1.0
+                          : static_cast<double>(harp_found) /
+                                static_cast<double>(direct_total)));
+        metrics.set("harpu_full_direct_words", JsonValue(full_words));
+        metrics.set("max_simul_no_profile", JsonValue(worst_empty_all));
+        metrics.set("max_simul_harpu_profile", JsonValue(worst_harp_all));
+        metrics.set("bound_respected", JsonValue(bound_respected));
+        return metrics;
+    };
+    return spec;
+}
+
 ExperimentSpec
 makeLowProbability()
 {
@@ -212,6 +426,7 @@ makeLowProbability()
         {"words", "150", "simulated ECC words per point"},
         {"normal_cells", "3", "at-risk cells at p = 0.5 per word"},
         {"low_cells", "2", "low-probability at-risk cells per word"},
+        engineTunable(),
     };
     spec.schema = {
         {"direct_coverage", JsonType::Double,
@@ -233,14 +448,26 @@ makeLowProbability()
         const auto n_low =
             static_cast<std::size_t>(ctx.getInt("low_cells", 2));
 
-        std::size_t direct_total = 0, direct_found = 0;
-        std::size_t missed_bits = 0, unsafe_words = 0;
+        const core::EngineKind engine_kind = engineFromContext(ctx);
 
+        // Build every word first (codes, mixed-tier fault models,
+        // profilers), then drive the rounds through the selected
+        // engine: per-word seed derivations are identical either way,
+        // so scalar and sliced64 emit byte-identical JSONL.
+        struct TierWord
+        {
+            std::unique_ptr<ecc::HammingCode> code;
+            fault::WordFaultModel faults;
+            std::unique_ptr<core::HarpUProfiler> harp;
+            std::uint64_t engineSeed = 0;
+        };
+        std::vector<TierWord> sims(words);
         for (std::size_t w = 0; w < words; ++w) {
             common::Xoshiro256 code_rng(
                 common::deriveSeed(ctx.seed(), {0xC0DEu, w}));
-            const ecc::HammingCode code =
-                ecc::HammingCode::randomSec(64, code_rng);
+            sims[w].code = std::make_unique<ecc::HammingCode>(
+                ecc::HammingCode::randomSec(64, code_rng));
+            const ecc::HammingCode &code = *sims[w].code;
 
             // Mixed fault model: distinct positions, two tiers.
             common::Xoshiro256 fault_rng(common::deriveSeed(
@@ -252,25 +479,60 @@ makeLowProbability()
             std::vector<fault::CellFault> cells = placement.faults();
             for (std::size_t i = 0; i < cells.size(); ++i)
                 cells[i].probability = i < n_normal ? 0.5 : p_low_v;
-            const fault::WordFaultModel fm(code.n(), cells);
+            sims[w].faults = fault::WordFaultModel(code.n(), cells);
+            sims[w].harp = std::make_unique<core::HarpUProfiler>(code.k());
+            sims[w].engineSeed =
+                common::deriveSeed(ctx.seed(), {0xE221u, w, rounds_v});
+        }
 
-            const core::AtRiskAnalyzer analyzer(code, fm);
-            core::HarpUProfiler harp(code.k());
-            core::RoundEngine engine(
-                code, fm, core::PatternKind::Random,
-                common::deriveSeed(ctx.seed(), {0xE221u, w, rounds_v}));
-            std::vector<core::Profiler *> ps = {&harp};
-            for (std::size_t r = 0; r < rounds_v; ++r)
-                engine.runRound(ps);
+        if (engine_kind == core::EngineKind::Scalar) {
+            for (TierWord &sim : sims) {
+                core::RoundEngine engine(*sim.code, sim.faults,
+                                         core::PatternKind::Random,
+                                         sim.engineSeed);
+                const std::vector<core::Profiler *> ps = {sim.harp.get()};
+                for (std::size_t r = 0; r < rounds_v; ++r)
+                    engine.runRound(ps);
+            }
+        } else {
+            // Heterogeneous per-lane codes (equal k) pack straight
+            // into 64-lane blocks, ragged tail included — the
+            // long-tail rounds sweep is where the sliced datapath pays
+            // off most.
+            constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
+            for (std::size_t begin = 0; begin < words; begin += lanes) {
+                const std::size_t end = std::min(begin + lanes, words);
+                std::vector<const ecc::HammingCode *> code_ptrs;
+                std::vector<const fault::WordFaultModel *> fault_ptrs;
+                std::vector<std::uint64_t> seeds;
+                std::vector<std::vector<core::Profiler *>> lane_profilers;
+                for (std::size_t w = begin; w < end; ++w) {
+                    code_ptrs.push_back(sims[w].code.get());
+                    fault_ptrs.push_back(&sims[w].faults);
+                    seeds.push_back(sims[w].engineSeed);
+                    lane_profilers.push_back({sims[w].harp.get()});
+                }
+                core::SlicedRoundEngine engine(code_ptrs, fault_ptrs,
+                                               core::PatternKind::Random,
+                                               seeds);
+                for (std::size_t r = 0; r < rounds_v; ++r)
+                    engine.runRound(lane_profilers);
+            }
+        }
 
+        std::size_t direct_total = 0, direct_found = 0;
+        std::size_t missed_bits = 0, unsafe_words = 0;
+        for (const TierWord &sim : sims) {
+            const core::AtRiskAnalyzer analyzer(*sim.code, sim.faults);
             const std::size_t total = analyzer.directAtRisk().popcount();
-            gf2::BitVector covered = harp.identified();
+            gf2::BitVector covered = sim.harp->identified();
             covered &= analyzer.directAtRisk();
             const std::size_t found = covered.popcount();
             direct_total += total;
             direct_found += found;
             missed_bits += total - found;
-            if (analyzer.maxSimultaneousErrors(harp.identified()) > 1)
+            if (analyzer.maxSimultaneousErrors(sim.harp->identified()) >
+                1)
                 ++unsafe_words;
         }
 
@@ -445,6 +707,7 @@ void
 registerExtensionSpecs(Registry &registry)
 {
     registry.add(makeDecOnDieEcc());
+    registry.add(makeBchTSweep());
     registry.add(makeLowProbability());
     registry.add(makeSecondaryInterleaving());
 }

@@ -1,7 +1,9 @@
 /**
  * @file
  * Performance experiment: profiling-round throughput of the scalar
- * vs. bit-sliced engines on a Fig. 6-sized coverage workload.
+ * vs. bit-sliced engines, on a Fig. 6-sized Hamming coverage workload
+ * and on a t-error BCH workload (the `bch_t_sweep` extension shape)
+ * driven through the memoized sliced BCH datapath.
  *
  * Unlike every other spec, the timing fields of this experiment's
  * metrics are machine- and run-dependent, so its JSONL (and therefore
@@ -22,7 +24,9 @@
 #include "core/naive_profiler.hh"
 #include "core/round_engine.hh"
 #include "core/sliced_round_engine.hh"
+#include "ecc/bch_general.hh"
 #include "ecc/hamming_code.hh"
+#include "ecc/sliced_bch.hh"
 #include "runner/registry.hh"
 #include "runner/sweeps.hh"
 
@@ -42,36 +46,55 @@ struct PerfWorkload
     std::size_t preErrors = 4;
     double probability = 0.5;
     std::uint64_t seed = 1;
+    /** BCH workload instead of the Hamming one. */
+    bool bch = false;
+    /** Correction capability of the BCH workload's code. */
+    std::size_t bchT = 3;
 };
 
-/** One simulated word: the Fig. 6 profiler set, no ground-truth
- *  analysis — this experiment times the profiling rounds themselves. */
+/**
+ * One simulated word with its workload-specific profiler set, no
+ * ground-truth analysis — this experiment times the profiling rounds
+ * themselves. Hamming words carry the Fig. 6 set (Naive, BEEP, HARP-U,
+ * HARP-A); BCH words carry the code-agnostic set (Naive, HARP-U).
+ */
 struct PerfWord
 {
-    PerfWord(const PerfWorkload &workload, const ecc::HammingCode &word_code,
-             std::size_t code_idx, std::size_t word_idx)
-        : code(word_code),
+    PerfWord(const PerfWorkload &workload,
+             const ecc::HammingCode *hamming_code,
+             const ecc::BchCode *bch_code, std::size_t code_idx,
+             std::size_t word_idx)
+        : hamming(hamming_code),
+          bch(bch_code),
           faults([&] {
               common::Xoshiro256 fault_rng(common::deriveSeed(
                   workload.seed, {0xFA17u, code_idx, word_idx}));
               return fault::WordFaultModel::makeUniformFixedCount(
-                  code.n(), workload.preErrors, workload.probability,
-                  fault_rng);
+                  hamming ? hamming->n() : bch->n(), workload.preErrors,
+                  workload.probability, fault_rng);
           }()),
           engineSeed(common::deriveSeed(workload.seed,
                                         {0xE221u, code_idx, word_idx}))
     {
-        profilers.push_back(
-            std::make_unique<core::NaiveProfiler>(code.k()));
-        profilers.push_back(std::make_unique<core::BeepProfiler>(code));
-        profilers.push_back(
-            std::make_unique<core::HarpUProfiler>(code.k()));
-        profilers.push_back(std::make_unique<core::HarpAProfiler>(code));
+        const std::size_t k = hamming ? hamming->k() : bch->k();
+        profilers.push_back(std::make_unique<core::NaiveProfiler>(k));
+        if (hamming) {
+            profilers.push_back(
+                std::make_unique<core::BeepProfiler>(*hamming));
+            profilers.push_back(
+                std::make_unique<core::HarpUProfiler>(k));
+            profilers.push_back(
+                std::make_unique<core::HarpAProfiler>(*hamming));
+        } else {
+            profilers.push_back(
+                std::make_unique<core::HarpUProfiler>(k));
+        }
         for (auto &p : profilers)
             raw.push_back(p.get());
     }
 
-    const ecc::HammingCode &code;
+    const ecc::HammingCode *hamming;
+    const ecc::BchCode *bch;
     fault::WordFaultModel faults;
     std::uint64_t engineSeed;
     std::vector<std::unique_ptr<core::Profiler>> profilers;
@@ -83,19 +106,36 @@ struct PerfFleet
 {
     explicit PerfFleet(const PerfWorkload &workload)
     {
-        codes.reserve(workload.numCodes);
-        for (std::size_t c = 0; c < workload.numCodes; ++c) {
-            common::Xoshiro256 code_rng(
-                common::deriveSeed(workload.seed, {0xC0DEu, c}));
-            codes.push_back(
-                ecc::HammingCode::randomSec(workload.k, code_rng));
+        if (workload.bch) {
+            // A BCH code is fully determined by (k, t): one shared
+            // instance; the `codes` tunable still scales word count.
+            bchCode = std::make_unique<ecc::BchCode>(workload.k,
+                                                     workload.bchT);
+        } else {
+            codes.reserve(workload.numCodes);
+            for (std::size_t c = 0; c < workload.numCodes; ++c) {
+                common::Xoshiro256 code_rng(
+                    common::deriveSeed(workload.seed, {0xC0DEu, c}));
+                codes.push_back(
+                    ecc::HammingCode::randomSec(workload.k, code_rng));
+            }
         }
         for (std::size_t c = 0; c < workload.numCodes; ++c) {
             words.emplace_back();
             for (std::size_t w = 0; w < workload.wordsPerCode; ++w)
                 words.back().push_back(std::make_unique<PerfWord>(
-                    workload, codes[c], c, w));
+                    workload, workload.bch ? nullptr : &codes[c],
+                    bchCode.get(), c, w));
         }
+    }
+
+    /** From the words actually built, so the profiler_rounds metric
+     *  cannot drift from PerfWord's constructor. */
+    std::size_t profilersPerWord() const
+    {
+        if (words.empty() || words[0].empty())
+            return 0;
+        return words[0][0]->raw.size();
     }
 
     /** FNV-1a over every profiler's final identified profile, in
@@ -120,73 +160,121 @@ struct PerfFleet
     }
 
     std::vector<ecc::HammingCode> codes;
+    std::unique_ptr<ecc::BchCode> bchCode;
     std::vector<std::vector<std::unique_ptr<PerfWord>>> words;
 };
 
-/** Drive every word of @p fleet through all rounds with one engine;
- *  returns wall seconds of the profiling loop alone. */
-double
+/** One engine measurement: wall seconds of the profiling loop alone,
+ *  plus the sliced BCH memo statistics when applicable. */
+struct DriveStats
+{
+    double seconds = 0.0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t memoMisses = 0;
+};
+
+/** Drive every word of @p fleet through all rounds with one engine. */
+DriveStats
 driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
            core::EngineKind engine)
 {
+    DriveStats stats;
     const auto start = std::chrono::steady_clock::now();
     if (engine == core::EngineKind::Scalar) {
         for (auto &code_words : fleet.words) {
             for (auto &word : code_words) {
-                core::RoundEngine round_engine(word->code, word->faults,
-                                               core::PatternKind::Random,
-                                               word->engineSeed);
+                std::unique_ptr<core::RoundEngine> round_engine;
+                if (word->hamming != nullptr)
+                    round_engine = std::make_unique<core::RoundEngine>(
+                        *word->hamming, word->faults,
+                        core::PatternKind::Random, word->engineSeed);
+                else
+                    round_engine = std::make_unique<core::RoundEngine>(
+                        *word->bch, word->faults,
+                        core::PatternKind::Random, word->engineSeed);
                 for (std::size_t r = 0; r < workload.rounds; ++r)
-                    round_engine.runRound(word->raw);
+                    round_engine->runRound(word->raw);
             }
         }
     } else {
-        // Batch blocks straight across code boundaries: lanes carry
-        // their own code, so every block is as full as possible.
+        // Batch blocks straight across code boundaries: Hamming lanes
+        // carry their own code, BCH lanes share the one code function,
+        // so every block is as full as possible.
         constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
         std::vector<PerfWord *> flat;
         for (auto &code_words : fleet.words)
             for (auto &word : code_words)
                 flat.push_back(word.get());
+        // One shared sliced BCH datapath for every block: the
+        // syndrome-memo warm-up is paid once per fleet, not per block.
+        std::unique_ptr<ecc::SlicedBchCode> shared_bch;
+        if (workload.bch && !flat.empty())
+            shared_bch = std::make_unique<ecc::SlicedBchCode>(
+                *fleet.bchCode, std::min(lanes, flat.size()));
         for (std::size_t begin = 0; begin < flat.size(); begin += lanes) {
             const std::size_t end =
                 std::min(begin + lanes, flat.size());
-            std::vector<const ecc::HammingCode *> code_ptrs;
             std::vector<const fault::WordFaultModel *> fault_ptrs;
             std::vector<std::uint64_t> seeds;
             std::vector<std::vector<core::Profiler *>> lane_profilers;
             for (std::size_t w = begin; w < end; ++w) {
-                code_ptrs.push_back(&flat[w]->code);
                 fault_ptrs.push_back(&flat[w]->faults);
                 seeds.push_back(flat[w]->engineSeed);
                 lane_profilers.push_back(flat[w]->raw);
             }
-            core::SlicedRoundEngine round_engine(
-                code_ptrs, fault_ptrs, core::PatternKind::Random, seeds);
+            std::unique_ptr<core::SlicedRoundEngine> round_engine;
+            if (workload.bch) {
+                round_engine = std::make_unique<core::SlicedRoundEngine>(
+                    *shared_bch, fault_ptrs, core::PatternKind::Random,
+                    seeds);
+            } else {
+                std::vector<const ecc::HammingCode *> code_ptrs;
+                for (std::size_t w = begin; w < end; ++w)
+                    code_ptrs.push_back(flat[w]->hamming);
+                round_engine = std::make_unique<core::SlicedRoundEngine>(
+                    code_ptrs, fault_ptrs, core::PatternKind::Random,
+                    seeds);
+            }
             for (std::size_t r = 0; r < workload.rounds; ++r)
-                round_engine.runRound(lane_profilers);
+                round_engine->runRound(lane_profilers);
+        }
+        if (shared_bch != nullptr) {
+            stats.memoHits = shared_bch->memoHits();
+            stats.memoMisses = shared_bch->memoMisses();
         }
     }
     const auto stop = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(stop - start).count();
+    stats.seconds = std::chrono::duration<double>(stop - start).count();
+    return stats;
 }
 
 /** Best-of-@p reps wall time plus the (deterministic) profile
- *  checksum for one engine. */
-std::pair<double, std::uint64_t>
+ *  checksum for one engine; memo stats come from the last rep. */
+struct EngineMeasurement
+{
+    double seconds = 0.0;
+    std::uint64_t checksum = 0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t memoMisses = 0;
+    std::size_t profilersPerWord = 0;
+};
+
+EngineMeasurement
 measureEngine(const PerfWorkload &workload, core::EngineKind engine,
               std::size_t reps)
 {
-    double best = 0.0;
-    std::uint64_t checksum = 0;
+    EngineMeasurement best;
     for (std::size_t rep = 0; rep < reps; ++rep) {
         PerfFleet fleet(workload);
-        const double seconds = driveFleet(fleet, workload, engine);
-        if (rep == 0 || seconds < best)
-            best = seconds;
-        checksum = fleet.checksum();
+        const DriveStats stats = driveFleet(fleet, workload, engine);
+        if (rep == 0 || stats.seconds < best.seconds)
+            best.seconds = stats.seconds;
+        best.checksum = fleet.checksum();
+        best.memoHits = stats.memoHits;
+        best.memoMisses = stats.memoMisses;
+        best.profilersPerWord = fleet.profilersPerWord();
     }
-    return {best, checksum};
+    return best;
 }
 
 ExperimentSpec
@@ -195,22 +283,28 @@ makePerfEngineThroughput()
     ExperimentSpec spec;
     spec.name = "perf_engine_throughput";
     spec.description =
-        "Profiling-round throughput: scalar vs. sliced64 engine on a "
-        "Fig. 6-sized workload (timing fields are machine-dependent)";
+        "Profiling-round throughput: scalar vs. sliced64 engine on "
+        "Hamming (Fig. 6-sized) and t-error BCH workloads (timing "
+        "fields are machine-dependent)";
     spec.labels = {"bench", "perf"};
-    spec.grid = ParamGrid();
+    spec.grid =
+        ParamGrid({ParamAxis{"workload", {"hamming", "bch"}}});
     spec.tunables = {
         {"k", "64", "dataword length of the on-die ECC code"},
-        {"codes", "8", "randomly generated codes"},
+        {"codes", "8", "randomly generated codes (word-count scale for "
+                       "the BCH workload)"},
         {"words", "24", "simulated ECC words per code"},
         {"rounds", "128", "active-profiling rounds"},
         {"prob", "0.5", "per-bit failure probability of at-risk cells"},
         {"pre_errors", "4", "at-risk cells per ECC word"},
+        {"t", "3", "correction capability of the BCH workload's code"},
         {"reps", "3", "measurement repetitions (best-of)"},
     };
     spec.schema = {
         {"words_total", JsonType::Int, "simulated ECC words"},
         {"rounds", JsonType::Int, "profiling rounds per word"},
+        {"profilers_per_word", JsonType::Int,
+         "profilers driven per word (4 Hamming, 2 BCH)"},
         {"profiler_rounds", JsonType::Int,
          "words x rounds x profilers driven per engine"},
         {"scalar_wall_seconds", JsonType::Double,
@@ -228,6 +322,13 @@ makePerfEngineThroughput()
         {"profile_checksum", JsonType::String,
          "FNV-1a over all final identified profiles (deterministic; "
          "equal for both engines)"},
+        {"memo_hits", JsonType::Int,
+         "sliced BCH syndrome-memo hits (null for Hamming)"},
+        {"memo_misses", JsonType::Int,
+         "sliced BCH syndrome-memo misses = scalar fallbacks (null for "
+         "Hamming)"},
+        {"memo_hit_rate", JsonType::Double,
+         "memo_hits / (memo_hits + memo_misses) (null for Hamming)"},
     };
     spec.run = [](const RunContext &ctx) {
         PerfWorkload workload;
@@ -242,30 +343,37 @@ makePerfEngineThroughput()
             static_cast<std::size_t>(ctx.getInt("pre_errors", 4));
         workload.probability = ctx.getDouble("prob", 0.5);
         workload.seed = ctx.seed();
+        workload.bch =
+            ctx.point().find("workload")->asString() == "bch";
+        workload.bchT = static_cast<std::size_t>(ctx.getInt("t", 3));
         // At least one rep: --reps 0 would otherwise report a
         // zero-checksum "match" without measuring anything.
         const auto reps = std::max<std::size_t>(
             1, static_cast<std::size_t>(ctx.getInt("reps", 3)));
 
-        auto [scalar_seconds, scalar_checksum] =
+        const EngineMeasurement scalar =
             measureEngine(workload, core::EngineKind::Scalar, reps);
-        auto [sliced_seconds, sliced_checksum] =
+        const EngineMeasurement sliced =
             measureEngine(workload, core::EngineKind::Sliced64, reps);
         // Degenerate workloads (--words 0, --rounds 0) can time as
         // exactly zero; clamp so the throughput/speedup divisions stay
         // finite (JSON serializes non-finite doubles as null, which
         // would violate the declared schema).
-        scalar_seconds = std::max(scalar_seconds, 1e-9);
-        sliced_seconds = std::max(sliced_seconds, 1e-9);
+        const double scalar_seconds = std::max(scalar.seconds, 1e-9);
+        const double sliced_seconds = std::max(sliced.seconds, 1e-9);
 
         const std::size_t words_total =
             workload.numCodes * workload.wordsPerCode;
+        // From the fleet itself, so the metric can never drift from
+        // the profiler sets PerfWord actually constructs.
+        const std::size_t profilers = scalar.profilersPerWord;
         const double profiler_rounds = static_cast<double>(
-            words_total * workload.rounds * std::size_t{4});
+            words_total * workload.rounds * profilers);
 
         JsonValue metrics = JsonValue::object();
         metrics.set("words_total", JsonValue(words_total));
         metrics.set("rounds", JsonValue(workload.rounds));
+        metrics.set("profilers_per_word", JsonValue(profilers));
         metrics.set("profiler_rounds",
                     JsonValue(static_cast<std::uint64_t>(profiler_rounds)));
         metrics.set("scalar_wall_seconds", JsonValue(scalar_seconds));
@@ -277,11 +385,24 @@ makePerfEngineThroughput()
         metrics.set("speedup",
                     JsonValue(scalar_seconds / sliced_seconds));
         metrics.set("profiles_match",
-                    JsonValue(scalar_checksum == sliced_checksum));
+                    JsonValue(scalar.checksum == sliced.checksum));
         char hex[17];
         std::snprintf(hex, sizeof(hex), "%016llx",
-                      static_cast<unsigned long long>(scalar_checksum));
+                      static_cast<unsigned long long>(scalar.checksum));
         metrics.set("profile_checksum", JsonValue(std::string(hex)));
+        const std::uint64_t lookups =
+            sliced.memoHits + sliced.memoMisses;
+        metrics.set("memo_hits", workload.bch
+                                     ? JsonValue(sliced.memoHits)
+                                     : JsonValue());
+        metrics.set("memo_misses", workload.bch
+                                       ? JsonValue(sliced.memoMisses)
+                                       : JsonValue());
+        metrics.set("memo_hit_rate",
+                    workload.bch && lookups > 0
+                        ? JsonValue(static_cast<double>(sliced.memoHits) /
+                                    static_cast<double>(lookups))
+                        : JsonValue());
         return metrics;
     };
     return spec;

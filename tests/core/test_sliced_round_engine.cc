@@ -20,6 +20,8 @@
 #include "core/naive_profiler.hh"
 #include "core/round_engine.hh"
 #include "core/sliced_round_engine.hh"
+#include "ecc/bch_general.hh"
+#include "ecc/sliced_bch.hh"
 #include "support/property.hh"
 
 namespace harp::core {
@@ -264,12 +266,168 @@ TEST(SlicedRoundEngine, RejectsInconsistentLaneCounts)
     const fault::WordFaultModel faults =
         fault::WordFaultModel::makeUniformFixedCount(code.n(), 2, 0.5,
                                                      rng);
-    EXPECT_THROW(SlicedRoundEngine({&code, &code}, {&faults},
+    const std::vector<const ecc::HammingCode *> two_codes = {&code,
+                                                             &code};
+    const std::vector<const ecc::HammingCode *> one_code = {&code};
+    const std::vector<const fault::WordFaultModel *> one_fault = {
+        &faults};
+    EXPECT_THROW(SlicedRoundEngine(two_codes, one_fault,
                                    PatternKind::Random, {1, 2}),
                  std::invalid_argument);
-    EXPECT_THROW(SlicedRoundEngine({&code}, {&faults},
+    EXPECT_THROW(SlicedRoundEngine(one_code, one_fault,
                                    PatternKind::Random, {1, 2}),
                  std::invalid_argument);
+}
+
+/**
+ * One SlicedBchCode shared (non-owning) by consecutive block engines —
+ * the amortized-warm-up shape the BCH specs use — must stay
+ * bit-identical to scalar references, including a ragged final block
+ * narrower than the shared datapath's lane count.
+ */
+TEST(SlicedRoundEngine, SharedBchDatapathAcrossBlocksStaysBitIdentical)
+{
+    common::Xoshiro256 rng(21);
+    const ecc::BchCode code(64, 2);
+    const ecc::SlicedBchCode sliced(code, 8); // shared, 8 lanes wide
+    const std::size_t block_sizes[] = {8, 8, 3}; // ragged tail
+
+    std::size_t word = 0;
+    for (const std::size_t block : block_sizes) {
+        std::vector<fault::WordFaultModel> faults;
+        std::vector<const fault::WordFaultModel *> fault_ptrs;
+        std::vector<std::uint64_t> seeds;
+        std::vector<std::unique_ptr<Profiler>> scalar_ps, sliced_ps;
+        std::vector<std::vector<Profiler *>> scalar_raw(block),
+            sliced_raw(block);
+        faults.reserve(block);
+        for (std::size_t w = 0; w < block; ++w, ++word) {
+            faults.push_back(
+                fault::WordFaultModel::makeUniformFixedCount(
+                    code.n(), 2 + word % 3, 0.5, rng));
+            seeds.push_back(common::deriveSeed(77, {word}));
+            scalar_ps.push_back(
+                std::make_unique<HarpUProfiler>(code.k()));
+            sliced_ps.push_back(
+                std::make_unique<HarpUProfiler>(code.k()));
+            scalar_raw[w] = {scalar_ps[w].get()};
+            sliced_raw[w] = {sliced_ps[w].get()};
+        }
+        for (std::size_t w = 0; w < block; ++w)
+            fault_ptrs.push_back(&faults[w]);
+
+        SlicedRoundEngine engine(sliced, fault_ptrs,
+                                 PatternKind::Random, seeds);
+        ASSERT_EQ(engine.lanes(), block);
+        std::vector<std::unique_ptr<RoundEngine>> refs;
+        for (std::size_t w = 0; w < block; ++w)
+            refs.push_back(std::make_unique<RoundEngine>(
+                code, faults[w], PatternKind::Random, seeds[w]));
+
+        for (std::size_t r = 0; r < 12; ++r) {
+            engine.runRound(sliced_raw);
+            for (std::size_t w = 0; w < block; ++w) {
+                refs[w]->runRound(scalar_raw[w]);
+                ASSERT_EQ(sliced_raw[w][0]->identified(),
+                          scalar_raw[w][0]->identified())
+                    << "block of " << block << ", round " << r
+                    << ", lane " << w;
+            }
+        }
+    }
+    // The shared memo really was shared: later blocks hit entries the
+    // earlier ones populated.
+    EXPECT_GT(sliced.memoHits(), 0u);
+    EXPECT_EQ(sliced.memoEntries(), sliced.memoMisses());
+
+    // More fault models than the shared datapath has lanes: rejected.
+    std::vector<fault::WordFaultModel> many;
+    std::vector<const fault::WordFaultModel *> many_ptrs;
+    for (std::size_t w = 0; w < 9; ++w)
+        many.push_back(fault::WordFaultModel::makeUniformFixedCount(
+            code.n(), 1, 0.5, rng));
+    for (const fault::WordFaultModel &fm : many)
+        many_ptrs.push_back(&fm);
+    EXPECT_THROW(SlicedRoundEngine(sliced, many_ptrs,
+                                   PatternKind::Random,
+                                   std::vector<std::uint64_t>(9, 1)),
+                 std::invalid_argument);
+}
+
+/**
+ * The code-agnostic engine contract for BCH lanes: a SlicedRoundEngine
+ * over ecc::SlicedBchCode (memoized syndrome decoding) must produce,
+ * per round and per profiler, exactly the state of scalar RoundEngines
+ * over the same t-error BCH word — across t, pre-correction error
+ * counts, and ragged lane counts.
+ */
+TEST(SlicedRoundEngine, BitIdenticalForBchLanes)
+{
+    forEachSeed(1, [](std::uint64_t seed, common::Xoshiro256 &rng) {
+        for (const std::size_t t : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}}) {
+            const ecc::BchCode code(64, t);
+            for (const std::size_t lanes :
+                 {std::size_t{3}, std::size_t{17}}) {
+                std::vector<fault::WordFaultModel> faults;
+                for (std::size_t w = 0; w < lanes; ++w)
+                    faults.push_back(
+                        fault::WordFaultModel::makeUniformFixedCount(
+                            code.n(), 1 + w % 5, 0.25 + 0.25 * (w % 4),
+                            rng));
+
+                // Per-word profiler pairs and engines with identical
+                // per-word seed derivation on both paths.
+                std::vector<std::unique_ptr<Profiler>> scalar_ps;
+                std::vector<std::unique_ptr<Profiler>> sliced_ps;
+                std::vector<std::unique_ptr<RoundEngine>> scalar_engines;
+                std::vector<const ecc::BchCode *> code_ptrs;
+                std::vector<const fault::WordFaultModel *> fault_ptrs;
+                std::vector<std::uint64_t> lane_seeds;
+                std::vector<std::vector<Profiler *>> sliced_raw(lanes);
+                std::vector<std::vector<Profiler *>> scalar_raw(lanes);
+                for (std::size_t w = 0; w < lanes; ++w) {
+                    const std::uint64_t word_seed =
+                        common::deriveSeed(seed, {t, w});
+                    scalar_ps.push_back(
+                        std::make_unique<NaiveProfiler>(code.k()));
+                    scalar_ps.push_back(
+                        std::make_unique<HarpUProfiler>(code.k()));
+                    sliced_ps.push_back(
+                        std::make_unique<NaiveProfiler>(code.k()));
+                    sliced_ps.push_back(
+                        std::make_unique<HarpUProfiler>(code.k()));
+                    scalar_raw[w] = {scalar_ps[2 * w].get(),
+                                     scalar_ps[2 * w + 1].get()};
+                    sliced_raw[w] = {sliced_ps[2 * w].get(),
+                                     sliced_ps[2 * w + 1].get()};
+                    scalar_engines.push_back(
+                        std::make_unique<RoundEngine>(
+                            code, faults[w], PatternKind::Random,
+                            word_seed));
+                    code_ptrs.push_back(&code);
+                    fault_ptrs.push_back(&faults[w]);
+                    lane_seeds.push_back(word_seed);
+                }
+                SlicedRoundEngine sliced_engine(
+                    code_ptrs, fault_ptrs, PatternKind::Random,
+                    lane_seeds);
+
+                for (std::size_t r = 0; r < 16; ++r) {
+                    sliced_engine.runRound(sliced_raw);
+                    for (std::size_t w = 0; w < lanes; ++w)
+                        scalar_engines[w]->runRound(scalar_raw[w]);
+                    for (std::size_t w = 0; w < lanes; ++w)
+                        for (std::size_t s = 0; s < 2; ++s)
+                            ASSERT_EQ(sliced_raw[w][s]->identified(),
+                                      scalar_raw[w][s]->identified())
+                                << "t " << t << ", round " << r
+                                << ", lane " << w << ", profiler "
+                                << scalar_raw[w][s]->name();
+                }
+            }
+        }
+    });
 }
 
 } // namespace

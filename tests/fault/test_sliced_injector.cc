@@ -97,6 +97,60 @@ TEST(SlicedCrnInjector, MatchesScalarInjectErrorsCrn)
     });
 }
 
+/**
+ * The injector is code-agnostic over the word length: BCH codewords
+ * are longer than the Hamming (71, 64) shape (t = 3 over k = 64 gives
+ * n = 85), and the sliced engine feeds it whatever n the SlicedCode
+ * reports. Check the scalar-equivalence contract at a BCH geometry
+ * with cells concentrated in the (wide) parity region.
+ */
+TEST(SlicedCrnInjector, MatchesScalarAtBchWordLengths)
+{
+    forEachSeed(2, [](std::uint64_t seed, common::Xoshiro256 &rng) {
+        const std::size_t word_bits = 85; // (85, 64) t = 3 BCH shape
+        const std::size_t lanes = 9;
+        std::vector<WordFaultModel> models;
+        for (std::size_t w = 0; w < lanes; ++w) {
+            // Bias at-risk cells into the parity tail [64, 85).
+            std::vector<CellFault> cells;
+            for (std::size_t c = 0; c < 1 + w % 4; ++c)
+                cells.push_back(
+                    {64 + (w * 5 + c) % 21, 0.25 * (1 + w % 3)});
+            models.emplace_back(word_bits, cells);
+        }
+        std::vector<const WordFaultModel *> ptrs;
+        for (const WordFaultModel &model : models)
+            ptrs.push_back(&model);
+        SlicedCrnInjector injector(ptrs);
+        ASSERT_EQ(injector.wordBits(), word_bits);
+
+        std::vector<common::Xoshiro256> lane_rngs;
+        std::vector<common::Xoshiro256> ref_rngs;
+        for (std::size_t w = 0; w < lanes; ++w) {
+            const std::uint64_t s = common::deriveSeed(seed, {w});
+            lane_rngs.emplace_back(s);
+            ref_rngs.emplace_back(s);
+        }
+        for (std::size_t round = 0; round < 6; ++round) {
+            injector.drawRound(lane_rngs);
+            std::vector<gf2::BitVector> stored;
+            for (std::size_t w = 0; w < lanes; ++w)
+                stored.push_back(gf2::BitVector::random(word_bits, rng));
+            gf2::BitSlice64 stored_slice(word_bits);
+            stored_slice.gather(stored);
+            gf2::BitSlice64 received = stored_slice;
+            injector.apply(stored_slice, received);
+            for (std::size_t w = 0; w < lanes; ++w) {
+                gf2::BitVector expected = stored[w];
+                expected ^= models[w].injectErrorsCrn(
+                    stored[w], drawUniforms(models[w], ref_rngs[w]));
+                ASSERT_EQ(received.extractWord(w), expected)
+                    << "round " << round << ", lane " << w;
+            }
+        }
+    });
+}
+
 TEST(SlicedCrnInjector, RejectsMismatchedLanes)
 {
     common::Xoshiro256 rng(1);

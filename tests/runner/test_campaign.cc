@@ -304,6 +304,60 @@ TEST(CampaignDeterminism, EngineOverridesHashIdentically)
     EXPECT_EQ(jsonl_bytes[0], jsonl_bytes[1]);
 }
 
+/**
+ * The BCH extension sweep under `--engine`: scalar and sliced64 runs
+ * of bch_t_sweep must emit byte-identical JSONL for a fixed seed —
+ * the memoized sliced BCH datapath is exactly equivalent to the
+ * scalar Berlekamp-Massey decoder. words = 70 exercises a ragged
+ * sliced block (64 + 6 lanes).
+ */
+TEST(CampaignDeterminism, BchTSweepEngineOverridesHashIdentically)
+{
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::string> jsonl_bytes;
+    for (const char *engine : {"scalar", "sliced64"}) {
+        const TempDir dir(std::string("bch_engine_") + engine);
+        CampaignOptions options;
+        options.seed = 13;
+        options.threads = 2;
+        options.outDir = dir.str();
+        options.overrides = {{"engine", engine},
+                             {"words", "70"},
+                             {"rounds", "6"},
+                             {"pre_errors", "3"}};
+        std::ostringstream log;
+        const CampaignSummary summary =
+            runFast({"bch_t_sweep"}, options, log);
+        ASSERT_EQ(summary.experiments.size(), 1u);
+        hashes.push_back(summary.experiments[0].resultHash);
+        jsonl_bytes.push_back(
+            readFile(summary.experiments[0].jsonlPath));
+    }
+    EXPECT_EQ(hashes[0], hashes[1]);
+    EXPECT_EQ(jsonl_bytes[0], jsonl_bytes[1]);
+}
+
+/** The longest-first scheduling heuristic: scale-like integer params
+ *  multiply into the cost key, non-integers are ignored. */
+TEST(Campaign, JobCostKeyOrdersHeavyPointsFirst)
+{
+    ParamPoint light;
+    light.add("on_die_t", ParamValue(std::size_t{1}));
+    light.add("pre_errors", ParamValue(std::size_t{2}));
+    light.add("prob", ParamValue(0.25));
+    ParamPoint heavy;
+    heavy.add("on_die_t", ParamValue(std::size_t{3}));
+    heavy.add("pre_errors", ParamValue(std::size_t{5}));
+    heavy.add("prob", ParamValue(0.25));
+
+    EXPECT_DOUBLE_EQ(jobCostKey(light), 2.0);
+    EXPECT_DOUBLE_EQ(jobCostKey(heavy), 15.0);
+    EXPECT_GT(jobCostKey(heavy), jobCostKey(light));
+
+    // Empty points (no-sweep specs) cost 1.
+    EXPECT_DOUBLE_EQ(jobCostKey(ParamPoint()), 1.0);
+}
+
 /** The perf experiment runs end-to-end through the campaign driver and
  *  reports matching profiles between its two engine measurements. */
 TEST(Campaign, PerfEngineThroughputSmoke)
@@ -324,6 +378,7 @@ TEST(Campaign, PerfEngineThroughputSmoke)
     std::istringstream jsonl(
         readFile(summary.experiments[0].jsonlPath));
     std::string line;
+    // Point 0: the Hamming workload with the Fig. 6 profiler set.
     ASSERT_TRUE(std::getline(jsonl, line));
     const JsonValue doc = JsonValue::parse(line);
     const JsonValue *metrics = doc.find("metrics");
@@ -334,6 +389,20 @@ TEST(Campaign, PerfEngineThroughputSmoke)
     EXPECT_TRUE(metrics->find("profiles_match")->asBool());
     EXPECT_GT(metrics->find("speedup")->asDouble(), 0.0);
     EXPECT_EQ(metrics->find("profiler_rounds")->asInt(), 8 * 8 * 4);
+    EXPECT_TRUE(metrics->find("memo_hit_rate")->isNull());
+
+    // Point 1: the BCH workload (Naive + HARP-U) with memo statistics
+    // from the sliced syndrome-decode table.
+    ASSERT_TRUE(std::getline(jsonl, line));
+    const JsonValue bch_doc = JsonValue::parse(line);
+    const JsonValue *bch_metrics = bch_doc.find("metrics");
+    ASSERT_NE(bch_metrics, nullptr);
+    EXPECT_EQ(bch_doc.find("params")->find("workload")->asString(),
+              "bch");
+    EXPECT_TRUE(bch_metrics->find("profiles_match")->asBool());
+    EXPECT_EQ(bch_metrics->find("profiler_rounds")->asInt(), 8 * 8 * 2);
+    EXPECT_GE(bch_metrics->find("memo_hits")->asInt(), 0);
+    EXPECT_GT(bch_metrics->find("memo_misses")->asInt(), 0);
 }
 
 /** Changing the seed must change the results (the hash actually hashes

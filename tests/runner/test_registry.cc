@@ -15,20 +15,21 @@ namespace {
 TEST(Registry, BuiltinCatalogueIsComplete)
 {
     const Registry &registry = builtinRegistry();
-    // 14 former bench binaries + 4 former examples + the engine perf
-    // experiment.
-    EXPECT_EQ(registry.size(), 19u);
-    EXPECT_EQ(registry.withLabel("bench").size(), 15u);
+    // 15 bench binaries (incl. the BCH t-sweep) + 4 former examples +
+    // the engine perf experiment.
+    EXPECT_EQ(registry.size(), 20u);
+    EXPECT_EQ(registry.withLabel("bench").size(), 16u);
     EXPECT_EQ(registry.withLabel("example").size(), 4u);
     EXPECT_EQ(registry.withLabel("figure").size(), 7u);
     EXPECT_EQ(registry.withLabel("table").size(), 2u);
     EXPECT_EQ(registry.withLabel("ablation").size(), 2u);
-    EXPECT_EQ(registry.withLabel("extension").size(), 3u);
+    EXPECT_EQ(registry.withLabel("extension").size(), 4u);
     EXPECT_EQ(registry.withLabel("perf").size(), 1u);
 
     const char *expected[] = {
         "ablation_code_length",
         "ablation_data_patterns",
+        "bch_t_sweep",
         "beer_reverse_engineering",
         "extension_dec_on_die_ecc",
         "extension_low_probability",
