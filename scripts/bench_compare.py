@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two perf-trajectory snapshots written by bench_snapshot.sh.
+
+Usage:
+    scripts/bench_compare.py OLD.json NEW.json [--threshold 0.15]
+                             [--enforce | --no-enforce]
+
+Prints a per-workload table of sliced64-vs-scalar speedups (old ->
+new), the relative delta, and the memo statistics, then exits non-zero
+when any workload's speedup regressed by more than --threshold
+(default 15%).
+
+Regression enforcement only makes sense between two *full*-mode
+snapshots: smoke snapshots run a tiny workload whose timings are pure
+noise. When either side is a smoke snapshot the comparison is printed
+for information and enforcement is skipped (unless --enforce forces
+it); --no-enforce always skips it, e.g. for CI wiring checks.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    for key in ("bench", "mode", "workloads"):
+        if key not in snap:
+            sys.exit(f"bench_compare: {path} is not a bench snapshot "
+                     f"(missing '{key}')")
+    rows = {}
+    for row in snap["workloads"]:
+        name = row.get("params", {}).get("workload", "?")
+        rows[name] = row.get("metrics", {})
+    return snap, rows
+
+
+def fmt_num(v, spec="{:.2f}"):
+    return spec.format(v) if isinstance(v, (int, float)) else "-"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_PR*.json snapshots")
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed relative speedup regression "
+                             "(default 0.15)")
+    enforce = parser.add_mutually_exclusive_group()
+    enforce.add_argument("--enforce", action="store_true",
+                         help="enforce even against smoke snapshots")
+    enforce.add_argument("--no-enforce", action="store_true",
+                         help="never fail on regressions, just report")
+    args = parser.parse_args()
+
+    old_snap, old_rows = load(args.old)
+    new_snap, new_rows = load(args.new)
+
+    full_pair = old_snap["mode"] == "full" and new_snap["mode"] == "full"
+    enforcing = args.enforce or (full_pair and not args.no_enforce)
+
+    print(f"bench_compare: {args.old} ({old_snap['mode']}) -> "
+          f"{args.new} ({new_snap['mode']})")
+    header = (f"{'workload':<10} {'old x':>8} {'new x':>8} {'delta':>8} "
+              f"{'old hit%':>9} {'new hit%':>9}")
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for name in sorted(set(old_rows) | set(new_rows)):
+        old_m = old_rows.get(name)
+        new_m = new_rows.get(name)
+        if old_m is None or new_m is None:
+            side = args.old if old_m is None else args.new
+            print(f"{name:<10} missing from {side}")
+            failures.append(f"{name}: missing from one snapshot")
+            continue
+        old_s = old_m.get("speedup")
+        new_s = new_m.get("speedup")
+        have_both = (isinstance(old_s, (int, float)) and old_s and
+                     isinstance(new_s, (int, float)))
+        delta = (new_s - old_s) / old_s if have_both else None
+        if not isinstance(new_s, (int, float)):
+            failures.append(f"{name}: no speedup metric in {args.new}")
+        old_hit = old_m.get("memo_hit_rate")
+        new_hit = new_m.get("memo_hit_rate")
+        print(f"{name:<10} {fmt_num(old_s):>8} {fmt_num(new_s):>8} "
+              f"{fmt_num(delta, '{:+.1%}') if delta is not None else '-':>8} "
+              f"{fmt_num(old_hit, '{:.1%}'):>9} "
+              f"{fmt_num(new_hit, '{:.1%}'):>9}")
+        if not new_m.get("profiles_match", False):
+            failures.append(f"{name}: profiles_match is false in "
+                            f"{args.new}")
+        if delta is not None and delta < -args.threshold:
+            failures.append(
+                f"{name}: speedup regressed {delta:+.1%} "
+                f"({old_s:.2f}x -> {new_s:.2f}x, threshold "
+                f"-{args.threshold:.0%})")
+
+    if failures and enforcing:
+        for f in failures:
+            print(f"bench_compare: FAIL {f}", file=sys.stderr)
+        return 1
+    if failures:
+        for f in failures:
+            print(f"bench_compare: note (not enforced): {f}")
+    if not enforcing:
+        print("bench_compare: regression enforcement skipped "
+              + ("(--no-enforce)" if args.no_enforce
+                 else "(smoke snapshot in the pair)"))
+    else:
+        print("bench_compare: OK (no regression beyond "
+              f"{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

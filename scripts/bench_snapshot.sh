@@ -4,20 +4,21 @@
 # machine-readable snapshot JSON with rounds/s per engine, the
 # sliced/scalar speedups, memo statistics and the profile checksums.
 #
-#   scripts/bench_snapshot.sh            # full workload -> BENCH_PR4.json
+#   scripts/bench_snapshot.sh            # full workload -> BENCH_PR5.json
 #   scripts/bench_snapshot.sh --smoke    # tiny workload, wiring check only
 #
-# Full mode enforces the tracked floor: the sliced64 engine must be
-# >= 5x scalar on the BCH workload with profiles_match=true (the
-# bit-identity witness). Smoke mode (used by verify.sh) only checks
-# the wiring and the witness, never timing — timings on loaded
-# machines are noise at smoke scale.
+# Full mode enforces the tracked floors: the sliced64 engine must be
+# >= 8x scalar on the Hamming workload and >= 9x on the BCH workload
+# (raised in PR 5 by the lane-native observation path), always with
+# profiles_match=true (the bit-identity witness). Smoke mode (used by
+# verify.sh) only checks the wiring and the witness, never timing —
+# timings on loaded machines are noise at smoke scale.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 MODE=full
-OUT=BENCH_PR4.json
+OUT=BENCH_PR5.json
 SEED=1
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -63,18 +64,20 @@ if [[ $rows -ne 2 || $matches -ne 2 ]]; then
     exit 1
 fi
 
-# Full mode: the BCH workload must stay on the fast path (>= 5x).
+# Full mode: both workloads must hold their speedup floors.
 if [[ $MODE == full ]]; then
     awk '
-        /"workload":"bch"/ {
+        function check(name, floor) {
             if (match($0, /"speedup":[0-9.eE+-]+/)) {
                 v = substr($0, RSTART + 10, RLENGTH - 10) + 0
-                if (v < 5) {
-                    printf "bench_snapshot: BCH speedup %.2fx below the 5x floor\n", v > "/dev/stderr"
+                if (v < floor) {
+                    printf "bench_snapshot: %s speedup %.2fx below the %gx floor\n", name, v, floor > "/dev/stderr"
                     bad = 1
                 }
             }
         }
+        /"workload":"hamming"/ { check("Hamming", 8) }
+        /"workload":"bch"/     { check("BCH", 9) }
         END { exit bad }
     ' "$jsonl"
 fi

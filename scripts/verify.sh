@@ -3,9 +3,19 @@
 # through the harp_run experiment runner (incl. an alias binary), and a
 # docs lint (Doxygen warnings are errors; skipped when doxygen is not
 # installed). Exits nonzero on any failure.
+#
+#   scripts/verify.sh          # tier-1 + smoke perf wiring
+#   scripts/verify.sh --full   # additionally runs the full-scale perf
+#                              # snapshot, enforcing the Hamming >= 8x /
+#                              # BCH >= 9x floors and the <= 15%
+#                              # regression gate against the committed
+#                              # BENCH_PR5.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
 
 cmake -B build -S .
 cmake --build build -j
@@ -75,14 +85,40 @@ cmp -s "$smoke_dir/bch-scalar/bch_t_sweep.jsonl" \
     exit 1
 }
 
+# Heterogeneous per-word codes through the lane-native observation
+# path (Naive/HARP-U lanes) must also stay byte-identical.
+for engine in scalar sliced64; do
+    ./build/src/harp_run extension_low_probability \
+        --seed 11 --threads 2 --engine "$engine" \
+        --words 70 --rounds 8 \
+        --out "$smoke_dir/elp-$engine" > /dev/null
+done
+cmp -s "$smoke_dir/elp-scalar/extension_low_probability.jsonl" \
+       "$smoke_dir/elp-sliced64/extension_low_probability.jsonl" || {
+    echo "verify: extension_low_probability.jsonl differs between engines" >&2
+    exit 1
+}
+
 # --- Perf snapshot (smoke) ------------------------------------------------
-# Wiring + bit-identity witness of the engine-throughput bench; the
-# full-scale snapshot (speedup floors) is scripts/bench_snapshot.sh.
-scripts/bench_snapshot.sh --smoke --out "$smoke_dir/BENCH_PR4.json"
-test -s "$smoke_dir/BENCH_PR4.json" || {
+# Wiring + bit-identity witness of the engine-throughput bench, and a
+# non-enforcing bench_compare against the committed snapshot (smoke
+# timings are noise; the comparison checks the tooling end-to-end).
+scripts/bench_snapshot.sh --smoke --out "$smoke_dir/BENCH_smoke.json"
+test -s "$smoke_dir/BENCH_smoke.json" || {
     echo "verify: bench_snapshot smoke wrote no snapshot" >&2
     exit 1
 }
+scripts/bench_compare.py BENCH_PR5.json "$smoke_dir/BENCH_smoke.json" \
+    --no-enforce
+
+# --- Perf snapshot (full) -------------------------------------------------
+# Full mode: re-measure at snapshot scale, enforce the Hamming >= 8x /
+# BCH >= 9x floors (inside bench_snapshot.sh) and fail on a > 15%
+# speedup regression against the committed snapshot.
+if [[ $FULL -eq 1 ]]; then
+    scripts/bench_snapshot.sh --out "$smoke_dir/BENCH_full.json"
+    scripts/bench_compare.py BENCH_PR5.json "$smoke_dir/BENCH_full.json"
+fi
 
 # --- Docs lint ------------------------------------------------------------
 if command -v doxygen > /dev/null 2>&1; then

@@ -48,6 +48,19 @@ tailMask(std::size_t bits)
     return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
 }
 
+/**
+ * Mask of the low @p lanes bits (all-ones for 64): the live-lane mask
+ * of a bit-sliced block whose dead-lane bits hold garbage. One
+ * definition, because the ragged-tail masking rule is load-bearing
+ * everywhere transposed lanes are consumed.
+ */
+constexpr std::uint64_t
+laneMask(std::size_t lanes)
+{
+    return lanes >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << lanes) - 1;
+}
+
 /** Parity (XOR-reduction) of a 64-bit word: 1 if an odd number of set bits. */
 constexpr int
 parity64(std::uint64_t x)

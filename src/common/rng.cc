@@ -25,28 +25,6 @@ Xoshiro256::Xoshiro256(std::uint64_t seed)
         s_[0] = 0x9E3779B97F4A7C15ULL;
 }
 
-static inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-Xoshiro256::result_type
-Xoshiro256::operator()()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
 std::uint64_t
 Xoshiro256::nextBelow(std::uint64_t bound)
 {
@@ -57,13 +35,6 @@ Xoshiro256::nextBelow(std::uint64_t bound)
         if (r >= threshold)
             return r % bound;
     }
-}
-
-double
-Xoshiro256::nextDouble()
-{
-    // 53 high-quality bits -> [0, 1).
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 bool

@@ -44,19 +44,43 @@ class Xoshiro256
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type{0}; }
 
-    /** Next raw 64-bit value. */
-    result_type operator()();
+    /** Next raw 64-bit value. Inline: the profiling engines draw one
+     *  variate per at-risk cell per simulated word per round, so the
+     *  generator step must not cost a function call. */
+    result_type operator()()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). @p bound must be nonzero. */
     std::uint64_t nextBelow(std::uint64_t bound);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble()
+    {
+        // 53 high-quality bits -> [0, 1).
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial with success probability @p p (clamped to [0,1]). */
     bool nextBernoulli(double p);
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

@@ -25,32 +25,6 @@ BeepProfiler::addSuspectedCell(std::size_t codeword_position)
     observedAnyError_ = true;
 }
 
-std::optional<gf2::BitVector>
-BeepProfiler::craftPattern(std::size_t probe) const
-{
-    // Every data cell's charge is pinned — suspects and a data probe
-    // are charged, all other data cells discharged — so the crafted
-    // word is fully determined and "solving" reduces to evaluating the
-    // feasibility of the targeted parity cells: parity cell j stores
-    // parityRow(j) . d, which must be 1 (charged) for parity-region
-    // targets. (Parity cells outside the target set float.)
-    gf2::BitVector dataword(k_);
-    for (const std::size_t cell : suspected_)
-        if (code_.isDataPosition(cell))
-            dataword.set(cell, true);
-    if (code_.isDataPosition(probe))
-        dataword.set(probe, true);
-
-    for (const std::size_t cell : suspected_)
-        if (!code_.isDataPosition(cell) &&
-            !code_.parityRow(cell - k_).dot(dataword))
-            return std::nullopt;
-    if (!code_.isDataPosition(probe) &&
-        !code_.parityRow(probe - k_).dot(dataword))
-        return std::nullopt;
-    return dataword;
-}
-
 gf2::BitVector
 BeepProfiler::chooseDataword(std::size_t round,
                              const gf2::BitVector &suggested,
@@ -77,11 +51,13 @@ BeepProfiler::chooseDatawordInto(std::size_t round,
 
     // Probe phase: cycle through non-suspected codeword positions and
     // craft a pattern for the first feasible probe target. Crafts are
-    // pure functions of (suspect set, probe), so they are cached until
+    // pure functions of (suspect set, probe) — the shared base word
+    // plus precomputed per-probe feasibility masks, rebuilt only when
     // the suspect set grows.
     const std::size_t n = code_.n();
-    if (craftCacheVersion_ != suspectsVersion_ || craftCache_.size() != n) {
-        craftCache_.assign(n, std::nullopt);
+    if (craftCacheVersion_ != suspectsVersion_ ||
+        craftBase_.size() != k_) {
+        rebuildCraftMasks();
         craftCacheVersion_ = suspectsVersion_;
     }
     for (std::size_t attempt = 0; attempt < n; ++attempt) {
@@ -89,22 +65,68 @@ BeepProfiler::chooseDatawordInto(std::size_t round,
         probeCursor_ = (probeCursor_ + 1) % n;
         if (suspectedMask_.get(probe))
             continue;
-        if (!craftCache_[probe].has_value())
-            craftCache_[probe] = craftPattern(probe);
-        if (const auto &crafted = *craftCache_[probe]) {
-            out = *crafted;
+        if (probe < k_) {
+            if (!craftFeasData_.get(probe))
+                continue;
+            out = craftBase_;
+            out.set(probe, true);
             return false;
         }
+        if (!craftFeasParity_.get(probe - k_))
+            continue;
+        out = craftBase_;
+        return false;
     }
     return true;
 }
 
 void
+BeepProfiler::rebuildCraftMasks()
+{
+    const std::size_t p = code_.n() - k_;
+    if (craftBase_.size() != k_) {
+        craftBase_ = gf2::BitVector(k_);
+        craftFeasData_ = gf2::BitVector(k_);
+        craftFeasParity_ = gf2::BitVector(p);
+    } else {
+        craftBase_.fill(false);
+    }
+    for (const std::size_t cell : suspected_)
+        if (code_.isDataPosition(cell))
+            craftBase_.set(cell, true);
+
+    // Data probe i is feasible iff every parity suspect c stays
+    // charged: parityRow(c-k) . (base ^ e_i) = dot(base) ^ row[i]
+    // must be 1, so each parity suspect ANDs row or its complement.
+    craftFeasData_.fill(true);
+    bool all_parity_ok = true;
+    for (const std::size_t cell : suspected_) {
+        if (code_.isDataPosition(cell))
+            continue;
+        const gf2::BitVector &row = code_.parityRow(cell - k_);
+        if (row.dot(craftBase_)) {
+            craftFeasData_.andNot(row);
+        } else {
+            all_parity_ok = false;
+            craftFeasData_ &= row;
+        }
+    }
+
+    // Parity probe k+j programs the base word itself; it is feasible
+    // iff the base already charges every parity suspect and cell k+j.
+    craftFeasParity_.fill(false);
+    if (all_parity_ok)
+        for (std::size_t j = 0; j < p; ++j)
+            if (code_.parityRow(j).dot(craftBase_))
+                craftFeasParity_.set(j, true);
+}
+
+void
 BeepProfiler::observe(const RoundObservation &obs)
 {
-    scratchA_ = obs.writtenData;
-    scratchA_ ^= obs.postCorrectionData;
-    if (scratchA_.isZero())
+    // One fused pass computes the mismatch and detects the clean-read
+    // common case (nothing to learn).
+    if (!scratchA_.assignXor(obs.writtenData, obs.postCorrectionData))
         return;
     observedAnyError_ = true;
     identified_ |= scratchA_;

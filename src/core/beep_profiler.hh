@@ -45,6 +45,10 @@ class BeepProfiler : public Profiler
 
     void observe(const RoundObservation &obs) override;
 
+    /** BEEP learns nothing from a clean read: observe() returns
+     *  before touching any state when written == post. */
+    bool cleanObserveIsNoOp() const override { return true; }
+
     /** Codeword positions currently believed to be at risk of
      *  pre-correction error (the crafted patterns charge these). */
     const std::set<std::size_t> &suspectedCells() const
@@ -60,17 +64,6 @@ class BeepProfiler : public Profiler
     void addSuspectedCell(std::size_t codeword_position);
 
   protected:
-    /**
-     * Craft a dataword charging all suspects plus @p probe. Data cells
-     * outside the target set are left discharged so any observed error is
-     * attributable.
-     *
-     * @return The crafted word, or std::nullopt when the charge
-     *         constraints are infeasible (e.g.\ a parity probe whose
-     *         charge state conflicts with the pinned data cells).
-     */
-    std::optional<gf2::BitVector> craftPattern(std::size_t probe) const;
-
     /** Update the identified set with miscorrection targets computable
      *  from the current suspect set. */
     void precomputeFromSuspects();
@@ -99,11 +92,31 @@ class BeepProfiler : public Profiler
     std::size_t suspectsVersion_ = 0;
     /** suspectsVersion_ at the last precomputeFromSuspects(). */
     std::size_t precomputedVersion_ = 0;
-    /** suspectsVersion_ the craft cache was built for. */
+    /** Rebuild the per-version crafting state below; called whenever
+     *  the suspect set grew since the last rebuild. */
+    void rebuildCraftMasks();
+
+    /** suspectsVersion_ the crafting masks were built for. */
     std::size_t craftCacheVersion_ = 0;
-    /** Per probe position: cached craftPattern() result (inner nullopt
-     *  = infeasible); outer nullopt = not yet computed. */
-    std::vector<std::optional<std::optional<gf2::BitVector>>> craftCache_;
+    /**
+     * Per-version crafting state. Every crafted pattern of one
+     * suspect-set version is the shared base word (all suspected data
+     * cells charged) plus at most one probe bit, and its feasibility
+     * is a per-probe bit in a precomputed mask: parity suspect c
+     * demands parityRow(c-k).word == 1, and for a data probe i,
+     * parityRow.(base ^ e_i) = parityRow.base ^ parityRow[i] — so
+     * each parity suspect contributes one AND with (row or ~row).
+     * This replaces the per-probe craft cache (a vector of cached
+     * BitVectors rebuilt on every suspect growth) with O(p) vector ops
+     * per version and two word-ops per round, which removed the
+     * crafting slot as the sliced engine's dominant cost.
+     */
+    gf2::BitVector craftBase_;
+    /** Bit i: data probe i satisfies every parity-suspect constraint. */
+    gf2::BitVector craftFeasData_;
+    /** Bit j: parity probe k+j is feasible (base satisfies all parity
+     *  suspects and charges parity cell j). */
+    gf2::BitVector craftFeasParity_;
 
     /**
      * Achievable-syndrome sets over the 2^p syndrome space, maintained

@@ -56,20 +56,4 @@ PatternGenerator::pattern(std::size_t round)
     return out;
 }
 
-void
-PatternGenerator::patternInto(std::size_t round, gf2::BitVector &out)
-{
-    if (kind_ == PatternKind::Random && round >= nextFreshRound_) {
-        // New random base every two rounds (pattern + inverse pairs).
-        base_.randomize(rng_);
-        nextFreshRound_ = round + 2 - (round % 2);
-    }
-
-    out = base_;
-    // Charged stays all-ones; random/checkered invert on odd rounds.
-    if (kind_ != PatternKind::Charged && round % 2 == 1)
-        for (std::size_t w = 0; w < base_.words().size(); ++w)
-            out.setWord(w, ~base_.words()[w]);
-}
-
 } // namespace harp::core

@@ -58,16 +58,69 @@ class PatternGenerator
     /**
      * Allocation-free variant of pattern(): writes the round's
      * dataword into @p out (assigned/resized as needed), consuming the
-     * same RNG stream. Used by the sliced engine's hot path.
+     * same RNG stream. Inline: both engines call it once per simulated
+     * word per round.
      */
-    void patternInto(std::size_t round, gf2::BitVector &out);
+    void patternInto(std::size_t round, gf2::BitVector &out)
+    {
+        advance(round);
+        out = base_;
+        // Charged stays all-ones; random/checkered invert on odd
+        // rounds.
+        if (kind_ != PatternKind::Charged && round % 2 == 1)
+            for (std::size_t w = 0; w < base_.words().size(); ++w)
+                out.setWord(w, ~base_.words()[w]);
+    }
+
+    /**
+     * Zero-copy variant: advances the identical RNG stream and returns
+     * a reference to the round's dataword — the base for even rounds,
+     * its cached inverse for odd rounds — valid until the next call.
+     * The sliced engine reads these straight into its gather, so
+     * suggested patterns cost one randomize per two rounds plus one
+     * cached inversion, with no per-round copies.
+     */
+    const gf2::BitVector &patternView(std::size_t round)
+    {
+        advance(round);
+        if (kind_ == PatternKind::Charged || round % 2 == 0)
+            return base_;
+        if (invertedGeneration_ != baseGeneration_) {
+            // One inversion per base generation (refreshed every two
+            // rounds for Random; never for Checkered), reusing the
+            // member's storage.
+            if (inverted_.size() != base_.size())
+                inverted_ = gf2::BitVector(base_.size());
+            for (std::size_t w = 0; w < base_.words().size(); ++w)
+                inverted_.setWord(w, ~base_.words()[w]);
+            invertedGeneration_ = baseGeneration_;
+        }
+        return inverted_;
+    }
 
   private:
+    /** Refresh the random base when the round schedule demands it. */
+    void advance(std::size_t round)
+    {
+        if (kind_ == PatternKind::Random && round >= nextFreshRound_) {
+            // New random base every two rounds (pattern + inverse
+            // pairs).
+            base_.randomize(rng_);
+            nextFreshRound_ = round + 2 - (round % 2);
+            ++baseGeneration_;
+        }
+    }
+
     PatternKind kind_;
     std::size_t k_;
     common::Xoshiro256 rng_;
     gf2::BitVector base_;
+    gf2::BitVector inverted_;
     std::size_t nextFreshRound_ = 0;
+    /** Bumped on every base refresh; tags the inverse cache. */
+    std::size_t baseGeneration_ = 1;
+    /** baseGeneration_ the cached inverse was computed for; 0 = never. */
+    std::size_t invertedGeneration_ = 0;
 };
 
 } // namespace harp::core

@@ -27,9 +27,15 @@ HarpABeepProfiler::chooseDatawordInto(std::size_t round,
 void
 HarpABeepProfiler::observe(const RoundObservation &obs)
 {
-    // Direct errors via the decode-bypass path, exactly as HARP-U.
-    scratchA_ = obs.writtenData;
-    scratchA_ ^= obs.rawData; // direct errors this round
+    // Direct errors via the decode-bypass path, exactly as HARP-U; the
+    // fused pass also detects the clean-bypass-read common case, where
+    // only the stability window advances before BEEP's normal-path
+    // step.
+    if (!scratchA_.assignXor(obs.writtenData, obs.rawData)) {
+        ++roundsSinceNewDirect_;
+        BeepProfiler::observe(obs);
+        return;
+    }
     scratchB_ = scratchA_;
     scratchB_ &= identifiedDirect_;
     scratchA_ ^= scratchB_; // newly seen direct errors only

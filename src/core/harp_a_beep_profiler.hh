@@ -39,6 +39,11 @@ class HarpABeepProfiler : public BeepProfiler
     std::string name() const override { return "HARP-A+BEEP"; }
     bool usesBypassPath() const override { return true; }
 
+    /** Clean reads are *not* no-ops here: the stability window that
+     *  gates the switch to crafted patterns advances on every round
+     *  without a new direct error. */
+    bool cleanObserveIsNoOp() const override { return false; }
+
     bool chooseDatawordInto(std::size_t round,
                             const gf2::BitVector &suggested,
                             common::Xoshiro256 &rng,

@@ -37,6 +37,21 @@ HarpAProfiler::observe(const RoundObservation &obs)
     }
 }
 
+const gf2::BitVector *
+HarpAProfiler::laneDirectGrew(const gf2::BitVector &direct)
+{
+    // The lane group detected growth of this lane's direct set — the
+    // exact condition the popcount check in observe() fires on.
+    // Predictions are a pure function of the direct set, so absorbing
+    // it and recomputing reproduces the scalar profiler's state; the
+    // group folds the returned predictions into the lane's identified
+    // accumulation (the scalar identified_ |= predictedIndirect_).
+    identifiedDirect_ = direct;
+    lastDirectCount_ = identifiedDirect_.popcount();
+    recomputePredictions();
+    return &predictedIndirect_;
+}
+
 void
 HarpAProfiler::recomputePredictions()
 {

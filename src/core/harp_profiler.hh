@@ -51,10 +51,32 @@ class HarpUProfiler : public Profiler
 
     void observe(const RoundObservation &obs) override;
 
-    /** Data cells identified as at risk of *direct* error. */
+    /** HARP-U's observe is pure positionwise accumulation over the
+     *  bypass lanes: identified = direct |= written ^ raw. */
+    LaneObserveKind laneObserveKind() const override
+    {
+        return LaneObserveKind::Bypass;
+    }
+
+    bool cleanObserveIsNoOp() const override { return true; }
+
+    /** Data cells identified as at risk of *direct* error. Reading it
+     *  flushes any pending lane-group state, like identified(). */
     const gf2::BitVector &identifiedDirect() const
     {
+        if (laneGroup_ != nullptr)
+            syncLaneState();
         return identifiedDirect_;
+    }
+
+    void absorbLaneDirect(const gf2::BitVector &bits) override
+    {
+        identifiedDirect_ |= bits;
+    }
+
+    const gf2::BitVector *laneDirectState() const override
+    {
+        return &identifiedDirect_;
     }
 
   protected:
@@ -78,6 +100,16 @@ class HarpAProfiler : public HarpUProfiler
     std::string name() const override { return "HARP-A"; }
 
     void observe(const RoundObservation &obs) override;
+
+    /** HARP-U's accumulation plus per-lane prediction refresh on
+     *  direct-set growth (laneDirectGrew). */
+    LaneObserveKind laneObserveKind() const override
+    {
+        return LaneObserveKind::BypassAware;
+    }
+
+    const gf2::BitVector *
+    laneDirectGrew(const gf2::BitVector &direct) override;
 
     /** Data bits predicted to be at risk of indirect error. */
     const gf2::BitVector &predictedIndirect() const

@@ -39,6 +39,15 @@ class NaiveProfiler : public Profiler
     }
 
     void observe(const RoundObservation &obs) override;
+
+    /** Naive's observe is pure positionwise accumulation: lane-native
+     *  groups replay it as identified |= written ^ post. */
+    LaneObserveKind laneObserveKind() const override
+    {
+        return LaneObserveKind::PostCorrection;
+    }
+
+    bool cleanObserveIsNoOp() const override { return true; }
 };
 
 } // namespace harp::core

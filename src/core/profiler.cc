@@ -1,10 +1,41 @@
 #include "core/profiler.hh"
 
+#include <atomic>
+
+#include "core/sliced_profiler_group.hh"
+
 namespace harp::core {
 
+namespace {
+
+/** Monotonic instance-id source; profilers of concurrent experiment
+ *  tasks construct in parallel, hence atomic. */
+std::atomic<std::uint64_t> nextProfilerId{1};
+
+} // namespace
+
 Profiler::Profiler(std::size_t k)
-    : k_(k), identified_(k)
+    : k_(k),
+      identified_(k),
+      instanceId_(nextProfilerId.fetch_add(1, std::memory_order_relaxed))
 {
+}
+
+Profiler::~Profiler()
+{
+    // Unregister from a still-attached group so it never flushes into a
+    // dead object (the group flushes the pending lane state first, which
+    // keeps the surviving sibling lanes consistent).
+    if (laneGroup_ != nullptr) {
+        laneGroup_->forget(this);
+        laneGroup_ = nullptr;
+    }
+}
+
+void
+Profiler::syncLaneState() const
+{
+    laneGroup_->flushIfDirty();
 }
 
 gf2::BitVector

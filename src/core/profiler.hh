@@ -22,6 +22,33 @@
 
 namespace harp::core {
 
+class SlicedProfilerGroup;
+
+/**
+ * How a profiler's observe() step can be replayed in transposed lane
+ * form by a SlicedProfilerGroup (core/sliced_profiler_group.hh).
+ *
+ * A non-None kind is a contract with the sliced engine: the profiler
+ * (a) always programs the suggested pattern verbatim, (b) never draws
+ * from the profiler RNG in chooseDataword(Into), and (c) its observe()
+ * reduces to the position-wise accumulation named by the kind. The
+ * engine then skips the per-lane choose calls, feeds the whole slot
+ * one lane observation per round, and elides the post/raw scatters.
+ */
+enum class LaneObserveKind
+{
+    /** No lane-native form: drive through scalar observe() (BEEP and
+     *  BEEP hybrids — crafted patterns and non-linear suspect state). */
+    None,
+    /** identified |= written ^ postCorrectionData (Naive). */
+    PostCorrection,
+    /** identified = direct |= written ^ rawData (HARP-U). */
+    Bypass,
+    /** Bypass plus per-lane indirect-prediction recomputation whenever
+     *  the lane's direct set grows (HARP-A). */
+    BypassAware,
+};
+
 /**
  * Everything a profiler may observe about one profiling round.
  *
@@ -50,7 +77,7 @@ class Profiler
   public:
     /** @param k Dataword length of the profiled ECC word. */
     explicit Profiler(std::size_t k);
-    virtual ~Profiler() = default;
+    virtual ~Profiler();
 
     Profiler(const Profiler &) = delete;
     Profiler &operator=(const Profiler &) = delete;
@@ -96,15 +123,106 @@ class Profiler
     virtual void observe(const RoundObservation &obs) = 0;
 
     /**
+     * Lane-native observation form of observe(), or None (the
+     * default). See LaneObserveKind for the contract a non-None kind
+     * asserts.
+     */
+    virtual LaneObserveKind laneObserveKind() const
+    {
+        return LaneObserveKind::None;
+    }
+
+    /**
+     * True iff observe() provably changes no state when the read was
+     * clean — postCorrectionData equals writtenData and, for bypass
+     * profilers, rawData does too. The sliced engine then skips the
+     * call (and, when every lane of a slot is clean, the whole
+     * post/raw scatter) for clean lanes. Must stay false for
+     * profilers with round-counting state (e.g.\ HARP-A+BEEP's
+     * stability window advances on clean reads).
+     */
+    virtual bool cleanObserveIsNoOp() const { return false; }
+
+    /**
      * Data-bit positions currently identified as at risk of
      * post-correction error (the profiler's error profile).
+     *
+     * While a SlicedProfilerGroup is accumulating this profiler's
+     * observations in lane form, reading the profile transparently
+     * flushes the group's pending lane state first — so callers see
+     * exactly the state scalar observe() calls would have produced,
+     * while rounds that nobody inspects never pay a transpose.
      */
-    const gf2::BitVector &identified() const { return identified_; }
+    const gf2::BitVector &identified() const
+    {
+        if (laneGroup_ != nullptr)
+            syncLaneState();
+        return identified_;
+    }
 
     /** Dataword length of the profiled ECC word. */
     std::size_t k() const { return k_; }
 
+    /**
+     * Process-unique id of this profiler instance. Distinguishes a
+     * destroyed-and-reallocated profiler from its predecessor even
+     * when the allocator recycles the address — the engines validate
+     * cached per-slot state against it.
+     */
+    std::uint64_t instanceId() const { return instanceId_; }
+
+    /** @name Lane-native observation support
+     * Internal interface between a profiler and the
+     * SlicedProfilerGroup accumulating its observations; not meant for
+     * general callers.
+     * @{ */
+
+    /** Fold lane-extracted identified bits into the profile (group
+     *  flush). */
+    void absorbLaneIdentified(const gf2::BitVector &bits)
+    {
+        identified_ |= bits;
+    }
+
+    /** Fold lane-extracted direct-error bits (Bypass kinds); the
+     *  default (no direct state) ignores them. */
+    virtual void absorbLaneDirect(const gf2::BitVector &bits)
+    {
+        (void)bits;
+    }
+
+    /** Current direct-error state to seed a group's lane accumulator
+     *  with, or null when the profiler keeps none. */
+    virtual const gf2::BitVector *laneDirectState() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * BypassAware only: this lane's direct set grew to @p direct.
+     * Implementations absorb the set, refresh their indirect-error
+     * predictions, and return the updated prediction vector for the
+     * group to fold into the lane's identified state (null = none).
+     */
+    virtual const gf2::BitVector *laneDirectGrew(const gf2::BitVector &direct)
+    {
+        (void)direct;
+        return nullptr;
+    }
+
+    /** @} */
+
   protected:
+    friend class SlicedProfilerGroup;
+
+    /** Flush the attached group's pending lane observations into this
+     *  (and its sibling) profilers' members. */
+    void syncLaneState() const;
+
+    /** Group currently accumulating this profiler's observations in
+     *  lane form; maintained by SlicedProfilerGroup itself. */
+    SlicedProfilerGroup *laneGroup_ = nullptr;
+
     /** Dataword length of the profiled ECC word. */
     std::size_t k_;
     /** Data-bit positions identified as at risk so far. */
@@ -116,6 +234,9 @@ class Profiler
      * within one observe() call.
      */
     gf2::BitVector scratchA_, scratchB_;
+
+  private:
+    const std::uint64_t instanceId_;
 };
 
 } // namespace harp::core

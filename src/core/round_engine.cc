@@ -52,24 +52,39 @@ RoundEngine::RoundEngine(const ecc::BchCode &code,
 void
 RoundEngine::runRound(const std::vector<Profiler *> &profilers)
 {
-    patterns_.patternInto(round_, suggested_);
+    double *const ph_setup = phases_ ? &phases_->setup : nullptr;
+    double *const ph_datapath = phases_ ? &phases_->datapath : nullptr;
+    double *const ph_observe = phases_ ? &phases_->observe : nullptr;
 
-    // One shared uniform variate per at-risk cell (common random numbers).
-    uniforms_.resize(faults_.numFaults());
-    for (double &u : uniforms_)
-        u = crnRng_.nextDouble();
+    {
+        PhaseScope t(ph_setup);
+        patterns_.patternInto(round_, suggested_);
+        // One shared uniform variate per at-risk cell (common random
+        // numbers).
+        uniforms_.resize(faults_.numFaults());
+        for (double &u : uniforms_)
+            u = crnRng_.nextDouble();
+    }
 
     for (Profiler *profiler : profilers) {
-        const bool verbatim = profiler->chooseDatawordInto(
-            round_, suggested_, profilerRng_, written_);
+        bool verbatim;
+        {
+            PhaseScope t(ph_setup);
+            verbatim = profiler->chooseDatawordInto(
+                round_, suggested_, profilerRng_, written_);
+        }
         const gf2::BitVector &written = verbatim ? suggested_ : written_;
-        codec_->encodeInto(written, stored_);
-        received_.assignPrefix(stored_);
-        received_ ^= faults_.injectErrorsCrn(stored_, uniforms_);
+        {
+            PhaseScope t(ph_datapath);
+            codec_->encodeInto(written, stored_);
+            received_.assignPrefix(stored_);
+            received_ ^= faults_.injectErrorsCrn(stored_, uniforms_);
 
-        codec_->decodeDataInto(received_, post_);
-        raw_.assignPrefix(received_);
+            codec_->decodeDataInto(received_, post_);
+            raw_.assignPrefix(received_);
+        }
 
+        PhaseScope t(ph_observe);
         const RoundObservation obs{round_, written, post_, raw_};
         profiler->observe(obs);
     }

@@ -25,6 +25,7 @@
 
 #include "common/rng.hh"
 #include "core/data_pattern.hh"
+#include "core/engine_phase.hh"
 #include "core/profiler.hh"
 #include "ecc/bch_general.hh"
 #include "ecc/hamming_code.hh"
@@ -70,6 +71,10 @@ class RoundEngine
     /** Number of rounds executed so far. */
     std::size_t roundsRun() const { return round_; }
 
+    /** Attach a per-phase wall-time sink (null disables; the default).
+     *  See core/engine_phase.hh. */
+    void setPhaseSink(EnginePhaseSeconds *sink) { phases_ = sink; }
+
   private:
     std::unique_ptr<const ecc::WordCodec> codec_;
     const fault::WordFaultModel &faults_;
@@ -84,6 +89,7 @@ class RoundEngine
     gf2::BitVector post_;
     gf2::BitVector raw_;
     std::vector<double> uniforms_;
+    EnginePhaseSeconds *phases_ = nullptr;
     std::size_t round_ = 0;
 };
 

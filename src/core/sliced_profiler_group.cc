@@ -1,0 +1,183 @@
+#include "core/sliced_profiler_group.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace harp::core {
+
+std::unique_ptr<SlicedProfilerGroup>
+SlicedProfilerGroup::tryMake(const std::vector<Profiler *> &lane_profilers,
+                             std::size_t k)
+{
+    if (lane_profilers.empty() ||
+        lane_profilers.size() > gf2::BitSlice64::laneCount)
+        return nullptr;
+    const LaneObserveKind kind = lane_profilers[0]->laneObserveKind();
+    if (kind == LaneObserveKind::None)
+        return nullptr;
+    for (const Profiler *p : lane_profilers)
+        if (p->laneObserveKind() != kind || p->k() != k)
+            return nullptr;
+    return std::unique_ptr<SlicedProfilerGroup>(
+        new SlicedProfilerGroup(lane_profilers, kind, k));
+}
+
+SlicedProfilerGroup::SlicedProfilerGroup(
+    const std::vector<Profiler *> &lane_profilers, LaneObserveKind kind,
+    std::size_t k)
+    : kind_(kind),
+      k_(k),
+      profilers_(lane_profilers),
+      atRisk_(k),
+      direct_(kind == LaneObserveKind::BypassAware ? k : 0),
+      laneScratch_(k)
+{
+    const std::size_t lanes = profilers_.size();
+    liveMask_ = common::laneMask(lanes);
+    flushScratch_.assign(lanes, gf2::BitVector(k));
+
+    // Seed the lane state from the profilers' current profiles, so a
+    // group formed over non-fresh profilers extends them rather than
+    // restarting from zero. identified()/identifiedDirect() still read
+    // the raw members here: attachment happens below.
+    std::vector<gf2::BitVector> seed;
+    seed.reserve(lanes);
+    for (const Profiler *p : profilers_)
+        seed.push_back(p->identified());
+    atRisk_.gather(seed);
+    if (kind_ == LaneObserveKind::BypassAware) {
+        seed.clear();
+        for (const Profiler *p : profilers_) {
+            const gf2::BitVector *d = p->laneDirectState();
+            assert(d != nullptr);
+            seed.push_back(*d);
+        }
+        direct_.gather(seed);
+    }
+
+    for (Profiler *p : profilers_) {
+        // A profiler can only feed one group at a time; hand-offs
+        // between engines flush the previous group's pending state.
+        if (p->laneGroup_ != nullptr)
+            p->laneGroup_->forget(p);
+        p->laneGroup_ = this;
+    }
+}
+
+SlicedProfilerGroup::~SlicedProfilerGroup()
+{
+    flushIfDirty();
+    for (Profiler *p : profilers_)
+        if (p != nullptr && p->laneGroup_ == this)
+            p->laneGroup_ = nullptr;
+}
+
+void
+SlicedProfilerGroup::forget(const Profiler *profiler)
+{
+    flushIfDirty();
+    for (Profiler *&p : profilers_)
+        if (p == profiler) {
+            p = nullptr;
+            abandoned_ = true;
+        }
+}
+
+void
+SlicedProfilerGroup::extractLane(const gf2::BitSlice64 &slice,
+                                 std::size_t lane)
+{
+    for (std::size_t pos = 0; pos < k_; ++pos)
+        laneScratch_.set(pos, slice.get(pos, lane));
+}
+
+void
+SlicedProfilerGroup::observeLanes(const RoundLaneObservation &obs)
+{
+    assert(obs.written.positions() == k_ && obs.post.positions() == k_ &&
+           obs.received.positions() >= k_);
+    // dirty_ is raised only when a round actually mismatched
+    // somewhere: clean rounds must not force a flush transpose on the
+    // next profile read (per-round readers would otherwise pay the
+    // very per-round cost this class elides).
+    switch (kind_) {
+    case LaneObserveKind::PostCorrection:
+        // identified |= written ^ post, 64 lanes per position.
+        if (atRisk_.orXorPrefix(obs.written, obs.post, k_) & liveMask_)
+            dirty_ = true;
+        return;
+    case LaneObserveKind::Bypass:
+        // identified = direct |= written ^ raw (bypass prefix).
+        if (atRisk_.orXorPrefix(obs.written, obs.received, k_) &
+            liveMask_)
+            dirty_ = true;
+        return;
+    case LaneObserveKind::BypassAware:
+        break;
+    case LaneObserveKind::None:
+        assert(false && "group formed over kind None");
+        return;
+    }
+
+    // HARP-A: accumulate direct mismatches and find the lanes whose
+    // direct set grew — only those recompute indirect predictions,
+    // exactly when the scalar profiler's popcount check would fire.
+    std::uint64_t changed = 0;
+    std::uint64_t any = 0;
+    for (std::size_t pos = 0; pos < k_; ++pos) {
+        const std::uint64_t mismatch =
+            obs.written.lane(pos) ^ obs.received.lane(pos);
+        changed |= mismatch & ~direct_.lane(pos);
+        direct_.lane(pos) |= mismatch;
+        atRisk_.lane(pos) |= mismatch;
+        any |= mismatch;
+    }
+    if (any & liveMask_)
+        dirty_ = true;
+    changed &= liveMask_;
+    while (changed != 0) {
+        const auto lane =
+            static_cast<std::size_t>(std::countr_zero(changed));
+        changed &= changed - 1;
+        Profiler *profiler = profilers_[lane];
+        if (profiler == nullptr)
+            continue;
+        extractLane(direct_, lane);
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        if (const gf2::BitVector *predicted =
+                profiler->laneDirectGrew(laneScratch_)) {
+            // Fold the refreshed predictions into the lane's identified
+            // state; the flush unions them with everything else, which
+            // matches the scalar profiler's identified_ |= predicted.
+            predicted->forEachSetBit([&](std::size_t pos) {
+                atRisk_.lane(pos) |= bit;
+            });
+        }
+    }
+}
+
+void
+SlicedProfilerGroup::flushIfDirty()
+{
+    if (!dirty_)
+        return;
+    dirty_ = false;
+    atRisk_.scatterPrefix(k_, flushScratch_);
+    for (std::size_t w = 0; w < profilers_.size(); ++w)
+        if (profilers_[w] != nullptr)
+            profilers_[w]->absorbLaneIdentified(flushScratch_[w]);
+    if (kind_ == LaneObserveKind::PostCorrection)
+        return;
+    // Bypass: the direct set coincides with the identified set, so the
+    // same scatter feeds both members. BypassAware keeps its own
+    // direct_ slice (identified is a strict superset there).
+    if (kind_ == LaneObserveKind::BypassAware)
+        direct_.scatterPrefix(k_, flushScratch_);
+    for (std::size_t w = 0; w < profilers_.size(); ++w)
+        if (profilers_[w] != nullptr)
+            profilers_[w]->absorbLaneDirect(flushScratch_[w]);
+}
+
+} // namespace harp::core

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/bits.hh"
 #include "ecc/sliced_bch.hh"
 #include "ecc/sliced_hamming.hh"
 
@@ -32,7 +33,10 @@ SlicedRoundEngine::SlicedRoundEngine(
       written_(k_),
       stored_(code.n()),
       received_(code.n()),
-      post_(k_)
+      post_(k_),
+      sWritten_(k_),
+      sReceived_(code.n()),
+      sPost_(k_)
 {
     if (seeds.size() != lanes_ || lanes_ > code.lanes())
         throw std::invalid_argument(
@@ -52,7 +56,8 @@ SlicedRoundEngine::SlicedRoundEngine(
         profilerRngs_.emplace_back(
             common::deriveSeed(seeds[w], {0x9120F1u}));
     }
-    suggestedVec_.resize(lanes_);
+    liveMask_ = common::laneMask(lanes_);
+    suggestedViews_.assign(lanes_, nullptr);
     writtenVec_.resize(lanes_);
     postVec_.assign(lanes_, gf2::BitVector(k_));
     rawVec_.assign(lanes_, gf2::BitVector(k_));
@@ -91,19 +96,85 @@ SlicedRoundEngine::SlicedRoundEngine(
 }
 
 void
-SlicedRoundEngine::runDatapath(const std::vector<gf2::BitVector> &written,
-                               std::vector<gf2::BitVector> &post,
-                               std::vector<gf2::BitVector> &raw,
-                               bool need_raw)
+SlicedRoundEngine::flushObservers()
+{
+    for (auto &group : groups_)
+        if (group != nullptr)
+            group->flushIfDirty();
+}
+
+void
+SlicedRoundEngine::ensureGroups(
+    const std::vector<std::vector<Profiler *>> &profilers)
+{
+    if (profilers == groupedFor_) {
+        // Pointer identity alone is not proof of the same profiler
+        // generation: a destroyed set reallocated at the same heap
+        // addresses compares equal. Grouped slots detect this through
+        // abandoned() (a destroyed profiler marks its group); scalar
+        // slots revalidate their profilers' instance ids, which the
+        // cached slotNeedsRaw_/slotCleanNoOp_ flags were computed for.
+        bool stale = false;
+        std::size_t id_idx = 0;
+        for (std::size_t s = 0; s < groups_.size() && !stale; ++s) {
+            if (groups_[s] != nullptr) {
+                stale = groups_[s]->abandoned();
+                continue;
+            }
+            for (std::size_t w = 0; w < lanes_ && !stale; ++w)
+                stale = profilers[w][s]->instanceId() !=
+                        scalarSlotIds_[id_idx++];
+        }
+        if (!stale)
+            return;
+    }
+    // Group destruction flushes any pending lane state of a previous
+    // profiler generation before the rebuild.
+    groups_.clear();
+    groupedFor_ = profilers;
+    const std::size_t slots = profilers.empty() ? 0 : profilers[0].size();
+    groups_.resize(slots);
+    slotCleanNoOp_.assign(slots, 1);
+    slotNeedsRaw_.assign(slots, 0);
+    scalarSlotIds_.clear();
+    std::vector<Profiler *> slot_profilers(lanes_);
+    for (std::size_t s = 0; s < slots; ++s) {
+        for (std::size_t w = 0; w < lanes_; ++w) {
+            assert(profilers[w].size() == slots);
+            slot_profilers[w] = profilers[w][s];
+            if (!profilers[w][s]->cleanObserveIsNoOp())
+                slotCleanNoOp_[s] = 0;
+            if (profilers[w][s]->usesBypassPath())
+                slotNeedsRaw_[s] = 1;
+        }
+        groups_[s] = SlicedProfilerGroup::tryMake(slot_profilers, k_);
+        if (groups_[s] == nullptr)
+            for (std::size_t w = 0; w < lanes_; ++w)
+                scalarSlotIds_.push_back(
+                    profilers[w][s]->instanceId());
+    }
+}
+
+void
+SlicedRoundEngine::runDatapath(const std::vector<gf2::BitVector> &written)
 {
     written_.gather(written);
     code_->encode(written_, stored_);
     received_ = stored_;
     injector_.apply(stored_, received_);
     code_->decodeData(received_, post_);
-    post_.scatter(post);
-    if (need_raw)
-        received_.scatterPrefix(k_, raw);
+    ++stats_.mixedDatapathRuns;
+}
+
+void
+SlicedRoundEngine::runSuggestedDatapath()
+{
+    sWritten_.gather(suggestedViews_.data(), lanes_);
+    code_->encode(sWritten_, stored_);
+    sReceived_ = stored_;
+    injector_.apply(stored_, sReceived_);
+    code_->decodeData(sReceived_, sPost_);
+    ++stats_.suggestedDatapathRuns;
 }
 
 void
@@ -112,55 +183,139 @@ SlicedRoundEngine::runRound(
 {
     assert(profilers.size() == lanes_);
     const std::size_t slots = profilers.empty() ? 0 : profilers[0].size();
+    ensureGroups(profilers);
+
+    double *const ph_setup = phases_ ? &phases_->setup : nullptr;
+    double *const ph_datapath = phases_ ? &phases_->datapath : nullptr;
+    double *const ph_observe = phases_ ? &phases_->observe : nullptr;
 
     // Per-lane pattern generation and common-random-number draws, in
     // the same per-lane stream order as the scalar engine.
-    for (std::size_t w = 0; w < lanes_; ++w)
-        patterns_[w].patternInto(round_, suggestedVec_[w]);
-    injector_.drawRound(crnRngs_);
+    {
+        PhaseScope t(ph_setup);
+        for (std::size_t w = 0; w < lanes_; ++w)
+            suggestedViews_[w] = &patterns_[w].patternView(round_);
+        injector_.drawRound(crnRngs_);
+    }
 
-    bool suggested_ready = false;
+    bool suggested_ready = false; // suggested slices valid
+    bool suggested_post_scattered = false;
+    bool suggested_raw_scattered = false;
     bool lane_verbatim[gf2::BitSlice64::laneCount];
     for (std::size_t s = 0; s < slots; ++s) {
-        bool verbatim = true;
-        for (std::size_t w = 0; w < lanes_; ++w) {
-            assert(profilers[w].size() == slots);
-            lane_verbatim[w] = profilers[w][s]->chooseDatawordInto(
-                round_, suggestedVec_[w], profilerRngs_[w],
-                writtenVec_[w]);
-            verbatim = verbatim && lane_verbatim[w];
-        }
-
-        // Slots that programmed the suggested pattern verbatim in every
-        // lane see identical observations (common random numbers fix
-        // the trials within a round): run their datapath once per round.
-        if (verbatim) {
+        if (SlicedProfilerGroup *group = groups_[s].get()) {
+            // Lane-native slot: its profilers program the suggested
+            // pattern verbatim and never draw profiler randomness (the
+            // LaneObserveKind contract), so the choose calls are
+            // skipped and the observation never leaves transposed
+            // form — no scatter, no virtual observe calls.
             if (!suggested_ready) {
-                runDatapath(suggestedVec_, postSuggestedVec_,
-                            rawSuggestedVec_, true);
+                PhaseScope t(ph_datapath);
+                runSuggestedDatapath();
                 suggested_ready = true;
             }
+            PhaseScope t(ph_observe);
+            group->observeLanes(
+                {round_, sWritten_, sPost_, sReceived_});
+            ++stats_.laneObserveSlotRounds;
+            continue;
+        }
+
+        bool verbatim = true;
+        {
+            PhaseScope t(ph_setup);
             for (std::size_t w = 0; w < lanes_; ++w) {
-                const RoundObservation obs{round_, suggestedVec_[w],
+                assert(profilers[w].size() == slots);
+                lane_verbatim[w] = profilers[w][s]->chooseDatawordInto(
+                    round_, *suggestedViews_[w], profilerRngs_[w],
+                    writtenVec_[w]);
+                verbatim = verbatim && lane_verbatim[w];
+            }
+        }
+
+        // Scalar slots that programmed the suggested pattern verbatim
+        // in every lane see identical observations (common random
+        // numbers fix the trials within a round): run their datapath
+        // once per round and materialize the scalar post/raw views at
+        // most once per round.
+        if (verbatim) {
+            if (!suggested_ready) {
+                PhaseScope t(ph_datapath);
+                runSuggestedDatapath();
+                suggested_ready = true;
+            }
+            PhaseScope t(ph_observe);
+            const bool need_raw = slotNeedsRaw_[s] != 0;
+            // Lanes whose read was clean observe nothing a
+            // clean-no-op profiler would act on: when the whole slot
+            // is clean the scatters are skipped outright.
+            std::uint64_t dirty = liveMask_;
+            if (slotCleanNoOp_[s] != 0) {
+                dirty = sWritten_.diffLanesPrefix(sPost_, k_);
+                if (need_raw)
+                    dirty |= sWritten_.diffLanesPrefix(sReceived_, k_);
+                dirty &= liveMask_;
+            }
+            if (dirty != 0) {
+                if (!suggested_post_scattered) {
+                    sPost_.scatter(postSuggestedVec_);
+                    ++stats_.postScatters;
+                    suggested_post_scattered = true;
+                }
+                if (need_raw && !suggested_raw_scattered) {
+                    sReceived_.scatterPrefix(k_, rawSuggestedVec_);
+                    ++stats_.rawScatters;
+                    suggested_raw_scattered = true;
+                }
+            }
+            for (std::size_t w = 0; w < lanes_; ++w) {
+                if (((dirty >> w) & 1) == 0) {
+                    ++stats_.cleanObserveSkips;
+                    continue;
+                }
+                const RoundObservation obs{round_, *suggestedViews_[w],
                                            postSuggestedVec_[w],
                                            rawSuggestedVec_[w]};
                 profilers[w][s]->observe(obs);
+                ++stats_.scalarObserveCalls;
             }
         } else {
             // Mixed slot: materialize the suggested word into the
             // lanes whose profiler left the output buffer untouched.
-            bool need_raw = false;
-            for (std::size_t w = 0; w < lanes_; ++w) {
+            const bool need_raw = slotNeedsRaw_[s] != 0;
+            for (std::size_t w = 0; w < lanes_; ++w)
                 if (lane_verbatim[w])
-                    writtenVec_[w] = suggestedVec_[w];
-                need_raw = need_raw || profilers[w][s]->usesBypassPath();
-            }
+                    writtenVec_[w] = *suggestedViews_[w];
             // The sliced datapath: 64 words per lane-op.
-            runDatapath(writtenVec_, postVec_, rawVec_, need_raw);
+            {
+                PhaseScope t(ph_datapath);
+                runDatapath(writtenVec_);
+            }
+            PhaseScope t(ph_observe);
+            std::uint64_t dirty = liveMask_;
+            if (slotCleanNoOp_[s] != 0) {
+                dirty = written_.diffLanesPrefix(post_, k_);
+                if (need_raw)
+                    dirty |= written_.diffLanesPrefix(received_, k_);
+                dirty &= liveMask_;
+            }
+            if (dirty != 0) {
+                post_.scatter(postVec_);
+                ++stats_.postScatters;
+                if (need_raw) {
+                    received_.scatterPrefix(k_, rawVec_);
+                    ++stats_.rawScatters;
+                }
+            }
             for (std::size_t w = 0; w < lanes_; ++w) {
+                if (((dirty >> w) & 1) == 0) {
+                    ++stats_.cleanObserveSkips;
+                    continue;
+                }
                 const RoundObservation obs{round_, writtenVec_[w],
                                            postVec_[w], rawVec_[w]};
                 profilers[w][s]->observe(obs);
+                ++stats_.scalarObserveCalls;
             }
         }
     }

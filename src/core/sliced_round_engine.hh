@@ -18,10 +18,27 @@
  * may differ) or sliced t-error BCH (memoized syndrome decoding) —
  * with convenience constructors for both families.
  *
- * Profilers stay the ordinary per-word objects; the engine gathers
- * their chosen datawords into lanes, runs the sliced datapath, and
- * scatters the observations back (a pair of 64x64 bit transposes per
- * profiler slot per round).
+ * Observation dispatch is per slot (slot s of every lane is driven
+ * together):
+ *
+ *  - Slots whose 64 profilers share a lane-native observe form
+ *    (core/sliced_profiler_group.hh) never leave transposed layout —
+ *    the slot consumes the suggested-pattern datapath slices directly,
+ *    one XOR+OR per bit position for all 64 words, and the post/raw
+ *    scatters are elided entirely. Profile extraction transposes once
+ *    on demand (reading identified() flushes), not once per round.
+ *  - Crafting slots (BEEP, HARP-A+BEEP) keep the scalar path: per-lane
+ *    dataword choice, a sliced datapath over the gathered lanes, one
+ *    scatter pair, and 64 virtual observe() calls.
+ *  - Scalar slots that programmed the suggested pattern verbatim in
+ *    every lane share a single suggested-datapath evaluation per round
+ *    (common random numbers fix the trials within a round), with the
+ *    post/raw scatters materialized lazily at most once per round.
+ *
+ * The Stats counters witness the elision (tests assert that pure
+ * lane-native rounds perform zero scatters and zero scalar observes),
+ * and an optional EnginePhaseSeconds sink splits wall time into
+ * setup / datapath / observe phases for the perf experiments.
  */
 
 #ifndef HARP_CORE_SLICED_ROUND_ENGINE_HH
@@ -33,7 +50,9 @@
 
 #include "common/rng.hh"
 #include "core/data_pattern.hh"
+#include "core/engine_phase.hh"
 #include "core/profiler.hh"
+#include "core/sliced_profiler_group.hh"
 #include "ecc/bch_general.hh"
 #include "ecc/hamming_code.hh"
 #include "ecc/sliced_code.hh"
@@ -91,6 +110,10 @@ class SlicedRoundEngine
                       PatternKind pattern,
                       const std::vector<std::uint64_t> &seeds);
 
+    /** Destroying the engine flushes and detaches every lane-native
+     *  observer group, so profiles read afterwards are complete. */
+    ~SlicedRoundEngine() = default;
+
     /** Number of live lanes (simulated words). */
     std::size_t lanes() const { return lanes_; }
 
@@ -103,13 +126,50 @@ class SlicedRoundEngine
      *
      * @param profilers profilers[w] is lane w's profiler set; every
      *                  lane must pass the same number of profilers
-     *                  (slot s of every lane is driven together).
+     *                  (slot s of every lane is driven together). Pass
+     *                  the same sets every round — a change flushes
+     *                  and rebuilds the lane-native observer groups.
      */
     void
     runRound(const std::vector<std::vector<Profiler *>> &profilers);
 
     /** Number of rounds executed so far. */
     std::size_t roundsRun() const { return round_; }
+
+    /**
+     * Observation-path instrumentation: witnesses that lane-native
+     * slots really elide the per-round transposes and virtual calls.
+     */
+    struct Stats
+    {
+        /** Slot-rounds observed lane-natively (no scatter, no virtual
+         *  observe). */
+        std::uint64_t laneObserveSlotRounds = 0;
+        /** Scalar observe() calls (crafting or mixed slots). */
+        std::uint64_t scalarObserveCalls = 0;
+        /** Scalar observe() calls skipped because the lane's read was
+         *  clean and the profiler declared clean observes no-ops. */
+        std::uint64_t cleanObserveSkips = 0;
+        /** Post-correction slice scatters (k-position transposes). */
+        std::uint64_t postScatters = 0;
+        /** Raw (decode-bypass) slice scatters. */
+        std::uint64_t rawScatters = 0;
+        /** Suggested-pattern datapath evaluations (<= 1 per round). */
+        std::uint64_t suggestedDatapathRuns = 0;
+        /** Per-slot datapath evaluations for non-verbatim slots. */
+        std::uint64_t mixedDatapathRuns = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** Attach a per-phase wall-time sink (null disables; the default).
+     *  See core/engine_phase.hh. */
+    void setPhaseSink(EnginePhaseSeconds *sink) { phases_ = sink; }
+
+    /** Flush every lane-native observer group's pending state into its
+     *  profilers (reading identified() does this on demand; the engine
+     *  destructor does it unconditionally). */
+    void flushObservers();
 
   private:
     const ecc::SlicedCode *code_;
@@ -123,29 +183,70 @@ class SlicedRoundEngine
     std::vector<common::Xoshiro256> crnRngs_;
     std::vector<common::Xoshiro256> profilerRngs_;
 
-    /** Run gather -> encode -> inject -> decode -> scatter for one
-     *  profiler slot's chosen datawords. @p need_raw skips the
-     *  decode-bypass scatter when no observer of this datapath reads
-     *  rawData (it then keeps its previous contents). */
-    void runDatapath(const std::vector<gf2::BitVector> &written,
-                     std::vector<gf2::BitVector> &post,
-                     std::vector<gf2::BitVector> &raw, bool need_raw);
+    /** (Re)build groups_ for @p profilers; cached until the passed
+     *  profiler sets change identity. */
+    void ensureGroups(const std::vector<std::vector<Profiler *>> &profilers);
+
+    /** Run gather -> encode -> inject -> decode for one profiler
+     *  slot's chosen datawords into the mixed-slot slices
+     *  (written_/post_/received_); the caller scatters whatever the
+     *  slot's observers actually read. */
+    void runDatapath(const std::vector<gf2::BitVector> &written);
+
+    /** Evaluate the suggested pattern's datapath into the dedicated
+     *  suggested slices (sWritten_/sPost_/sReceived_), which stay
+     *  valid for the rest of the round while mixed slots reuse the
+     *  engine scratch. */
+    void runSuggestedDatapath();
 
     // Round-persistent scratch: no allocations on the hot path.
     gf2::BitSlice64 written_;
     gf2::BitSlice64 stored_;
     gf2::BitSlice64 received_;
     gf2::BitSlice64 post_;
-    std::vector<gf2::BitVector> suggestedVec_;
+    /** Suggested-pattern datapath slices, computed at most once per
+     *  round and consumed in transposed form by every lane-native slot
+     *  (and scattered lazily for scalar verbatim slots). */
+    gf2::BitSlice64 sWritten_;
+    gf2::BitSlice64 sReceived_;
+    gf2::BitSlice64 sPost_;
+    /** Per-lane zero-copy views of the round's suggested pattern
+     *  (PatternGenerator::patternView): consumed by the gather, the
+     *  choose calls and verbatim observations without materializing
+     *  per-round copies. */
+    std::vector<const gf2::BitVector *> suggestedViews_;
     std::vector<gf2::BitVector> writtenVec_;
     std::vector<gf2::BitVector> postVec_;
     std::vector<gf2::BitVector> rawVec_;
-    /** Datapath outcome of the *suggested* pattern, computed at most
-     *  once per round and shared by every profiler slot that programs
-     *  the suggested word verbatim (the CRN trials are fixed within a
-     *  round, so those slots see identical observations). */
+    /** Scalar materialization of the suggested datapath outcome,
+     *  scattered at most once per round and shared by every scalar
+     *  slot that programs the suggested word verbatim (the CRN trials
+     *  are fixed within a round, so those slots see identical
+     *  observations). */
     std::vector<gf2::BitVector> postSuggestedVec_;
     std::vector<gf2::BitVector> rawSuggestedVec_;
+
+    /** Lane-native observer per slot (null = scalar slot), cached for
+     *  the profiler sets in groupedFor_. */
+    std::vector<std::unique_ptr<SlicedProfilerGroup>> groups_;
+    std::vector<std::vector<Profiler *>> groupedFor_;
+    /** Per scalar slot: every lane's profiler declared clean observes
+     *  no-ops, enabling the clean-lane elision. */
+    std::vector<char> slotCleanNoOp_;
+    /** Per slot: any lane's profiler reads the decode-bypass path
+     *  (constant per profiler generation, cached off the hot path). */
+    std::vector<char> slotNeedsRaw_;
+    /** Instance ids of every scalar (group-less) slot's profilers,
+     *  slot-major: the cached per-slot flags above are only valid for
+     *  these exact instances, not merely these addresses (group slots
+     *  detect generation changes via SlicedProfilerGroup::abandoned
+     *  instead). */
+    std::vector<std::uint64_t> scalarSlotIds_;
+    /** Mask of live lanes (dead-lane slice bits are garbage). */
+    std::uint64_t liveMask_ = 0;
+
+    Stats stats_;
+    EnginePhaseSeconds *phases_ = nullptr;
 
     std::size_t round_ = 0;
 };

@@ -4,9 +4,12 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/bits.hh"
+
 namespace harp::ecc {
 
-SlicedBchCode::SlicedBchCode(const std::vector<const BchCode *> &codes)
+SlicedBchCode::SlicedBchCode(const std::vector<const BchCode *> &codes,
+                             bool prewarm)
     : code_([&codes]() -> const BchCode & {
           if (codes.empty() || codes[0] == nullptr)
               throw std::invalid_argument(
@@ -14,17 +17,19 @@ SlicedBchCode::SlicedBchCode(const std::vector<const BchCode *> &codes)
           return *codes[0];
       }())
 {
-    build(codes);
+    build(codes, prewarm);
 }
 
-SlicedBchCode::SlicedBchCode(const BchCode &code, std::size_t lanes)
+SlicedBchCode::SlicedBchCode(const BchCode &code, std::size_t lanes,
+                             bool prewarm)
     : code_(code)
 {
-    build(std::vector<const BchCode *>(lanes, &code));
+    build(std::vector<const BchCode *>(lanes, &code), prewarm);
 }
 
 void
-SlicedBchCode::build(const std::vector<const BchCode *> &codes)
+SlicedBchCode::build(const std::vector<const BchCode *> &codes,
+                     bool prewarm)
 {
     if (codes.empty() || codes.size() > gf2::BitSlice64::laneCount)
         throw std::invalid_argument("SlicedBchCode: need 1..64 lanes");
@@ -74,6 +79,62 @@ SlicedBchCode::build(const std::vector<const BchCode *> &codes)
 
     synScratch_.assign(syndromeBits_, 0);
     wordScratch_ = gf2::BitVector(code_.n());
+
+    if (prewarm)
+        prewarmMemo();
+}
+
+void
+SlicedBchCode::prewarmMemo()
+{
+    const std::size_t n = code_.n();
+    const std::size_t t = code_.t();
+
+    // Entry count sum_{w=1..t} C(n, w); bail out beyond the cap before
+    // enumerating anything.
+    std::size_t total = 0;
+    for (std::size_t w = 1; w <= t; ++w) {
+        std::size_t choose = 1;
+        for (std::size_t i = 0; i < w; ++i)
+            choose = choose * (n - i) / (i + 1);
+        total += choose;
+        if (total > prewarmEntryCap)
+            return;
+    }
+    memo_.reserve(memo_.size() + total);
+
+    // Depth-first enumeration of error-position subsets of size 1..t.
+    // Every weight <= t pattern is corrected exactly (minimum distance
+    // >= 2t+1), so its memo action is its own data-bit flips and its
+    // syndrome is the XOR of the per-position packed-syndrome columns
+    // — identical to what a scalar-decode fallback would memoize.
+    MemoKey key;
+    MemoAction action;
+    const auto toggle = [&](std::size_t pos) {
+        for (std::uint32_t s = synOff_[pos]; s < synOff_[pos + 1]; ++s)
+            key.words[synIdx_[s] >> 6] ^=
+                std::uint64_t{1} << (synIdx_[s] & 63);
+    };
+    // Subset weight is tracked separately from the data-flip count:
+    // parity-position errors contribute to the syndrome but no flips.
+    const auto recurse = [&](std::size_t first, std::size_t weight,
+                             const auto &self) -> void {
+        if (weight == t)
+            return;
+        for (std::size_t pos = first; pos < n; ++pos) {
+            toggle(pos);
+            const std::uint8_t saved = action.numFlips;
+            if (pos < code_.k())
+                action.flips[action.numFlips++] =
+                    static_cast<std::uint16_t>(pos);
+            memo_.emplace(key, action);
+            self(pos + 1, weight + 1, self);
+            action.numFlips = saved;
+            toggle(pos);
+        }
+    };
+    recurse(0, 0, recurse);
+    memoPrewarmed_ = true;
 }
 
 void
@@ -154,9 +215,7 @@ SlicedBchCode::decodeData(const gf2::BitSlice64 &received,
 
     // Lanes beyond lanes_ may hold unspecified bits (ragged tails);
     // never decode them.
-    const std::uint64_t live_mask =
-        lanes_ == 64 ? ~std::uint64_t{0}
-                     : (std::uint64_t{1} << lanes_) - 1;
+    const std::uint64_t live_mask = common::laneMask(lanes_);
     std::uint64_t nonzero = 0;
     for (std::size_t b = 0; b < syndromeBits_; ++b)
         nonzero |= synScratch_[b];

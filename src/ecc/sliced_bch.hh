@@ -62,11 +62,27 @@ class SlicedBchCode final : public SlicedCode
      * describe the same code: equal k and equal generator polynomial.
      * The codes are only read during construction; the fallback
      * decoder is a private copy, so no references are retained.
+     *
+     * @param prewarm Pre-populate the syndrome->action memo with every
+     *        error pattern of weight <= t at construction (see
+     *        memoPrewarmed()). On by default; automatically skipped
+     *        when the enumeration would exceed prewarmEntryCap.
      */
-    explicit SlicedBchCode(const std::vector<const BchCode *> &codes);
+    explicit SlicedBchCode(const std::vector<const BchCode *> &codes,
+                           bool prewarm = true);
 
     /** Homogeneous convenience: the same code in @p lanes lanes. */
-    SlicedBchCode(const BchCode &code, std::size_t lanes);
+    SlicedBchCode(const BchCode &code, std::size_t lanes,
+                  bool prewarm = true);
+
+    /**
+     * Largest sum_{w=1..t} C(n, w) the construction pre-warm will
+     * enumerate; beyond it the memo starts cold (memoPrewarmed() ==
+     * false) and fills through scalar-decode fallbacks as before. The
+     * cap bounds both construction time and table memory (~100 bytes
+     * per entry).
+     */
+    static constexpr std::size_t prewarmEntryCap = 1u << 17;
 
     std::size_t k() const override { return code_.k(); }
     std::size_t n() const override { return code_.n(); }
@@ -98,6 +114,16 @@ class SlicedBchCode final : public SlicedCode
     std::uint64_t memoMisses() const { return memoMisses_; }
     /** Distinct nonzero syndromes memoized so far. */
     std::size_t memoEntries() const { return memo_.size(); }
+    /**
+     * True iff construction pre-warmed the memo with every weight <= t
+     * error syndrome. Pre-warming needs no decoder runs — a weight <=
+     * t pattern is corrected exactly (minimum distance >= 2t+1), so
+     * its action is its own data-bit positions and its syndrome is the
+     * XOR of the per-position columns — and eliminates the cold-start
+     * share of the miss rate: the only remaining fallbacks are
+     * uncorrectable (weight > t) patterns.
+     */
+    bool memoPrewarmed() const { return memoPrewarmed_; }
 
   private:
     /** Packed syndrome key (up to 256 bits; 2t*m <= 224 for t <= 8,
@@ -130,7 +156,8 @@ class SlicedBchCode final : public SlicedCode
         std::array<std::uint16_t, 8> flips{};
     };
 
-    void build(const std::vector<const BchCode *> &codes);
+    void build(const std::vector<const BchCode *> &codes, bool prewarm);
+    void prewarmMemo();
     const MemoAction &lookupAction(const MemoKey &key,
                                    const gf2::BitSlice64 &received,
                                    std::size_t lane) const;
@@ -154,6 +181,7 @@ class SlicedBchCode final : public SlicedCode
     mutable std::unordered_map<MemoKey, MemoAction, MemoKeyHash> memo_;
     mutable std::uint64_t memoHits_ = 0;
     mutable std::uint64_t memoMisses_ = 0;
+    bool memoPrewarmed_ = false;
 };
 
 } // namespace harp::ecc

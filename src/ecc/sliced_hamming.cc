@@ -47,15 +47,21 @@ SlicedHammingCode::encode(const gf2::BitSlice64 &data,
                           gf2::BitSlice64 &codeword) const
 {
     assert(data.positions() == k_ && codeword.positions() == n());
-    for (std::size_t j = 0; j < p_; ++j)
-        codeword.lane(k_ + j) = 0;
+    // Parity lanes accumulate in a local array: read-modify-writes
+    // through the codeword's heap storage would force the compiler to
+    // assume aliasing with the data lanes and spill the accumulators
+    // every iteration.
+    std::uint64_t parity[32] = {};
+    assert(p_ <= 32);
     for (std::size_t i = 0; i < k_; ++i) {
         const std::uint64_t d = data.lane(i);
         codeword.lane(i) = d;
         const std::uint64_t *col = &columnBits_[i * p_];
         for (std::size_t j = 0; j < p_; ++j)
-            codeword.lane(k_ + j) ^= d & col[j];
+            parity[j] ^= d & col[j];
     }
+    for (std::size_t j = 0; j < p_; ++j)
+        codeword.lane(k_ + j) = parity[j];
 }
 
 void

@@ -44,10 +44,22 @@ SlicedCrnInjector::drawRound(std::vector<common::Xoshiro256> &rngs)
     // entries_ is lane-major with each lane's cells in ascending
     // position order (WordFaultModel sorts its faults), so lane w's
     // stream consumption matches the scalar uniforms loop exactly.
-    for (const Entry &entry : entries_) {
-        const double u = rngs[entry.lane].nextDouble();
-        if (u < entry.probability)
-            trial_[entry.position] |= std::uint64_t{1} << entry.lane;
+    // Each lane's generator is copied into a local (registers) for its
+    // run of entries — the trial_ stores would otherwise force the
+    // state to be reloaded from memory on every draw — and written
+    // back once per lane.
+    const Entry *entry = entries_.data();
+    const Entry *const end = entry + entries_.size();
+    while (entry != end) {
+        const std::uint32_t lane = entry->lane;
+        common::Xoshiro256 rng = rngs[lane];
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        do {
+            if (rng.nextDouble() < entry->probability)
+                trial_[entry->position] |= bit;
+            ++entry;
+        } while (entry != end && entry->lane == lane);
+        rngs[lane] = rng;
     }
 }
 

@@ -56,18 +56,55 @@ BitSlice64::set(std::size_t pos, std::size_t word, bool value)
         lanes_[pos] &= ~mask;
 }
 
+std::uint64_t
+BitSlice64::orXorPrefix(const BitSlice64 &a, const BitSlice64 &b,
+                        std::size_t count)
+{
+    assert(count <= lanes_.size() && count <= a.lanes_.size() &&
+           count <= b.lanes_.size());
+    std::uint64_t any = 0;
+    for (std::size_t pos = 0; pos < count; ++pos) {
+        const std::uint64_t mismatch = a.lanes_[pos] ^ b.lanes_[pos];
+        lanes_[pos] |= mismatch;
+        any |= mismatch;
+    }
+    return any;
+}
+
+std::uint64_t
+BitSlice64::diffLanesPrefix(const BitSlice64 &other,
+                            std::size_t count) const
+{
+    assert(count <= lanes_.size() && count <= other.lanes_.size());
+    std::uint64_t diff = 0;
+    for (std::size_t pos = 0; pos < count; ++pos)
+        diff |= lanes_[pos] ^ other.lanes_[pos];
+    return diff;
+}
+
 void
 BitSlice64::gather(const std::vector<BitVector> &words)
 {
     assert(words.size() <= laneCount);
+    const BitVector *ptrs[laneCount];
+    for (std::size_t w = 0; w < words.size(); ++w)
+        ptrs[w] = &words[w];
+    gather(ptrs, words.size());
+}
+
+void
+BitSlice64::gather(const BitVector *const *words, std::size_t count)
+{
+    assert(count <= laneCount);
     const std::size_t positions = lanes_.size();
     const std::size_t blocks = common::wordsFor(positions);
     std::uint64_t block[64];
     for (std::size_t b = 0; b < blocks; ++b) {
         for (std::size_t w = 0; w < laneCount; ++w) {
-            if (w < words.size()) {
-                assert(words[w].size() == positions);
-                block[w] = words[w].words()[b];
+            if (w < count) {
+                assert(words[w] != nullptr &&
+                       words[w]->size() == positions);
+                block[w] = words[w]->words()[b];
             } else {
                 block[w] = 0;
             }

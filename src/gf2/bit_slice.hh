@@ -58,11 +58,41 @@ class BitSlice64
     void set(std::size_t pos, std::size_t word, bool value);
 
     /**
+     * Lane-native mismatch accumulation over the first @p count
+     * positions: `lane(p) |= a.lane(p) ^ b.lane(p)`. One XOR + one OR
+     * retires the GF(2) difference of the same position of 64 word
+     * pairs — the core reduction of the lane-native observation path
+     * (core/sliced_profiler_group.hh). @p count must not exceed the
+     * positions of any operand; bits of dead lanes accumulate garbage
+     * and must be masked or ignored by the consumer.
+     *
+     * @return The OR of every per-position mismatch mask — lanes with
+     *         any difference between @p a and @p b (dead-lane bits
+     *         garbage); zero means the call changed nothing.
+     */
+    std::uint64_t orXorPrefix(const BitSlice64 &a, const BitSlice64 &b,
+                              std::size_t count);
+
+    /**
+     * Lane mask of words that differ from @p other anywhere in the
+     * first @p count positions (bit w set iff word w's prefixes
+     * mismatch). Dead-lane bits are garbage, as with orXorPrefix();
+     * mask them before use. The engines use this to prove whole slots
+     * observed clean reads without ever scattering them.
+     */
+    std::uint64_t diffLanesPrefix(const BitSlice64 &other,
+                                  std::size_t count) const;
+
+    /**
      * Transpose @p words (each of length positions()) into the lanes:
      * word w lands in lane bit w. At most 64 words; lanes beyond
      * `words.size()` are zeroed.
      */
     void gather(const std::vector<BitVector> &words);
+
+    /** gather() over @p count borrowed words — the zero-copy form the
+     *  sliced engine feeds pattern-generator views into. */
+    void gather(const BitVector *const *words, std::size_t count);
 
     /**
      * Inverse of gather() for the first @p count positions: writes bit

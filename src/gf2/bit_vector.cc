@@ -54,24 +54,6 @@ BitVector::randomize(common::Xoshiro256 &rng)
     maskTail();
 }
 
-bool
-BitVector::get(std::size_t i) const
-{
-    assert(i < size_);
-    return (words_[wordIndex(i)] >> bitOffset(i)) & 1;
-}
-
-void
-BitVector::set(std::size_t i, bool value)
-{
-    assert(i < size_);
-    const std::uint64_t mask = std::uint64_t{1} << bitOffset(i);
-    if (value)
-        words_[wordIndex(i)] |= mask;
-    else
-        words_[wordIndex(i)] &= ~mask;
-}
-
 void
 BitVector::flip(std::size_t i)
 {
@@ -86,15 +68,6 @@ BitVector::fill(bool value)
     for (auto &word : words_)
         word = pattern;
     maskTail();
-}
-
-void
-BitVector::setWord(std::size_t w, std::uint64_t value)
-{
-    assert(w < words_.size());
-    words_[w] = value;
-    if (w + 1 == words_.size())
-        words_[w] &= tailMask(size_);
 }
 
 std::size_t
@@ -152,10 +125,13 @@ BitVector::operator|=(const BitVector &other)
     return *this;
 }
 
-bool
-BitVector::operator==(const BitVector &other) const
+BitVector &
+BitVector::andNot(const BitVector &other)
 {
-    return size_ == other.size_ && words_ == other.words_;
+    assert(size_ == other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        words_[w] &= ~other.words_[w];
+    return *this;
 }
 
 bool
@@ -172,19 +148,6 @@ BitVector::setBits() const
     std::vector<std::size_t> indices;
     forEachSetBit([&](std::size_t i) { indices.push_back(i); });
     return indices;
-}
-
-void
-BitVector::forEachSetBit(const std::function<void(std::size_t)> &fn) const
-{
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-        std::uint64_t word = words_[w];
-        while (word != 0) {
-            const int bit = std::countr_zero(word);
-            fn(w * common::wordBits + static_cast<std::size_t>(bit));
-            word &= word - 1;
-        }
-    }
 }
 
 std::uint64_t

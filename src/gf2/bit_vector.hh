@@ -9,12 +9,14 @@
 #ifndef HARP_GF2_BIT_VECTOR_HH
 #define HARP_GF2_BIT_VECTOR_HH
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/bits.hh"
 #include "common/rng.hh"
 
 namespace harp::gf2 {
@@ -48,8 +50,25 @@ class BitVector
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
-    bool get(std::size_t i) const;
-    void set(std::size_t i, bool value);
+    // Single-bit accessors are inline: the profiling engines and the
+    // lane-native observation path call them in per-position loops.
+    bool get(std::size_t i) const
+    {
+        assert(i < size_);
+        return (words_[common::wordIndex(i)] >> common::bitOffset(i)) & 1;
+    }
+
+    void set(std::size_t i, bool value)
+    {
+        assert(i < size_);
+        const std::uint64_t mask = std::uint64_t{1}
+                                   << common::bitOffset(i);
+        if (value)
+            words_[common::wordIndex(i)] |= mask;
+        else
+            words_[common::wordIndex(i)] &= ~mask;
+    }
+
     void flip(std::size_t i);
 
     /** Set every bit to @p value. */
@@ -70,6 +89,30 @@ class BitVector
     /** In-place OR (set union; not a GF(2) operation but handy for masks). */
     BitVector &operator|=(const BitVector &other);
 
+    /** In-place AND-NOT (set difference): this &= ~other. */
+    BitVector &andNot(const BitVector &other);
+
+    /**
+     * this = a ^ b in one pass; returns true iff the result is
+     * nonzero. Fuses the copy + XOR + isZero() sequence of the
+     * profiler observe hot paths (a and b must share this vector's
+     * size; this is resized to match when default-constructed).
+     */
+    bool assignXor(const BitVector &a, const BitVector &b)
+    {
+        assert(a.size_ == b.size_);
+        if (size_ != a.size_) {
+            size_ = a.size_;
+            words_.resize(a.words_.size());
+        }
+        std::uint64_t any = 0;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            words_[w] = a.words_[w] ^ b.words_[w];
+            any |= words_[w];
+        }
+        return any != 0;
+    }
+
     friend BitVector operator^(BitVector lhs, const BitVector &rhs)
     {
         lhs ^= rhs;
@@ -82,7 +125,10 @@ class BitVector
         return lhs;
     }
 
-    bool operator==(const BitVector &other) const;
+    bool operator==(const BitVector &other) const
+    {
+        return size_ == other.size_ && words_ == other.words_;
+    }
     bool operator!=(const BitVector &other) const { return !(*this == other); }
 
     /** Lexicographic order on (size, words); usable as a map key. */
@@ -91,8 +137,20 @@ class BitVector
     /** Indices of set bits in ascending order. */
     std::vector<std::size_t> setBits() const;
 
-    /** Invoke @p fn for every set bit index in ascending order. */
-    void forEachSetBit(const std::function<void(std::size_t)> &fn) const;
+    /** Invoke @p fn for every set bit index in ascending order.
+     *  Templated so hot callers pay no std::function indirection. */
+    template <typename Fn>
+    void forEachSetBit(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t word = words_[w];
+            while (word != 0) {
+                const int bit = std::countr_zero(word);
+                fn(w * 64 + static_cast<std::size_t>(bit));
+                word &= word - 1;
+            }
+        }
+    }
 
     /** Low 64 bits as an integer (vector may be any length). */
     std::uint64_t toUint() const;
@@ -119,7 +177,13 @@ class BitVector
      * masked off). The allocation-free store used by bit-sliced
      * scatter paths; semantically equivalent to 64 set() calls.
      */
-    void setWord(std::size_t w, std::uint64_t value);
+    void setWord(std::size_t w, std::uint64_t value)
+    {
+        assert(w < words_.size());
+        words_[w] = value;
+        if (w + 1 == words_.size())
+            words_[w] &= common::tailMask(size_);
+    }
 
   private:
     void maskTail();

@@ -27,6 +27,7 @@
 #include "ecc/bch_general.hh"
 #include "ecc/hamming_code.hh"
 #include "ecc/sliced_bch.hh"
+#include "ecc/sliced_hamming.hh"
 #include "runner/registry.hh"
 #include "runner/sweeps.hh"
 
@@ -104,13 +105,25 @@ struct PerfWord
 /** The words of one workload, grouped per code (= per sliced block). */
 struct PerfFleet
 {
-    explicit PerfFleet(const PerfWorkload &workload)
+    PerfFleet(const PerfWorkload &workload, core::EngineKind engine)
     {
         if (workload.bch) {
             // A BCH code is fully determined by (k, t): one shared
             // instance; the `codes` tunable still scales word count.
             bchCode = std::make_unique<ecc::BchCode>(workload.k,
                                                      workload.bchT);
+            // One shared sliced datapath for every block of the fleet:
+            // construction (incl. the syndrome-memo pre-warm) is
+            // initialization, paid here alongside the scalar decoder's
+            // own table construction — the timed loops measure
+            // profiling rounds only. Scalar fleets never touch it, so
+            // they skip the build.
+            const std::size_t words =
+                workload.numCodes * workload.wordsPerCode;
+            if (engine == core::EngineKind::Sliced64 && words > 0)
+                sharedBch = std::make_unique<ecc::SlicedBchCode>(
+                    *bchCode,
+                    std::min(gf2::BitSlice64::laneCount, words));
         } else {
             codes.reserve(workload.numCodes);
             for (std::size_t c = 0; c < workload.numCodes; ++c) {
@@ -126,6 +139,29 @@ struct PerfFleet
                 words.back().push_back(std::make_unique<PerfWord>(
                     workload, workload.bch ? nullptr : &codes[c],
                     bchCode.get(), c, w));
+        }
+        // Per-block sliced Hamming datapaths (the lane-mask tables),
+        // prebuilt over the same flat block partition driveFleet uses:
+        // datapath construction is initialization, exactly like the
+        // scalar codes built above and the shared BCH datapath.
+        if (!workload.bch && engine == core::EngineKind::Sliced64) {
+            constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
+            std::vector<const ecc::HammingCode *> flat_codes;
+            for (std::size_t c = 0; c < workload.numCodes; ++c)
+                for (std::size_t w = 0; w < workload.wordsPerCode; ++w)
+                    flat_codes.push_back(&codes[c]);
+            for (std::size_t begin = 0; begin < flat_codes.size();
+                 begin += lanes) {
+                const std::size_t end =
+                    std::min(begin + lanes, flat_codes.size());
+                slicedHamming.push_back(
+                    std::make_unique<ecc::SlicedHammingCode>(
+                        std::vector<const ecc::HammingCode *>(
+                            flat_codes.begin() +
+                                static_cast<std::ptrdiff_t>(begin),
+                            flat_codes.begin() +
+                                static_cast<std::ptrdiff_t>(end))));
+            }
         }
     }
 
@@ -161,6 +197,8 @@ struct PerfFleet
 
     std::vector<ecc::HammingCode> codes;
     std::unique_ptr<ecc::BchCode> bchCode;
+    std::unique_ptr<ecc::SlicedBchCode> sharedBch;
+    std::vector<std::unique_ptr<ecc::SlicedHammingCode>> slicedHamming;
     std::vector<std::vector<std::unique_ptr<PerfWord>>> words;
 };
 
@@ -171,12 +209,20 @@ struct DriveStats
     double seconds = 0.0;
     std::uint64_t memoHits = 0;
     std::uint64_t memoMisses = 0;
+    std::size_t memoEntries = 0;
+    bool memoPrewarmed = false;
 };
 
-/** Drive every word of @p fleet through all rounds with one engine. */
+/**
+ * Drive every word of @p fleet through all rounds with one engine.
+ * A non-null @p phases attaches the per-phase wall-time sink to every
+ * engine (setup / datapath / observe split); the headline timing reps
+ * leave it null so clock reads never contaminate them.
+ */
 DriveStats
 driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
-           core::EngineKind engine)
+           core::EngineKind engine,
+           core::EnginePhaseSeconds *phases = nullptr)
 {
     DriveStats stats;
     const auto start = std::chrono::steady_clock::now();
@@ -192,25 +238,21 @@ driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
                     round_engine = std::make_unique<core::RoundEngine>(
                         *word->bch, word->faults,
                         core::PatternKind::Random, word->engineSeed);
+                round_engine->setPhaseSink(phases);
                 for (std::size_t r = 0; r < workload.rounds; ++r)
                     round_engine->runRound(word->raw);
             }
         }
     } else {
         // Batch blocks straight across code boundaries: Hamming lanes
-        // carry their own code, BCH lanes share the one code function,
-        // so every block is as full as possible.
+        // carry their own code, BCH lanes share the one code function
+        // (and the fleet's pre-built datapath + memo), so every block
+        // is as full as possible.
         constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
         std::vector<PerfWord *> flat;
         for (auto &code_words : fleet.words)
             for (auto &word : code_words)
                 flat.push_back(word.get());
-        // One shared sliced BCH datapath for every block: the
-        // syndrome-memo warm-up is paid once per fleet, not per block.
-        std::unique_ptr<ecc::SlicedBchCode> shared_bch;
-        if (workload.bch && !flat.empty())
-            shared_bch = std::make_unique<ecc::SlicedBchCode>(
-                *fleet.bchCode, std::min(lanes, flat.size()));
         for (std::size_t begin = 0; begin < flat.size(); begin += lanes) {
             const std::size_t end =
                 std::min(begin + lanes, flat.size());
@@ -225,22 +267,22 @@ driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
             std::unique_ptr<core::SlicedRoundEngine> round_engine;
             if (workload.bch) {
                 round_engine = std::make_unique<core::SlicedRoundEngine>(
-                    *shared_bch, fault_ptrs, core::PatternKind::Random,
-                    seeds);
+                    *fleet.sharedBch, fault_ptrs,
+                    core::PatternKind::Random, seeds);
             } else {
-                std::vector<const ecc::HammingCode *> code_ptrs;
-                for (std::size_t w = begin; w < end; ++w)
-                    code_ptrs.push_back(flat[w]->hamming);
                 round_engine = std::make_unique<core::SlicedRoundEngine>(
-                    code_ptrs, fault_ptrs, core::PatternKind::Random,
-                    seeds);
+                    *fleet.slicedHamming[begin / lanes], fault_ptrs,
+                    core::PatternKind::Random, seeds);
             }
+            round_engine->setPhaseSink(phases);
             for (std::size_t r = 0; r < workload.rounds; ++r)
                 round_engine->runRound(lane_profilers);
         }
-        if (shared_bch != nullptr) {
-            stats.memoHits = shared_bch->memoHits();
-            stats.memoMisses = shared_bch->memoMisses();
+        if (fleet.sharedBch != nullptr) {
+            stats.memoHits = fleet.sharedBch->memoHits();
+            stats.memoMisses = fleet.sharedBch->memoMisses();
+            stats.memoEntries = fleet.sharedBch->memoEntries();
+            stats.memoPrewarmed = fleet.sharedBch->memoPrewarmed();
         }
     }
     const auto stop = std::chrono::steady_clock::now();
@@ -249,14 +291,18 @@ driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
 }
 
 /** Best-of-@p reps wall time plus the (deterministic) profile
- *  checksum for one engine; memo stats come from the last rep. */
+ *  checksum for one engine; memo stats come from the last rep, the
+ *  phase split from one additional instrumented rep. */
 struct EngineMeasurement
 {
     double seconds = 0.0;
     std::uint64_t checksum = 0;
     std::uint64_t memoHits = 0;
     std::uint64_t memoMisses = 0;
+    std::size_t memoEntries = 0;
+    bool memoPrewarmed = false;
     std::size_t profilersPerWord = 0;
+    core::EnginePhaseSeconds phases;
 };
 
 EngineMeasurement
@@ -265,14 +311,25 @@ measureEngine(const PerfWorkload &workload, core::EngineKind engine,
 {
     EngineMeasurement best;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-        PerfFleet fleet(workload);
+        PerfFleet fleet(workload, engine);
         const DriveStats stats = driveFleet(fleet, workload, engine);
         if (rep == 0 || stats.seconds < best.seconds)
             best.seconds = stats.seconds;
         best.checksum = fleet.checksum();
         best.memoHits = stats.memoHits;
         best.memoMisses = stats.memoMisses;
+        best.memoEntries = stats.memoEntries;
+        best.memoPrewarmed = stats.memoPrewarmed;
         best.profilersPerWord = fleet.profilersPerWord();
+    }
+    // Extra instrumented reps for the setup/datapath/observe cost
+    // split — separate from the headline reps, whose loops never read
+    // a clock between phases. The first rep warms caches and
+    // allocators; the last rep's split is reported.
+    for (int rep = 0; rep < 2; ++rep) {
+        best.phases = core::EnginePhaseSeconds{};
+        PerfFleet fleet(workload, engine);
+        driveFleet(fleet, workload, engine, &best.phases);
     }
     return best;
 }
@@ -329,6 +386,26 @@ makePerfEngineThroughput()
          "Hamming)"},
         {"memo_hit_rate", JsonType::Double,
          "memo_hits / (memo_hits + memo_misses) (null for Hamming)"},
+        {"memo_prewarmed", JsonType::Bool,
+         "syndrome memo pre-populated with all weight <= t error "
+         "syndromes at construction (null for Hamming)"},
+        {"memo_entries", JsonType::Int,
+         "distinct syndromes memoized, incl. pre-warm (null for "
+         "Hamming)"},
+        {"scalar_setup_seconds", JsonType::Double,
+         "scalar pattern/CRN/choose wall seconds (instrumented rep)"},
+        {"scalar_datapath_seconds", JsonType::Double,
+         "scalar encode+inject+decode wall seconds (instrumented rep)"},
+        {"scalar_observe_seconds", JsonType::Double,
+         "scalar observation wall seconds (instrumented rep)"},
+        {"sliced64_setup_seconds", JsonType::Double,
+         "sliced64 pattern/CRN/choose wall seconds (instrumented rep)"},
+        {"sliced64_datapath_seconds", JsonType::Double,
+         "sliced64 gather+encode+inject+decode wall seconds "
+         "(instrumented rep)"},
+        {"sliced64_observe_seconds", JsonType::Double,
+         "sliced64 observation wall seconds — lane observes, scatters "
+         "and scalar observe calls (instrumented rep)"},
     };
     spec.run = [](const RunContext &ctx) {
         PerfWorkload workload;
@@ -403,6 +480,24 @@ makePerfEngineThroughput()
                         ? JsonValue(static_cast<double>(sliced.memoHits) /
                                     static_cast<double>(lookups))
                         : JsonValue());
+        metrics.set("memo_prewarmed", workload.bch
+                                          ? JsonValue(sliced.memoPrewarmed)
+                                          : JsonValue());
+        metrics.set("memo_entries", workload.bch
+                                        ? JsonValue(sliced.memoEntries)
+                                        : JsonValue());
+        metrics.set("scalar_setup_seconds",
+                    JsonValue(scalar.phases.setup));
+        metrics.set("scalar_datapath_seconds",
+                    JsonValue(scalar.phases.datapath));
+        metrics.set("scalar_observe_seconds",
+                    JsonValue(scalar.phases.observe));
+        metrics.set("sliced64_setup_seconds",
+                    JsonValue(sliced.phases.setup));
+        metrics.set("sliced64_datapath_seconds",
+                    JsonValue(sliced.phases.datapath));
+        metrics.set("sliced64_observe_seconds",
+                    JsonValue(sliced.phases.observe));
         return metrics;
     };
     return spec;

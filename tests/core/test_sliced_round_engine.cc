@@ -259,6 +259,210 @@ TEST(EngineEquivalence, CaseStudyExperimentSeriesMatch)
     }
 }
 
+/**
+ * A slot whose lanes carry *different* profiler types cannot form a
+ * lane-native observer group; the engine must fall back to the scalar
+ * scatter+observe path for that slot and stay bit-identical.
+ */
+TEST(SlicedRoundEngine, MixedProfilerTypesWithinASlotStayBitIdentical)
+{
+    forEachSeed(1, [](std::uint64_t seed, common::Xoshiro256 &rng) {
+        const std::size_t lanes = 11;
+        std::vector<ecc::HammingCode> codes;
+        std::vector<fault::WordFaultModel> faults;
+        for (std::size_t w = 0; w < lanes; ++w) {
+            codes.push_back(ecc::HammingCode::randomSec(64, rng));
+            faults.push_back(
+                fault::WordFaultModel::makeUniformFixedCount(
+                    codes[w].n(), 2 + w % 3, 0.5, rng));
+        }
+
+        // Slot 0 alternates Naive/HARP-U per lane (group formation
+        // must bail); slot 1 is homogeneous HARP-A (group forms).
+        const auto makeSet =
+            [&](std::size_t w) -> std::vector<std::unique_ptr<Profiler>> {
+            std::vector<std::unique_ptr<Profiler>> set;
+            if (w % 2 == 0)
+                set.push_back(std::make_unique<NaiveProfiler>(64));
+            else
+                set.push_back(std::make_unique<HarpUProfiler>(64));
+            set.push_back(std::make_unique<HarpAProfiler>(codes[w]));
+            return set;
+        };
+
+        std::vector<std::vector<std::unique_ptr<Profiler>>> scalar_sets;
+        std::vector<std::vector<std::unique_ptr<Profiler>>> sliced_sets;
+        std::vector<std::unique_ptr<RoundEngine>> scalar_engines;
+        std::vector<const ecc::HammingCode *> code_ptrs;
+        std::vector<const fault::WordFaultModel *> fault_ptrs;
+        std::vector<std::uint64_t> lane_seeds;
+        std::vector<std::vector<Profiler *>> scalar_raw(lanes);
+        std::vector<std::vector<Profiler *>> sliced_raw(lanes);
+        for (std::size_t w = 0; w < lanes; ++w) {
+            const std::uint64_t word_seed = common::deriveSeed(seed, {w});
+            scalar_sets.push_back(makeSet(w));
+            sliced_sets.push_back(makeSet(w));
+            for (auto &p : scalar_sets[w])
+                scalar_raw[w].push_back(p.get());
+            for (auto &p : sliced_sets[w])
+                sliced_raw[w].push_back(p.get());
+            scalar_engines.push_back(std::make_unique<RoundEngine>(
+                codes[w], faults[w], PatternKind::Random, word_seed));
+            code_ptrs.push_back(&codes[w]);
+            fault_ptrs.push_back(&faults[w]);
+            lane_seeds.push_back(word_seed);
+        }
+        SlicedRoundEngine sliced_engine(code_ptrs, fault_ptrs,
+                                        PatternKind::Random, lane_seeds);
+
+        for (std::size_t r = 0; r < 20; ++r) {
+            sliced_engine.runRound(sliced_raw);
+            for (std::size_t w = 0; w < lanes; ++w) {
+                scalar_engines[w]->runRound(scalar_raw[w]);
+                for (std::size_t s = 0; s < 2; ++s)
+                    ASSERT_EQ(sliced_raw[w][s]->identified(),
+                              scalar_raw[w][s]->identified())
+                        << "round " << r << ", lane " << w
+                        << ", profiler " << scalar_raw[w][s]->name();
+            }
+        }
+        // The mixed slot really ran scalar: observes happened (the
+        // lanes are faulty, so not every round was clean).
+        EXPECT_GT(sliced_engine.stats().scalarObserveCalls, 0u);
+        // The homogeneous HARP-A slot ran lane-natively every round.
+        EXPECT_EQ(sliced_engine.stats().laneObserveSlotRounds, 20u);
+    });
+}
+
+/**
+ * The observation-path instrumentation witnesses the tentpole elision:
+ * a workload whose slots are all lane-native performs *zero* scatters
+ * and zero scalar observe() calls, no matter how often profiles are
+ * read; adding a crafting slot brings the scalar path (and its
+ * scatters) back for that slot only.
+ */
+TEST(SlicedRoundEngine, LaneNativeSlotsElideScattersAndObserves)
+{
+    common::Xoshiro256 rng(77);
+    std::vector<ecc::HammingCode> codes;
+    std::vector<fault::WordFaultModel> faults;
+    const std::size_t lanes = 64;
+    for (std::size_t w = 0; w < lanes; ++w) {
+        codes.push_back(ecc::HammingCode::randomSec(64, rng));
+        faults.push_back(fault::WordFaultModel::makeUniformFixedCount(
+            codes[w].n(), 3, 0.75, rng));
+    }
+    std::vector<const ecc::HammingCode *> code_ptrs;
+    std::vector<const fault::WordFaultModel *> fault_ptrs;
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t w = 0; w < lanes; ++w) {
+        code_ptrs.push_back(&codes[w]);
+        fault_ptrs.push_back(&faults[w]);
+        seeds.push_back(common::deriveSeed(4242, {w}));
+    }
+
+    // All-lane-native fleet: Naive + HARP-U + HARP-A slots.
+    {
+        std::vector<std::vector<std::unique_ptr<Profiler>>> sets(lanes);
+        std::vector<std::vector<Profiler *>> raw(lanes);
+        for (std::size_t w = 0; w < lanes; ++w) {
+            sets[w].push_back(std::make_unique<NaiveProfiler>(64));
+            sets[w].push_back(std::make_unique<HarpUProfiler>(64));
+            sets[w].push_back(std::make_unique<HarpAProfiler>(codes[w]));
+            for (auto &p : sets[w])
+                raw[w].push_back(p.get());
+        }
+        SlicedRoundEngine engine(code_ptrs, fault_ptrs,
+                                 PatternKind::Random, seeds);
+        for (std::size_t r = 0; r < 16; ++r) {
+            engine.runRound(raw);
+            // Per-round profile reads flush the observer groups but
+            // must not bring the per-round scatters back.
+            ASSERT_GT(raw[0][0]->identified().size(), 0u);
+        }
+        const SlicedRoundEngine::Stats &stats = engine.stats();
+        EXPECT_EQ(stats.postScatters, 0u);
+        EXPECT_EQ(stats.rawScatters, 0u);
+        EXPECT_EQ(stats.scalarObserveCalls, 0u);
+        EXPECT_EQ(stats.mixedDatapathRuns, 0u);
+        EXPECT_EQ(stats.laneObserveSlotRounds, 16u * 3u);
+        EXPECT_EQ(stats.suggestedDatapathRuns, 16u);
+    }
+
+    // Same fleet plus a BEEP slot: the crafting slot (and only it)
+    // runs the scalar path — scatters and observes return, bounded by
+    // one slot's worth, and clean lanes are skipped.
+    {
+        std::vector<std::vector<std::unique_ptr<Profiler>>> sets(lanes);
+        std::vector<std::vector<Profiler *>> raw(lanes);
+        for (std::size_t w = 0; w < lanes; ++w) {
+            sets[w].push_back(std::make_unique<NaiveProfiler>(64));
+            sets[w].push_back(std::make_unique<BeepProfiler>(codes[w]));
+            sets[w].push_back(std::make_unique<HarpUProfiler>(64));
+            sets[w].push_back(std::make_unique<HarpAProfiler>(codes[w]));
+            for (auto &p : sets[w])
+                raw[w].push_back(p.get());
+        }
+        SlicedRoundEngine engine(code_ptrs, fault_ptrs,
+                                 PatternKind::Random, seeds);
+        const std::size_t rounds = 16;
+        for (std::size_t r = 0; r < rounds; ++r)
+            engine.runRound(raw);
+        const SlicedRoundEngine::Stats &stats = engine.stats();
+        EXPECT_GT(stats.postScatters, 0u);
+        EXPECT_LE(stats.postScatters, rounds);
+        EXPECT_EQ(stats.rawScatters, 0u); // BEEP never reads raw
+        EXPECT_GT(stats.scalarObserveCalls, 0u);
+        // Observe calls + clean skips account for exactly the BEEP
+        // slot's lane-rounds.
+        EXPECT_EQ(stats.scalarObserveCalls + stats.cleanObserveSkips,
+                  rounds * lanes);
+        EXPECT_EQ(stats.laneObserveSlotRounds, rounds * 3u);
+    }
+}
+
+/**
+ * Regression: the engine caches observer groups per profiler
+ * generation by pointer identity, but a destroyed profiler set
+ * reallocated at the same addresses must NOT revive the old groups
+ * (whose lanes were nulled on destruction) — that would silently
+ * drop every observation of the new generation. Placement new forces
+ * the exact address-reuse deterministically.
+ */
+TEST(SlicedRoundEngine, ReallocatedProfilersAtSameAddressObserveAgain)
+{
+    common::Xoshiro256 rng(31);
+    const ecc::HammingCode code = ecc::HammingCode::randomSec(64, rng);
+    const fault::WordFaultModel faults =
+        fault::WordFaultModel::makeUniformFixedCount(code.n(), 3, 1.0,
+                                                     rng);
+    const std::vector<const ecc::HammingCode *> codes = {&code};
+    const std::vector<const fault::WordFaultModel *> fault_ptrs = {
+        &faults};
+    SlicedRoundEngine engine(codes, fault_ptrs, PatternKind::Charged,
+                             {5});
+
+    alignas(NaiveProfiler) unsigned char slot[sizeof(NaiveProfiler)];
+    auto *gen1 = new (slot) NaiveProfiler(64);
+    std::vector<std::vector<Profiler *>> raw = {{gen1}};
+    for (std::size_t r = 0; r < 8; ++r)
+        engine.runRound(raw);
+    const bool gen1_found = !gen1->identified().isZero();
+    gen1->~NaiveProfiler();
+
+    // Same address, same pointer vector — a fresh profiler.
+    auto *gen2 = new (slot) NaiveProfiler(64);
+    ASSERT_TRUE(gen2->identified().isZero());
+    for (std::size_t r = 0; r < 8; ++r)
+        engine.runRound(raw);
+    // Three always-failing cells under the charged pattern identify
+    // bits for generation 1; generation 2 sees the same fault model,
+    // so dropping its observations (the bug) leaves it empty.
+    EXPECT_TRUE(gen1_found);
+    EXPECT_FALSE(gen2->identified().isZero());
+    gen2->~NaiveProfiler();
+}
+
 TEST(SlicedRoundEngine, RejectsInconsistentLaneCounts)
 {
     common::Xoshiro256 rng(3);
@@ -289,7 +493,9 @@ TEST(SlicedRoundEngine, SharedBchDatapathAcrossBlocksStaysBitIdentical)
 {
     common::Xoshiro256 rng(21);
     const ecc::BchCode code(64, 2);
-    const ecc::SlicedBchCode sliced(code, 8); // shared, 8 lanes wide
+    // Shared 8-lane datapath; cold memo so the shared-warm-up
+    // accounting below stays observable.
+    const ecc::SlicedBchCode sliced(code, 8, /*prewarm=*/false);
     const std::size_t block_sizes[] = {8, 8, 3}; // ragged tail
 
     std::size_t word = 0;

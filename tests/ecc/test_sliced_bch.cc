@@ -64,7 +64,10 @@ TEST(SlicedBch, DecodeDataMatchesScalarAcrossErrorWeights)
                                 std::size_t{3}}) {
         const BchCode code(64, t);
         const std::size_t lanes = 23; // ragged (not a full block)
-        const SlicedBchCode sliced(code, lanes);
+        // Cold memo: this test pins the fallback bookkeeping (every
+        // miss inserts exactly one entry), so skip the pre-warm.
+        const SlicedBchCode sliced(code, lanes, /*prewarm=*/false);
+        EXPECT_FALSE(sliced.memoPrewarmed());
 
         for (int round = 0; round < 8; ++round) {
             std::vector<gf2::BitVector> received;
@@ -99,7 +102,9 @@ TEST(SlicedBch, RepeatedSyndromesHitTheMemo)
     common::Xoshiro256 rng(3);
     const BchCode code(64, 2);
     const std::size_t lanes = 16;
-    const SlicedBchCode sliced(code, lanes);
+    // Cold memo, so the first block demonstrably falls back to the
+    // scalar decoder before repeats start hitting.
+    const SlicedBchCode sliced(code, lanes, /*prewarm=*/false);
 
     std::vector<gf2::BitVector> received;
     for (std::size_t w = 0; w < lanes; ++w) {
@@ -123,6 +128,82 @@ TEST(SlicedBch, RepeatedSyndromesHitTheMemo)
     for (std::size_t w = 0; w < lanes; ++w)
         EXPECT_EQ(data_out.extractWord(w),
                   code.decode(received[w]).dataword);
+}
+
+TEST(SlicedBch, PrewarmCoversEveryCorrectableSyndrome)
+{
+    common::Xoshiro256 rng(7);
+    for (const std::size_t t : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}}) {
+        const BchCode code(64, t);
+        const std::size_t lanes = 17;
+        const SlicedBchCode sliced(code, lanes);
+        ASSERT_TRUE(sliced.memoPrewarmed());
+
+        // Entry count = sum_{w=1..t} C(n, w), every weight <= t
+        // syndrome distinct (minimum distance >= 2t+1).
+        std::size_t expected = 0;
+        for (std::size_t w = 1; w <= t; ++w) {
+            std::size_t choose = 1;
+            for (std::size_t i = 0; i < w; ++i)
+                choose = choose * (code.n() - i) / (i + 1);
+            expected += choose;
+        }
+        EXPECT_EQ(sliced.memoEntries(), expected) << "t " << t;
+
+        // Correctable blocks never fall back to the scalar decoder
+        // and still decode bit-identically to it.
+        for (int round = 0; round < 6; ++round) {
+            std::vector<gf2::BitVector> received;
+            for (std::size_t w = 0; w < lanes; ++w) {
+                gf2::BitVector c = code.encode(
+                    gf2::BitVector::random(code.k(), rng));
+                const std::size_t weight = rng.nextBelow(t + 1);
+                for (std::size_t e = 0; e < weight; ++e)
+                    c.flip(rng.nextBelow(code.n()));
+                received.push_back(std::move(c));
+            }
+            gf2::BitSlice64 received_slice(code.n());
+            gf2::BitSlice64 data_out(code.k());
+            received_slice.gather(received);
+            sliced.decodeData(received_slice, data_out);
+            for (std::size_t w = 0; w < lanes; ++w)
+                EXPECT_EQ(data_out.extractWord(w),
+                          code.decode(received[w]).dataword)
+                    << "t " << t << ", round " << round << ", lane "
+                    << w;
+        }
+        EXPECT_EQ(sliced.memoMisses(), 0u) << "t " << t;
+        EXPECT_GT(sliced.memoHits(), 0u) << "t " << t;
+    }
+}
+
+TEST(SlicedBch, PrewarmSkippedBeyondTheEntryCap)
+{
+    // k=128, t=3 -> n=152: C(152,1)+C(152,2)+C(152,3) ~ 575k entries,
+    // beyond prewarmEntryCap — construction must start cold instead of
+    // stalling, and decoding still works through the fallback path.
+    common::Xoshiro256 rng(8);
+    const BchCode code(128, 3);
+    const SlicedBchCode sliced(code, 4);
+    EXPECT_FALSE(sliced.memoPrewarmed());
+    EXPECT_EQ(sliced.memoEntries(), 0u);
+
+    std::vector<gf2::BitVector> received;
+    for (std::size_t w = 0; w < 4; ++w) {
+        gf2::BitVector c =
+            code.encode(gf2::BitVector::random(code.k(), rng));
+        c.flip(rng.nextBelow(code.n()));
+        received.push_back(std::move(c));
+    }
+    gf2::BitSlice64 received_slice(code.n());
+    gf2::BitSlice64 data_out(code.k());
+    received_slice.gather(received);
+    sliced.decodeData(received_slice, data_out);
+    for (std::size_t w = 0; w < 4; ++w)
+        EXPECT_EQ(data_out.extractWord(w),
+                  code.decode(received[w]).dataword);
+    EXPECT_GT(sliced.memoMisses(), 0u);
 }
 
 TEST(SlicedBch, ZeroSyndromeLanesSkipTheMemo)
