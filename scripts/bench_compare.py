@@ -4,11 +4,18 @@
 Usage:
     scripts/bench_compare.py OLD.json NEW.json [--threshold 0.15]
                              [--enforce | --no-enforce]
+                             [--require-metric NAME]...
 
-Prints a per-workload table of sliced64-vs-scalar speedups (old ->
-new), the relative delta, and the memo statistics, then exits non-zero
-when any workload's speedup regressed by more than --threshold
-(default 15%).
+Prints a per-workload table of sliced-vs-scalar speedups (old -> new),
+the relative delta, and the memo statistics, then exits non-zero when
+any workload's speedup regressed by more than --threshold (default
+15%).
+
+--require-metric NAME (repeatable) demands that every workload row of
+NEW carries a numeric metric NAME; a missing or non-numeric one fails
+the run even under --no-enforce. This is a schema-presence check, not
+a timing check — it exists so a snapshot that silently stopped
+reporting e.g. speedup_256 can never pass as "no regression".
 
 Regression enforcement only makes sense between two *full*-mode
 snapshots: smoke snapshots run a tiny workload whose timings are pure
@@ -56,6 +63,11 @@ def main():
                          help="enforce even against smoke snapshots")
     enforce.add_argument("--no-enforce", action="store_true",
                          help="never fail on regressions, just report")
+    parser.add_argument("--require-metric", action="append",
+                        default=[], metavar="NAME",
+                        help="fail (even with --no-enforce) when any "
+                             "workload row of NEW lacks a numeric "
+                             "metric NAME; repeatable")
     args = parser.parse_args()
 
     old_snap, old_rows = load(args.old)
@@ -101,6 +113,20 @@ def main():
                 f"{name}: speedup regressed {delta:+.1%} "
                 f"({old_s:.2f}x -> {new_s:.2f}x, threshold "
                 f"-{args.threshold:.0%})")
+
+    # Presence requirements are unconditional: they gate schema drift,
+    # not timing noise, so smoke snapshots must satisfy them too.
+    hard_failures = []
+    for name, new_m in sorted(new_rows.items()):
+        for metric in args.require_metric:
+            if not isinstance(new_m.get(metric), (int, float)):
+                hard_failures.append(
+                    f"{name}: required metric '{metric}' missing or "
+                    f"non-numeric in {args.new}")
+    if hard_failures:
+        for f in hard_failures:
+            print(f"bench_compare: FAIL {f}", file=sys.stderr)
+        return 1
 
     if failures and enforcing:
         for f in failures:

@@ -1,24 +1,27 @@
 #!/usr/bin/env bash
 # Perf-trajectory snapshot: runs the perf_engine_throughput experiment
 # (Hamming + t-error BCH workloads) through harp_run and writes a
-# machine-readable snapshot JSON with rounds/s per engine, the
-# sliced/scalar speedups, memo statistics and the profile checksums.
+# machine-readable snapshot JSON with rounds/s per engine (scalar,
+# sliced64, sliced256), the sliced/scalar speedups, memo statistics and
+# the profile checksums.
 #
-#   scripts/bench_snapshot.sh            # full workload -> BENCH_PR5.json
+#   scripts/bench_snapshot.sh            # full workload -> BENCH_PR6.json
 #   scripts/bench_snapshot.sh --smoke    # tiny workload, wiring check only
 #
-# Full mode enforces the tracked floors: the sliced64 engine must be
-# >= 8x scalar on the Hamming workload and >= 9x on the BCH workload
-# (raised in PR 5 by the lane-native observation path), always with
-# profiles_match=true (the bit-identity witness). Smoke mode (used by
-# verify.sh) only checks the wiring and the witness, never timing —
-# timings on loaded machines are noise at smoke scale.
+# Full mode enforces the tracked floors on BOTH sliced engines: each
+# must be >= 8x scalar on the Hamming workload and >= 9x on the BCH
+# workload (sliced64 floors raised in PR 5 by the lane-native
+# observation path; PR 6 holds the wide W=4 engine to the same bar),
+# always with profiles_match=true (the three-way bit-identity witness).
+# Smoke mode (used by verify.sh) only checks the wiring and the
+# witness, never timing — timings on loaded machines are noise at
+# smoke scale.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 MODE=full
-OUT=BENCH_PR5.json
+OUT=BENCH_PR6.json
 SEED=1
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -64,20 +67,28 @@ if [[ $rows -ne 2 || $matches -ne 2 ]]; then
     exit 1
 fi
 
-# Full mode: both workloads must hold their speedup floors.
+# Full mode: both workloads must hold their speedup floors on both
+# sliced engines. A missing metric fails loudly (required == 1 check):
+# a wide-lane engine that silently stopped reporting must not pass.
 if [[ $MODE == full ]]; then
     awk '
-        function check(name, floor) {
-            if (match($0, /"speedup":[0-9.eE+-]+/)) {
-                v = substr($0, RSTART + 10, RLENGTH - 10) + 0
+        function check(name, key, floor) {
+            if (match($0, "\"" key "\":[0-9.eE+-]+")) {
+                v = substr($0, RSTART + length(key) + 3,
+                           RLENGTH - length(key) - 3) + 0
                 if (v < floor) {
-                    printf "bench_snapshot: %s speedup %.2fx below the %gx floor\n", name, v, floor > "/dev/stderr"
+                    printf "bench_snapshot: %s %s %.2fx below the %gx floor\n", name, key, v, floor > "/dev/stderr"
                     bad = 1
                 }
+            } else {
+                printf "bench_snapshot: %s row missing metric %s\n", name, key > "/dev/stderr"
+                bad = 1
             }
         }
-        /"workload":"hamming"/ { check("Hamming", 8) }
-        /"workload":"bch"/     { check("BCH", 9) }
+        /"workload":"hamming"/ { check("Hamming", "speedup", 8)
+                                 check("Hamming", "speedup_256", 8) }
+        /"workload":"bch"/     { check("BCH", "speedup", 9)
+                                 check("BCH", "speedup_256", 9) }
         END { exit bad }
     ' "$jsonl"
 fi

@@ -5,11 +5,13 @@
 # installed). Exits nonzero on any failure.
 #
 #   scripts/verify.sh          # tier-1 + smoke perf wiring
-#   scripts/verify.sh --full   # additionally runs the full-scale perf
-#                              # snapshot, enforcing the Hamming >= 8x /
-#                              # BCH >= 9x floors and the <= 15%
-#                              # regression gate against the committed
-#                              # BENCH_PR5.json
+#   scripts/verify.sh --full   # additionally: full-scale perf snapshot
+#                              # (sliced64 AND sliced256 floors + the
+#                              # <= 15% regression gate against the
+#                              # committed BENCH_PR6.json), the unit
+#                              # suite under TSan and ASan+UBSan
+#                              # (-DHARP_SANITIZE), and the intra-job
+#                              # scaling check (>= 8 cores only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,11 +24,27 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 # --- harp_run smoke -------------------------------------------------------
-# The registry must expose every ported bench + example experiment plus
-# the engine-throughput perf experiment.
+# The human --list footer must agree with the machine-readable registry
+# (--list-json): the expected counts are *derived* from the JSON, never
+# hard-coded here, so adding an experiment cannot silently break this
+# check. The python snippet also cross-validates the JSON against
+# itself (count == len(experiments), label_counts == recount).
 listing="$(./build/src/harp_run --list)"
-echo "$listing" | grep -q "20 experiments (16 bench, 4 example)" || {
-    echo "verify: harp_run --list does not show 20 experiments" >&2
+expected="$(./build/src/harp_run --list-json | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+exps = doc["experiments"]
+assert doc["count"] == len(exps), "count != len(experiments)"
+for label, n in doc["label_counts"].items():
+    recount = sum(1 for e in exps if label in e["labels"])
+    assert recount == n, f"label_counts[{label}] {n} != recount {recount}"
+lc = doc["label_counts"]
+count, bench, example = doc["count"], lc.get("bench", 0), lc.get("example", 0)
+print(f"{count} experiments ({bench} bench, {example} example)")
+')"
+echo "$listing" | grep -qF "$expected" || {
+    echo "verify: harp_run --list footer does not match --list-json" \
+         "(expected: $expected)" >&2
     exit 1
 }
 
@@ -53,51 +71,61 @@ cmp -s "$smoke_dir/a/quickstart.jsonl" "$smoke_dir/b/quickstart.jsonl" || {
 ./build/examples/example_quickstart --out "$smoke_dir/alias" > /dev/null
 
 # --- Engine equivalence ---------------------------------------------------
-# A seed-fixed campaign must be byte-identical under the scalar and
-# sliced64 profiling engines (70 words/code exercises a ragged 64+6
-# sliced block; fig10 exercises heterogeneous per-lane codes).
-for engine in scalar sliced64; do
+# A seed-fixed campaign must be byte-identical under the scalar,
+# sliced64 and sliced256 profiling engines (70 words/code exercises a
+# ragged 64+6 sliced block at W=1 and a 70-lane wide block at W=4;
+# fig10 exercises heterogeneous per-lane codes).
+for engine in scalar sliced64 sliced256; do
     ./build/src/harp_run fig06_direct_coverage fig10_case_study \
         --seed 5 --threads 2 --engine "$engine" \
         --codes 1 --words 70 --rounds 6 --prob 0.5 --pre_errors 3 \
         --samples 5 --max_cells 2 \
         --out "$smoke_dir/engine-$engine" > /dev/null
 done
-for f in fig06_direct_coverage.jsonl fig10_case_study.jsonl; do
-    cmp -s "$smoke_dir/engine-scalar/$f" "$smoke_dir/engine-sliced64/$f" || {
-        echo "verify: $f differs between scalar and sliced64 engines" >&2
-        exit 1
-    }
+for engine in sliced64 sliced256; do
+    for f in fig06_direct_coverage.jsonl fig10_case_study.jsonl; do
+        cmp -s "$smoke_dir/engine-scalar/$f" \
+               "$smoke_dir/engine-$engine/$f" || {
+            echo "verify: $f differs between scalar and $engine" >&2
+            exit 1
+        }
+    done
 done
 
 # The BCH t-sweep must be byte-identical too: the memoized sliced BCH
 # datapath is exactly equivalent to the scalar Berlekamp-Massey
-# decoder (70 words/point exercises a ragged 64 + 6 sliced block).
-for engine in scalar sliced64; do
+# decoder at every lane width (70 words/point exercises a ragged
+# 64 + 6 sliced block).
+for engine in scalar sliced64 sliced256; do
     ./build/src/harp_run bch_t_sweep \
         --seed 9 --threads 2 --engine "$engine" \
         --words 70 --rounds 6 \
         --out "$smoke_dir/bch-$engine" > /dev/null
 done
-cmp -s "$smoke_dir/bch-scalar/bch_t_sweep.jsonl" \
-       "$smoke_dir/bch-sliced64/bch_t_sweep.jsonl" || {
-    echo "verify: bch_t_sweep.jsonl differs between scalar and sliced64" >&2
-    exit 1
-}
+for engine in sliced64 sliced256; do
+    cmp -s "$smoke_dir/bch-scalar/bch_t_sweep.jsonl" \
+           "$smoke_dir/bch-$engine/bch_t_sweep.jsonl" || {
+        echo "verify: bch_t_sweep.jsonl differs between scalar and $engine" >&2
+        exit 1
+    }
+done
 
 # Heterogeneous per-word codes through the lane-native observation
 # path (Naive/HARP-U lanes) must also stay byte-identical.
-for engine in scalar sliced64; do
+for engine in scalar sliced64 sliced256; do
     ./build/src/harp_run extension_low_probability \
         --seed 11 --threads 2 --engine "$engine" \
         --words 70 --rounds 8 \
         --out "$smoke_dir/elp-$engine" > /dev/null
 done
-cmp -s "$smoke_dir/elp-scalar/extension_low_probability.jsonl" \
-       "$smoke_dir/elp-sliced64/extension_low_probability.jsonl" || {
-    echo "verify: extension_low_probability.jsonl differs between engines" >&2
-    exit 1
-}
+for engine in sliced64 sliced256; do
+    cmp -s "$smoke_dir/elp-scalar/extension_low_probability.jsonl" \
+           "$smoke_dir/elp-$engine/extension_low_probability.jsonl" || {
+        echo "verify: extension_low_probability.jsonl differs" \
+             "(scalar vs $engine)" >&2
+        exit 1
+    }
+done
 
 # --- Perf snapshot (smoke) ------------------------------------------------
 # Wiring + bit-identity witness of the engine-throughput bench, and a
@@ -108,16 +136,72 @@ test -s "$smoke_dir/BENCH_smoke.json" || {
     echo "verify: bench_snapshot smoke wrote no snapshot" >&2
     exit 1
 }
-scripts/bench_compare.py BENCH_PR5.json "$smoke_dir/BENCH_smoke.json" \
-    --no-enforce
+scripts/bench_compare.py BENCH_PR6.json "$smoke_dir/BENCH_smoke.json" \
+    --no-enforce --require-metric speedup --require-metric speedup_256
 
 # --- Perf snapshot (full) -------------------------------------------------
-# Full mode: re-measure at snapshot scale, enforce the Hamming >= 8x /
-# BCH >= 9x floors (inside bench_snapshot.sh) and fail on a > 15%
-# speedup regression against the committed snapshot.
+# Full mode: re-measure at snapshot scale, enforce the sliced64 AND
+# sliced256 floors (Hamming >= 8x, BCH >= 9x, inside bench_snapshot.sh)
+# and fail on a > 15% speedup regression against the committed
+# snapshot. --require-metric makes a silently-missing wide-lane metric
+# a hard failure instead of a skipped comparison.
 if [[ $FULL -eq 1 ]]; then
     scripts/bench_snapshot.sh --out "$smoke_dir/BENCH_full.json"
-    scripts/bench_compare.py BENCH_PR5.json "$smoke_dir/BENCH_full.json"
+    scripts/bench_compare.py BENCH_PR6.json "$smoke_dir/BENCH_full.json" \
+        --require-metric speedup --require-metric speedup_256
+fi
+
+# --- Sanitizer tier (full) ------------------------------------------------
+# The whole unit suite under TSan (memo sharing + intra-job sharding
+# races) and ASan+UBSan (lane/transpose pointer arithmetic), in
+# dedicated build trees so the sanitizer runtimes never mix with the
+# primary build/.
+if [[ $FULL -eq 1 ]]; then
+    for san in thread address; do
+        sdir="build-tsan"
+        [[ $san == address ]] && sdir="build-asan"
+        cmake -B "$sdir" -S . -DHARP_SANITIZE="$san" \
+            -DHARP_BUILD_BENCH=OFF -DHARP_BUILD_EXAMPLES=OFF > /dev/null
+        cmake --build "$sdir" -j
+        (cd "$sdir" && ctest -L unit --output-on-failure -j) || {
+            echo "verify: unit suite failed under $san sanitizer" >&2
+            exit 1
+        }
+    done
+fi
+
+# --- Intra-job scaling (full, hardware-gated) -----------------------------
+# One heavy (point, repeat) job must scale through intra-job block
+# sharding: >= 3x wall-clock from --threads 1 to --threads 8 with
+# byte-identical JSONL. Meaningless below 8 cores, so gated on nproc.
+if [[ $FULL -eq 1 ]]; then
+    if [[ "$(nproc)" -ge 8 ]]; then
+        for t in 1 8; do
+            ./build/src/harp_run fig06_direct_coverage \
+                --seed 21 --threads "$t" --codes 1 --words 4096 \
+                --rounds 24 --prob 0.5 --pre_errors 3 \
+                --out "$smoke_dir/scale-$t" > /dev/null
+        done
+        cmp -s "$smoke_dir/scale-1/fig06_direct_coverage.jsonl" \
+               "$smoke_dir/scale-8/fig06_direct_coverage.jsonl" || {
+            echo "verify: sharded JSONL differs from single-threaded" >&2
+            exit 1
+        }
+        python3 - "$smoke_dir/scale-1/summary.json" \
+                  "$smoke_dir/scale-8/summary.json" <<'EOF'
+import json, sys
+walls = []
+for path in sys.argv[1:]:
+    with open(path, encoding="utf-8") as f:
+        walls.append(json.load(f)["experiments"][0]["wall_seconds"])
+scale = walls[0] / walls[1] if walls[1] > 0 else float("inf")
+print(f"verify: intra-job scaling 1->8 threads: {scale:.2f}x")
+sys.exit(0 if scale >= 3.0 else 1)
+EOF
+    else
+        echo "verify: < 8 hardware threads, skipping intra-job" \
+             "scaling check"
+    fi
 fi
 
 # --- Docs lint ------------------------------------------------------------

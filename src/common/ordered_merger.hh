@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic index-ordered reduction for parallel task fan-outs.
+ *
+ * Experiments fan (point, repeat, block) tasks across the thread pool
+ * and then fold each task's payload into shared aggregates. Folding in
+ * completion order would make float accumulation (and any
+ * order-sensitive reduction) depend on scheduling, so output bytes
+ * would vary with --threads. OrderedMerger restores the sequential
+ * merge order: workers deposit finished payloads keyed by task index,
+ * and the depositing worker drains the contiguous ready prefix under
+ * the lock, invoking the merge callback in strict index order. The
+ * memory high-water mark is bounded by the scheduling skew (how far
+ * completion order runs ahead of index order), not the task count.
+ */
+
+#ifndef HARP_COMMON_ORDERED_MERGER_HH
+#define HARP_COMMON_ORDERED_MERGER_HH
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace harp::common {
+
+/**
+ * Merges task payloads in strict task-index order regardless of the
+ * order tasks complete in. Thread-safe: deposit() may be called
+ * concurrently from pool workers; merge callbacks run serialized under
+ * the internal lock, so they may touch shared aggregates freely.
+ */
+template <typename Payload>
+class OrderedMerger
+{
+  public:
+    explicit OrderedMerger(std::size_t tasks)
+        : pending_(tasks)
+    {
+    }
+
+    /** Deposit @p payload for @p task and merge every contiguous ready
+     *  payload through @p merge (called in task index order). */
+    template <typename MergeFn>
+    void deposit(std::size_t task, Payload payload, MergeFn &&merge)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_[task] = std::move(payload);
+        while (next_ < pending_.size() && pending_[next_].has_value()) {
+            merge(*pending_[next_]);
+            pending_[next_].reset();
+            ++next_;
+        }
+    }
+
+  private:
+    std::mutex mutex_;
+    std::vector<std::optional<Payload>> pending_;
+    std::size_t next_ = 0;
+};
+
+} // namespace harp::common
+
+#endif // HARP_COMMON_ORDERED_MERGER_HH

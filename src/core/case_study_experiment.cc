@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <mutex>
 
+#include "common/ordered_merger.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "core/at_risk_analyzer.hh"
@@ -74,6 +74,63 @@ struct SampleSim
     std::vector<std::vector<std::uint64_t>> localAfter;
 };
 
+/** One finished task's samples plus their conditioned cell counts,
+ *  deposited into the OrderedMerger for index-ordered aggregation. */
+struct SampleBatch
+{
+    std::vector<std::unique_ptr<SampleSim>> sims;
+    std::vector<std::size_t> simN;
+};
+
+/**
+ * The sliced case-study path at lane width W: one task per block of up
+ * to W*64 samples, batched straight across conditioned cell counts —
+ * every sample has its own random code anyway; lanes only share k.
+ * Per-sample seeds and outcomes are identical to the scalar path (and
+ * across widths); only the batching differs.
+ */
+template <std::size_t W, typename MergeBatchFn>
+void
+runSlicedCaseStudy(const CaseStudyConfig &config, std::size_t max_n,
+                   const MergeBatchFn &mergeBatch)
+{
+    constexpr std::size_t lanes = gf2::BitSliceW<W>::laneCount;
+    const std::size_t total_samples = max_n * config.samplesPerCellCount;
+    const std::size_t num_blocks = (total_samples + lanes - 1) / lanes;
+    common::OrderedMerger<SampleBatch> merger(num_blocks);
+    common::parallelFor(num_blocks, [&](std::size_t block) {
+        const std::size_t begin = block * lanes;
+        const std::size_t end = std::min(begin + lanes, total_samples);
+
+        SampleBatch batch;
+        std::vector<const ecc::HammingCode *> code_ptrs;
+        std::vector<const fault::WordFaultModel *> fault_ptrs;
+        std::vector<std::uint64_t> seeds;
+        std::vector<std::vector<Profiler *>> lane_profilers;
+        for (std::size_t g = begin; g < end; ++g) {
+            const std::size_t n = 1 + g / config.samplesPerCellCount;
+            const std::size_t sample = g % config.samplesPerCellCount;
+            batch.sims.push_back(
+                std::make_unique<SampleSim>(config, n, sample));
+            batch.simN.push_back(n);
+            code_ptrs.push_back(&batch.sims.back()->code);
+            fault_ptrs.push_back(&batch.sims.back()->faults);
+            seeds.push_back(batch.sims.back()->engineSeed);
+            lane_profilers.push_back(batch.sims.back()->raw);
+        }
+
+        SlicedRoundEngineW<W> engine(code_ptrs, fault_ptrs,
+                                     config.pattern, seeds);
+        for (std::size_t r = 0; r < config.rounds; ++r) {
+            engine.runRound(lane_profilers);
+            for (auto &sim : batch.sims)
+                sim->accumulateRound(r);
+        }
+
+        merger.deposit(block, std::move(batch), mergeBatch);
+    }, config.threads);
+}
+
 } // namespace
 
 double
@@ -111,10 +168,10 @@ runCaseStudyExperiment(const CaseStudyConfig &config)
             max_n + 1, std::vector<std::uint64_t>(config.rounds, 0)));
     auto after_sum = before_sum;
 
-    std::mutex merge_mutex;
+    // Per-sample integer sums are order-insensitive, but the merges
+    // still run through OrderedMerger in task index order so every
+    // engine and thread count walks the aggregates identically.
     const auto mergeSample = [&](std::size_t n, const SampleSim &sim) {
-        // Caller holds merge_mutex; sums are order-insensitive, so the
-        // merged totals do not depend on scheduling or the engine.
         for (std::size_t pi = 0; pi < num_profilers; ++pi) {
             for (std::size_t r = 0; r < config.rounds; ++r) {
                 before_sum[pi][n][r] += sim.localBefore[pi][r];
@@ -122,71 +179,39 @@ runCaseStudyExperiment(const CaseStudyConfig &config)
             }
         }
     };
+    const auto mergeBatch = [&](const SampleBatch &batch) {
+        for (std::size_t i = 0; i < batch.sims.size(); ++i)
+            mergeSample(batch.simN[i], *batch.sims[i]);
+    };
 
     if (config.engine == EngineKind::Scalar) {
         const std::size_t total_tasks =
             max_n * config.samplesPerCellCount;
+        // The payload carries its own cell count: deposit() may drain
+        // payloads from *other* tasks than the depositing one.
+        using DonePair = std::pair<std::size_t, std::unique_ptr<SampleSim>>;
+        common::OrderedMerger<DonePair> merger(total_tasks);
         common::parallelFor(total_tasks, [&](std::size_t task) {
             const std::size_t n = 1 + task / config.samplesPerCellCount;
             const std::size_t sample = task % config.samplesPerCellCount;
 
-            SampleSim sim(config, n, sample);
-            RoundEngine engine(sim.code, sim.faults, config.pattern,
-                               sim.engineSeed);
+            auto sim = std::make_unique<SampleSim>(config, n, sample);
+            RoundEngine engine(sim->code, sim->faults, config.pattern,
+                               sim->engineSeed);
             for (std::size_t r = 0; r < config.rounds; ++r) {
-                engine.runRound(sim.raw);
-                sim.accumulateRound(r);
+                engine.runRound(sim->raw);
+                sim->accumulateRound(r);
             }
 
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            mergeSample(n, sim);
+            merger.deposit(task, DonePair(n, std::move(sim)),
+                           [&](DonePair &done) {
+                               mergeSample(done.first, *done.second);
+                           });
         }, config.threads);
+    } else if (config.engine == EngineKind::Sliced256) {
+        runSlicedCaseStudy<4>(config, max_n, mergeBatch);
     } else {
-        // Sliced64: one task per block of <= 64 samples, batched
-        // straight across conditioned cell counts — every sample has
-        // its own random code anyway; lanes only share k.
-        constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
-        const std::size_t total_samples =
-            max_n * config.samplesPerCellCount;
-        const std::size_t num_blocks =
-            (total_samples + lanes - 1) / lanes;
-        common::parallelFor(num_blocks, [&](std::size_t block) {
-            const std::size_t begin = block * lanes;
-            const std::size_t end =
-                std::min(begin + lanes, total_samples);
-
-            std::vector<std::unique_ptr<SampleSim>> sims;
-            std::vector<std::size_t> sim_n;
-            std::vector<const ecc::HammingCode *> code_ptrs;
-            std::vector<const fault::WordFaultModel *> fault_ptrs;
-            std::vector<std::uint64_t> seeds;
-            std::vector<std::vector<Profiler *>> lane_profilers;
-            for (std::size_t g = begin; g < end; ++g) {
-                const std::size_t n =
-                    1 + g / config.samplesPerCellCount;
-                const std::size_t sample =
-                    g % config.samplesPerCellCount;
-                sims.push_back(
-                    std::make_unique<SampleSim>(config, n, sample));
-                sim_n.push_back(n);
-                code_ptrs.push_back(&sims.back()->code);
-                fault_ptrs.push_back(&sims.back()->faults);
-                seeds.push_back(sims.back()->engineSeed);
-                lane_profilers.push_back(sims.back()->raw);
-            }
-
-            SlicedRoundEngine engine(code_ptrs, fault_ptrs,
-                                     config.pattern, seeds);
-            for (std::size_t r = 0; r < config.rounds; ++r) {
-                engine.runRound(lane_profilers);
-                for (auto &sim : sims)
-                    sim->accumulateRound(r);
-            }
-
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            for (std::size_t i = 0; i < sims.size(); ++i)
-                mergeSample(sim_n[i], *sims[i]);
-        }, config.threads);
+        runSlicedCaseStudy<1>(config, max_n, mergeBatch);
     }
 
     // Mix the conditional expectations with Binomial weights.

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 
+#include "common/ordered_merger.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "core/at_risk_analyzer.hh"
@@ -164,8 +164,84 @@ struct WordSim
     std::vector<WordStats> stats;
 };
 
-/** Words per sliced task: one engine batches up to a full lane set. */
-constexpr std::size_t sliceLanes = gf2::BitSlice64::laneCount;
+using common::OrderedMerger;
+
+/**
+ * The sliced coverage path at lane width W: one task per block of up
+ * to W*64 words, batched straight across code boundaries — lanes
+ * carry their own code, so blocks stay full even when wordsPerCode is
+ * small. Word-level seeds and outcomes are identical to the scalar
+ * path (and across widths); only the batching differs.
+ */
+template <std::size_t W>
+void
+runSlicedCoverage(const CoverageConfig &config, CoverageResult &result)
+{
+    const auto codeSeed = [&](std::size_t code_idx) {
+        return common::deriveSeed(config.seed, {0xC0DEu, code_idx});
+    };
+    const auto faultSeed = [&](std::size_t code_idx, std::size_t word_idx) {
+        return common::deriveSeed(config.seed,
+                                  {0xFA17u, code_idx, word_idx});
+    };
+    const auto engineSeed = [&](std::size_t code_idx,
+                                std::size_t word_idx) {
+        return common::deriveSeed(config.seed,
+                                  {0xE221u, code_idx, word_idx});
+    };
+
+    constexpr std::size_t sliceLanes = gf2::BitSliceW<W>::laneCount;
+    const std::size_t total_words = config.numCodes * config.wordsPerCode;
+    const std::size_t num_blocks =
+        (total_words + sliceLanes - 1) / sliceLanes;
+    using BlockSims = std::vector<std::unique_ptr<WordSim>>;
+    OrderedMerger<BlockSims> merger(num_blocks);
+    common::parallelFor(num_blocks, [&](std::size_t block) {
+        const std::size_t begin = block * sliceLanes;
+        const std::size_t end =
+            std::min(begin + sliceLanes, total_words);
+
+        // Materialize each code once per block (global word indices are
+        // consecutive, so words of one code are contiguous).
+        std::vector<std::unique_ptr<ecc::HammingCode>> codes;
+        std::size_t built_code_idx = config.numCodes; // sentinel
+        BlockSims words;
+        std::vector<const ecc::HammingCode *> code_ptrs;
+        std::vector<const fault::WordFaultModel *> fault_ptrs;
+        std::vector<std::uint64_t> seeds;
+        std::vector<std::vector<Profiler *>> lane_profilers;
+        for (std::size_t g = begin; g < end; ++g) {
+            const std::size_t code_idx = g / config.wordsPerCode;
+            const std::size_t word_idx = g % config.wordsPerCode;
+            if (code_idx != built_code_idx) {
+                common::Xoshiro256 code_rng(codeSeed(code_idx));
+                codes.push_back(std::make_unique<ecc::HammingCode>(
+                    ecc::HammingCode::randomSec(config.k, code_rng)));
+                built_code_idx = code_idx;
+            }
+            const ecc::HammingCode &code = *codes.back();
+            words.push_back(std::make_unique<WordSim>(
+                config, code, faultSeed(code_idx, word_idx)));
+            code_ptrs.push_back(&code);
+            fault_ptrs.push_back(&words.back()->faults);
+            seeds.push_back(engineSeed(code_idx, word_idx));
+            lane_profilers.push_back(words.back()->raw);
+        }
+
+        SlicedRoundEngineW<W> engine(code_ptrs, fault_ptrs,
+                                     config.pattern, seeds);
+        for (std::size_t r = 0; r < config.rounds; ++r) {
+            engine.runRound(lane_profilers);
+            for (auto &word : words)
+                word->accumulateRound(config, r);
+        }
+
+        merger.deposit(block, std::move(words), [&](BlockSims &sims) {
+            for (const auto &word : sims)
+                word->merge(config, result);
+        });
+    }, config.threads);
+}
 
 } // namespace
 
@@ -208,11 +284,12 @@ runCoverageExperiment(const CoverageConfig &config)
         result.profilers.push_back(std::move(agg));
     }
 
-    std::mutex merge_mutex;
-
     // Deterministic per-word streams, independent of scheduling and of
-    // the engine: the sliced path derives the exact same code, fault
-    // and engine seeds per (code_idx, word_idx) as the scalar path.
+    // the engine: the sliced paths derive the exact same code, fault
+    // and engine seeds per (code_idx, word_idx) as the scalar path,
+    // and every path merges task results in task index order (see
+    // OrderedMerger), so output bytes are fixed by the seed alone —
+    // not by thread count, engine, or completion order.
     const auto codeSeed = [&](std::size_t code_idx) {
         return common::deriveSeed(config.seed, {0xC0DEu, code_idx});
     };
@@ -229,6 +306,7 @@ runCoverageExperiment(const CoverageConfig &config)
     if (config.engine == EngineKind::Scalar) {
         const std::size_t total_tasks =
             config.numCodes * config.wordsPerCode;
+        OrderedMerger<std::unique_ptr<WordSim>> merger(total_tasks);
         common::parallelFor(total_tasks, [&](std::size_t task) {
             const std::size_t code_idx = task / config.wordsPerCode;
             const std::size_t word_idx = task % config.wordsPerCode;
@@ -236,71 +314,28 @@ runCoverageExperiment(const CoverageConfig &config)
             common::Xoshiro256 code_rng(codeSeed(code_idx));
             const ecc::HammingCode code =
                 ecc::HammingCode::randomSec(config.k, code_rng);
-            WordSim word(config, code, faultSeed(code_idx, word_idx));
+            auto word = std::make_unique<WordSim>(
+                config, code, faultSeed(code_idx, word_idx));
 
-            RoundEngine engine(code, word.faults, config.pattern,
+            RoundEngine engine(code, word->faults, config.pattern,
                                engineSeed(code_idx, word_idx));
             for (std::size_t r = 0; r < config.rounds; ++r) {
-                engine.runRound(word.raw);
-                word.accumulateRound(config, r);
+                engine.runRound(word->raw);
+                word->accumulateRound(config, r);
             }
 
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            word.merge(config, result);
+            merger.deposit(task, std::move(word),
+                           [&](std::unique_ptr<WordSim> &sim) {
+                               sim->merge(config, result);
+                           });
         }, config.threads);
         return result;
     }
 
-    // Sliced64: one task per block of up to 64 words, batched straight
-    // across code boundaries — lanes carry their own code, so blocks
-    // stay full even when wordsPerCode is small.
-    const std::size_t total_words = config.numCodes * config.wordsPerCode;
-    const std::size_t num_blocks =
-        (total_words + sliceLanes - 1) / sliceLanes;
-    common::parallelFor(num_blocks, [&](std::size_t block) {
-        const std::size_t begin = block * sliceLanes;
-        const std::size_t end =
-            std::min(begin + sliceLanes, total_words);
-
-        // Materialize each code once per block (global word indices are
-        // consecutive, so words of one code are contiguous).
-        std::vector<std::unique_ptr<ecc::HammingCode>> codes;
-        std::size_t built_code_idx = config.numCodes; // sentinel
-        std::vector<std::unique_ptr<WordSim>> words;
-        std::vector<const ecc::HammingCode *> code_ptrs;
-        std::vector<const fault::WordFaultModel *> fault_ptrs;
-        std::vector<std::uint64_t> seeds;
-        std::vector<std::vector<Profiler *>> lane_profilers;
-        for (std::size_t g = begin; g < end; ++g) {
-            const std::size_t code_idx = g / config.wordsPerCode;
-            const std::size_t word_idx = g % config.wordsPerCode;
-            if (code_idx != built_code_idx) {
-                common::Xoshiro256 code_rng(codeSeed(code_idx));
-                codes.push_back(std::make_unique<ecc::HammingCode>(
-                    ecc::HammingCode::randomSec(config.k, code_rng)));
-                built_code_idx = code_idx;
-            }
-            const ecc::HammingCode &code = *codes.back();
-            words.push_back(std::make_unique<WordSim>(
-                config, code, faultSeed(code_idx, word_idx)));
-            code_ptrs.push_back(&code);
-            fault_ptrs.push_back(&words.back()->faults);
-            seeds.push_back(engineSeed(code_idx, word_idx));
-            lane_profilers.push_back(words.back()->raw);
-        }
-
-        SlicedRoundEngine engine(code_ptrs, fault_ptrs, config.pattern,
-                                 seeds);
-        for (std::size_t r = 0; r < config.rounds; ++r) {
-            engine.runRound(lane_profilers);
-            for (auto &word : words)
-                word->accumulateRound(config, r);
-        }
-
-        std::lock_guard<std::mutex> lock(merge_mutex);
-        for (const auto &word : words)
-            word->merge(config, result);
-    }, config.threads);
+    if (config.engine == EngineKind::Sliced256)
+        runSlicedCoverage<4>(config, result);
+    else
+        runSlicedCoverage<1>(config, result);
 
     return result;
 }

@@ -12,6 +12,8 @@ engineKindName(EngineKind kind)
         return "scalar";
       case EngineKind::Sliced64:
         return "sliced64";
+      case EngineKind::Sliced256:
+        return "sliced256";
     }
     return "unknown";
 }
@@ -23,6 +25,8 @@ engineKindFromName(const std::string &name)
         return EngineKind::Scalar;
     if (name == "sliced64")
         return EngineKind::Sliced64;
+    if (name == "sliced256")
+        return EngineKind::Sliced256;
     throw std::invalid_argument("unknown engine kind: " + name);
 }
 

@@ -2,11 +2,12 @@
  * @file
  * Selection between the scalar and bit-sliced profiling-round engines.
  *
- * Both engines execute the exact same simulation — identical seed
+ * All engines execute the exact same simulation — identical seed
  * derivation, RNG stream consumption and GF(2) arithmetic — so a
- * seed-fixed experiment produces byte-identical results under either.
- * The sliced engine simply retires 64 ECC words per word-op on the
- * encode/inject/decode hot path (see core/sliced_round_engine.hh).
+ * seed-fixed experiment produces byte-identical results under any of
+ * them. The sliced engines simply retire 64 (sliced64) or 256
+ * (sliced256, one AVX2 register per lane word) ECC words per word-op
+ * on the encode/inject/decode hot path (core/sliced_round_engine.hh).
  */
 
 #ifndef HARP_CORE_ENGINE_KIND_HH
@@ -19,11 +20,12 @@ namespace harp::core {
 /** Profiling-round engine implementation. */
 enum class EngineKind
 {
-    Scalar,   ///< One ECC word at a time (core/round_engine.hh).
-    Sliced64, ///< 64 ECC words per lane-op (core/sliced_round_engine.hh).
+    Scalar,    ///< One ECC word at a time (core/round_engine.hh).
+    Sliced64,  ///< 64 ECC words per lane-op (core/sliced_round_engine.hh).
+    Sliced256, ///< 256 ECC words per lane-op (SlicedRoundEngineW<4>).
 };
 
-/** Human-readable engine name ("scalar", "sliced64"). */
+/** Human-readable engine name ("scalar", "sliced64", "sliced256"). */
 std::string engineKindName(EngineKind kind);
 
 /** Parse an engine name; throws std::invalid_argument on bad input. */

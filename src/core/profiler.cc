@@ -2,8 +2,6 @@
 
 #include <atomic>
 
-#include "core/sliced_profiler_group.hh"
-
 namespace harp::core {
 
 namespace {

@@ -22,7 +22,36 @@
 
 namespace harp::core {
 
-class SlicedProfilerGroup;
+class Profiler;
+template <std::size_t W>
+class SlicedProfilerGroupW;
+
+/**
+ * Width-erased handle on a lane-native observation accumulator
+ * (core/sliced_profiler_group.hh). Profiler carries a plain pointer to
+ * whatever group — of any lane width — is currently accumulating its
+ * observations in transposed form; the two virtuals are exactly the
+ * operations the profiler needs without knowing the width: flush
+ * pending lane state on profile reads, and detach on destruction.
+ */
+class LaneObserverGroup
+{
+  public:
+    virtual ~LaneObserverGroup() = default;
+
+    /** Transpose the accumulated lane state into the wrapped
+     *  profilers' members; no-op when clean. */
+    virtual void flushIfDirty() = 0;
+
+  protected:
+    friend class Profiler;
+    template <std::size_t W>
+    friend class SlicedProfilerGroupW;
+
+    /** Drop @p profiler from the group (it is being destroyed); the
+     *  pending lane state is flushed first. */
+    virtual void forget(const Profiler *profiler) = 0;
+};
 
 /**
  * How a profiler's observe() step can be replayed in transposed lane
@@ -213,15 +242,16 @@ class Profiler
     /** @} */
 
   protected:
-    friend class SlicedProfilerGroup;
+    template <std::size_t W>
+    friend class SlicedProfilerGroupW;
 
     /** Flush the attached group's pending lane observations into this
      *  (and its sibling) profilers' members. */
     void syncLaneState() const;
 
     /** Group currently accumulating this profiler's observations in
-     *  lane form; maintained by SlicedProfilerGroup itself. */
-    SlicedProfilerGroup *laneGroup_ = nullptr;
+     *  lane form; maintained by the group itself. */
+    LaneObserverGroup *laneGroup_ = nullptr;
 
     /** Dataword length of the profiled ECC word. */
     std::size_t k_;

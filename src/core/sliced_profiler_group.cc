@@ -7,12 +7,13 @@
 
 namespace harp::core {
 
-std::unique_ptr<SlicedProfilerGroup>
-SlicedProfilerGroup::tryMake(const std::vector<Profiler *> &lane_profilers,
-                             std::size_t k)
+template <std::size_t W>
+std::unique_ptr<SlicedProfilerGroupW<W>>
+SlicedProfilerGroupW<W>::tryMake(const std::vector<Profiler *> &lane_profilers,
+                                 std::size_t k)
 {
     if (lane_profilers.empty() ||
-        lane_profilers.size() > gf2::BitSlice64::laneCount)
+        lane_profilers.size() > gf2::BitSliceW<W>::laneCount)
         return nullptr;
     const LaneObserveKind kind = lane_profilers[0]->laneObserveKind();
     if (kind == LaneObserveKind::None)
@@ -20,11 +21,12 @@ SlicedProfilerGroup::tryMake(const std::vector<Profiler *> &lane_profilers,
     for (const Profiler *p : lane_profilers)
         if (p->laneObserveKind() != kind || p->k() != k)
             return nullptr;
-    return std::unique_ptr<SlicedProfilerGroup>(
-        new SlicedProfilerGroup(lane_profilers, kind, k));
+    return std::unique_ptr<SlicedProfilerGroupW>(
+        new SlicedProfilerGroupW(lane_profilers, kind, k));
 }
 
-SlicedProfilerGroup::SlicedProfilerGroup(
+template <std::size_t W>
+SlicedProfilerGroupW<W>::SlicedProfilerGroupW(
     const std::vector<Profiler *> &lane_profilers, LaneObserveKind kind,
     std::size_t k)
     : kind_(kind),
@@ -35,7 +37,7 @@ SlicedProfilerGroup::SlicedProfilerGroup(
       laneScratch_(k)
 {
     const std::size_t lanes = profilers_.size();
-    liveMask_ = common::laneMask(lanes);
+    liveMask_ = gf2::laneMaskOf<Lane>(lanes);
     flushScratch_.assign(lanes, gf2::BitVector(k));
 
     // Seed the lane state from the profilers' current profiles, so a
@@ -66,7 +68,8 @@ SlicedProfilerGroup::SlicedProfilerGroup(
     }
 }
 
-SlicedProfilerGroup::~SlicedProfilerGroup()
+template <std::size_t W>
+SlicedProfilerGroupW<W>::~SlicedProfilerGroupW()
 {
     flushIfDirty();
     for (Profiler *p : profilers_)
@@ -74,8 +77,9 @@ SlicedProfilerGroup::~SlicedProfilerGroup()
             p->laneGroup_ = nullptr;
 }
 
+template <std::size_t W>
 void
-SlicedProfilerGroup::forget(const Profiler *profiler)
+SlicedProfilerGroupW<W>::forget(const Profiler *profiler)
 {
     flushIfDirty();
     for (Profiler *&p : profilers_)
@@ -85,16 +89,18 @@ SlicedProfilerGroup::forget(const Profiler *profiler)
         }
 }
 
+template <std::size_t W>
 void
-SlicedProfilerGroup::extractLane(const gf2::BitSlice64 &slice,
-                                 std::size_t lane)
+SlicedProfilerGroupW<W>::extractLane(const gf2::BitSliceW<W> &slice,
+                                     std::size_t lane)
 {
     for (std::size_t pos = 0; pos < k_; ++pos)
         laneScratch_.set(pos, slice.get(pos, lane));
 }
 
+template <std::size_t W>
 void
-SlicedProfilerGroup::observeLanes(const RoundLaneObservation &obs)
+SlicedProfilerGroupW<W>::observeLanes(const RoundLaneObservationW<W> &obs)
 {
     assert(obs.written.positions() == k_ && obs.post.positions() == k_ &&
            obs.received.positions() >= k_);
@@ -104,14 +110,16 @@ SlicedProfilerGroup::observeLanes(const RoundLaneObservation &obs)
     // very per-round cost this class elides).
     switch (kind_) {
     case LaneObserveKind::PostCorrection:
-        // identified |= written ^ post, 64 lanes per position.
-        if (atRisk_.orXorPrefix(obs.written, obs.post, k_) & liveMask_)
+        // identified |= written ^ post, W*64 lanes per position.
+        if (gf2::laneAny(atRisk_.orXorPrefix(obs.written, obs.post, k_) &
+                         liveMask_))
             dirty_ = true;
         return;
     case LaneObserveKind::Bypass:
         // identified = direct |= written ^ raw (bypass prefix).
-        if (atRisk_.orXorPrefix(obs.written, obs.received, k_) &
-            liveMask_)
+        if (gf2::laneAny(
+                atRisk_.orXorPrefix(obs.written, obs.received, k_) &
+                liveMask_))
             dirty_ = true;
         return;
     case LaneObserveKind::BypassAware:
@@ -124,42 +132,39 @@ SlicedProfilerGroup::observeLanes(const RoundLaneObservation &obs)
     // HARP-A: accumulate direct mismatches and find the lanes whose
     // direct set grew — only those recompute indirect predictions,
     // exactly when the scalar profiler's popcount check would fire.
-    std::uint64_t changed = 0;
-    std::uint64_t any = 0;
+    Lane changed{};
+    Lane any{};
     for (std::size_t pos = 0; pos < k_; ++pos) {
-        const std::uint64_t mismatch =
+        const Lane mismatch =
             obs.written.lane(pos) ^ obs.received.lane(pos);
         changed |= mismatch & ~direct_.lane(pos);
         direct_.lane(pos) |= mismatch;
         atRisk_.lane(pos) |= mismatch;
         any |= mismatch;
     }
-    if (any & liveMask_)
+    if (gf2::laneAny(any & liveMask_))
         dirty_ = true;
     changed &= liveMask_;
-    while (changed != 0) {
-        const auto lane =
-            static_cast<std::size_t>(std::countr_zero(changed));
-        changed &= changed - 1;
+    gf2::forEachSetLane(changed, [&](std::size_t lane) {
         Profiler *profiler = profilers_[lane];
         if (profiler == nullptr)
-            continue;
+            return;
         extractLane(direct_, lane);
-        const std::uint64_t bit = std::uint64_t{1} << lane;
         if (const gf2::BitVector *predicted =
                 profiler->laneDirectGrew(laneScratch_)) {
             // Fold the refreshed predictions into the lane's identified
             // state; the flush unions them with everything else, which
             // matches the scalar profiler's identified_ |= predicted.
             predicted->forEachSetBit([&](std::size_t pos) {
-                atRisk_.lane(pos) |= bit;
+                gf2::laneSetBit(atRisk_.lane(pos), lane);
             });
         }
-    }
+    });
 }
 
+template <std::size_t W>
 void
-SlicedProfilerGroup::flushIfDirty()
+SlicedProfilerGroupW<W>::flushIfDirty()
 {
     if (!dirty_)
         return;
@@ -179,5 +184,8 @@ SlicedProfilerGroup::flushIfDirty()
         if (profilers_[w] != nullptr)
             profilers_[w]->absorbLaneDirect(flushScratch_[w]);
 }
+
+template class SlicedProfilerGroupW<1>;
+template class SlicedProfilerGroupW<4>;
 
 } // namespace harp::core

@@ -1,33 +1,34 @@
 /**
  * @file
  * Lane-native observation accumulator for one profiler slot of the
- * bit-sliced round engine.
+ * bit-sliced round engine, templated over the lane width.
  *
  * PR 3/4 bit-sliced the encode -> inject -> decode datapath, but every
  * round still ended with a 64x64 bit-transpose scatter of the post (and
- * raw) slices plus 64 scalar virtual observe() calls per profiler slot
- * — the observation side capped the measured speedup well below the
- * lane ceiling. This class removes that cap for the profilers whose
- * observe() is itself GF(2)-positionwise (LaneObserveKind):
+ * raw) slices plus one scalar virtual observe() call per lane per
+ * profiler slot — the observation side capped the measured speedup well
+ * below the lane ceiling. This class removes that cap for the profilers
+ * whose observe() is itself GF(2)-positionwise (LaneObserveKind):
  *
  *  - Naive:  identified |= written ^ post        (one XOR+OR per
- *            position retires 64 words at once);
+ *            position retires W*64 words at once);
  *  - HARP-U: identified = direct |= written ^ raw (same, over the
  *            decode-bypass lanes);
  *  - HARP-A: HARP-U's accumulation plus per-lane indirect-error
  *            prediction, recomputed only for the (rare) lanes whose
  *            direct set actually grew this round.
  *
- * The group wraps the up-to-64 same-kind profilers of one engine slot
- * and consumes RoundLaneObservation — BitSlice64 references straight
+ * The group wraps the up-to-W*64 same-kind profilers of one engine slot
+ * and consumes RoundLaneObservationW — BitSliceW references straight
  * out of the engine's datapath — so profiling rounds never leave
  * transposed form for these slots. Profile extraction transposes once
  * on demand instead of once per round: reading any wrapped profiler's
- * identified() (or identifiedDirect()) triggers flushIfDirty(), which
- * scatters the accumulated lane state into the wrapped profilers'
- * members. Experiments that inspect profiles every round therefore
- * stay bit-identical to the scalar engine, while throughput-bound runs
- * pay a single transpose at the end.
+ * identified() (or identifiedDirect()) triggers flushIfDirty() through
+ * the width-erased LaneObserverGroup base, which scatters the
+ * accumulated lane state into the wrapped profilers' members.
+ * Experiments that inspect profiles every round therefore stay
+ * bit-identical to the scalar engine, while throughput-bound runs pay a
+ * single transpose at the end.
  *
  * Lifetime: the engine owns its groups; attach/detach is symmetric
  * (group destruction flushes and detaches every profiler, profiler
@@ -45,6 +46,7 @@
 #include "core/profiler.hh"
 #include "gf2/bit_slice.hh"
 #include "gf2/bit_vector.hh"
+#include "gf2/lane.hh"
 
 namespace harp::core {
 
@@ -52,25 +54,32 @@ namespace harp::core {
  * One profiling round's outcome in transposed lane form: the slices
  * the engine's datapath already produced, never scattered.
  */
-struct RoundLaneObservation
+template <std::size_t W>
+struct RoundLaneObservationW
 {
     std::size_t round = 0;
     /** Programmed datawords, k positions. */
-    const gf2::BitSlice64 &written;
+    const gf2::BitSliceW<W> &written;
     /** Post-correction datawords, k positions. */
-    const gf2::BitSlice64 &post;
+    const gf2::BitSliceW<W> &post;
     /** Received codewords, n positions; the decode-bypass raw data is
      *  the k-position prefix. */
-    const gf2::BitSlice64 &received;
+    const gf2::BitSliceW<W> &received;
 };
 
+/** The historical 64-lane name. */
+using RoundLaneObservation = RoundLaneObservationW<1>;
+
 /**
- * Accumulates one slot's observations across up to 64 lanes without
+ * Accumulates one slot's observations across up to W*64 lanes without
  * leaving transposed form.
  */
-class SlicedProfilerGroup
+template <std::size_t W>
+class SlicedProfilerGroupW final : public LaneObserverGroup
 {
   public:
+    using Lane = gf2::LaneOf<W>;
+
     /**
      * Form a group over one slot's per-lane profilers (index = lane),
      * or return null when the slot cannot be driven lane-natively —
@@ -79,13 +88,13 @@ class SlicedProfilerGroup
      * group seeds its lane state from the profilers' current profiles,
      * so pre-warmed profilers keep their bits.
      */
-    static std::unique_ptr<SlicedProfilerGroup>
+    static std::unique_ptr<SlicedProfilerGroupW>
     tryMake(const std::vector<Profiler *> &lane_profilers, std::size_t k);
 
-    ~SlicedProfilerGroup();
+    ~SlicedProfilerGroupW() override;
 
-    SlicedProfilerGroup(const SlicedProfilerGroup &) = delete;
-    SlicedProfilerGroup &operator=(const SlicedProfilerGroup &) = delete;
+    SlicedProfilerGroupW(const SlicedProfilerGroupW &) = delete;
+    SlicedProfilerGroupW &operator=(const SlicedProfilerGroupW &) = delete;
 
     /** The slot's shared observation kind (never None). */
     LaneObserveKind kind() const { return kind_; }
@@ -105,36 +114,35 @@ class SlicedProfilerGroup
      * (Profiler::laneDirectGrew); everything else is pure lane
      * arithmetic.
      */
-    void observeLanes(const RoundLaneObservation &obs);
+    void observeLanes(const RoundLaneObservationW<W> &obs);
 
     /** Transpose the accumulated lane state into the wrapped
      *  profilers' identified (and direct) members; no-op when clean. */
-    void flushIfDirty();
+    void flushIfDirty() override;
 
   private:
-    SlicedProfilerGroup(const std::vector<Profiler *> &lane_profilers,
-                        LaneObserveKind kind, std::size_t k);
+    SlicedProfilerGroupW(const std::vector<Profiler *> &lane_profilers,
+                         LaneObserveKind kind, std::size_t k);
 
-    friend class Profiler;
     /** Drop @p profiler from the group (it is being destroyed); the
      *  pending lane state is flushed first. */
-    void forget(const Profiler *profiler);
+    void forget(const Profiler *profiler) override;
 
     /** Extract lane @p lane of @p slice's first k positions into
      *  laneScratch_. */
-    void extractLane(const gf2::BitSlice64 &slice, std::size_t lane);
+    void extractLane(const gf2::BitSliceW<W> &slice, std::size_t lane);
 
     LaneObserveKind kind_;
     std::size_t k_;
     /** Mask of live lanes (bit w set iff lane w wraps a profiler). */
-    std::uint64_t liveMask_ = 0;
+    Lane liveMask_{};
     std::vector<Profiler *> profilers_;
     /** Accumulated identified lane masks, k positions. */
-    gf2::BitSlice64 atRisk_;
+    gf2::BitSliceW<W> atRisk_;
     /** BypassAware only: accumulated direct-error lane masks (a subset
      *  of atRisk_; Bypass kinds reuse atRisk_, where the two sets
      *  coincide). */
-    gf2::BitSlice64 direct_;
+    gf2::BitSliceW<W> direct_;
     bool dirty_ = false;
     bool abandoned_ = false;
 
@@ -142,6 +150,14 @@ class SlicedProfilerGroup
     std::vector<gf2::BitVector> flushScratch_;
     gf2::BitVector laneScratch_;
 };
+
+/** The historical 64-lane name. */
+using SlicedProfilerGroup = SlicedProfilerGroupW<1>;
+/** The wide 256-lane variant. */
+using SlicedProfilerGroup256 = SlicedProfilerGroupW<4>;
+
+extern template class SlicedProfilerGroupW<1>;
+extern template class SlicedProfilerGroupW<4>;
 
 } // namespace harp::core
 

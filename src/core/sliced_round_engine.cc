@@ -12,8 +12,9 @@ namespace harp::core {
 namespace {
 
 /** Reject a null datapath before the delegating ctor dereferences it. */
-const ecc::SlicedCode &
-requireCode(const std::unique_ptr<const ecc::SlicedCode> &code)
+template <std::size_t W>
+const ecc::SlicedCodeW<W> &
+requireCode(const std::unique_ptr<const ecc::SlicedCodeW<W>> &code)
 {
     if (code == nullptr)
         throw std::invalid_argument("SlicedRoundEngine: null sliced code");
@@ -22,8 +23,9 @@ requireCode(const std::unique_ptr<const ecc::SlicedCode> &code)
 
 } // namespace
 
-SlicedRoundEngine::SlicedRoundEngine(
-    const ecc::SlicedCode &code,
+template <std::size_t W>
+SlicedRoundEngineW<W>::SlicedRoundEngineW(
+    const ecc::SlicedCodeW<W> &code,
     const std::vector<const fault::WordFaultModel *> &faults,
     PatternKind pattern, const std::vector<std::uint64_t> &seeds)
     : code_(&code),
@@ -56,7 +58,7 @@ SlicedRoundEngine::SlicedRoundEngine(
         profilerRngs_.emplace_back(
             common::deriveSeed(seeds[w], {0x9120F1u}));
     }
-    liveMask_ = common::laneMask(lanes_);
+    liveMask_ = gf2::laneMaskOf<Lane>(lanes_);
     suggestedViews_.assign(lanes_, nullptr);
     writtenVec_.resize(lanes_);
     postVec_.assign(lanes_, gf2::BitVector(k_));
@@ -65,11 +67,12 @@ SlicedRoundEngine::SlicedRoundEngine(
     rawSuggestedVec_.assign(lanes_, gf2::BitVector(k_));
 }
 
-SlicedRoundEngine::SlicedRoundEngine(
-    std::unique_ptr<const ecc::SlicedCode> code,
+template <std::size_t W>
+SlicedRoundEngineW<W>::SlicedRoundEngineW(
+    std::unique_ptr<const ecc::SlicedCodeW<W>> code,
     const std::vector<const fault::WordFaultModel *> &faults,
     PatternKind pattern, const std::vector<std::uint64_t> &seeds)
-    : SlicedRoundEngine(requireCode(code), faults, pattern, seeds)
+    : SlicedRoundEngineW(requireCode(code), faults, pattern, seeds)
 {
     if (faults.size() != code->lanes())
         throw std::invalid_argument(
@@ -77,34 +80,38 @@ SlicedRoundEngine::SlicedRoundEngine(
     owned_ = std::move(code);
 }
 
-SlicedRoundEngine::SlicedRoundEngine(
+template <std::size_t W>
+SlicedRoundEngineW<W>::SlicedRoundEngineW(
     const std::vector<const ecc::HammingCode *> &codes,
     const std::vector<const fault::WordFaultModel *> &faults,
     PatternKind pattern, const std::vector<std::uint64_t> &seeds)
-    : SlicedRoundEngine(std::make_unique<ecc::SlicedHammingCode>(codes),
-                        faults, pattern, seeds)
+    : SlicedRoundEngineW(std::make_unique<ecc::SlicedHammingCodeW<W>>(codes),
+                         faults, pattern, seeds)
 {
 }
 
-SlicedRoundEngine::SlicedRoundEngine(
+template <std::size_t W>
+SlicedRoundEngineW<W>::SlicedRoundEngineW(
     const std::vector<const ecc::BchCode *> &codes,
     const std::vector<const fault::WordFaultModel *> &faults,
     PatternKind pattern, const std::vector<std::uint64_t> &seeds)
-    : SlicedRoundEngine(std::make_unique<ecc::SlicedBchCode>(codes),
-                        faults, pattern, seeds)
+    : SlicedRoundEngineW(std::make_unique<ecc::SlicedBchCodeW<W>>(codes),
+                         faults, pattern, seeds)
 {
 }
 
+template <std::size_t W>
 void
-SlicedRoundEngine::flushObservers()
+SlicedRoundEngineW<W>::flushObservers()
 {
     for (auto &group : groups_)
         if (group != nullptr)
             group->flushIfDirty();
 }
 
+template <std::size_t W>
 void
-SlicedRoundEngine::ensureGroups(
+SlicedRoundEngineW<W>::ensureGroups(
     const std::vector<std::vector<Profiler *>> &profilers)
 {
     if (profilers == groupedFor_) {
@@ -147,7 +154,7 @@ SlicedRoundEngine::ensureGroups(
             if (profilers[w][s]->usesBypassPath())
                 slotNeedsRaw_[s] = 1;
         }
-        groups_[s] = SlicedProfilerGroup::tryMake(slot_profilers, k_);
+        groups_[s] = SlicedProfilerGroupW<W>::tryMake(slot_profilers, k_);
         if (groups_[s] == nullptr)
             for (std::size_t w = 0; w < lanes_; ++w)
                 scalarSlotIds_.push_back(
@@ -155,8 +162,9 @@ SlicedRoundEngine::ensureGroups(
     }
 }
 
+template <std::size_t W>
 void
-SlicedRoundEngine::runDatapath(const std::vector<gf2::BitVector> &written)
+SlicedRoundEngineW<W>::runDatapath(const std::vector<gf2::BitVector> &written)
 {
     written_.gather(written);
     code_->encode(written_, stored_);
@@ -166,8 +174,9 @@ SlicedRoundEngine::runDatapath(const std::vector<gf2::BitVector> &written)
     ++stats_.mixedDatapathRuns;
 }
 
+template <std::size_t W>
 void
-SlicedRoundEngine::runSuggestedDatapath()
+SlicedRoundEngineW<W>::runSuggestedDatapath()
 {
     sWritten_.gather(suggestedViews_.data(), lanes_);
     code_->encode(sWritten_, stored_);
@@ -177,8 +186,9 @@ SlicedRoundEngine::runSuggestedDatapath()
     ++stats_.suggestedDatapathRuns;
 }
 
+template <std::size_t W>
 void
-SlicedRoundEngine::runRound(
+SlicedRoundEngineW<W>::runRound(
     const std::vector<std::vector<Profiler *>> &profilers)
 {
     assert(profilers.size() == lanes_);
@@ -201,9 +211,9 @@ SlicedRoundEngine::runRound(
     bool suggested_ready = false; // suggested slices valid
     bool suggested_post_scattered = false;
     bool suggested_raw_scattered = false;
-    bool lane_verbatim[gf2::BitSlice64::laneCount];
+    bool lane_verbatim[gf2::BitSliceW<W>::laneCount];
     for (std::size_t s = 0; s < slots; ++s) {
-        if (SlicedProfilerGroup *group = groups_[s].get()) {
+        if (SlicedProfilerGroupW<W> *group = groups_[s].get()) {
             // Lane-native slot: its profilers program the suggested
             // pattern verbatim and never draw profiler randomness (the
             // LaneObserveKind contract), so the choose calls are
@@ -249,14 +259,14 @@ SlicedRoundEngine::runRound(
             // Lanes whose read was clean observe nothing a
             // clean-no-op profiler would act on: when the whole slot
             // is clean the scatters are skipped outright.
-            std::uint64_t dirty = liveMask_;
+            Lane dirty = liveMask_;
             if (slotCleanNoOp_[s] != 0) {
                 dirty = sWritten_.diffLanesPrefix(sPost_, k_);
                 if (need_raw)
                     dirty |= sWritten_.diffLanesPrefix(sReceived_, k_);
                 dirty &= liveMask_;
             }
-            if (dirty != 0) {
+            if (gf2::laneAny(dirty)) {
                 if (!suggested_post_scattered) {
                     sPost_.scatter(postSuggestedVec_);
                     ++stats_.postScatters;
@@ -269,7 +279,7 @@ SlicedRoundEngine::runRound(
                 }
             }
             for (std::size_t w = 0; w < lanes_; ++w) {
-                if (((dirty >> w) & 1) == 0) {
+                if (!gf2::laneTestBit(dirty, w)) {
                     ++stats_.cleanObserveSkips;
                     continue;
                 }
@@ -286,20 +296,20 @@ SlicedRoundEngine::runRound(
             for (std::size_t w = 0; w < lanes_; ++w)
                 if (lane_verbatim[w])
                     writtenVec_[w] = *suggestedViews_[w];
-            // The sliced datapath: 64 words per lane-op.
+            // The sliced datapath: W*64 words per lane-op.
             {
                 PhaseScope t(ph_datapath);
                 runDatapath(writtenVec_);
             }
             PhaseScope t(ph_observe);
-            std::uint64_t dirty = liveMask_;
+            Lane dirty = liveMask_;
             if (slotCleanNoOp_[s] != 0) {
                 dirty = written_.diffLanesPrefix(post_, k_);
                 if (need_raw)
                     dirty |= written_.diffLanesPrefix(received_, k_);
                 dirty &= liveMask_;
             }
-            if (dirty != 0) {
+            if (gf2::laneAny(dirty)) {
                 post_.scatter(postVec_);
                 ++stats_.postScatters;
                 if (need_raw) {
@@ -308,7 +318,7 @@ SlicedRoundEngine::runRound(
                 }
             }
             for (std::size_t w = 0; w < lanes_; ++w) {
-                if (((dirty >> w) & 1) == 0) {
+                if (!gf2::laneTestBit(dirty, w)) {
                     ++stats_.cleanObserveSkips;
                     continue;
                 }
@@ -321,5 +331,8 @@ SlicedRoundEngine::runRound(
     }
     ++round_;
 }
+
+template class SlicedRoundEngineW<1>;
+template class SlicedRoundEngineW<4>;
 
 } // namespace harp::core

@@ -1,6 +1,6 @@
 /**
  * @file
- * Bit-sliced profiling-round engine: 64 independent ECC words per
+ * Bit-sliced profiling-round engine: W*64 independent ECC words per
  * lane-operation.
  *
  * Drop-in sibling of core/round_engine.hh. Each lane simulates one ECC
@@ -8,12 +8,13 @@
  * derived from per-lane seeds with the *same* derivation constants as
  * the scalar RoundEngine, so every per-word outcome (written /
  * post-correction / raw data, and therefore every profiler's
- * identified set) is bit-identical to running 64 scalar engines. What
- * changes is the cost: the encode -> inject -> syndrome-decode
- * datapath runs on transposed gf2::BitSlice64 lanes, retiring 64
+ * identified set) is bit-identical to running W*64 scalar engines, at
+ * any width. What changes is the cost: the encode -> inject ->
+ * syndrome-decode datapath runs on transposed gf2::BitSliceW lanes,
+ * retiring 64 (W=1) or 256 (W=4, one AVX2 register per lane word)
  * profiling rounds per word-op instead of one.
  *
- * The engine is code-agnostic: it drives any ecc::SlicedCode
+ * The engine is code-agnostic: it drives any ecc::SlicedCodeW
  * implementation — sliced SEC Hamming (per-lane column arrangements
  * may differ) or sliced t-error BCH (memoized syndrome decoding) —
  * with convenience constructors for both families.
@@ -21,15 +22,15 @@
  * Observation dispatch is per slot (slot s of every lane is driven
  * together):
  *
- *  - Slots whose 64 profilers share a lane-native observe form
+ *  - Slots whose profilers share a lane-native observe form
  *    (core/sliced_profiler_group.hh) never leave transposed layout —
  *    the slot consumes the suggested-pattern datapath slices directly,
- *    one XOR+OR per bit position for all 64 words, and the post/raw
+ *    one XOR+OR per bit position for all W*64 words, and the post/raw
  *    scatters are elided entirely. Profile extraction transposes once
  *    on demand (reading identified() flushes), not once per round.
  *  - Crafting slots (BEEP, HARP-A+BEEP) keep the scalar path: per-lane
  *    dataword choice, a sliced datapath over the gathered lanes, one
- *    scatter pair, and 64 virtual observe() calls.
+ *    scatter pair, and per-lane virtual observe() calls.
  *  - Scalar slots that programmed the suggested pattern verbatim in
  *    every lane share a single suggested-datapath evaluation per round
  *    (common random numbers fix the trials within a round), with the
@@ -58,23 +59,28 @@
 #include "ecc/sliced_code.hh"
 #include "fault/sliced_injector.hh"
 #include "gf2/bit_slice.hh"
+#include "gf2/lane.hh"
 
 namespace harp::core {
 
 /**
- * Executes profiling rounds for up to 64 simulated ECC words at once.
+ * Executes profiling rounds for up to W*64 simulated ECC words at once.
  */
-class SlicedRoundEngine
+template <std::size_t W>
+class SlicedRoundEngineW
 {
   public:
+    using Lane = gf2::LaneOf<W>;
+
     /**
      * Generic non-owning form over any sliced code block: @p code must
      * outlive the engine and may be *shared* by several engines (e.g.
-     * consecutive 64-word blocks of one BCH workload amortizing one
+     * consecutive blocks of one BCH workload amortizing one
      * syndrome-memo warm-up — but not concurrently; see
-     * ecc/sliced_bch.hh). The engine drives faults.size() lanes, which
-     * may be fewer than code.lanes(): surplus code lanes stay zeroed
-     * by gather() and cost nothing.
+     * ecc/sliced_bch.hh, whose copies share the memo thread-safely).
+     * The engine drives faults.size() lanes, which may be fewer than
+     * code.lanes(): surplus code lanes stay zeroed by gather() and
+     * cost nothing.
      *
      * @param code    The lanes' sliced ECC datapath.
      * @param faults  One fault model per live lane (word length n).
@@ -83,43 +89,43 @@ class SlicedRoundEngine
      * @param seeds   One seed per lane, used exactly as RoundEngine
      *                uses its seed (same child-stream derivation).
      */
-    SlicedRoundEngine(const ecc::SlicedCode &code,
-                      const std::vector<const fault::WordFaultModel *> &faults,
-                      PatternKind pattern,
-                      const std::vector<std::uint64_t> &seeds);
+    SlicedRoundEngineW(
+        const ecc::SlicedCodeW<W> &code,
+        const std::vector<const fault::WordFaultModel *> &faults,
+        PatternKind pattern, const std::vector<std::uint64_t> &seeds);
 
     /** Owning form: like above, but the engine keeps the datapath
      *  alive; requires exactly one fault model per code lane. */
-    SlicedRoundEngine(std::unique_ptr<const ecc::SlicedCode> code,
-                      const std::vector<const fault::WordFaultModel *> &faults,
-                      PatternKind pattern,
-                      const std::vector<std::uint64_t> &seeds);
+    SlicedRoundEngineW(
+        std::unique_ptr<const ecc::SlicedCodeW<W>> code,
+        const std::vector<const fault::WordFaultModel *> &faults,
+        PatternKind pattern, const std::vector<std::uint64_t> &seeds);
 
-    /** Convenience over SEC Hamming lanes (1..64, equal k; the
+    /** Convenience over SEC Hamming lanes (1..W*64, equal k; the
      *  arrangements may differ, so heterogeneous-code workloads like
      *  the Fig. 10 case study slice too). */
-    SlicedRoundEngine(const std::vector<const ecc::HammingCode *> &codes,
-                      const std::vector<const fault::WordFaultModel *> &faults,
-                      PatternKind pattern,
-                      const std::vector<std::uint64_t> &seeds);
+    SlicedRoundEngineW(
+        const std::vector<const ecc::HammingCode *> &codes,
+        const std::vector<const fault::WordFaultModel *> &faults,
+        PatternKind pattern, const std::vector<std::uint64_t> &seeds);
 
-    /** Convenience over t-error BCH lanes (1..64, all the same code
+    /** Convenience over t-error BCH lanes (1..W*64, all the same code
      *  function; decoded through the memoized sliced BCH datapath). */
-    SlicedRoundEngine(const std::vector<const ecc::BchCode *> &codes,
-                      const std::vector<const fault::WordFaultModel *> &faults,
-                      PatternKind pattern,
-                      const std::vector<std::uint64_t> &seeds);
+    SlicedRoundEngineW(
+        const std::vector<const ecc::BchCode *> &codes,
+        const std::vector<const fault::WordFaultModel *> &faults,
+        PatternKind pattern, const std::vector<std::uint64_t> &seeds);
 
     /** Destroying the engine flushes and detaches every lane-native
      *  observer group, so profiles read afterwards are complete. */
-    ~SlicedRoundEngine() = default;
+    ~SlicedRoundEngineW() = default;
 
     /** Number of live lanes (simulated words). */
     std::size_t lanes() const { return lanes_; }
 
     /** The sliced datapath driving these lanes (e.g.\ for memo-table
      *  statistics of a SlicedBchCode). */
-    const ecc::SlicedCode &slicedCode() const { return *code_; }
+    const ecc::SlicedCodeW<W> &slicedCode() const { return *code_; }
 
     /**
      * Run one profiling round for every lane.
@@ -172,13 +178,13 @@ class SlicedRoundEngine
     void flushObservers();
 
   private:
-    const ecc::SlicedCode *code_;
+    const ecc::SlicedCodeW<W> *code_;
     /** Set by the owning constructors; null when the caller shares the
      *  datapath across engines. */
-    std::unique_ptr<const ecc::SlicedCode> owned_;
+    std::unique_ptr<const ecc::SlicedCodeW<W>> owned_;
     std::size_t lanes_;
     std::size_t k_;
-    fault::SlicedCrnInjector injector_;
+    fault::SlicedCrnInjectorW<W> injector_;
     std::vector<PatternGenerator> patterns_;
     std::vector<common::Xoshiro256> crnRngs_;
     std::vector<common::Xoshiro256> profilerRngs_;
@@ -200,16 +206,16 @@ class SlicedRoundEngine
     void runSuggestedDatapath();
 
     // Round-persistent scratch: no allocations on the hot path.
-    gf2::BitSlice64 written_;
-    gf2::BitSlice64 stored_;
-    gf2::BitSlice64 received_;
-    gf2::BitSlice64 post_;
+    gf2::BitSliceW<W> written_;
+    gf2::BitSliceW<W> stored_;
+    gf2::BitSliceW<W> received_;
+    gf2::BitSliceW<W> post_;
     /** Suggested-pattern datapath slices, computed at most once per
      *  round and consumed in transposed form by every lane-native slot
      *  (and scattered lazily for scalar verbatim slots). */
-    gf2::BitSlice64 sWritten_;
-    gf2::BitSlice64 sReceived_;
-    gf2::BitSlice64 sPost_;
+    gf2::BitSliceW<W> sWritten_;
+    gf2::BitSliceW<W> sReceived_;
+    gf2::BitSliceW<W> sPost_;
     /** Per-lane zero-copy views of the round's suggested pattern
      *  (PatternGenerator::patternView): consumed by the gather, the
      *  choose calls and verbatim observations without materializing
@@ -228,7 +234,7 @@ class SlicedRoundEngine
 
     /** Lane-native observer per slot (null = scalar slot), cached for
      *  the profiler sets in groupedFor_. */
-    std::vector<std::unique_ptr<SlicedProfilerGroup>> groups_;
+    std::vector<std::unique_ptr<SlicedProfilerGroupW<W>>> groups_;
     std::vector<std::vector<Profiler *>> groupedFor_;
     /** Per scalar slot: every lane's profiler declared clean observes
      *  no-ops, enabling the clean-lane elision. */
@@ -239,17 +245,25 @@ class SlicedRoundEngine
     /** Instance ids of every scalar (group-less) slot's profilers,
      *  slot-major: the cached per-slot flags above are only valid for
      *  these exact instances, not merely these addresses (group slots
-     *  detect generation changes via SlicedProfilerGroup::abandoned
+     *  detect generation changes via the group's abandoned() flag
      *  instead). */
     std::vector<std::uint64_t> scalarSlotIds_;
     /** Mask of live lanes (dead-lane slice bits are garbage). */
-    std::uint64_t liveMask_ = 0;
+    Lane liveMask_{};
 
     Stats stats_;
     EnginePhaseSeconds *phases_ = nullptr;
 
     std::size_t round_ = 0;
 };
+
+/** The historical 64-lane name. */
+using SlicedRoundEngine = SlicedRoundEngineW<1>;
+/** The wide 256-lane variant. */
+using SlicedRoundEngine256 = SlicedRoundEngineW<4>;
+
+extern template class SlicedRoundEngineW<1>;
+extern template class SlicedRoundEngineW<4>;
 
 } // namespace harp::core
 

@@ -8,31 +8,39 @@
 
 namespace harp::ecc {
 
-SlicedBchCode::SlicedBchCode(const std::vector<const BchCode *> &codes,
-                             bool prewarm)
+template <std::size_t W>
+SlicedBchCodeW<W>::SlicedBchCodeW(const std::vector<const BchCode *> &codes,
+                                  bool prewarm,
+                                  std::shared_ptr<SlicedBchMemo> memo)
     : code_([&codes]() -> const BchCode & {
           if (codes.empty() || codes[0] == nullptr)
               throw std::invalid_argument(
-                  "SlicedBchCode: need 1..64 lanes");
+                  "SlicedBchCode: lane count out of range");
           return *codes[0];
-      }())
+      }()),
+      memo_(memo ? std::move(memo) : std::make_shared<SlicedBchMemo>())
 {
     build(codes, prewarm);
 }
 
-SlicedBchCode::SlicedBchCode(const BchCode &code, std::size_t lanes,
-                             bool prewarm)
-    : code_(code)
+template <std::size_t W>
+SlicedBchCodeW<W>::SlicedBchCodeW(const BchCode &code, std::size_t lanes,
+                                  bool prewarm,
+                                  std::shared_ptr<SlicedBchMemo> memo)
+    : code_(code),
+      memo_(memo ? std::move(memo) : std::make_shared<SlicedBchMemo>())
 {
     build(std::vector<const BchCode *>(lanes, &code), prewarm);
 }
 
+template <std::size_t W>
 void
-SlicedBchCode::build(const std::vector<const BchCode *> &codes,
-                     bool prewarm)
+SlicedBchCodeW<W>::build(const std::vector<const BchCode *> &codes,
+                         bool prewarm)
 {
-    if (codes.empty() || codes.size() > gf2::BitSlice64::laneCount)
-        throw std::invalid_argument("SlicedBchCode: need 1..64 lanes");
+    if (codes.empty() || codes.size() > gf2::BitSliceW<W>::laneCount)
+        throw std::invalid_argument(
+            "SlicedBchCode: lane count out of range");
     lanes_ = codes.size();
     for (const BchCode *code : codes)
         if (code->k() != code_.k() ||
@@ -77,15 +85,16 @@ SlicedBchCode::build(const std::vector<const BchCode *> &codes,
         synOff_[pos + 1] = static_cast<std::uint32_t>(synIdx_.size());
     }
 
-    synScratch_.assign(syndromeBits_, 0);
+    synScratch_.assign(syndromeBits_, Lane{});
     wordScratch_ = gf2::BitVector(code_.n());
 
-    if (prewarm)
+    if (prewarm && !memo_->prewarmed())
         prewarmMemo();
 }
 
+template <std::size_t W>
 void
-SlicedBchCode::prewarmMemo()
+SlicedBchCodeW<W>::prewarmMemo()
 {
     const std::size_t n = code_.n();
     const std::size_t t = code_.t();
@@ -101,7 +110,7 @@ SlicedBchCode::prewarmMemo()
         if (total > prewarmEntryCap)
             return;
     }
-    memo_.reserve(memo_.size() + total);
+    memo_->reserve(total);
 
     // Depth-first enumeration of error-position subsets of size 1..t.
     // Every weight <= t pattern is corrected exactly (minimum distance
@@ -127,66 +136,66 @@ SlicedBchCode::prewarmMemo()
             if (pos < code_.k())
                 action.flips[action.numFlips++] =
                     static_cast<std::uint16_t>(pos);
-            memo_.emplace(key, action);
+            memo_->insertOrGet(key, action);
             self(pos + 1, weight + 1, self);
             action.numFlips = saved;
             toggle(pos);
         }
     };
     recurse(0, 0, recurse);
-    memoPrewarmed_ = true;
+    memo_->markPrewarmed();
 }
 
+template <std::size_t W>
 void
-SlicedBchCode::encode(const gf2::BitSlice64 &data,
-                      gf2::BitSlice64 &codeword) const
+SlicedBchCodeW<W>::encode(const gf2::BitSliceW<W> &data,
+                          gf2::BitSliceW<W> &codeword) const
 {
     const std::size_t k = code_.k();
     const std::size_t p = code_.p();
     assert(data.positions() == k && codeword.positions() == n());
     for (std::size_t j = 0; j < p; ++j)
-        codeword.lane(k + j) = 0;
+        codeword.lane(k + j) = Lane{};
     for (std::size_t i = 0; i < k; ++i) {
-        const std::uint64_t d = data.lane(i);
+        const Lane d = data.lane(i);
         codeword.lane(i) = d;
-        if (d == 0)
+        if (!gf2::laneAny(d))
             continue;
         for (std::uint32_t r = parityOff_[i]; r < parityOff_[i + 1]; ++r)
             codeword.lane(k + parityIdx_[r]) ^= d;
     }
 }
 
+template <std::size_t W>
 void
-SlicedBchCode::syndromes(const gf2::BitSlice64 &received,
-                         std::uint64_t *out) const
+SlicedBchCodeW<W>::syndromes(const gf2::BitSliceW<W> &received,
+                             Lane *out) const
 {
     assert(received.positions() >= n());
     for (std::size_t b = 0; b < syndromeBits_; ++b)
-        out[b] = 0;
+        out[b] = Lane{};
     for (std::size_t pos = 0; pos < n(); ++pos) {
-        const std::uint64_t r = received.lane(pos);
-        if (r == 0)
+        const Lane r = received.lane(pos);
+        if (!gf2::laneAny(r))
             continue;
         for (std::uint32_t s = synOff_[pos]; s < synOff_[pos + 1]; ++s)
             out[synIdx_[s]] ^= r;
     }
 }
 
-const SlicedBchCode::MemoAction &
-SlicedBchCode::lookupAction(const MemoKey &key,
-                            const gf2::BitSlice64 &received,
-                            std::size_t lane) const
+template <std::size_t W>
+const typename SlicedBchCodeW<W>::MemoAction &
+SlicedBchCodeW<W>::lookupAction(const MemoKey &key,
+                                const gf2::BitSliceW<W> &received,
+                                std::size_t lane) const
 {
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) {
-        ++memoHits_;
-        return it->second;
-    }
-    ++memoMisses_;
+    if (const MemoAction *hit = memo_->find(key))
+        return *hit;
     // Miss: reconstruct this lane's received word, run the scalar
     // decoder once, and memoize its action. Exact because BM + Chien
     // are pure syndrome decoding — the flips depend on the syndrome
-    // alone, not on the rest of the received word.
+    // alone, not on the rest of the received word — which also makes
+    // racing workers memoize identical entries.
     for (std::size_t pos = 0; pos < n(); ++pos)
         wordScratch_.set(pos, received.get(pos, lane));
     code_.decodeInto(wordScratch_, decodeScratch_);
@@ -198,12 +207,13 @@ SlicedBchCode::lookupAction(const MemoKey &key,
                 static_cast<std::uint16_t>(pos);
         }
     }
-    return memo_.emplace(key, action).first->second;
+    return memo_->insertOrGet(key, action);
 }
 
+template <std::size_t W>
 void
-SlicedBchCode::decodeData(const gf2::BitSlice64 &received,
-                          gf2::BitSlice64 &data_out) const
+SlicedBchCodeW<W>::decodeData(const gf2::BitSliceW<W> &received,
+                              gf2::BitSliceW<W> &data_out) const
 {
     const std::size_t k = code_.k();
     assert(received.positions() >= n());
@@ -215,42 +225,53 @@ SlicedBchCode::decodeData(const gf2::BitSlice64 &received,
 
     // Lanes beyond lanes_ may hold unspecified bits (ragged tails);
     // never decode them.
-    const std::uint64_t live_mask = common::laneMask(lanes_);
-    std::uint64_t nonzero = 0;
+    const Lane live_mask = gf2::laneMaskOf<Lane>(lanes_);
+    Lane nonzero{};
     for (std::size_t b = 0; b < syndromeBits_; ++b)
         nonzero |= synScratch_[b];
     nonzero &= live_mask;
-    if (nonzero == 0)
+    if (!gf2::laneAny(nonzero))
         return; // every lane clean: zero syndrome decodes to no flips
 
-    // Extract each lane's packed syndrome key: one 64x64 transpose per
-    // 64 packed bits (t <= 4 with m <= 8 needs exactly one).
+    // Resolve erroneous lanes one 64-lane sub-word at a time: extract
+    // each lane's packed syndrome key with one 64x64 transpose per 64
+    // packed bits (t <= 4 with m <= 8 needs exactly one), then walk the
+    // set bits of that sub-word's pending mask.
     const std::size_t blocks = (syndromeBits_ + 63) / 64;
-    for (std::size_t block = 0; block < blocks; ++block) {
-        std::array<std::uint64_t, 64> &tmp = laneKeyScratch_[block];
-        const std::size_t base = block * 64;
-        const std::size_t live =
-            std::min<std::size_t>(64, syndromeBits_ - base);
-        for (std::size_t r = 0; r < live; ++r)
-            tmp[r] = synScratch_[base + r];
-        for (std::size_t r = live; r < 64; ++r)
-            tmp[r] = 0;
-        gf2::transpose64x64(tmp.data());
-    }
+    for (std::size_t sub = 0; sub < W; ++sub) {
+        std::uint64_t pending = gf2::laneWord(nonzero, sub);
+        if (pending == 0)
+            continue;
+        for (std::size_t block = 0; block < blocks; ++block) {
+            std::array<std::uint64_t, 64> &tmp = laneKeyScratch_[block];
+            const std::size_t base = block * 64;
+            const std::size_t live =
+                std::min<std::size_t>(64, syndromeBits_ - base);
+            for (std::size_t r = 0; r < live; ++r)
+                tmp[r] = gf2::laneWord(synScratch_[base + r], sub);
+            for (std::size_t r = live; r < 64; ++r)
+                tmp[r] = 0;
+            gf2::transpose64x64(tmp.data());
+        }
 
-    std::uint64_t pending = nonzero;
-    while (pending != 0) {
-        const auto lane = static_cast<std::size_t>(
-            std::countr_zero(pending));
-        pending &= pending - 1;
-        MemoKey key;
-        for (std::size_t block = 0; block < blocks; ++block)
-            key.words[block] = laneKeyScratch_[block][lane];
-        const MemoAction &action = lookupAction(key, received, lane);
-        const std::uint64_t bit = std::uint64_t{1} << lane;
-        for (std::uint8_t f = 0; f < action.numFlips; ++f)
-            data_out.lane(action.flips[f]) ^= bit;
+        const std::size_t laneBase = sub * 64;
+        while (pending != 0) {
+            const auto sublane = static_cast<std::size_t>(
+                std::countr_zero(pending));
+            pending &= pending - 1;
+            MemoKey key;
+            for (std::size_t block = 0; block < blocks; ++block)
+                key.words[block] = laneKeyScratch_[block][sublane];
+            const MemoAction &action =
+                lookupAction(key, received, laneBase + sublane);
+            const std::uint64_t bit = std::uint64_t{1} << sublane;
+            for (std::uint8_t f = 0; f < action.numFlips; ++f)
+                gf2::laneWordRef(data_out.lane(action.flips[f]), sub) ^= bit;
+        }
     }
 }
+
+template class SlicedBchCodeW<1>;
+template class SlicedBchCodeW<4>;
 
 } // namespace harp::ecc

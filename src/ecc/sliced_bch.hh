@@ -1,17 +1,17 @@
 /**
  * @file
- * Bit-sliced evaluation of up to 64 t-error-correcting BCH words at
+ * Bit-sliced evaluation of up to W*64 t-error-correcting BCH words at
  * once.
  *
  * BCH encoding and power-sum syndrome evaluation are GF(2)-linear, so
  * both become masked XOR-reductions over precomputed per-position
- * matrices in the transposed gf2::BitSlice64 layout, exactly like the
+ * matrices in the transposed gf2::BitSliceW layout, exactly like the
  * sliced Hamming datapath. What is *not* linear is the correction step
  * (Berlekamp-Massey + Chien search), so the sliced decoder resolves it
  * through a syndrome -> decode-action memo table instead:
  *
  *  - per lane, the packed 2t*m-bit syndrome is extracted with a 64x64
- *    bit transpose and looked up in the table;
+ *    bit transpose (one per 64-lane sub-word) and looked up;
  *  - a hit applies the memoized data-bit flips with one XOR per flip;
  *  - a miss falls back to the scalar allocation-free
  *    BchCode::decodeInto and populates the table.
@@ -27,12 +27,15 @@
  * determined by (k, t) (there is no per-lane arrangement freedom as in
  * the random Hamming codes), which is also what makes the shared memo
  * table valid across lanes. Results are bit-identical to the scalar
- * BchCode::decode path per lane.
+ * BchCode::decode path per lane at every width.
  *
- * Thread safety: the memo table and scratch are per-instance mutable
- * state; decodeData() on a shared instance needs external
- * synchronization. Engines own their instance, so this never arises on
- * the standard paths.
+ * Thread safety: the memo table (ecc/sliced_bch_memo.hh) is internally
+ * synchronized and *shared by copies* — copying a SlicedBchCodeW gives
+ * the copy private decode scratch but the same memo, so the per-worker
+ * datapath pattern for sharded jobs is simply one copy per worker. The
+ * decode scratch itself is per-instance mutable state, so decodeData()
+ * on one shared *instance* still needs external synchronization; never
+ * share an instance across pool workers, share copies.
  */
 
 #ifndef HARP_ECC_SLICED_BCH_HH
@@ -40,25 +43,34 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "ecc/bch_general.hh"
+#include "ecc/sliced_bch_memo.hh"
 #include "ecc/sliced_code.hh"
 #include "gf2/bit_slice.hh"
 #include "gf2/bit_vector.hh"
+#include "gf2/lane.hh"
 
 namespace harp::ecc {
 
 /**
- * Up to 64 words of one t-error-correcting BCH code evaluated
+ * Up to W*64 words of one t-error-correcting BCH code evaluated
  * lane-parallel, with memoized syndrome decoding.
+ *
+ * Copyable; copies share the syndrome memo (thread-safe) while owning
+ * private decode scratch, which makes a copy the unit of per-worker
+ * parallelism.
  */
-class SlicedBchCode final : public SlicedCode
+template <std::size_t W>
+class SlicedBchCodeW final : public SlicedCodeW<W>
 {
   public:
+    using Lane = gf2::LaneOf<W>;
+
     /**
-     * Build from one code per lane (1..64 entries). All entries must
+     * Build from one code per lane (1..W*64 entries). All entries must
      * describe the same code: equal k and equal generator polynomial.
      * The codes are only read during construction; the fallback
      * decoder is a private copy, so no references are retained.
@@ -67,13 +79,19 @@ class SlicedBchCode final : public SlicedCode
      *        error pattern of weight <= t at construction (see
      *        memoPrewarmed()). On by default; automatically skipped
      *        when the enumeration would exceed prewarmEntryCap.
+     * @param memo  Share an existing memo (e.g. across independently
+     *        constructed per-shard datapaths of the same code); null
+     *        allocates a fresh one. A shared memo that is already
+     *        prewarmed skips re-enumeration.
      */
-    explicit SlicedBchCode(const std::vector<const BchCode *> &codes,
-                           bool prewarm = true);
+    explicit SlicedBchCodeW(const std::vector<const BchCode *> &codes,
+                            bool prewarm = true,
+                            std::shared_ptr<SlicedBchMemo> memo = nullptr);
 
     /** Homogeneous convenience: the same code in @p lanes lanes. */
-    SlicedBchCode(const BchCode &code, std::size_t lanes,
-                  bool prewarm = true);
+    SlicedBchCodeW(const BchCode &code, std::size_t lanes,
+                   bool prewarm = true,
+                   std::shared_ptr<SlicedBchMemo> memo = nullptr);
 
     /**
      * Largest sum_{w=1..t} C(n, w) the construction pre-warm will
@@ -90,8 +108,8 @@ class SlicedBchCode final : public SlicedCode
     /** Correction capability t shared by all lanes. */
     std::size_t t() const { return code_.t(); }
 
-    void encode(const gf2::BitSlice64 &data,
-                gf2::BitSlice64 &codeword) const override;
+    void encode(const gf2::BitSliceW<W> &data,
+                gf2::BitSliceW<W> &codeword) const override;
 
     /**
      * Per-lane packed power-sum syndromes of a received codeword
@@ -99,21 +117,23 @@ class SlicedBchCode final : public SlicedCode
      * b = j*m + u is bit u of S_{j+1} over GF(2^m) (b <
      * syndromeBits()).
      */
-    void syndromes(const gf2::BitSlice64 &received,
-                   std::uint64_t *out) const;
+    void syndromes(const gf2::BitSliceW<W> &received, Lane *out) const;
 
     /** Packed syndrome width 2t*m in bits. */
     std::size_t syndromeBits() const { return syndromeBits_; }
 
-    void decodeData(const gf2::BitSlice64 &received,
-                    gf2::BitSlice64 &data_out) const override;
+    void decodeData(const gf2::BitSliceW<W> &received,
+                    gf2::BitSliceW<W> &data_out) const override;
 
-    /** Memo lookups that hit since construction. */
-    std::uint64_t memoHits() const { return memoHits_; }
+    /** The shared syndrome memo (never null). */
+    const std::shared_ptr<SlicedBchMemo> &memo() const { return memo_; }
+
+    /** Memo lookups that hit since memo construction. */
+    std::uint64_t memoHits() const { return memo_->hits(); }
     /** Memo lookups that missed (scalar-decode fallbacks). */
-    std::uint64_t memoMisses() const { return memoMisses_; }
+    std::uint64_t memoMisses() const { return memo_->misses(); }
     /** Distinct nonzero syndromes memoized so far. */
-    std::size_t memoEntries() const { return memo_.size(); }
+    std::size_t memoEntries() const { return memo_->entries(); }
     /**
      * True iff construction pre-warmed the memo with every weight <= t
      * error syndrome. Pre-warming needs no decoder runs — a weight <=
@@ -123,43 +143,16 @@ class SlicedBchCode final : public SlicedCode
      * share of the miss rate: the only remaining fallbacks are
      * uncorrectable (weight > t) patterns.
      */
-    bool memoPrewarmed() const { return memoPrewarmed_; }
+    bool memoPrewarmed() const { return memo_->prewarmed(); }
 
   private:
-    /** Packed syndrome key (up to 256 bits; 2t*m <= 224 for t <= 8,
-     *  m <= 14). Unused words are zero. */
-    struct MemoKey
-    {
-        std::array<std::uint64_t, 4> words{};
-        bool operator==(const MemoKey &o) const { return words == o.words; }
-    };
-    struct MemoKeyHash
-    {
-        std::size_t operator()(const MemoKey &key) const
-        {
-            std::uint64_t h = 1469598103934665603ull;
-            for (const std::uint64_t w : key.words) {
-                h ^= w;
-                h *= 1099511628211ull;
-            }
-            return static_cast<std::size_t>(h);
-        }
-    };
-    /** Memoized outcome of one nonzero syndrome: the data-bit flips to
-     *  apply. Parity-only corrections and detected-uncorrectable
-     *  syndromes both memoize an empty flip list — either way the
-     *  dataword is left untouched, exactly as the scalar decoder
-     *  reports it. */
-    struct MemoAction
-    {
-        std::uint8_t numFlips = 0;
-        std::array<std::uint16_t, 8> flips{};
-    };
+    using MemoKey = SlicedBchMemo::Key;
+    using MemoAction = SlicedBchMemo::Action;
 
     void build(const std::vector<const BchCode *> &codes, bool prewarm);
     void prewarmMemo();
     const MemoAction &lookupAction(const MemoKey &key,
-                                   const gf2::BitSlice64 &received,
+                                   const gf2::BitSliceW<W> &received,
                                    std::size_t lane) const;
 
     BchCode code_;
@@ -173,16 +166,22 @@ class SlicedBchCode final : public SlicedCode
     std::vector<std::uint32_t> synOff_;
     std::vector<std::uint32_t> synIdx_;
 
-    // Decode scratch + memo (see the thread-safety note above).
-    mutable std::vector<std::uint64_t> synScratch_;
+    // Private decode scratch (per instance; see thread-safety note) and
+    // the shared, internally synchronized memo.
+    mutable std::vector<Lane> synScratch_;
     mutable std::array<std::array<std::uint64_t, 64>, 4> laneKeyScratch_;
     mutable gf2::BitVector wordScratch_;
     mutable BchGeneralDecodeResult decodeScratch_;
-    mutable std::unordered_map<MemoKey, MemoAction, MemoKeyHash> memo_;
-    mutable std::uint64_t memoHits_ = 0;
-    mutable std::uint64_t memoMisses_ = 0;
-    bool memoPrewarmed_ = false;
+    std::shared_ptr<SlicedBchMemo> memo_;
 };
+
+/** The historical 64-lane name. */
+using SlicedBchCode = SlicedBchCodeW<1>;
+/** The wide 256-lane variant. */
+using SlicedBchCode256 = SlicedBchCodeW<4>;
+
+extern template class SlicedBchCodeW<1>;
+extern template class SlicedBchCodeW<4>;
 
 } // namespace harp::ecc
 

@@ -5,23 +5,27 @@
 
 namespace harp::ecc {
 
-SlicedHammingCode::SlicedHammingCode(
+template <std::size_t W>
+SlicedHammingCodeW<W>::SlicedHammingCodeW(
     const std::vector<const HammingCode *> &codes)
 {
     build(codes);
 }
 
-SlicedHammingCode::SlicedHammingCode(const HammingCode &code,
-                                     std::size_t lanes)
+template <std::size_t W>
+SlicedHammingCodeW<W>::SlicedHammingCodeW(const HammingCode &code,
+                                          std::size_t lanes)
 {
     build(std::vector<const HammingCode *>(lanes, &code));
 }
 
+template <std::size_t W>
 void
-SlicedHammingCode::build(const std::vector<const HammingCode *> &codes)
+SlicedHammingCodeW<W>::build(const std::vector<const HammingCode *> &codes)
 {
-    if (codes.empty() || codes.size() > gf2::BitSlice64::laneCount)
-        throw std::invalid_argument("SlicedHammingCode: need 1..64 lanes");
+    if (codes.empty() || codes.size() > gf2::BitSliceW<W>::laneCount)
+        throw std::invalid_argument(
+            "SlicedHammingCode: lane count out of range");
     k_ = codes[0]->k();
     p_ = codes[0]->p();
     lanes_ = codes.size();
@@ -31,32 +35,33 @@ SlicedHammingCode::build(const std::vector<const HammingCode *> &codes)
             throw std::invalid_argument(
                 "SlicedHammingCode: lanes must share k");
 
-    columnBits_.assign(k_ * p_, 0);
+    columnBits_.assign(k_ * p_, Lane{});
     for (std::size_t w = 0; w < lanes_; ++w) {
         for (std::size_t i = 0; i < k_; ++i) {
             const std::uint32_t col = codes[w]->dataColumn(i);
             for (std::size_t j = 0; j < p_; ++j)
                 if ((col >> j) & 1)
-                    columnBits_[i * p_ + j] |= std::uint64_t{1} << w;
+                    gf2::laneSetBit(columnBits_[i * p_ + j], w);
         }
     }
 }
 
+template <std::size_t W>
 void
-SlicedHammingCode::encode(const gf2::BitSlice64 &data,
-                          gf2::BitSlice64 &codeword) const
+SlicedHammingCodeW<W>::encode(const gf2::BitSliceW<W> &data,
+                              gf2::BitSliceW<W> &codeword) const
 {
     assert(data.positions() == k_ && codeword.positions() == n());
     // Parity lanes accumulate in a local array: read-modify-writes
     // through the codeword's heap storage would force the compiler to
     // assume aliasing with the data lanes and spill the accumulators
     // every iteration.
-    std::uint64_t parity[32] = {};
+    Lane parity[32] = {};
     assert(p_ <= 32);
     for (std::size_t i = 0; i < k_; ++i) {
-        const std::uint64_t d = data.lane(i);
+        const Lane d = data.lane(i);
         codeword.lane(i) = d;
-        const std::uint64_t *col = &columnBits_[i * p_];
+        const Lane *col = &columnBits_[i * p_];
         for (std::size_t j = 0; j < p_; ++j)
             parity[j] ^= d & col[j];
     }
@@ -64,33 +69,35 @@ SlicedHammingCode::encode(const gf2::BitSlice64 &data,
         codeword.lane(k_ + j) = parity[j];
 }
 
+template <std::size_t W>
 void
-SlicedHammingCode::syndromes(const gf2::BitSlice64 &received,
-                             std::uint64_t *out) const
+SlicedHammingCodeW<W>::syndromes(const gf2::BitSliceW<W> &received,
+                                 Lane *out) const
 {
     assert(received.positions() >= n());
     for (std::size_t j = 0; j < p_; ++j)
         out[j] = received.lane(k_ + j);
     for (std::size_t i = 0; i < k_; ++i) {
-        const std::uint64_t r = received.lane(i);
-        const std::uint64_t *col = &columnBits_[i * p_];
+        const Lane r = received.lane(i);
+        const Lane *col = &columnBits_[i * p_];
         for (std::size_t j = 0; j < p_; ++j)
             out[j] ^= r & col[j];
     }
 }
 
-std::uint64_t
-SlicedHammingCode::correctionMasks(const std::uint64_t *s,
-                                   gf2::BitSlice64 &match_out) const
+template <std::size_t W>
+typename SlicedHammingCodeW<W>::Lane
+SlicedHammingCodeW<W>::correctionMasks(const Lane *s,
+                                       gf2::BitSliceW<W> &match_out) const
 {
     assert(match_out.positions() == k_);
-    std::uint64_t matched_any = 0;
+    Lane matched_any{};
     for (std::size_t i = 0; i < k_; ++i) {
-        const std::uint64_t *col = &columnBits_[i * p_];
+        const Lane *col = &columnBits_[i * p_];
         // Lanes whose syndrome equals this lane's column i. Data
         // columns have weight >= 2, so a zero syndrome can never match
         // and needs no separate exclusion.
-        std::uint64_t match = ~std::uint64_t{0};
+        Lane match = gf2::laneOnes<Lane>();
         for (std::size_t j = 0; j < p_; ++j)
             match &= ~(s[j] ^ col[j]);
         match_out.lane(i) = match;
@@ -98,7 +105,7 @@ SlicedHammingCode::correctionMasks(const std::uint64_t *s,
     }
     // Parity columns are the unit vectors e_j, identical in every lane.
     for (std::size_t j = 0; j < p_; ++j) {
-        std::uint64_t match = s[j];
+        Lane match = s[j];
         for (std::size_t j2 = 0; j2 < p_; ++j2)
             if (j2 != j)
                 match &= ~s[j2];
@@ -107,77 +114,82 @@ SlicedHammingCode::correctionMasks(const std::uint64_t *s,
     return matched_any;
 }
 
+template <std::size_t W>
 void
-SlicedHammingCode::decodeData(const gf2::BitSlice64 &received,
-                              gf2::BitSlice64 &data_out) const
+SlicedHammingCodeW<W>::decodeData(const gf2::BitSliceW<W> &received,
+                                  gf2::BitSliceW<W> &data_out) const
 {
     assert(received.positions() >= n());
     assert(data_out.positions() == k_);
-    std::uint64_t s[32];
+    Lane s[32];
     syndromes(received, s);
     for (std::size_t i = 0; i < k_; ++i) {
-        const std::uint64_t *col = &columnBits_[i * p_];
-        std::uint64_t match = ~std::uint64_t{0};
+        const Lane *col = &columnBits_[i * p_];
+        Lane match = gf2::laneOnes<Lane>();
         for (std::size_t j = 0; j < p_; ++j)
             match &= ~(s[j] ^ col[j]);
         data_out.lane(i) = received.lane(i) ^ match;
     }
 }
 
-SlicedExtendedHammingCode::SlicedExtendedHammingCode(
+template <std::size_t W>
+SlicedExtendedHammingCodeW<W>::SlicedExtendedHammingCodeW(
     const std::vector<const ExtendedHammingCode *> &codes)
     : inner_([&codes] {
           std::vector<const HammingCode *> inner;
           inner.reserve(codes.size());
           for (const ExtendedHammingCode *code : codes)
               inner.push_back(&code->inner());
-          return SlicedHammingCode(inner);
+          return SlicedHammingCodeW<W>(inner);
       }())
 {
 }
 
+template <std::size_t W>
 void
-SlicedExtendedHammingCode::encode(const gf2::BitSlice64 &data,
-                                  gf2::BitSlice64 &codeword) const
+SlicedExtendedHammingCodeW<W>::encode(const gf2::BitSliceW<W> &data,
+                                      gf2::BitSliceW<W> &codeword) const
 {
     assert(codeword.positions() == n());
     inner_.encode(data, codeword);
-    std::uint64_t overall = 0;
+    Lane overall{};
     for (std::size_t pos = 0; pos < inner_.n(); ++pos)
         overall ^= codeword.lane(pos);
     codeword.lane(n() - 1) = overall;
 }
 
+template <std::size_t W>
 void
-SlicedExtendedHammingCode::decodeData(const gf2::BitSlice64 &received,
-                                      gf2::BitSlice64 &data_out) const
+SlicedExtendedHammingCodeW<W>::decodeData(const gf2::BitSliceW<W> &received,
+                                          gf2::BitSliceW<W> &data_out) const
 {
-    std::uint64_t corrected = 0, detected = 0;
+    Lane corrected{}, detected{};
     decode(received, data_out, corrected, detected);
 }
 
+template <std::size_t W>
 void
-SlicedExtendedHammingCode::decode(const gf2::BitSlice64 &received,
-                                  gf2::BitSlice64 &data_out,
-                                  std::uint64_t &corrected_out,
-                                  std::uint64_t &detected_out) const
+SlicedExtendedHammingCodeW<W>::decode(const gf2::BitSliceW<W> &received,
+                                      gf2::BitSliceW<W> &data_out,
+                                      Lane &corrected_out,
+                                      Lane &detected_out) const
 {
     assert(received.positions() == n());
     assert(data_out.positions() == k());
 
-    std::uint64_t s[32];
+    Lane s[32];
     inner_.syndromes(received, s);
-    std::uint64_t s_nonzero = 0;
+    Lane s_nonzero{};
     for (std::size_t j = 0; j < inner_.p(); ++j)
         s_nonzero |= s[j];
 
     // Parity of the whole received codeword: 1 = odd error count.
-    std::uint64_t overall = 0;
+    Lane overall{};
     for (std::size_t pos = 0; pos < n(); ++pos)
         overall ^= received.lane(pos);
 
-    gf2::BitSlice64 match(k());
-    const std::uint64_t matched_any = inner_.correctionMasks(s, match);
+    gf2::BitSliceW<W> match(k());
+    const Lane matched_any = inner_.correctionMasks(s, match);
 
     // Odd parity: a single error; correctable iff the syndrome is zero
     // (the overall bit itself) or matches some column. Even parity with
@@ -188,5 +200,10 @@ SlicedExtendedHammingCode::decode(const gf2::BitSlice64 &received,
     for (std::size_t i = 0; i < k(); ++i)
         data_out.lane(i) = received.lane(i) ^ (overall & match.lane(i));
 }
+
+template class SlicedHammingCodeW<1>;
+template class SlicedHammingCodeW<4>;
+template class SlicedExtendedHammingCodeW<1>;
+template class SlicedExtendedHammingCodeW<4>;
 
 } // namespace harp::ecc

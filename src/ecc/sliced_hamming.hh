@@ -1,12 +1,12 @@
 /**
  * @file
- * Bit-sliced evaluation of up to 64 systematic SEC Hamming codes (and
+ * Bit-sliced evaluation of up to W*64 systematic SEC Hamming codes (and
  * their SECDED extensions) at once.
  *
  * Parity-check evaluation over GF(2) is pure linear algebra, so with
- * codewords held in transposed gf2::BitSlice64 layout (one uint64 lane
- * per codeword position, one lane *bit* per independent ECC word) the
- * whole encode/decode hot path becomes word-parallel:
+ * codewords held in transposed gf2::BitSliceW layout (one lane word per
+ * codeword position, one lane *bit* per independent ECC word) the whole
+ * encode/decode hot path becomes word-parallel:
  *
  *  - encoding: each parity lane is an XOR-reduction of data lanes,
  *    masked by which lanes' codes include that data column;
@@ -16,9 +16,11 @@
  *
  * Lanes may carry *different* codes of the same dataword length k,
  * which is what lets the sliced profiling engine batch both
- * coverage-style workloads (64 words of one code) and case-study-style
- * workloads (64 words of 64 distinct random codes). Results are
- * bit-identical to the scalar HammingCode/ExtendedHammingCode paths.
+ * coverage-style workloads (a block of words of one code) and
+ * case-study-style workloads (distinct random codes per lane). Results
+ * are bit-identical to the scalar HammingCode/ExtendedHammingCode paths
+ * at every width; W=4 retires four 64-lane sub-words per lane-op via
+ * the auto-vectorized gf2::LaneVec arithmetic.
  */
 
 #ifndef HARP_ECC_SLICED_HAMMING_HH
@@ -31,26 +33,31 @@
 #include "ecc/hamming_code.hh"
 #include "ecc/sliced_code.hh"
 #include "gf2/bit_slice.hh"
+#include "gf2/lane.hh"
 
 namespace harp::ecc {
 
 /**
- * Up to 64 SEC Hamming codes evaluated lane-parallel.
+ * Up to W*64 SEC Hamming codes evaluated lane-parallel.
  *
  * All lanes must share the dataword length k (and therefore the parity
  * count p); the parity-column *arrangements* may differ per lane.
  */
-class SlicedHammingCode final : public SlicedCode
+template <std::size_t W>
+class SlicedHammingCodeW final : public SlicedCodeW<W>
 {
   public:
+    using Lane = gf2::LaneOf<W>;
+
     /**
-     * Build from one code per lane (1..64 entries, equal k). The codes
-     * are only read during construction; no references are retained.
+     * Build from one code per lane (1..W*64 entries, equal k). The
+     * codes are only read during construction; no references are
+     * retained.
      */
-    explicit SlicedHammingCode(const std::vector<const HammingCode *> &codes);
+    explicit SlicedHammingCodeW(const std::vector<const HammingCode *> &codes);
 
     /** Homogeneous convenience: the same code in @p lanes lanes. */
-    SlicedHammingCode(const HammingCode &code, std::size_t lanes);
+    SlicedHammingCodeW(const HammingCode &code, std::size_t lanes);
 
     std::size_t k() const override { return k_; }
     std::size_t p() const { return p_; }
@@ -64,15 +71,14 @@ class SlicedHammingCode final : public SlicedCode
      * positions. Codeword positions [0,k) copy the data lanes,
      * positions [k,n) receive each lane's parity bits.
      */
-    void encode(const gf2::BitSlice64 &data,
-                gf2::BitSlice64 &codeword) const override;
+    void encode(const gf2::BitSliceW<W> &data,
+                gf2::BitSliceW<W> &codeword) const override;
 
     /**
      * Per-lane syndromes of a received codeword slice: @p out[j] gets
      * the lane mask of syndrome bit j (j < p()).
      */
-    void syndromes(const gf2::BitSlice64 &received,
-                   std::uint64_t *out) const;
+    void syndromes(const gf2::BitSliceW<W> &received, Lane *out) const;
 
     /**
      * Per-data-position correction masks for precomputed syndrome
@@ -84,8 +90,7 @@ class SlicedHammingCode final : public SlicedCode
      *         column (data or parity) — the correctable-single-error
      *         lanes among those with a nonzero syndrome.
      */
-    std::uint64_t correctionMasks(const std::uint64_t *s,
-                                  gf2::BitSlice64 &match_out) const;
+    Lane correctionMasks(const Lane *s, gf2::BitSliceW<W> &match_out) const;
 
     /**
      * Syndrome-decode all lanes to their post-correction *datawords*
@@ -94,8 +99,8 @@ class SlicedHammingCode final : public SlicedCode
      * data columns gets that bit flipped; zero, parity-column and
      * unmatched (shortened-code) syndromes leave the data untouched.
      */
-    void decodeData(const gf2::BitSlice64 &received,
-                    gf2::BitSlice64 &data_out) const override;
+    void decodeData(const gf2::BitSliceW<W> &received,
+                    gf2::BitSliceW<W> &data_out) const override;
 
   private:
     void build(const std::vector<const HammingCode *> &codes);
@@ -104,18 +109,21 @@ class SlicedHammingCode final : public SlicedCode
     std::size_t p_ = 0;
     std::size_t lanes_ = 0;
     /** columnBits_[i * p + j]: lanes whose data column i has bit j set. */
-    std::vector<std::uint64_t> columnBits_;
+    std::vector<Lane> columnBits_;
 };
 
 /**
- * Up to 64 SECDED (extended Hamming) codes evaluated lane-parallel,
+ * Up to W*64 SECDED (extended Hamming) codes evaluated lane-parallel,
  * mirroring ExtendedHammingCode::decode semantics per lane.
  */
-class SlicedExtendedHammingCode final : public SlicedCode
+template <std::size_t W>
+class SlicedExtendedHammingCodeW final : public SlicedCodeW<W>
 {
   public:
-    /** Build from one code per lane (1..64 entries, equal k). */
-    explicit SlicedExtendedHammingCode(
+    using Lane = gf2::LaneOf<W>;
+
+    /** Build from one code per lane (1..W*64 entries, equal k). */
+    explicit SlicedExtendedHammingCodeW(
         const std::vector<const ExtendedHammingCode *> &codes);
 
     std::size_t k() const override { return inner_.k(); }
@@ -125,14 +133,14 @@ class SlicedExtendedHammingCode final : public SlicedCode
 
     /** Encode all lanes (@p data k positions, @p codeword n positions,
      *  the last being the overall parity bit). */
-    void encode(const gf2::BitSlice64 &data,
-                gf2::BitSlice64 &codeword) const override;
+    void encode(const gf2::BitSliceW<W> &data,
+                gf2::BitSliceW<W> &codeword) const override;
 
     /** SECDED decode to post-correction datawords alone (the
      *  SlicedCode view; detected-uncorrectable lanes keep the
      *  uncorrected data, as in the scalar decoder). */
-    void decodeData(const gf2::BitSlice64 &received,
-                    gf2::BitSlice64 &data_out) const override;
+    void decodeData(const gf2::BitSliceW<W> &received,
+                    gf2::BitSliceW<W> &data_out) const override;
 
     /**
      * SECDED decode of all lanes.
@@ -146,13 +154,25 @@ class SlicedExtendedHammingCode final : public SlicedCode
      * @param detected_out   Lane mask: uncorrectable (>= 2 errors)
      *                       detected.
      */
-    void decode(const gf2::BitSlice64 &received, gf2::BitSlice64 &data_out,
-                std::uint64_t &corrected_out,
-                std::uint64_t &detected_out) const;
+    void decode(const gf2::BitSliceW<W> &received,
+                gf2::BitSliceW<W> &data_out, Lane &corrected_out,
+                Lane &detected_out) const;
 
   private:
-    SlicedHammingCode inner_;
+    SlicedHammingCodeW<W> inner_;
 };
+
+/** The historical 64-lane names. */
+using SlicedHammingCode = SlicedHammingCodeW<1>;
+using SlicedExtendedHammingCode = SlicedExtendedHammingCodeW<1>;
+/** The wide 256-lane variants. */
+using SlicedHammingCode256 = SlicedHammingCodeW<4>;
+using SlicedExtendedHammingCode256 = SlicedExtendedHammingCodeW<4>;
+
+extern template class SlicedHammingCodeW<1>;
+extern template class SlicedHammingCodeW<4>;
+extern template class SlicedExtendedHammingCodeW<1>;
+extern template class SlicedExtendedHammingCodeW<4>;
 
 } // namespace harp::ecc
 

@@ -27,63 +27,69 @@ transpose64x64(std::uint64_t m[64])
     }
 }
 
-BitSlice64::BitSlice64(std::size_t positions)
-    : lanes_(positions, 0)
+template <std::size_t W>
+BitSliceW<W>::BitSliceW(std::size_t positions)
+    : lanes_(positions, Lane{})
 {
 }
 
+template <std::size_t W>
 void
-BitSlice64::clear()
+BitSliceW<W>::clear()
 {
-    lanes_.assign(lanes_.size(), 0);
+    lanes_.assign(lanes_.size(), Lane{});
 }
 
+template <std::size_t W>
 bool
-BitSlice64::get(std::size_t pos, std::size_t word) const
+BitSliceW<W>::get(std::size_t pos, std::size_t word) const
 {
     assert(pos < lanes_.size() && word < laneCount);
-    return (lanes_[pos] >> word) & 1;
+    return laneTestBit(lanes_[pos], word);
 }
 
+template <std::size_t W>
 void
-BitSlice64::set(std::size_t pos, std::size_t word, bool value)
+BitSliceW<W>::set(std::size_t pos, std::size_t word, bool value)
 {
     assert(pos < lanes_.size() && word < laneCount);
-    const std::uint64_t mask = std::uint64_t{1} << word;
     if (value)
-        lanes_[pos] |= mask;
+        laneSetBit(lanes_[pos], word);
     else
-        lanes_[pos] &= ~mask;
+        laneClearBit(lanes_[pos], word);
 }
 
-std::uint64_t
-BitSlice64::orXorPrefix(const BitSlice64 &a, const BitSlice64 &b,
-                        std::size_t count)
+template <std::size_t W>
+typename BitSliceW<W>::Lane
+BitSliceW<W>::orXorPrefix(const BitSliceW &a, const BitSliceW &b,
+                          std::size_t count)
 {
     assert(count <= lanes_.size() && count <= a.lanes_.size() &&
            count <= b.lanes_.size());
-    std::uint64_t any = 0;
+    Lane any{};
     for (std::size_t pos = 0; pos < count; ++pos) {
-        const std::uint64_t mismatch = a.lanes_[pos] ^ b.lanes_[pos];
+        const Lane mismatch = a.lanes_[pos] ^ b.lanes_[pos];
         lanes_[pos] |= mismatch;
         any |= mismatch;
     }
     return any;
 }
 
-std::uint64_t
-BitSlice64::diffLanesPrefix(const BitSlice64 &other,
-                            std::size_t count) const
+template <std::size_t W>
+typename BitSliceW<W>::Lane
+BitSliceW<W>::diffLanesPrefix(const BitSliceW &other,
+                              std::size_t count) const
 {
     assert(count <= lanes_.size() && count <= other.lanes_.size());
-    std::uint64_t diff = 0;
+    Lane diff{};
     for (std::size_t pos = 0; pos < count; ++pos)
         diff |= lanes_[pos] ^ other.lanes_[pos];
     return diff;
 }
 
+template <std::size_t W>
 void
-BitSlice64::gather(const std::vector<BitVector> &words)
+BitSliceW<W>::gather(const std::vector<BitVector> &words)
 {
     assert(words.size() <= laneCount);
     const BitVector *ptrs[laneCount];
@@ -92,57 +98,72 @@ BitSlice64::gather(const std::vector<BitVector> &words)
     gather(ptrs, words.size());
 }
 
+template <std::size_t W>
 void
-BitSlice64::gather(const BitVector *const *words, std::size_t count)
+BitSliceW<W>::gather(const BitVector *const *words, std::size_t count)
 {
     assert(count <= laneCount);
     const std::size_t positions = lanes_.size();
     const std::size_t blocks = common::wordsFor(positions);
     std::uint64_t block[64];
     for (std::size_t b = 0; b < blocks; ++b) {
-        for (std::size_t w = 0; w < laneCount; ++w) {
-            if (w < count) {
-                assert(words[w] != nullptr &&
-                       words[w]->size() == positions);
-                block[w] = words[w]->words()[b];
-            } else {
-                block[w] = 0;
-            }
-        }
-        transpose64x64(block);
         const std::size_t base = b * common::wordBits;
         const std::size_t valid =
             std::min(common::wordBits, positions - base);
-        for (std::size_t i = 0; i < valid; ++i)
-            lanes_[base + i] = block[i];
+        // One 64x64 transpose per 64-lane sub-word: sub-word s of the
+        // lane words carries bit b*64..b*64+63 of words s*64..s*64+63.
+        for (std::size_t s = 0; s < laneWords; ++s) {
+            const std::size_t wordBase = s * 64;
+            for (std::size_t i = 0; i < 64; ++i) {
+                const std::size_t w = wordBase + i;
+                if (w < count) {
+                    assert(words[w] != nullptr &&
+                           words[w]->size() == positions);
+                    block[i] = words[w]->words()[b];
+                } else {
+                    block[i] = 0;
+                }
+            }
+            transpose64x64(block);
+            for (std::size_t i = 0; i < valid; ++i)
+                laneWordRef(lanes_[base + i], s) = block[i];
+        }
     }
 }
 
+template <std::size_t W>
 void
-BitSlice64::scatterPrefix(std::size_t count,
-                          std::vector<BitVector> &words) const
+BitSliceW<W>::scatterPrefix(std::size_t count,
+                            std::vector<BitVector> &words) const
 {
     assert(count <= lanes_.size());
     assert(words.size() <= laneCount);
     const std::size_t blocks = common::wordsFor(count);
+    const std::size_t liveSubWords = common::wordsFor(words.size());
     std::uint64_t block[64];
     for (std::size_t b = 0; b < blocks; ++b) {
         const std::size_t base = b * common::wordBits;
         const std::size_t valid = std::min(common::wordBits, count - base);
-        for (std::size_t i = 0; i < valid; ++i)
-            block[i] = lanes_[base + i];
-        for (std::size_t i = valid; i < common::wordBits; ++i)
-            block[i] = 0;
-        transpose64x64(block);
-        for (std::size_t w = 0; w < words.size(); ++w) {
-            assert(words[w].size() == count);
-            words[w].setWord(b, block[w]);
+        for (std::size_t s = 0; s < liveSubWords; ++s) {
+            const std::size_t wordBase = s * 64;
+            for (std::size_t i = 0; i < valid; ++i)
+                block[i] = laneWord(lanes_[base + i], s);
+            for (std::size_t i = valid; i < common::wordBits; ++i)
+                block[i] = 0;
+            transpose64x64(block);
+            const std::size_t live =
+                std::min<std::size_t>(64, words.size() - wordBase);
+            for (std::size_t i = 0; i < live; ++i) {
+                assert(words[wordBase + i].size() == count);
+                words[wordBase + i].setWord(b, block[i]);
+            }
         }
     }
 }
 
+template <std::size_t W>
 BitVector
-BitSlice64::extractWord(std::size_t word) const
+BitSliceW<W>::extractWord(std::size_t word) const
 {
     assert(word < laneCount);
     BitVector out(lanes_.size());
@@ -150,5 +171,8 @@ BitSlice64::extractWord(std::size_t word) const
         out.set(pos, get(pos, word));
     return out;
 }
+
+template class BitSliceW<1>;
+template class BitSliceW<4>;
 
 } // namespace harp::gf2

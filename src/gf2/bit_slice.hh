@@ -1,17 +1,22 @@
 /**
  * @file
- * Bit-sliced (transposed) block of up to 64 equal-length bit vectors.
+ * Bit-sliced (transposed) block of equal-length bit vectors, templated
+ * over the lane width.
  *
- * A BitSlice64 stores one `std::uint64_t` *lane word* per vector
- * position: bit `w` of `lane(pos)` is bit `pos` of word `w`. In this
- * layout a single word-op (XOR, AND, ...) applies one GF(2) operation
- * to the same position of 64 independent words at once, which is what
- * the sliced profiling engine exploits to retire 64 profiling rounds
- * per machine instruction on the ECC hot path.
+ * A BitSliceW<W> stores one *lane word* of W*64 bits per vector
+ * position: lane bit `w` of `lane(pos)` is bit `pos` of word `w`. In
+ * this layout a single lane-op (XOR, AND, ...) applies one GF(2)
+ * operation to the same position of W*64 independent words at once,
+ * which is what the sliced profiling engine exploits to retire 64
+ * (W=1) or 256 (W=4, one AVX2 register) profiling rounds per machine
+ * operation on the ECC hot path. BitSlice64 and BitSlice256 name the
+ * two instantiated widths; W=1 lanes are plain std::uint64_t, so all
+ * historical BitSlice64 call sites compile unchanged.
  *
- * Conversion between the two layouts (64 row-major gf2::BitVector
- * "words" <-> position-major lanes) is a 64x64 bit-matrix transpose,
- * implemented blockwise with the classic recursive quadrant swap.
+ * Conversion between the two layouts (row-major gf2::BitVector "words"
+ * <-> position-major lanes) is one 64x64 bit-matrix transpose per
+ * 64-lane sub-word, implemented blockwise with the classic recursive
+ * quadrant swap.
  */
 
 #ifndef HARP_GF2_BIT_SLICE_HH
@@ -22,24 +27,31 @@
 #include <vector>
 
 #include "gf2/bit_vector.hh"
+#include "gf2/lane.hh"
 
 namespace harp::gf2 {
 
 /**
- * Transposed block of 64 lanes over a fixed number of bit positions.
+ * Transposed block of W*64 lanes over a fixed number of bit positions.
  *
  * Lanes whose index is >= the number of live words gathered into the
  * slice hold unspecified bits; consumers must only extract the lanes
- * they populated (ragged tails where live words < 64 are expected).
+ * they populated (ragged tails where live words < W*64 are expected).
  */
-class BitSlice64
+template <std::size_t W>
+class BitSliceW
 {
   public:
+    /** Lane word: uint64_t at W=1, LaneVec<W> beyond. */
+    using Lane = LaneOf<W>;
+
+    /** Number of 64-lane sub-words per lane word. */
+    static constexpr std::size_t laneWords = W;
     /** Number of lanes a slice can carry. */
-    static constexpr std::size_t laneCount = 64;
+    static constexpr std::size_t laneCount = W * 64;
 
     /** Construct a slice over @p positions bit positions, all zero. */
-    explicit BitSlice64(std::size_t positions = 0);
+    explicit BitSliceW(std::size_t positions = 0);
 
     /** Number of bit positions (the length of each sliced word). */
     std::size_t positions() const { return lanes_.size(); }
@@ -47,10 +59,10 @@ class BitSlice64
     /** Zero every lane word. */
     void clear();
 
-    /** Lane word of @p pos: bit w == bit @p pos of word w. */
-    std::uint64_t lane(std::size_t pos) const { return lanes_[pos]; }
+    /** Lane word of @p pos: lane bit w == bit @p pos of word w. */
+    const Lane &lane(std::size_t pos) const { return lanes_[pos]; }
     /** Mutable lane word of @p pos. */
-    std::uint64_t &lane(std::size_t pos) { return lanes_[pos]; }
+    Lane &lane(std::size_t pos) { return lanes_[pos]; }
 
     /** Bit @p pos of word @p word. */
     bool get(std::size_t pos, std::size_t word) const;
@@ -60,7 +72,7 @@ class BitSlice64
     /**
      * Lane-native mismatch accumulation over the first @p count
      * positions: `lane(p) |= a.lane(p) ^ b.lane(p)`. One XOR + one OR
-     * retires the GF(2) difference of the same position of 64 word
+     * retires the GF(2) difference of the same position of W*64 word
      * pairs — the core reduction of the lane-native observation path
      * (core/sliced_profiler_group.hh). @p count must not exceed the
      * positions of any operand; bits of dead lanes accumulate garbage
@@ -68,25 +80,24 @@ class BitSlice64
      *
      * @return The OR of every per-position mismatch mask — lanes with
      *         any difference between @p a and @p b (dead-lane bits
-     *         garbage); zero means the call changed nothing.
+     *         garbage); an all-zero mask means the call changed nothing.
      */
-    std::uint64_t orXorPrefix(const BitSlice64 &a, const BitSlice64 &b,
-                              std::size_t count);
+    Lane orXorPrefix(const BitSliceW &a, const BitSliceW &b,
+                     std::size_t count);
 
     /**
      * Lane mask of words that differ from @p other anywhere in the
-     * first @p count positions (bit w set iff word w's prefixes
+     * first @p count positions (lane bit w set iff word w's prefixes
      * mismatch). Dead-lane bits are garbage, as with orXorPrefix();
      * mask them before use. The engines use this to prove whole slots
      * observed clean reads without ever scattering them.
      */
-    std::uint64_t diffLanesPrefix(const BitSlice64 &other,
-                                  std::size_t count) const;
+    Lane diffLanesPrefix(const BitSliceW &other, std::size_t count) const;
 
     /**
      * Transpose @p words (each of length positions()) into the lanes:
-     * word w lands in lane bit w. At most 64 words; lanes beyond
-     * `words.size()` are zeroed.
+     * word w lands in lane bit w. At most laneCount words; lanes
+     * beyond `words.size()` are zeroed.
      */
     void gather(const std::vector<BitVector> &words);
 
@@ -114,8 +125,16 @@ class BitSlice64
     BitVector extractWord(std::size_t word) const;
 
   private:
-    std::vector<std::uint64_t> lanes_;
+    std::vector<Lane> lanes_;
 };
+
+/** The historical 64-lane slice: one uint64 lane word per position. */
+using BitSlice64 = BitSliceW<1>;
+/** The wide 256-lane slice: one uint64x4 lane word per position. */
+using BitSlice256 = BitSliceW<4>;
+
+extern template class BitSliceW<1>;
+extern template class BitSliceW<4>;
 
 /**
  * In-place 64x64 bit-matrix transpose: afterwards, bit c of m[r] is

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Generic lane-word arithmetic shared by every width of the bit-sliced
+ * datapath.
+ *
+ * A *lane word* carries one bit per independent ECC word for a single
+ * codeword position. The W=1 instantiation is a plain std::uint64_t —
+ * the historical BitSlice64 layout, kept as a raw integer so all
+ * existing call sites (mask arithmetic, shifts, `(mask >> w) & 1`)
+ * compile unchanged. Wider instantiations use LaneVec<W>, an aligned
+ * array of W uint64 sub-words with element-wise GF(2) operators that
+ * the compiler auto-vectorizes (W=4 is one AVX2 ymm register).
+ *
+ * The free-function helpers below (laneAny, laneTestBit, laneMaskOf,
+ * forEachSetLane, laneWord, ...) are overloaded for both
+ * representations, so code templated over the lane type reads
+ * identically at every width.
+ */
+
+#ifndef HARP_GF2_LANE_HH
+#define HARP_GF2_LANE_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/bits.hh"
+
+namespace harp::gf2 {
+
+namespace detail {
+
+/**
+ * Storage behind LaneVec<W>: a GNU vector-extension type where the
+ * compiler supports one (single-register loads, stores and bitwise
+ * ops — a plain uint64 array member forces GCC to shuttle every
+ * 32-byte temporary through the stack in the hot decode loops), a
+ * uint64 array otherwise. `may_alias` keeps the scalar sub-word
+ * accesses of laneWord/laneWordRef ordered against whole-vector
+ * loads under strict aliasing. vector_size() needs a literal, so the
+ * widths are enumerated instead of computed from W.
+ */
+template <std::size_t W>
+struct LaneStorage
+{
+    using type = std::uint64_t[W];
+    static constexpr bool native = false;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+template <>
+struct LaneStorage<2>
+{
+    using type
+        = std::uint64_t __attribute__((vector_size(16), may_alias));
+    static constexpr bool native = true;
+};
+template <>
+struct LaneStorage<4>
+{
+    using type
+        = std::uint64_t __attribute__((vector_size(32), may_alias));
+    static constexpr bool native = true;
+};
+#endif
+
+} // namespace detail
+
+/**
+ * W uint64 sub-words treated as one (W*64)-lane GF(2) word. Aligned to
+ * its full size (32 bytes for W=4) so element-wise access compiles to
+ * whole-register loads/stores; on GNU-compatible compilers the storage
+ * is a native vector type, so the GF(2) operators below are single
+ * AVX2 register ops after inlining.
+ */
+template <std::size_t W>
+struct alignas(W * 8 > 32 ? 32 : W * 8) LaneVec
+{
+    static_assert(W >= 2, "W=1 lanes are plain std::uint64_t");
+    typename detail::LaneStorage<W>::type w = {};
+
+    friend LaneVec operator^(LaneVec a, const LaneVec &b)
+    {
+        if constexpr (detail::LaneStorage<W>::native) {
+            a.w ^= b.w;
+        } else {
+            for (std::size_t i = 0; i < W; ++i)
+                a.w[i] ^= b.w[i];
+        }
+        return a;
+    }
+    friend LaneVec operator&(LaneVec a, const LaneVec &b)
+    {
+        if constexpr (detail::LaneStorage<W>::native) {
+            a.w &= b.w;
+        } else {
+            for (std::size_t i = 0; i < W; ++i)
+                a.w[i] &= b.w[i];
+        }
+        return a;
+    }
+    friend LaneVec operator|(LaneVec a, const LaneVec &b)
+    {
+        if constexpr (detail::LaneStorage<W>::native) {
+            a.w |= b.w;
+        } else {
+            for (std::size_t i = 0; i < W; ++i)
+                a.w[i] |= b.w[i];
+        }
+        return a;
+    }
+    friend LaneVec operator~(LaneVec a)
+    {
+        if constexpr (detail::LaneStorage<W>::native) {
+            a.w = ~a.w;
+        } else {
+            for (std::size_t i = 0; i < W; ++i)
+                a.w[i] = ~a.w[i];
+        }
+        return a;
+    }
+    LaneVec &operator^=(const LaneVec &b)
+    {
+        if constexpr (detail::LaneStorage<W>::native) {
+            w ^= b.w;
+        } else {
+            for (std::size_t i = 0; i < W; ++i)
+                w[i] ^= b.w[i];
+        }
+        return *this;
+    }
+    LaneVec &operator&=(const LaneVec &b)
+    {
+        if constexpr (detail::LaneStorage<W>::native) {
+            w &= b.w;
+        } else {
+            for (std::size_t i = 0; i < W; ++i)
+                w[i] &= b.w[i];
+        }
+        return *this;
+    }
+    LaneVec &operator|=(const LaneVec &b)
+    {
+        if constexpr (detail::LaneStorage<W>::native) {
+            w |= b.w;
+        } else {
+            for (std::size_t i = 0; i < W; ++i)
+                w[i] |= b.w[i];
+        }
+        return *this;
+    }
+    friend bool operator==(const LaneVec &a, const LaneVec &b)
+    {
+        std::uint64_t diff = 0;
+        for (std::size_t i = 0; i < W; ++i)
+            diff |= a.w[i] ^ b.w[i];
+        return diff == 0;
+    }
+};
+
+/** The lane-word type of a W-wide slice: uint64_t at W=1 (the legacy
+ *  BitSlice64 representation), LaneVec<W> beyond. */
+template <std::size_t W>
+using LaneOf = std::conditional_t<W == 1, std::uint64_t, LaneVec<W>>;
+
+/** @name Lane helpers, overloaded for both representations.
+ * @{ */
+
+/** True iff any lane bit is set. */
+constexpr bool
+laneAny(std::uint64_t lane)
+{
+    return lane != 0;
+}
+
+template <std::size_t W>
+constexpr bool
+laneAny(const LaneVec<W> &lane)
+{
+    std::uint64_t any = 0;
+    for (std::size_t i = 0; i < W; ++i)
+        any |= lane.w[i];
+    return any != 0;
+}
+
+/** Bit @p i of the lane word. */
+constexpr bool
+laneTestBit(std::uint64_t lane, std::size_t i)
+{
+    return (lane >> i) & 1;
+}
+
+template <std::size_t W>
+constexpr bool
+laneTestBit(const LaneVec<W> &lane, std::size_t i)
+{
+    return (lane.w[i / 64] >> (i % 64)) & 1;
+}
+
+/** Set bit @p i of the lane word. */
+constexpr void
+laneSetBit(std::uint64_t &lane, std::size_t i)
+{
+    lane |= std::uint64_t{1} << i;
+}
+
+template <std::size_t W>
+constexpr void
+laneSetBit(LaneVec<W> &lane, std::size_t i)
+{
+    lane.w[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+/** Clear bit @p i of the lane word. */
+constexpr void
+laneClearBit(std::uint64_t &lane, std::size_t i)
+{
+    lane &= ~(std::uint64_t{1} << i);
+}
+
+template <std::size_t W>
+constexpr void
+laneClearBit(LaneVec<W> &lane, std::size_t i)
+{
+    lane.w[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+}
+
+/** Number of set lane bits. */
+constexpr std::size_t
+lanePopcount(std::uint64_t lane)
+{
+    return static_cast<std::size_t>(std::popcount(lane));
+}
+
+template <std::size_t W>
+constexpr std::size_t
+lanePopcount(const LaneVec<W> &lane)
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < W; ++i)
+        n += static_cast<std::size_t>(std::popcount(lane.w[i]));
+    return n;
+}
+
+/** Sub-word @p sub (64 lanes each) of the lane word, by value. */
+constexpr std::uint64_t
+laneWord(std::uint64_t lane, std::size_t sub)
+{
+    (void)sub;
+    return lane;
+}
+
+template <std::size_t W>
+constexpr std::uint64_t
+laneWord(const LaneVec<W> &lane, std::size_t sub)
+{
+    return lane.w[sub];
+}
+
+/** Mutable sub-word @p sub of the lane word. */
+constexpr std::uint64_t &
+laneWordRef(std::uint64_t &lane, std::size_t sub)
+{
+    (void)sub;
+    return lane;
+}
+
+template <std::size_t W>
+constexpr std::uint64_t &
+laneWordRef(LaneVec<W> &lane, std::size_t sub)
+{
+    return lane.w[sub];
+}
+
+/** @} */
+
+/** All-ones lane word (every lane selected). */
+template <typename Lane>
+constexpr Lane
+laneOnes()
+{
+    if constexpr (std::is_same_v<Lane, std::uint64_t>) {
+        return ~std::uint64_t{0};
+    } else {
+        Lane out{};
+        for (std::size_t i = 0; i < sizeof(out.w) / 8; ++i)
+            out.w[i] = ~std::uint64_t{0};
+        return out;
+    }
+}
+
+/** Lane word with exactly bit @p i set. */
+template <typename Lane>
+constexpr Lane
+laneBit(std::size_t i)
+{
+    Lane out{};
+    laneSetBit(out, i);
+    return out;
+}
+
+/** Live-lane mask: the low @p lanes bits set (the generic form of
+ *  common::laneMask; dead-lane slice bits hold garbage everywhere). */
+template <typename Lane>
+constexpr Lane
+laneMaskOf(std::size_t lanes)
+{
+    if constexpr (std::is_same_v<Lane, std::uint64_t>) {
+        return common::laneMask(lanes);
+    } else {
+        Lane out{};
+        for (std::size_t i = 0; i < sizeof(out.w) / 8; ++i) {
+            const std::size_t base = i * 64;
+            if (lanes > base)
+                out.w[i] = common::laneMask(lanes - base);
+        }
+        return out;
+    }
+}
+
+/** Invoke @p fn(index) for every set bit of the lane word, in
+ *  ascending index order. */
+template <typename Fn>
+void
+forEachSetLane(std::uint64_t lane, Fn &&fn)
+{
+    while (lane != 0) {
+        fn(static_cast<std::size_t>(std::countr_zero(lane)));
+        lane &= lane - 1;
+    }
+}
+
+template <std::size_t W, typename Fn>
+void
+forEachSetLane(const LaneVec<W> &lane, Fn &&fn)
+{
+    for (std::size_t i = 0; i < W; ++i) {
+        std::uint64_t word = lane.w[i];
+        const std::size_t base = i * 64;
+        while (word != 0) {
+            fn(base + static_cast<std::size_t>(std::countr_zero(word)));
+            word &= word - 1;
+        }
+    }
+}
+
+} // namespace harp::gf2
+
+#endif // HARP_GF2_LANE_HH

@@ -66,12 +66,22 @@ runJobs(const ExperimentSpec &spec, const std::vector<ParamPoint> &points,
     std::vector<std::string> errors(jobs.size());
     job_seconds.assign(jobs.size(), 0.0);
 
+    // Intra-job sharding: when the grid has fewer jobs than the pool
+    // has threads, the leftover parallelism is handed *into* each job
+    // as its RunContext thread allowance — internally parallel
+    // experiments then shard their (word, block) tasks across a nested
+    // pool. Every experiment merges those shards deterministically
+    // (common/ordered_merger.hh), so the JSONL stays byte-identical at
+    // any --threads; only the wall clock changes.
+    const std::size_t inner_threads = std::max<std::size_t>(
+        1, pool_threads / std::max<std::size_t>(1, jobs.size()));
+
     const auto runOne = [&](std::size_t j) {
         const Job &job = jobs[j];
         const auto start = Clock::now();
         try {
             const RunContext ctx(points[job.pointIndex], options.overrides,
-                                 job.seed, job.repeat, /*threads=*/1);
+                                 job.seed, job.repeat, inner_threads);
             const JsonValue metrics = spec.run(ctx);
             if (const auto error = validateSchema(spec.schema, metrics))
                 throw std::runtime_error("schema violation: " + *error);

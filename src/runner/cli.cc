@@ -17,8 +17,8 @@ namespace {
 /** Flags consumed by the campaign driver itself; everything else is a
  *  tunable/axis override. */
 const std::set<std::string> reservedFlags = {
-    "list", "dry-run", "seed",  "threads", "repeat",
-    "out",  "label",   "all",   "help",    "schemas",
+    "list", "list-json", "dry-run", "seed",    "threads", "repeat",
+    "out",  "label",     "all",     "help",    "schemas",
 };
 
 void
@@ -31,6 +31,8 @@ printUsage(std::ostream &os, const char *forced_experiment)
           "\n"
           "Selection:\n"
           "  --list           list registered experiments and exit\n"
+          "  --list-json      machine-readable registry (names, labels,\n"
+          "                   grid sizes, per-label counts) and exit\n"
           "  --schemas        with --list, also print result schemas\n"
           "  --label L        add every experiment carrying label L\n"
           "  --all            add every registered experiment\n"
@@ -94,6 +96,42 @@ listExperiments(const Registry &registry, bool with_schemas)
     return 0;
 }
 
+/**
+ * Machine-readable registry dump: scripts derive expected experiment
+ * counts from this instead of hard-coding them (scripts/verify.sh),
+ * so adding an experiment can never silently break a count check.
+ */
+int
+listExperimentsJson(const Registry &registry)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema_version", JsonValue(1));
+    JsonValue list = JsonValue::array();
+    std::set<std::string> label_names;
+    for (const ExperimentSpec *spec : registry.all()) {
+        JsonValue obj = JsonValue::object();
+        obj.set("name", JsonValue(spec->name));
+        obj.set("description", JsonValue(spec->description));
+        JsonValue labels = JsonValue::array();
+        for (const std::string &label : spec->labels) {
+            labels.push(JsonValue(label));
+            label_names.insert(label);
+        }
+        obj.set("labels", labels);
+        obj.set("grid_points", JsonValue(spec->grid.numPoints()));
+        obj.set("schema", schemaToJson(spec->schema));
+        list.push(std::move(obj));
+    }
+    doc.set("experiments", list);
+    doc.set("count", JsonValue(registry.size()));
+    JsonValue counts = JsonValue::object();
+    for (const std::string &label : label_names)
+        counts.set(label, JsonValue(registry.withLabel(label).size()));
+    doc.set("label_counts", counts);
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -108,7 +146,8 @@ runnerMain(int argc, const char *const *argv,
     args.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--list" || arg == "--schemas" || arg == "--all" ||
+        if (arg == "--list" || arg == "--list-json" ||
+            arg == "--schemas" || arg == "--all" ||
             arg == "--dry-run" || arg == "--help")
             arg += "=true";
         args.push_back(std::move(arg));
@@ -127,6 +166,8 @@ runnerMain(int argc, const char *const *argv,
     }
     if (cli.getBool("list", false))
         return listExperiments(registry, cli.getBool("schemas", false));
+    if (cli.getBool("list-json", false))
+        return listExperimentsJson(registry);
 
     // --- Selection ------------------------------------------------------
     std::vector<std::string> selectors;

@@ -41,7 +41,10 @@ class RunContext
      * @param seed      Deterministic per-(point, repeat) seed.
      * @param repeat    0-based repeat index.
      * @param threads   Worker-thread allowance for internally parallel
-     *                  experiments (1 when the campaign itself shards).
+     *                  experiments (1 when the campaign itself shards
+     *                  across at least as many jobs as it has threads;
+     *                  the leftover pool capacity otherwise — heavy
+     *                  single-point runs shard their blocks instead).
      */
     RunContext(const ParamPoint &point,
                const std::map<std::string, std::string> &overrides,

@@ -15,6 +15,7 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "core/at_risk_analyzer.hh"
 #include "core/data_pattern.hh"
 #include "core/harp_profiler.hh"
@@ -36,6 +37,93 @@ namespace harp::runner {
 namespace {
 
 using namespace harp;
+
+/**
+ * Drive every word's profilers through blocks of <= W*64 sliced BCH
+ * lanes. One prewarmed datapath is built up front; every block task
+ * runs a *copy* of it — copies share the thread-safe syndrome memo
+ * (ecc/sliced_bch_memo.hh) but own private scratch, so blocks shard
+ * across the pool when the campaign grants inner threads. Per-lane
+ * outcomes (and therefore the JSONL) are identical at any lane width
+ * or thread count.
+ */
+template <std::size_t W>
+void
+driveSlicedBch(const ecc::BchCode &code,
+               const std::vector<const fault::WordFaultModel *> &faults,
+               const std::vector<std::uint64_t> &seeds,
+               const std::vector<std::vector<core::Profiler *>> &profilers,
+               std::size_t rounds, std::size_t threads)
+{
+    constexpr std::size_t lanes = gf2::BitSliceW<W>::laneCount;
+    const std::size_t words = faults.size();
+    if (words == 0)
+        return;
+    const ecc::SlicedBchCodeW<W> shared(code, std::min(lanes, words));
+    const std::size_t num_blocks = (words + lanes - 1) / lanes;
+    common::parallelFor(num_blocks, [&](std::size_t block) {
+        const std::size_t begin = block * lanes;
+        const std::size_t end = std::min(begin + lanes, words);
+        const std::vector<const fault::WordFaultModel *> block_faults(
+            faults.begin() + static_cast<std::ptrdiff_t>(begin),
+            faults.begin() + static_cast<std::ptrdiff_t>(end));
+        const std::vector<std::uint64_t> block_seeds(
+            seeds.begin() + static_cast<std::ptrdiff_t>(begin),
+            seeds.begin() + static_cast<std::ptrdiff_t>(end));
+        std::vector<std::vector<core::Profiler *>> block_profilers(
+            profilers.begin() + static_cast<std::ptrdiff_t>(begin),
+            profilers.begin() + static_cast<std::ptrdiff_t>(end));
+        // The copy shares the memo thread-safely and owns its scratch;
+        // engines must never share one datapath *instance* across
+        // workers (see ecc/sliced_bch.hh).
+        const ecc::SlicedBchCodeW<W> datapath(shared);
+        core::SlicedRoundEngineW<W> engine(datapath, block_faults,
+                                           core::PatternKind::Random,
+                                           block_seeds);
+        for (std::size_t r = 0; r < rounds; ++r)
+            engine.runRound(block_profilers);
+    }, threads);
+}
+
+/**
+ * Hamming sibling of driveSlicedBch: heterogeneous per-lane SEC codes
+ * (equal k) pack straight into blocks of <= W*64 lanes, ragged tail
+ * included. Stateless datapath, so blocks are trivially independent.
+ */
+template <std::size_t W>
+void
+driveSlicedHamming(
+    const std::vector<const ecc::HammingCode *> &codes,
+    const std::vector<const fault::WordFaultModel *> &faults,
+    const std::vector<std::uint64_t> &seeds,
+    const std::vector<std::vector<core::Profiler *>> &profilers,
+    std::size_t rounds, std::size_t threads)
+{
+    constexpr std::size_t lanes = gf2::BitSliceW<W>::laneCount;
+    const std::size_t words = codes.size();
+    const std::size_t num_blocks = (words + lanes - 1) / lanes;
+    common::parallelFor(num_blocks, [&](std::size_t block) {
+        const std::size_t begin = block * lanes;
+        const std::size_t end = std::min(begin + lanes, words);
+        const std::vector<const ecc::HammingCode *> block_codes(
+            codes.begin() + static_cast<std::ptrdiff_t>(begin),
+            codes.begin() + static_cast<std::ptrdiff_t>(end));
+        const std::vector<const fault::WordFaultModel *> block_faults(
+            faults.begin() + static_cast<std::ptrdiff_t>(begin),
+            faults.begin() + static_cast<std::ptrdiff_t>(end));
+        const std::vector<std::uint64_t> block_seeds(
+            seeds.begin() + static_cast<std::ptrdiff_t>(begin),
+            seeds.begin() + static_cast<std::ptrdiff_t>(end));
+        std::vector<std::vector<core::Profiler *>> block_profilers(
+            profilers.begin() + static_cast<std::ptrdiff_t>(begin),
+            profilers.begin() + static_cast<std::ptrdiff_t>(end));
+        core::SlicedRoundEngineW<W> engine(block_codes, block_faults,
+                                           core::PatternKind::Random,
+                                           block_seeds);
+        for (std::size_t r = 0; r < rounds; ++r)
+            engine.runRound(block_profilers);
+    }, threads);
+}
 
 /** True iff some dataword charges every cell of the subset @p mask. */
 bool
@@ -224,9 +312,10 @@ makeDecOnDieEcc()
  * through the round engines: the scaling study HARP section 6.3.2
  * sketches ("significantly more complex on-die ECC"), on the same
  * engine-selectable fast path as the coverage experiments. The sliced
- * engine runs the BCH datapath through ecc::SlicedBchCode (masked
- * XOR parity/syndromes + memoized correction); `--engine scalar` and
- * `--engine sliced64` emit byte-identical JSONL for a fixed seed.
+ * engines run the BCH datapath through ecc::SlicedBchCodeW (masked
+ * XOR parity/syndromes + memoized correction); `--engine scalar`,
+ * `--engine sliced64` and `--engine sliced256` emit byte-identical
+ * JSONL for a fixed seed.
  */
 ExperimentSpec
 makeBchTSweep()
@@ -323,28 +412,21 @@ makeBchTSweep()
                     round_engine.runRound(ps);
             }
         } else if (words > 0) {
-            // One sliced datapath shared by every 64-word block: the
-            // syndrome-memo warm-up is paid once per grid point.
-            constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
-            const ecc::SlicedBchCode sliced(code,
-                                            std::min(lanes, words));
-            for (std::size_t begin = 0; begin < words; begin += lanes) {
-                const std::size_t end = std::min(begin + lanes, words);
-                std::vector<const fault::WordFaultModel *> fault_ptrs;
-                std::vector<std::uint64_t> seeds;
-                std::vector<std::vector<core::Profiler *>> lane_profilers;
-                for (std::size_t w = begin; w < end; ++w) {
-                    fault_ptrs.push_back(&sims[w].faults);
-                    seeds.push_back(sims[w].engineSeed);
-                    lane_profilers.push_back(
-                        {sims[w].naive.get(), sims[w].harp.get()});
-                }
-                core::SlicedRoundEngine round_engine(
-                    sliced, fault_ptrs, core::PatternKind::Random,
-                    seeds);
-                for (std::size_t r = 0; r < rounds; ++r)
-                    round_engine.runRound(lane_profilers);
+            std::vector<const fault::WordFaultModel *> fault_ptrs;
+            std::vector<std::uint64_t> seeds;
+            std::vector<std::vector<core::Profiler *>> lane_profilers;
+            for (std::size_t w = 0; w < words; ++w) {
+                fault_ptrs.push_back(&sims[w].faults);
+                seeds.push_back(sims[w].engineSeed);
+                lane_profilers.push_back(
+                    {sims[w].naive.get(), sims[w].harp.get()});
             }
+            if (engine == core::EngineKind::Sliced256)
+                driveSlicedBch<4>(code, fault_ptrs, seeds,
+                                  lane_profilers, rounds, ctx.threads());
+            else
+                driveSlicedBch<1>(code, fault_ptrs, seeds,
+                                  lane_profilers, rounds, ctx.threads());
         }
 
         // Ground truth per word by enumeration of feasible failing
@@ -453,7 +535,7 @@ makeLowProbability()
         // Build every word first (codes, mixed-tier fault models,
         // profilers), then drive the rounds through the selected
         // engine: per-word seed derivations are identical either way,
-        // so scalar and sliced64 emit byte-identical JSONL.
+        // so every engine emits byte-identical JSONL.
         struct TierWord
         {
             std::unique_ptr<ecc::HammingCode> code;
@@ -496,28 +578,26 @@ makeLowProbability()
             }
         } else {
             // Heterogeneous per-lane codes (equal k) pack straight
-            // into 64-lane blocks, ragged tail included — the
-            // long-tail rounds sweep is where the sliced datapath pays
-            // off most.
-            constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
-            for (std::size_t begin = 0; begin < words; begin += lanes) {
-                const std::size_t end = std::min(begin + lanes, words);
-                std::vector<const ecc::HammingCode *> code_ptrs;
-                std::vector<const fault::WordFaultModel *> fault_ptrs;
-                std::vector<std::uint64_t> seeds;
-                std::vector<std::vector<core::Profiler *>> lane_profilers;
-                for (std::size_t w = begin; w < end; ++w) {
-                    code_ptrs.push_back(sims[w].code.get());
-                    fault_ptrs.push_back(&sims[w].faults);
-                    seeds.push_back(sims[w].engineSeed);
-                    lane_profilers.push_back({sims[w].harp.get()});
-                }
-                core::SlicedRoundEngine engine(code_ptrs, fault_ptrs,
-                                               core::PatternKind::Random,
-                                               seeds);
-                for (std::size_t r = 0; r < rounds_v; ++r)
-                    engine.runRound(lane_profilers);
+            // into lane blocks, ragged tail included — the long-tail
+            // rounds sweep is where the sliced datapath pays off most.
+            std::vector<const ecc::HammingCode *> code_ptrs;
+            std::vector<const fault::WordFaultModel *> fault_ptrs;
+            std::vector<std::uint64_t> seeds;
+            std::vector<std::vector<core::Profiler *>> lane_profilers;
+            for (std::size_t w = 0; w < words; ++w) {
+                code_ptrs.push_back(sims[w].code.get());
+                fault_ptrs.push_back(&sims[w].faults);
+                seeds.push_back(sims[w].engineSeed);
+                lane_profilers.push_back({sims[w].harp.get()});
             }
+            if (engine_kind == core::EngineKind::Sliced256)
+                driveSlicedHamming<4>(code_ptrs, fault_ptrs, seeds,
+                                      lane_profilers, rounds_v,
+                                      ctx.threads());
+            else
+                driveSlicedHamming<1>(code_ptrs, fault_ptrs, seeds,
+                                      lane_profilers, rounds_v,
+                                      ctx.threads());
         }
 
         std::size_t direct_total = 0, direct_found = 0;

@@ -102,6 +102,52 @@ struct PerfWord
     std::vector<core::Profiler *> raw;
 };
 
+/** The pre-built sliced datapaths of one fleet at lane width W:
+ *  construction (lane-mask tables, BCH syndrome-memo pre-warm) is
+ *  initialization, paid alongside the scalar decoder's own table
+ *  construction — the timed loops measure profiling rounds only. */
+template <std::size_t W>
+struct SlicedDatapaths
+{
+    void build(const PerfWorkload &workload,
+               const std::vector<ecc::HammingCode> &codes,
+               const ecc::BchCode *bch_code)
+    {
+        constexpr std::size_t lanes = gf2::BitSliceW<W>::laneCount;
+        const std::size_t words =
+            workload.numCodes * workload.wordsPerCode;
+        if (workload.bch) {
+            // One shared datapath for every block of the fleet.
+            if (words > 0)
+                sharedBch = std::make_unique<ecc::SlicedBchCodeW<W>>(
+                    *bch_code, std::min(lanes, words));
+            return;
+        }
+        // Per-block sliced Hamming datapaths (the lane-mask tables),
+        // prebuilt over the same flat block partition driveFleet uses.
+        std::vector<const ecc::HammingCode *> flat_codes;
+        for (std::size_t c = 0; c < workload.numCodes; ++c)
+            for (std::size_t w = 0; w < workload.wordsPerCode; ++w)
+                flat_codes.push_back(&codes[c]);
+        for (std::size_t begin = 0; begin < flat_codes.size();
+             begin += lanes) {
+            const std::size_t end =
+                std::min(begin + lanes, flat_codes.size());
+            slicedHamming.push_back(
+                std::make_unique<ecc::SlicedHammingCodeW<W>>(
+                    std::vector<const ecc::HammingCode *>(
+                        flat_codes.begin() +
+                            static_cast<std::ptrdiff_t>(begin),
+                        flat_codes.begin() +
+                            static_cast<std::ptrdiff_t>(end))));
+        }
+    }
+
+    std::unique_ptr<ecc::SlicedBchCodeW<W>> sharedBch;
+    std::vector<std::unique_ptr<ecc::SlicedHammingCodeW<W>>>
+        slicedHamming;
+};
+
 /** The words of one workload, grouped per code (= per sliced block). */
 struct PerfFleet
 {
@@ -112,18 +158,6 @@ struct PerfFleet
             // instance; the `codes` tunable still scales word count.
             bchCode = std::make_unique<ecc::BchCode>(workload.k,
                                                      workload.bchT);
-            // One shared sliced datapath for every block of the fleet:
-            // construction (incl. the syndrome-memo pre-warm) is
-            // initialization, paid here alongside the scalar decoder's
-            // own table construction — the timed loops measure
-            // profiling rounds only. Scalar fleets never touch it, so
-            // they skip the build.
-            const std::size_t words =
-                workload.numCodes * workload.wordsPerCode;
-            if (engine == core::EngineKind::Sliced64 && words > 0)
-                sharedBch = std::make_unique<ecc::SlicedBchCode>(
-                    *bchCode,
-                    std::min(gf2::BitSlice64::laneCount, words));
         } else {
             codes.reserve(workload.numCodes);
             for (std::size_t c = 0; c < workload.numCodes; ++c) {
@@ -140,29 +174,22 @@ struct PerfFleet
                     workload, workload.bch ? nullptr : &codes[c],
                     bchCode.get(), c, w));
         }
-        // Per-block sliced Hamming datapaths (the lane-mask tables),
-        // prebuilt over the same flat block partition driveFleet uses:
-        // datapath construction is initialization, exactly like the
-        // scalar codes built above and the shared BCH datapath.
-        if (!workload.bch && engine == core::EngineKind::Sliced64) {
-            constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
-            std::vector<const ecc::HammingCode *> flat_codes;
-            for (std::size_t c = 0; c < workload.numCodes; ++c)
-                for (std::size_t w = 0; w < workload.wordsPerCode; ++w)
-                    flat_codes.push_back(&codes[c]);
-            for (std::size_t begin = 0; begin < flat_codes.size();
-                 begin += lanes) {
-                const std::size_t end =
-                    std::min(begin + lanes, flat_codes.size());
-                slicedHamming.push_back(
-                    std::make_unique<ecc::SlicedHammingCode>(
-                        std::vector<const ecc::HammingCode *>(
-                            flat_codes.begin() +
-                                static_cast<std::ptrdiff_t>(begin),
-                            flat_codes.begin() +
-                                static_cast<std::ptrdiff_t>(end))));
-            }
-        }
+        // Scalar fleets never touch the sliced datapaths, so they skip
+        // the build (incl. the BCH syndrome-memo pre-warm).
+        if (engine == core::EngineKind::Sliced64)
+            sliced64.build(workload, codes, bchCode.get());
+        else if (engine == core::EngineKind::Sliced256)
+            sliced256.build(workload, codes, bchCode.get());
+    }
+
+    /** The width-W datapath set (one of the two is built per fleet). */
+    template <std::size_t W>
+    SlicedDatapaths<W> &datapaths()
+    {
+        if constexpr (W == 1)
+            return sliced64;
+        else
+            return sliced256;
     }
 
     /** From the words actually built, so the profiler_rounds metric
@@ -197,8 +224,8 @@ struct PerfFleet
 
     std::vector<ecc::HammingCode> codes;
     std::unique_ptr<ecc::BchCode> bchCode;
-    std::unique_ptr<ecc::SlicedBchCode> sharedBch;
-    std::vector<std::unique_ptr<ecc::SlicedHammingCode>> slicedHamming;
+    SlicedDatapaths<1> sliced64;
+    SlicedDatapaths<4> sliced256;
     std::vector<std::vector<std::unique_ptr<PerfWord>>> words;
 };
 
@@ -219,6 +246,55 @@ struct DriveStats
  * engine (setup / datapath / observe split); the headline timing reps
  * leave it null so clock reads never contaminate them.
  */
+/** The sliced half of driveFleet at lane width W; fills the memo
+ *  fields of @p stats for BCH workloads. */
+template <std::size_t W>
+void
+driveFleetSliced(PerfFleet &fleet, const PerfWorkload &workload,
+                 core::EnginePhaseSeconds *phases, DriveStats &stats)
+{
+    // Batch blocks straight across code boundaries: Hamming lanes
+    // carry their own code, BCH lanes share the one code function
+    // (and the fleet's pre-built datapath + memo), so every block
+    // is as full as possible.
+    constexpr std::size_t lanes = gf2::BitSliceW<W>::laneCount;
+    SlicedDatapaths<W> &datapaths = fleet.datapaths<W>();
+    std::vector<PerfWord *> flat;
+    for (auto &code_words : fleet.words)
+        for (auto &word : code_words)
+            flat.push_back(word.get());
+    for (std::size_t begin = 0; begin < flat.size(); begin += lanes) {
+        const std::size_t end = std::min(begin + lanes, flat.size());
+        std::vector<const fault::WordFaultModel *> fault_ptrs;
+        std::vector<std::uint64_t> seeds;
+        std::vector<std::vector<core::Profiler *>> lane_profilers;
+        for (std::size_t w = begin; w < end; ++w) {
+            fault_ptrs.push_back(&flat[w]->faults);
+            seeds.push_back(flat[w]->engineSeed);
+            lane_profilers.push_back(flat[w]->raw);
+        }
+        std::unique_ptr<core::SlicedRoundEngineW<W>> round_engine;
+        if (workload.bch) {
+            round_engine = std::make_unique<core::SlicedRoundEngineW<W>>(
+                *datapaths.sharedBch, fault_ptrs,
+                core::PatternKind::Random, seeds);
+        } else {
+            round_engine = std::make_unique<core::SlicedRoundEngineW<W>>(
+                *datapaths.slicedHamming[begin / lanes], fault_ptrs,
+                core::PatternKind::Random, seeds);
+        }
+        round_engine->setPhaseSink(phases);
+        for (std::size_t r = 0; r < workload.rounds; ++r)
+            round_engine->runRound(lane_profilers);
+    }
+    if (datapaths.sharedBch != nullptr) {
+        stats.memoHits = datapaths.sharedBch->memoHits();
+        stats.memoMisses = datapaths.sharedBch->memoMisses();
+        stats.memoEntries = datapaths.sharedBch->memoEntries();
+        stats.memoPrewarmed = datapaths.sharedBch->memoPrewarmed();
+    }
+}
+
 DriveStats
 driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
            core::EngineKind engine,
@@ -243,47 +319,10 @@ driveFleet(PerfFleet &fleet, const PerfWorkload &workload,
                     round_engine->runRound(word->raw);
             }
         }
+    } else if (engine == core::EngineKind::Sliced256) {
+        driveFleetSliced<4>(fleet, workload, phases, stats);
     } else {
-        // Batch blocks straight across code boundaries: Hamming lanes
-        // carry their own code, BCH lanes share the one code function
-        // (and the fleet's pre-built datapath + memo), so every block
-        // is as full as possible.
-        constexpr std::size_t lanes = gf2::BitSlice64::laneCount;
-        std::vector<PerfWord *> flat;
-        for (auto &code_words : fleet.words)
-            for (auto &word : code_words)
-                flat.push_back(word.get());
-        for (std::size_t begin = 0; begin < flat.size(); begin += lanes) {
-            const std::size_t end =
-                std::min(begin + lanes, flat.size());
-            std::vector<const fault::WordFaultModel *> fault_ptrs;
-            std::vector<std::uint64_t> seeds;
-            std::vector<std::vector<core::Profiler *>> lane_profilers;
-            for (std::size_t w = begin; w < end; ++w) {
-                fault_ptrs.push_back(&flat[w]->faults);
-                seeds.push_back(flat[w]->engineSeed);
-                lane_profilers.push_back(flat[w]->raw);
-            }
-            std::unique_ptr<core::SlicedRoundEngine> round_engine;
-            if (workload.bch) {
-                round_engine = std::make_unique<core::SlicedRoundEngine>(
-                    *fleet.sharedBch, fault_ptrs,
-                    core::PatternKind::Random, seeds);
-            } else {
-                round_engine = std::make_unique<core::SlicedRoundEngine>(
-                    *fleet.slicedHamming[begin / lanes], fault_ptrs,
-                    core::PatternKind::Random, seeds);
-            }
-            round_engine->setPhaseSink(phases);
-            for (std::size_t r = 0; r < workload.rounds; ++r)
-                round_engine->runRound(lane_profilers);
-        }
-        if (fleet.sharedBch != nullptr) {
-            stats.memoHits = fleet.sharedBch->memoHits();
-            stats.memoMisses = fleet.sharedBch->memoMisses();
-            stats.memoEntries = fleet.sharedBch->memoEntries();
-            stats.memoPrewarmed = fleet.sharedBch->memoPrewarmed();
-        }
+        driveFleetSliced<1>(fleet, workload, phases, stats);
     }
     const auto stop = std::chrono::steady_clock::now();
     stats.seconds = std::chrono::duration<double>(stop - start).count();
@@ -340,9 +379,9 @@ makePerfEngineThroughput()
     ExperimentSpec spec;
     spec.name = "perf_engine_throughput";
     spec.description =
-        "Profiling-round throughput: scalar vs. sliced64 engine on "
-        "Hamming (Fig. 6-sized) and t-error BCH workloads (timing "
-        "fields are machine-dependent)";
+        "Profiling-round throughput: scalar vs. sliced64 vs. sliced256 "
+        "engines on Hamming (Fig. 6-sized) and t-error BCH workloads "
+        "(timing fields are machine-dependent)";
     spec.labels = {"bench", "perf"};
     spec.grid =
         ParamGrid({ParamAxis{"workload", {"hamming", "bch"}}});
@@ -368,17 +407,23 @@ makePerfEngineThroughput()
          "best-of-reps wall time of the scalar profiling loop"},
         {"sliced64_wall_seconds", JsonType::Double,
          "best-of-reps wall time of the sliced64 profiling loop"},
+        {"sliced256_wall_seconds", JsonType::Double,
+         "best-of-reps wall time of the sliced256 profiling loop"},
         {"scalar_rounds_per_sec", JsonType::Double,
          "profiler-rounds/s under the scalar engine"},
         {"sliced64_rounds_per_sec", JsonType::Double,
          "profiler-rounds/s under the sliced64 engine"},
+        {"sliced256_rounds_per_sec", JsonType::Double,
+         "profiler-rounds/s under the sliced256 engine"},
         {"speedup", JsonType::Double,
          "sliced64 throughput / scalar throughput"},
+        {"speedup_256", JsonType::Double,
+         "sliced256 throughput / scalar throughput"},
         {"profiles_match", JsonType::Bool,
-         "both engines produced identical identified profiles"},
+         "all three engines produced identical identified profiles"},
         {"profile_checksum", JsonType::String,
          "FNV-1a over all final identified profiles (deterministic; "
-         "equal for both engines)"},
+         "equal for every engine)"},
         {"memo_hits", JsonType::Int,
          "sliced BCH syndrome-memo hits (null for Hamming)"},
         {"memo_misses", JsonType::Int,
@@ -406,6 +451,14 @@ makePerfEngineThroughput()
         {"sliced64_observe_seconds", JsonType::Double,
          "sliced64 observation wall seconds — lane observes, scatters "
          "and scalar observe calls (instrumented rep)"},
+        {"sliced256_setup_seconds", JsonType::Double,
+         "sliced256 pattern/CRN/choose wall seconds (instrumented rep)"},
+        {"sliced256_datapath_seconds", JsonType::Double,
+         "sliced256 gather+encode+inject+decode wall seconds "
+         "(instrumented rep)"},
+        {"sliced256_observe_seconds", JsonType::Double,
+         "sliced256 observation wall seconds — lane observes, scatters "
+         "and scalar observe calls (instrumented rep)"},
     };
     spec.run = [](const RunContext &ctx) {
         PerfWorkload workload;
@@ -432,12 +485,16 @@ makePerfEngineThroughput()
             measureEngine(workload, core::EngineKind::Scalar, reps);
         const EngineMeasurement sliced =
             measureEngine(workload, core::EngineKind::Sliced64, reps);
+        const EngineMeasurement sliced256 =
+            measureEngine(workload, core::EngineKind::Sliced256, reps);
         // Degenerate workloads (--words 0, --rounds 0) can time as
         // exactly zero; clamp so the throughput/speedup divisions stay
         // finite (JSON serializes non-finite doubles as null, which
         // would violate the declared schema).
         const double scalar_seconds = std::max(scalar.seconds, 1e-9);
         const double sliced_seconds = std::max(sliced.seconds, 1e-9);
+        const double sliced256_seconds =
+            std::max(sliced256.seconds, 1e-9);
 
         const std::size_t words_total =
             workload.numCodes * workload.wordsPerCode;
@@ -455,14 +512,21 @@ makePerfEngineThroughput()
                     JsonValue(static_cast<std::uint64_t>(profiler_rounds)));
         metrics.set("scalar_wall_seconds", JsonValue(scalar_seconds));
         metrics.set("sliced64_wall_seconds", JsonValue(sliced_seconds));
+        metrics.set("sliced256_wall_seconds",
+                    JsonValue(sliced256_seconds));
         metrics.set("scalar_rounds_per_sec",
                     JsonValue(profiler_rounds / scalar_seconds));
         metrics.set("sliced64_rounds_per_sec",
                     JsonValue(profiler_rounds / sliced_seconds));
+        metrics.set("sliced256_rounds_per_sec",
+                    JsonValue(profiler_rounds / sliced256_seconds));
         metrics.set("speedup",
                     JsonValue(scalar_seconds / sliced_seconds));
+        metrics.set("speedup_256",
+                    JsonValue(scalar_seconds / sliced256_seconds));
         metrics.set("profiles_match",
-                    JsonValue(scalar.checksum == sliced.checksum));
+                    JsonValue(scalar.checksum == sliced.checksum &&
+                              scalar.checksum == sliced256.checksum));
         char hex[17];
         std::snprintf(hex, sizeof(hex), "%016llx",
                       static_cast<unsigned long long>(scalar.checksum));
@@ -498,6 +562,12 @@ makePerfEngineThroughput()
                     JsonValue(sliced.phases.datapath));
         metrics.set("sliced64_observe_seconds",
                     JsonValue(sliced.phases.observe));
+        metrics.set("sliced256_setup_seconds",
+                    JsonValue(sliced256.phases.setup));
+        metrics.set("sliced256_datapath_seconds",
+                    JsonValue(sliced256.phases.datapath));
+        metrics.set("sliced256_observe_seconds",
+                    JsonValue(sliced256.phases.observe));
         return metrics;
     };
     return spec;

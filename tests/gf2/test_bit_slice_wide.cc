@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Width-parameterized property tests for BitSliceW: the same suite
+ * runs at W=1 (the historical BitSlice64) and W=4 (the 256-lane AVX2
+ * shape) through typed GoogleTest, so any divergence between the two
+ * instantiations is a test failure, not a latent wide-lane bug.
+ *
+ * Covered: gather/scatter round trips over ragged lane and position
+ * counts (both gather forms), orXorPrefix and diffLanesPrefix against
+ * a scalar per-bit reference, ragged-tail live-lane masks, and the
+ * lane helper algebra (laneMaskOf / laneBit / popcount / sub-word
+ * access).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf2/bit_slice.hh"
+#include "gf2/lane.hh"
+#include "support/property.hh"
+#include "support/seeded_fixture.hh"
+
+namespace harp::gf2 {
+namespace {
+
+using test::forEachSeed;
+
+template <typename WidthConstant>
+class BitSliceWide : public ::testing::Test
+{
+  public:
+    static constexpr std::size_t W = WidthConstant::value;
+    using Slice = BitSliceW<W>;
+    using Lane = typename Slice::Lane;
+};
+
+using Widths = ::testing::Types<std::integral_constant<std::size_t, 1>,
+                                std::integral_constant<std::size_t, 4>>;
+TYPED_TEST_SUITE(BitSliceWide, Widths);
+
+TYPED_TEST(BitSliceWide, GatherScatterRoundTrips)
+{
+    using Slice = typename TestFixture::Slice;
+    constexpr std::size_t laneCount = Slice::laneCount;
+    const std::size_t position_counts[] = {1, 5, 63, 64, 65, 71, 137};
+    const std::size_t lane_counts[] = {1,
+                                       5,
+                                       63,
+                                       64,
+                                       std::min<std::size_t>(65, laneCount),
+                                       laneCount - 1,
+                                       laneCount};
+    forEachSeed(2, [&](std::uint64_t, common::Xoshiro256 &rng) {
+        for (const std::size_t positions : position_counts) {
+            for (const std::size_t lanes : lane_counts) {
+                std::vector<BitVector> words;
+                for (std::size_t w = 0; w < lanes; ++w)
+                    words.push_back(BitVector::random(positions, rng));
+
+                Slice slice(positions);
+                slice.gather(words);
+                // Lane bits match the gathered words...
+                for (std::size_t w = 0; w < lanes; ++w)
+                    for (std::size_t pos = 0; pos < positions; ++pos)
+                        ASSERT_EQ(slice.get(pos, w), words[w].get(pos))
+                            << positions << " positions, lane " << w
+                            << ", pos " << pos;
+                // ...unpopulated lanes are zeroed...
+                for (std::size_t w = lanes; w < laneCount; ++w)
+                    ASSERT_TRUE(slice.extractWord(w).isZero())
+                        << "lane " << w;
+                // ...and scatter restores the originals.
+                std::vector<BitVector> out(lanes, BitVector(positions));
+                slice.scatter(out);
+                for (std::size_t w = 0; w < lanes; ++w)
+                    ASSERT_EQ(out[w], words[w]);
+            }
+        }
+    });
+}
+
+TYPED_TEST(BitSliceWide, BorrowedGatherMatchesOwningGather)
+{
+    using Slice = typename TestFixture::Slice;
+    constexpr std::size_t laneCount = Slice::laneCount;
+    forEachSeed(2, [&](std::uint64_t, common::Xoshiro256 &rng) {
+        const std::size_t positions = 71;
+        const std::size_t lanes = laneCount - 3;
+        std::vector<BitVector> words;
+        for (std::size_t w = 0; w < lanes; ++w)
+            words.push_back(BitVector::random(positions, rng));
+        std::vector<const BitVector *> views;
+        for (const BitVector &word : words)
+            views.push_back(&word);
+
+        Slice owning(positions);
+        owning.gather(words);
+        Slice borrowed(positions);
+        borrowed.gather(views.data(), views.size());
+        for (std::size_t pos = 0; pos < positions; ++pos)
+            ASSERT_TRUE(owning.lane(pos) == borrowed.lane(pos))
+                << "pos " << pos;
+    });
+}
+
+TYPED_TEST(BitSliceWide, ScatterPrefixExtractsLeadingPositions)
+{
+    using Slice = typename TestFixture::Slice;
+    forEachSeed(2, [](std::uint64_t, common::Xoshiro256 &rng) {
+        const std::size_t positions = 71; // (71,64) codeword length
+        const std::size_t prefix = 64;
+        const std::size_t lanes = Slice::laneCount - 1;
+        std::vector<BitVector> words;
+        for (std::size_t w = 0; w < lanes; ++w)
+            words.push_back(BitVector::random(positions, rng));
+        Slice slice(positions);
+        slice.gather(words);
+
+        std::vector<BitVector> out(words.size(), BitVector(prefix));
+        slice.scatterPrefix(prefix, out);
+        for (std::size_t w = 0; w < words.size(); ++w)
+            ASSERT_EQ(out[w], words[w].slice(0, prefix)) << "lane " << w;
+    });
+}
+
+TYPED_TEST(BitSliceWide, OrXorPrefixMatchesScalarReference)
+{
+    using Slice = typename TestFixture::Slice;
+    using Lane = typename TestFixture::Lane;
+    constexpr std::size_t laneCount = Slice::laneCount;
+    forEachSeed(3, [&](std::uint64_t, common::Xoshiro256 &rng) {
+        const std::size_t positions = 71;
+        const std::size_t prefix = 64;
+        const std::size_t lanes = laneCount - 5;
+        std::vector<BitVector> a_words, b_words;
+        for (std::size_t w = 0; w < lanes; ++w) {
+            a_words.push_back(BitVector::random(positions, rng));
+            // Give some word pairs identical prefixes so the returned
+            // mismatch mask has zero lanes to witness.
+            if (w % 3 == 0)
+                b_words.push_back(a_words.back());
+            else
+                b_words.push_back(BitVector::random(positions, rng));
+        }
+
+        Slice a(positions), b(positions), acc(prefix);
+        a.gather(a_words);
+        b.gather(b_words);
+        const Lane changed = acc.orXorPrefix(a, b, prefix);
+
+        for (std::size_t w = 0; w < lanes; ++w) {
+            bool any = false;
+            for (std::size_t pos = 0; pos < prefix; ++pos) {
+                const bool mismatch =
+                    a_words[w].get(pos) != b_words[w].get(pos);
+                any = any || mismatch;
+                ASSERT_EQ(acc.get(pos, w), mismatch)
+                    << "lane " << w << ", pos " << pos;
+            }
+            ASSERT_EQ(laneTestBit(changed, w), any) << "lane " << w;
+        }
+        // Accumulation: a second pass ORs into the existing state.
+        Slice ones(prefix);
+        std::vector<BitVector> one_words(lanes, BitVector(prefix));
+        for (auto &word : one_words)
+            for (std::size_t pos = 0; pos < prefix; ++pos)
+                word.set(pos, true);
+        ones.gather(one_words);
+        Slice zeros(prefix);
+        zeros.gather(std::vector<BitVector>(lanes, BitVector(prefix)));
+        acc.orXorPrefix(ones, zeros, prefix);
+        for (std::size_t w = 0; w < lanes; ++w)
+            for (std::size_t pos = 0; pos < prefix; ++pos)
+                ASSERT_TRUE(acc.get(pos, w));
+    });
+}
+
+TYPED_TEST(BitSliceWide, DiffLanesPrefixMatchesScalarReference)
+{
+    using Slice = typename TestFixture::Slice;
+    using Lane = typename TestFixture::Lane;
+    constexpr std::size_t laneCount = Slice::laneCount;
+    forEachSeed(3, [&](std::uint64_t, common::Xoshiro256 &rng) {
+        const std::size_t positions = 71;
+        const std::size_t prefix = 64;
+        const std::size_t lanes = laneCount;
+        std::vector<BitVector> a_words, b_words;
+        for (std::size_t w = 0; w < lanes; ++w) {
+            a_words.push_back(BitVector::random(positions, rng));
+            b_words.push_back(a_words.back());
+        }
+        // Flip one bit in a spread of lanes: some inside the prefix
+        // (must be reported), some beyond it (must not).
+        for (std::size_t w = 0; w < lanes; w += 7)
+            b_words[w].set(w % prefix, !b_words[w].get(w % prefix));
+        for (std::size_t w = 3; w < lanes; w += 11)
+            if (w % 7 != 0)
+                b_words[w].set(prefix + (w % (positions - prefix)),
+                               !b_words[w].get(prefix +
+                                               (w % (positions - prefix))));
+
+        Slice a(positions), b(positions);
+        a.gather(a_words);
+        b.gather(b_words);
+        const Lane diff = a.diffLanesPrefix(b, prefix);
+        for (std::size_t w = 0; w < lanes; ++w) {
+            const bool expect =
+                !(a_words[w].slice(0, prefix) ==
+                  b_words[w].slice(0, prefix));
+            ASSERT_EQ(laneTestBit(diff, w), expect) << "lane " << w;
+        }
+    });
+}
+
+TYPED_TEST(BitSliceWide, RaggedTailMasksSelectExactlyLiveLanes)
+{
+    using Lane = typename TestFixture::Lane;
+    constexpr std::size_t laneCount = TestFixture::Slice::laneCount;
+    for (std::size_t lanes = 0; lanes <= laneCount; ++lanes) {
+        const Lane mask = laneMaskOf<Lane>(lanes);
+        ASSERT_EQ(lanePopcount(mask), lanes);
+        for (std::size_t w = 0; w < laneCount; ++w)
+            ASSERT_EQ(laneTestBit(mask, w), w < lanes)
+                << lanes << " live lanes, lane " << w;
+    }
+    const Lane all = laneOnes<Lane>();
+    ASSERT_EQ(lanePopcount(all), laneCount);
+    ASSERT_TRUE(all == laneMaskOf<Lane>(laneCount));
+}
+
+TYPED_TEST(BitSliceWide, LaneHelperAlgebra)
+{
+    using Lane = typename TestFixture::Lane;
+    constexpr std::size_t laneCount = TestFixture::Slice::laneCount;
+
+    Lane lane{};
+    ASSERT_FALSE(laneAny(lane));
+    laneSetBit(lane, laneCount - 1);
+    laneSetBit(lane, 0);
+    ASSERT_TRUE(laneAny(lane));
+    ASSERT_EQ(lanePopcount(lane), 2u);
+    ASSERT_TRUE(laneTestBit(lane, 0));
+    ASSERT_TRUE(laneTestBit(lane, laneCount - 1));
+    laneClearBit(lane, 0);
+    ASSERT_FALSE(laneTestBit(lane, 0));
+    ASSERT_TRUE(lane == laneBit<Lane>(laneCount - 1));
+
+    // forEachSetLane walks ascending; sub-word access agrees.
+    laneSetBit(lane, 2);
+    std::vector<std::size_t> seen;
+    forEachSetLane(lane, [&](std::size_t w) { seen.push_back(w); });
+    ASSERT_EQ(seen, (std::vector<std::size_t>{2, laneCount - 1}));
+    ASSERT_EQ(laneWord(lane, 0) & 0x4u, 0x4u);
+    laneWordRef(lane, (laneCount - 1) / 64) = 0;
+    laneWordRef(lane, 0) = 0;
+    ASSERT_FALSE(laneAny(lane));
+}
+
+} // namespace
+} // namespace harp::gf2

@@ -269,53 +269,71 @@ TEST(CampaignDeterminism, SeedFixedHashesAgreeAcrossShardCounts)
 }
 
 /**
- * The engine contract behind `--engine`: scalar and sliced64 campaigns
- * over the coverage and case-study specs must emit byte-identical
- * JSONL (equal result hashes) for a fixed seed. wordsPerCode = 70
- * exercises a ragged sliced block (64 + 6 lanes).
+ * The engine × sharding contract behind `--engine`/`--threads`: every
+ * engine (scalar, sliced64, sliced256) at every shard count (1, 4,
+ * hardware) must emit byte-identical JSONL (equal result hashes) for a
+ * fixed seed over the coverage and case-study specs. wordsPerCode = 70
+ * exercises a ragged sliced block (64 + 6 lanes at W=1; 70 lanes of
+ * one 256-lane block at W=4), and the multi-thread runs drive the
+ * intra-job sharding + OrderedMerger path.
  */
-TEST(CampaignDeterminism, EngineOverridesHashIdentically)
+TEST(CampaignDeterminism, EngineAndShardOverridesHashIdentically)
 {
     std::vector<CampaignSummary> runs;
     std::vector<std::string> jsonl_bytes;
-    for (const char *engine : {"scalar", "sliced64"}) {
-        const TempDir dir(std::string("engine_") + engine);
-        CampaignOptions options;
-        options.seed = 11;
-        options.threads = 2;
-        options.outDir = dir.str();
-        options.overrides = {{"engine", engine}, {"codes", "1"},
-                             {"words", "70"},    {"rounds", "6"},
-                             {"prob", "0.5"},    {"pre_errors", "3"},
-                             {"samples", "5"},   {"max_cells", "2"}};
-        std::ostringstream log;
-        runs.push_back(runFast(
-            {"fig06_direct_coverage", "fig10_case_study"}, options, log));
-        std::string bytes;
-        for (const ExperimentRunSummary &exp : runs.back().experiments)
-            bytes += readFile(exp.jsonlPath);
-        jsonl_bytes.push_back(std::move(bytes));
+    std::vector<std::string> tags;
+    for (const char *engine : {"scalar", "sliced64", "sliced256"}) {
+        for (const std::size_t threads :
+             {std::size_t{1}, std::size_t{4}, std::size_t{0} /* hw */}) {
+            const std::string tag = std::string(engine) + "_t" +
+                                    std::to_string(threads);
+            const TempDir dir("engine_" + tag);
+            CampaignOptions options;
+            options.seed = 11;
+            options.threads = threads;
+            options.outDir = dir.str();
+            options.overrides = {{"engine", engine}, {"codes", "1"},
+                                 {"words", "70"},    {"rounds", "6"},
+                                 {"prob", "0.5"},    {"pre_errors", "3"},
+                                 {"samples", "5"},   {"max_cells", "2"}};
+            std::ostringstream log;
+            runs.push_back(
+                runFast({"fig06_direct_coverage", "fig10_case_study"},
+                        options, log));
+            std::string bytes;
+            for (const ExperimentRunSummary &exp :
+                 runs.back().experiments)
+                bytes += readFile(exp.jsonlPath);
+            jsonl_bytes.push_back(std::move(bytes));
+            tags.push_back(tag);
+        }
     }
-    ASSERT_EQ(runs.size(), 2u);
-    for (std::size_t e = 0; e < runs[0].experiments.size(); ++e)
-        EXPECT_EQ(runs[0].experiments[e].resultHash,
-                  runs[1].experiments[e].resultHash)
-            << runs[0].experiments[e].name;
-    EXPECT_EQ(jsonl_bytes[0], jsonl_bytes[1]);
+    ASSERT_EQ(runs.size(), 9u);
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].experiments.size(),
+                  runs[0].experiments.size());
+        for (std::size_t e = 0; e < runs[0].experiments.size(); ++e)
+            EXPECT_EQ(runs[r].experiments[e].resultHash,
+                      runs[0].experiments[e].resultHash)
+                << runs[0].experiments[e].name << ": " << tags[r]
+                << " vs " << tags[0];
+        EXPECT_EQ(jsonl_bytes[r], jsonl_bytes[0])
+            << tags[r] << " vs " << tags[0];
+    }
 }
 
 /**
- * The BCH extension sweep under `--engine`: scalar and sliced64 runs
- * of bch_t_sweep must emit byte-identical JSONL for a fixed seed —
- * the memoized sliced BCH datapath is exactly equivalent to the
- * scalar Berlekamp-Massey decoder. words = 70 exercises a ragged
- * sliced block (64 + 6 lanes).
+ * The BCH extension sweep under `--engine`: scalar, sliced64 and
+ * sliced256 runs of bch_t_sweep must emit byte-identical JSONL for a
+ * fixed seed — the memoized sliced BCH datapath is exactly equivalent
+ * to the scalar Berlekamp-Massey decoder at every width. words = 70
+ * exercises a ragged sliced block (64 + 6 lanes).
  */
 TEST(CampaignDeterminism, BchTSweepEngineOverridesHashIdentically)
 {
     std::vector<std::uint64_t> hashes;
     std::vector<std::string> jsonl_bytes;
-    for (const char *engine : {"scalar", "sliced64"}) {
+    for (const char *engine : {"scalar", "sliced64", "sliced256"}) {
         const TempDir dir(std::string("bch_engine_") + engine);
         CampaignOptions options;
         options.seed = 13;
@@ -333,8 +351,11 @@ TEST(CampaignDeterminism, BchTSweepEngineOverridesHashIdentically)
         jsonl_bytes.push_back(
             readFile(summary.experiments[0].jsonlPath));
     }
+    ASSERT_EQ(hashes.size(), 3u);
     EXPECT_EQ(hashes[0], hashes[1]);
+    EXPECT_EQ(hashes[0], hashes[2]);
     EXPECT_EQ(jsonl_bytes[0], jsonl_bytes[1]);
+    EXPECT_EQ(jsonl_bytes[0], jsonl_bytes[2]);
 }
 
 /** The longest-first scheduling heuristic: scale-like integer params
@@ -359,7 +380,7 @@ TEST(Campaign, JobCostKeyOrdersHeavyPointsFirst)
 }
 
 /** The perf experiment runs end-to-end through the campaign driver and
- *  reports matching profiles between its two engine measurements. */
+ *  reports matching profiles across its three engine measurements. */
 TEST(Campaign, PerfEngineThroughputSmoke)
 {
     const TempDir dir("perf");
@@ -388,6 +409,11 @@ TEST(Campaign, PerfEngineThroughputSmoke)
     ASSERT_NE(metrics->find("profiler_rounds"), nullptr);
     EXPECT_TRUE(metrics->find("profiles_match")->asBool());
     EXPECT_GT(metrics->find("speedup")->asDouble(), 0.0);
+    // The third (wide-lane) measurement reports alongside the first two
+    // and participates in the profiles_match checksum equality.
+    ASSERT_NE(metrics->find("speedup_256"), nullptr);
+    EXPECT_GT(metrics->find("speedup_256")->asDouble(), 0.0);
+    EXPECT_GT(metrics->find("sliced256_rounds_per_sec")->asDouble(), 0.0);
     EXPECT_EQ(metrics->find("profiler_rounds")->asInt(), 8 * 8 * 4);
     EXPECT_TRUE(metrics->find("memo_hit_rate")->isNull());
 
