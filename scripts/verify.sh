@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the exact ROADMAP.md command, a smoke campaign
-# through the harp_run experiment runner (incl. an alias binary), and a
-# docs lint (Doxygen warnings are errors; skipped when doxygen is not
-# installed). Exits nonzero on any failure.
+# through the harp_run experiment runner (incl. an alias binary), a
+# harpd smoke (daemon + client submit, byte-compared against batch),
+# and a docs lint (Doxygen warnings are errors; skipped when doxygen is
+# not installed). Exits nonzero on any failure.
 #
 #   scripts/verify.sh          # tier-1 + smoke perf wiring
 #   scripts/verify.sh --full   # additionally: full-scale perf snapshot
@@ -69,6 +70,80 @@ cmp -s "$smoke_dir/a/quickstart.jsonl" "$smoke_dir/b/quickstart.jsonl" || {
 
 # Alias binaries forward into the same runner.
 ./build/examples/example_quickstart --out "$smoke_dir/alias" > /dev/null
+
+# --- harpd smoke ----------------------------------------------------------
+# The resident service must stream byte-identical results to a batch
+# `harp_run --no-timings` for the same spec/seed, publish the identical
+# files on its own data dir, agree with --list-json on the experiment
+# registry, and drain cleanly on the shutdown verb (daemon exit 0).
+harpd_root="$PWD/$smoke_dir/harpd"
+rm -rf "$harpd_root"
+mkdir -p "$harpd_root"
+./build/src/harpd --socket "$harpd_root/d.sock" \
+    --data "$harpd_root/data" --threads 2 \
+    > "$harpd_root/daemon.log" 2>&1 &
+harpd_pid=$!
+trap 'kill -9 "$harpd_pid" 2> /dev/null || true' EXIT
+harpd_up=0
+for _ in $(seq 1 200); do
+    if ./build/src/harpd_client --socket "$harpd_root/d.sock" ping \
+        > /dev/null 2>&1; then
+        harpd_up=1
+        break
+    fi
+    sleep 0.05
+done
+[[ $harpd_up -eq 1 ]] || {
+    echo "verify: harpd never came up" >&2
+    cat "$harpd_root/daemon.log" >&2 || true
+    exit 1
+}
+
+./build/src/harp_run quickstart --seed 3 --threads 2 --repeat 4 \
+    --no-timings --out "$harpd_root/batch" > /dev/null
+./build/src/harpd_client --socket "$harpd_root/d.sock" \
+    submit smoke quickstart --seed 3 --repeat 4 \
+    --out "$harpd_root/served" > /dev/null 2> /dev/null || {
+    echo "verify: harpd_client submit failed" >&2
+    exit 1
+}
+for f in quickstart.jsonl summary.json; do
+    cmp -s "$harpd_root/batch/$f" "$harpd_root/served/$f" || {
+        echo "verify: harpd streamed $f differs from batch harp_run" >&2
+        exit 1
+    }
+    cmp -s "$harpd_root/batch/$f" "$harpd_root/data/results/smoke/$f" || {
+        echo "verify: harpd published $f differs from batch harp_run" >&2
+        exit 1
+    }
+done
+
+# The list verb must carry the same machine-readable registry document
+# as `harp_run --list-json`, and show the finished campaign.
+./build/src/harpd_client --socket "$harpd_root/d.sock" list \
+    > "$harpd_root/list.json"
+./build/src/harp_run --list-json > "$harpd_root/list-ref.json"
+python3 - "$harpd_root/list.json" "$harpd_root/list-ref.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    served = json.load(f)
+with open(sys.argv[2], encoding="utf-8") as f:
+    reference = json.load(f)
+assert served["registry"] == reference, \
+    "harpd list registry != harp_run --list-json"
+by_id = {c["id"]: c for c in served["campaigns"]}
+assert "smoke" in by_id, f"submitted campaign missing: {sorted(by_id)}"
+assert by_id["smoke"]["state"] == "done", by_id["smoke"]
+EOF
+
+./build/src/harpd_client --socket "$harpd_root/d.sock" shutdown \
+    > /dev/null
+wait "$harpd_pid" || {
+    echo "verify: harpd exited nonzero after shutdown" >&2
+    cat "$harpd_root/daemon.log" >&2 || true
+    exit 1
+}
+trap - EXIT
 
 # --- Engine equivalence ---------------------------------------------------
 # A seed-fixed campaign must be byte-identical under the scalar,
@@ -155,7 +230,10 @@ fi
 # The whole unit suite under TSan (memo sharing + intra-job sharding
 # races) and ASan+UBSan (lane/transpose pointer arithmetic), in
 # dedicated build trees so the sanitizer runtimes never mix with the
-# primary build/.
+# primary build/. The unit label includes the harpd protocol,
+# checkpoint, and in-process server suites; the merger/bounded-queue
+# contention stress and the out-of-process kill/resume properties are
+# labeled stress/integration, so they are run explicitly here.
 if [[ $FULL -eq 1 ]]; then
     for san in thread address; do
         sdir="build-tsan"
@@ -165,6 +243,11 @@ if [[ $FULL -eq 1 ]]; then
         cmake --build "$sdir" -j
         (cd "$sdir" && ctest -L unit --output-on-failure -j) || {
             echo "verify: unit suite failed under $san sanitizer" >&2
+            exit 1
+        }
+        (cd "$sdir" && ctest --output-on-failure \
+            -R '^(test_merge_queue_stress|test_harpd_resume)$') || {
+            echo "verify: harpd stress/resume failed under $san" >&2
             exit 1
         }
     done

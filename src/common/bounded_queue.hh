@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bounded blocking MPMC queue — the backpressure primitive between the
+ * campaign workers producing result lines and a (possibly slow) client
+ * consuming them.
+ *
+ * push() blocks while the queue is full, so a slow consumer throttles
+ * its producers instead of growing an unbounded buffer; close() wakes
+ * every blocked producer and consumer, making client-disconnect a
+ * non-event for the producing side (pushes start returning false and
+ * the results are simply dropped — the checkpoint already has them).
+ */
+
+#ifndef HARP_COMMON_BOUNDED_QUEUE_HH
+#define HARP_COMMON_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace harp::common {
+
+/**
+ * Fixed-capacity FIFO safe for any number of producers and consumers.
+ *
+ * Lifecycle: open on construction; close() is idempotent and
+ * irreversible. After close, push() fails fast, and pop() drains the
+ * remaining elements before reporting end-of-stream.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /** Block until there is room (or the queue closes). Returns false —
+     *  and drops @p value — iff the queue was closed. */
+    bool push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push. Returns false when full or closed. */
+    bool tryPush(T value)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Block until an element is available or the stream ends. Returns
+     *  nullopt only when the queue is closed *and* fully drained. */
+    std::optional<T> pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T value = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return value;
+    }
+
+    /** End the stream: wake all waiters; subsequent pushes fail. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace harp::common
+
+#endif // HARP_COMMON_BOUNDED_QUEUE_HH

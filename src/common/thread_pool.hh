@@ -54,6 +54,46 @@ class ThreadPool
 };
 
 /**
+ * Completion counter for task batches submitted to a *shared* pool.
+ *
+ * ThreadPool::wait() waits for every task from every submitter, which
+ * is wrong when several campaign sessions multiplex one pool (harpd):
+ * each session tracks only its own tasks with a WaitGroup — add()
+ * before submitting, done() at the end of the task, wait() for the
+ * batch.
+ */
+class WaitGroup
+{
+  public:
+    /** Register @p n not-yet-done tasks. */
+    void add(std::size_t n = 1)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_ += n;
+    }
+
+    /** Mark one task done; wakes wait() when the count reaches zero. */
+    void done()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (pending_ > 0 && --pending_ == 0)
+            idle_.notify_all();
+    }
+
+    /** Block until every add()ed task has called done(). */
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable idle_;
+    std::size_t pending_ = 0;
+};
+
+/**
  * Run @p body(i) for every i in [0, count) across a transient pool.
  *
  * Each invocation must be independent; @p body is shared across threads so

@@ -119,12 +119,19 @@ runSlicedCaseStudy(const CaseStudyConfig &config, std::size_t max_n,
             lane_profilers.push_back(batch.sims.back()->raw);
         }
 
-        SlicedRoundEngineW<W> engine(code_ptrs, fault_ptrs,
-                                     config.pattern, seeds);
-        for (std::size_t r = 0; r < config.rounds; ++r) {
-            engine.runRound(lane_profilers);
-            for (auto &sim : batch.sims)
-                sim->accumulateRound(r);
+        {
+            // The engine's destructor flushes and detaches its lane
+            // observer groups through raw Profiler pointers, so it
+            // must die before deposit() hands the batch (and its
+            // profilers) to a merger peer that may free them on
+            // another thread.
+            SlicedRoundEngineW<W> engine(code_ptrs, fault_ptrs,
+                                         config.pattern, seeds);
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                engine.runRound(lane_profilers);
+                for (auto &sim : batch.sims)
+                    sim->accumulateRound(r);
+            }
         }
 
         merger.deposit(block, std::move(batch), mergeBatch);
@@ -196,11 +203,16 @@ runCaseStudyExperiment(const CaseStudyConfig &config)
             const std::size_t sample = task % config.samplesPerCellCount;
 
             auto sim = std::make_unique<SampleSim>(config, n, sample);
-            RoundEngine engine(sim->code, sim->faults, config.pattern,
-                               sim->engineSeed);
-            for (std::size_t r = 0; r < config.rounds; ++r) {
-                engine.runRound(sim->raw);
-                sim->accumulateRound(r);
+            {
+                // Scoped like the sliced engines: the engine holds
+                // references into *sim, which a merger peer may free
+                // once deposited.
+                RoundEngine engine(sim->code, sim->faults,
+                                   config.pattern, sim->engineSeed);
+                for (std::size_t r = 0; r < config.rounds; ++r) {
+                    engine.runRound(sim->raw);
+                    sim->accumulateRound(r);
+                }
             }
 
             merger.deposit(task, DonePair(n, std::move(sim)),

@@ -228,12 +228,19 @@ runSlicedCoverage(const CoverageConfig &config, CoverageResult &result)
             lane_profilers.push_back(words.back()->raw);
         }
 
-        SlicedRoundEngineW<W> engine(code_ptrs, fault_ptrs,
-                                     config.pattern, seeds);
-        for (std::size_t r = 0; r < config.rounds; ++r) {
-            engine.runRound(lane_profilers);
-            for (auto &word : words)
-                word->accumulateRound(config, r);
+        {
+            // The engine's destructor flushes and detaches its lane
+            // observer groups through raw Profiler pointers, so it
+            // must die before deposit() hands the words (and their
+            // profilers) to a merger peer that may free them on
+            // another thread.
+            SlicedRoundEngineW<W> engine(code_ptrs, fault_ptrs,
+                                         config.pattern, seeds);
+            for (std::size_t r = 0; r < config.rounds; ++r) {
+                engine.runRound(lane_profilers);
+                for (auto &word : words)
+                    word->accumulateRound(config, r);
+            }
         }
 
         merger.deposit(block, std::move(words), [&](BlockSims &sims) {
@@ -317,11 +324,16 @@ runCoverageExperiment(const CoverageConfig &config)
             auto word = std::make_unique<WordSim>(
                 config, code, faultSeed(code_idx, word_idx));
 
-            RoundEngine engine(code, word->faults, config.pattern,
-                               engineSeed(code_idx, word_idx));
-            for (std::size_t r = 0; r < config.rounds; ++r) {
-                engine.runRound(word->raw);
-                word->accumulateRound(config, r);
+            {
+                // Scoped like the sliced engines: the engine holds a
+                // reference into *word, which a merger peer may free
+                // once deposited.
+                RoundEngine engine(code, word->faults, config.pattern,
+                                   engineSeed(code_idx, word_idx));
+                for (std::size_t r = 0; r < config.rounds; ++r) {
+                    engine.runRound(word->raw);
+                    word->accumulateRound(config, r);
+                }
             }
 
             merger.deposit(task, std::move(word),

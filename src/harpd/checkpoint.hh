@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Crash-safe campaign checkpoints: the state harpd needs to resume a
+ * killed multi-hour grid without recomputing finished jobs.
+ *
+ * A checkpoint is an append-only text file of checksummed records:
+ *
+ *   <fnv1a64 hex16> SP <single-line JSON payload> LF
+ *
+ * The first record is the header (the submit parameters — enough to
+ * rebuild the CampaignSessions); every following record stores one
+ * completed job's exact JSONL line. Appends are flushed per record, so
+ * a SIGKILL loses at most the record being written — and exactly that
+ * failure mode is recoverable: the loader verifies each record's
+ * checksum and, at the first corrupt or partial record, truncates the
+ * file back to the last good byte and carries on with what survived
+ * (the lost job is simply recomputed). A checkpoint whose *header* is
+ * unreadable is unusable and reported as such.
+ *
+ * Byte-identity across kill/resume follows: restored lines re-enter
+ * the output stream verbatim via CampaignSession::restore, and
+ * recomputed jobs derive the same per-(experiment, point, repeat)
+ * seeds as the uninterrupted run.
+ */
+
+#ifndef HARP_HARPD_CHECKPOINT_HH
+#define HARP_HARPD_CHECKPOINT_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace harp::harpd {
+
+/** The submit parameters a resumed daemon must reconstruct. */
+struct CheckpointHeader
+{
+    std::string campaign;
+    std::vector<std::string> experiments;
+    std::uint64_t seed = 1;
+    std::size_t repeat = 1;
+    std::map<std::string, std::string> overrides;
+};
+
+/** One completed (experiment, job) with its exact JSONL line. */
+struct CheckpointRecord
+{
+    /** Index into CheckpointHeader::experiments (selector order). */
+    std::size_t experiment = 0;
+    /** Job index within that experiment (point-major, repeat-minor). */
+    std::size_t job = 0;
+    std::string line;
+};
+
+/** Appends checksummed records, flushing each one to the OS so a
+ *  killed process loses at most the in-flight record. */
+class CheckpointWriter
+{
+  public:
+    /** Create/truncate @p path and write the header record.
+     *  @throws std::runtime_error when the file cannot be written. */
+    CheckpointWriter(const std::string &path,
+                     const CheckpointHeader &header);
+
+    /** Reopen @p path for appending after a successful load (the
+     *  header is already on disk). */
+    explicit CheckpointWriter(const std::string &path);
+
+    void add(const CheckpointRecord &record);
+
+  private:
+    void open(const std::string &path, bool truncate);
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+/** A successfully loaded checkpoint. */
+struct LoadedCheckpoint
+{
+    CheckpointHeader header;
+    std::vector<CheckpointRecord> records;
+    /** True when a corrupt/partial tail was cut off during load. */
+    bool recovered = false;
+};
+
+/**
+ * Load @p path, verifying every record checksum. On the first bad
+ * record the file is truncated to the preceding good byte
+ * (recovered = true) and loading stops. Returns std::nullopt when the
+ * file is missing or its header record is unreadable.
+ */
+std::optional<LoadedCheckpoint> loadCheckpoint(const std::string &path);
+
+} // namespace harp::harpd
+
+#endif // HARP_HARPD_CHECKPOINT_HH

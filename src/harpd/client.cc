@@ -1,0 +1,66 @@
+#include "harpd/client.hh"
+
+#include <stdexcept>
+
+#include <sys/socket.h>
+
+#include "harpd/protocol.hh"
+
+namespace harp::harpd {
+
+Client::Client(const std::string &socket_path)
+    : fd_(connectUnix(socket_path)), reader_(fd_.get())
+{
+    if (!fd_.valid())
+        throw std::runtime_error("cannot connect to harpd at " +
+                                 socket_path);
+}
+
+bool
+Client::sendLine(const std::string &line)
+{
+    return sendAll(fd_.get(), line);
+}
+
+bool
+Client::send(const runner::JsonValue &request)
+{
+    return sendLine(wireLine(request));
+}
+
+std::optional<runner::JsonValue>
+Client::read(std::string *raw)
+{
+    std::string line;
+    const LineReader::Result result = reader_.readLine(line, maxLineBytes);
+    if (result != LineReader::Result::Line)
+        return std::nullopt;
+    if (raw != nullptr)
+        *raw = line;
+    try {
+        return runner::JsonValue::parse(line);
+    } catch (const std::exception &e) {
+        throw std::runtime_error("harpd sent invalid JSON: " +
+                                 std::string(e.what()));
+    }
+}
+
+runner::JsonValue
+Client::request(const runner::JsonValue &request)
+{
+    if (!send(request))
+        throw std::runtime_error("harpd connection lost while sending");
+    std::optional<runner::JsonValue> reply = read();
+    if (!reply.has_value())
+        throw std::runtime_error("harpd closed the connection without "
+                                 "replying");
+    return std::move(*reply);
+}
+
+void
+Client::halfClose()
+{
+    ::shutdown(fd_.get(), SHUT_WR);
+}
+
+} // namespace harp::harpd

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal harpd client: connect, send request lines, read reply lines.
+ *
+ * Used by the `harpd_client` CLI and by the integration/fault-injection
+ * tests, which additionally need raw socket control (halfClose,
+ * abortive close) to exercise the server's failure paths.
+ */
+
+#ifndef HARP_HARPD_CLIENT_HH
+#define HARP_HARPD_CLIENT_HH
+
+#include <optional>
+#include <string>
+
+#include "harpd/net.hh"
+#include "runner/json.hh"
+
+namespace harp::harpd {
+
+class Client
+{
+  public:
+    /** Connect to the daemon at @p socket_path.
+     *  @throws std::runtime_error when the connection fails. */
+    explicit Client(const std::string &socket_path);
+
+    /** Send one raw line (caller includes the trailing '\n').
+     *  Returns false when the peer is gone. */
+    bool sendLine(const std::string &line);
+
+    /** Send @p request as one wire line. */
+    bool send(const runner::JsonValue &request);
+
+    /**
+     * Read the next reply document. std::nullopt on EOF/error;
+     * @p raw (when non-null) receives the undecoded line.
+     * @throws std::runtime_error when the reply is not valid JSON.
+     */
+    std::optional<runner::JsonValue> read(std::string *raw = nullptr);
+
+    /** One-shot request/reply convenience.
+     *  @throws std::runtime_error when the daemon hangs up early. */
+    runner::JsonValue request(const runner::JsonValue &request);
+
+    /** Half-close the write side (server sees EOF after buffered
+     *  bytes) while keeping the read side open. */
+    void halfClose();
+
+    /** The raw socket (fault-injection tests only). */
+    int fd() const { return fd_.get(); }
+
+  private:
+    Fd fd_;
+    LineReader reader_;
+};
+
+} // namespace harp::harpd
+
+#endif // HARP_HARPD_CLIENT_HH

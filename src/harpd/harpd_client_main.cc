@@ -1,0 +1,248 @@
+/**
+ * @file
+ * `harpd_client` — command-line front end for a running harpd.
+ *
+ *   harpd_client --socket PATH ping
+ *   harpd_client --socket PATH list
+ *   harpd_client --socket PATH status CAMPAIGN
+ *   harpd_client --socket PATH cancel CAMPAIGN
+ *   harpd_client --socket PATH shutdown
+ *   harpd_client --socket PATH submit CAMPAIGN EXPERIMENT...
+ *                [--out DIR] [--seed N] [--repeat N]
+ *                [--set NAME VALUE]...
+ *
+ * `submit` streams the campaign and, when --out is given, materializes
+ * the streamed results exactly as a batch `harp_run --no-timings` would
+ * have: one `<experiment>.jsonl` per experiment plus `summary.json`,
+ * byte-identical for the same specs/seed/repeat.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harpd/client.hh"
+#include "harpd/protocol.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using harp::harpd::Client;
+using harp::runner::JsonType;
+using harp::runner::JsonValue;
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: harpd_client --socket PATH VERB [args]\n"
+           "  ping | list | shutdown\n"
+           "  status CAMPAIGN\n"
+           "  cancel CAMPAIGN\n"
+           "  submit CAMPAIGN EXPERIMENT... [--out DIR] [--seed N]\n"
+           "         [--repeat N] [--set NAME VALUE]...\n";
+    return code;
+}
+
+int
+fail(const JsonValue &reply)
+{
+    std::cerr << "harpd_client: error: " << reply.dump() << "\n";
+    return 1;
+}
+
+/** Stream one submit; mirrors results into @p out_dir when set. */
+int
+runSubmit(Client &client, const JsonValue &request,
+          const std::string &out_dir)
+{
+    if (!client.send(request)) {
+        std::cerr << "harpd_client: connection lost while sending\n";
+        return 1;
+    }
+    std::map<std::string, std::unique_ptr<std::ofstream>> files;
+    bool done = false;
+    int code = 1;
+    while (!done) {
+        std::optional<JsonValue> event = client.read();
+        if (!event.has_value()) {
+            std::cerr << "harpd_client: connection closed before the "
+                         "campaign finished\n";
+            return 1;
+        }
+        const JsonValue *type = event->find("type");
+        const std::string kind =
+            type != nullptr && type->type() == JsonType::String
+                ? type->asString()
+                : "";
+        if (kind == "accepted") {
+            std::cerr << "accepted: " << event->dump() << "\n";
+        } else if (kind == "result") {
+            const JsonValue *experiment = event->find("experiment");
+            const JsonValue *line = event->find("line");
+            if (experiment == nullptr || line == nullptr) {
+                std::cerr << "harpd_client: malformed result event\n";
+                return 1;
+            }
+            if (out_dir.empty()) {
+                std::cout << line->asString() << "\n";
+            } else {
+                auto &file = files[experiment->asString()];
+                if (file == nullptr) {
+                    const std::string path =
+                        (fs::path(out_dir) /
+                         (experiment->asString() + ".jsonl"))
+                            .string();
+                    file = std::make_unique<std::ofstream>(
+                        path, std::ios::binary | std::ios::trunc);
+                    if (!*file) {
+                        std::cerr << "harpd_client: cannot write "
+                                  << path << "\n";
+                        return 1;
+                    }
+                }
+                *file << line->asString() << '\n';
+            }
+        } else if (kind == "experiment_done") {
+            std::cerr << "experiment_done: " << event->dump() << "\n";
+        } else if (kind == "summary") {
+            if (const JsonValue *summary = event->find("summary");
+                summary != nullptr && !out_dir.empty()) {
+                const std::string path =
+                    (fs::path(out_dir) / "summary.json").string();
+                std::ofstream out(path,
+                                  std::ios::binary | std::ios::trunc);
+                out << summary->dump(2) << '\n';
+                if (!out) {
+                    std::cerr << "harpd_client: cannot write " << path
+                              << "\n";
+                    return 1;
+                }
+            }
+        } else if (kind == "done") {
+            code = 0;
+            done = true;
+        } else if (kind == "cancelled") {
+            std::cerr << "cancelled: " << event->dump() << "\n";
+            code = 3;
+            done = true;
+        } else if (kind == "error") {
+            fail(*event);
+            done = true;
+        } else {
+            std::cerr << "harpd_client: unexpected event: "
+                      << event->dump() << "\n";
+        }
+    }
+    for (auto &[name, file] : files) {
+        file->flush();
+        if (!*file) {
+            std::cerr << "harpd_client: cannot finish writing " << name
+                      << ".jsonl\n";
+            return 1;
+        }
+    }
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::vector<std::string> words;
+    std::string out_dir;
+    JsonValue overrides = JsonValue::object();
+    std::string seed;
+    std::string repeat;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        if (arg == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = argv[++i];
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = argv[++i];
+        } else if (arg == "--set" && i + 2 < argc) {
+            const std::string name = argv[++i];
+            overrides.set(name, JsonValue(std::string(argv[++i])));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "harpd_client: unknown or incomplete flag '"
+                      << arg << "'\n";
+            return usage(std::cerr, 2);
+        } else {
+            words.push_back(arg);
+        }
+    }
+    if (socket_path.empty() || words.empty()) {
+        std::cerr << "harpd_client: --socket and a verb are required\n";
+        return usage(std::cerr, 2);
+    }
+
+    const std::string verb = words[0];
+    try {
+        Client client(socket_path);
+        if (verb == "ping" || verb == "list" || verb == "shutdown") {
+            if (words.size() != 1)
+                return usage(std::cerr, 2);
+            JsonValue request = JsonValue::object();
+            request.set("verb", JsonValue(verb));
+            const JsonValue reply = client.request(request);
+            const JsonValue *type = reply.find("type");
+            if (type != nullptr && type->type() == JsonType::String &&
+                type->asString() == "error")
+                return fail(reply);
+            std::cout << reply.dump(2) << "\n";
+            return 0;
+        }
+        if (verb == "status" || verb == "cancel") {
+            if (words.size() != 2)
+                return usage(std::cerr, 2);
+            JsonValue request = JsonValue::object();
+            request.set("verb", JsonValue(verb));
+            request.set("campaign", JsonValue(words[1]));
+            const JsonValue reply = client.request(request);
+            const JsonValue *type = reply.find("type");
+            if (type != nullptr && type->type() == JsonType::String &&
+                type->asString() == "error")
+                return fail(reply);
+            std::cout << reply.dump(2) << "\n";
+            return 0;
+        }
+        if (verb == "submit") {
+            if (words.size() < 3)
+                return usage(std::cerr, 2);
+            JsonValue request = JsonValue::object();
+            request.set("verb", JsonValue("submit"));
+            request.set("campaign", JsonValue(words[1]));
+            JsonValue experiments = JsonValue::array();
+            for (std::size_t i = 2; i < words.size(); ++i)
+                experiments.push(JsonValue(words[i]));
+            request.set("experiments", experiments);
+            if (!seed.empty())
+                request.set("seed", JsonValue(seed));
+            if (!repeat.empty())
+                request.set("repeat",
+                            JsonValue(static_cast<std::int64_t>(
+                                std::stoll(repeat))));
+            if (!overrides.members().empty())
+                request.set("overrides", overrides);
+            if (!out_dir.empty())
+                fs::create_directories(out_dir);
+            return runSubmit(client, request, out_dir);
+        }
+        std::cerr << "harpd_client: unknown verb '" << verb << "'\n";
+        return usage(std::cerr, 2);
+    } catch (const std::exception &e) {
+        std::cerr << "harpd_client: " << e.what() << "\n";
+        return 1;
+    }
+}

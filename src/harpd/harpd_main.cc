@@ -1,0 +1,100 @@
+/**
+ * @file
+ * `harpd` — the resident campaign service.
+ *
+ *   harpd --socket PATH --data DIR [--threads N] [--queue N]
+ *
+ * Listens on an AF_UNIX socket for newline-delimited JSON requests
+ * (src/harpd/protocol.hh), multiplexes submitted campaigns onto one
+ * shared thread pool, checkpoints completed jobs under DIR/checkpoints
+ * and publishes finished campaigns under DIR/results/<campaign>/.
+ * SIGINT/SIGTERM (or a client `shutdown` verb) drain in-flight jobs and
+ * exit; interrupted campaigns resume on the next start.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harpd/server.hh"
+
+namespace {
+
+harp::harpd::Server *g_server = nullptr;
+
+void
+handleSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop(); // async-signal-safe (self-pipe)
+}
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: harpd --socket PATH --data DIR [--threads N] "
+           "[--queue N]\n"
+           "  --socket PATH  AF_UNIX socket to listen on (required)\n"
+           "  --data DIR     checkpoint/result root (required)\n"
+           "  --threads N    shared pool width (default: hardware "
+           "concurrency)\n"
+           "  --queue N      per-client event queue capacity "
+           "(default 256)\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harp::harpd::ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        if (arg == "--socket" && has_value) {
+            config.socketPath = argv[++i];
+        } else if (arg == "--data" && has_value) {
+            config.dataDir = argv[++i];
+        } else if (arg == "--threads" && has_value) {
+            config.threads = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--queue" && has_value) {
+            config.clientQueueCapacity =
+                std::strtoul(argv[++i], nullptr, 10);
+            if (config.clientQueueCapacity == 0)
+                config.clientQueueCapacity = 1;
+        } else {
+            std::cerr << "harpd: unknown or incomplete flag '" << arg
+                      << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+    if (config.socketPath.empty() || config.dataDir.empty()) {
+        std::cerr << "harpd: --socket and --data are required\n";
+        return usage(std::cerr, 2);
+    }
+
+    try {
+        harp::harpd::Server server(std::move(config));
+        g_server = &server;
+        std::signal(SIGINT, handleSignal);
+        std::signal(SIGTERM, handleSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+        server.start();
+        if (server.resumedCampaigns() > 0)
+            std::cerr << "harpd: resumed " << server.resumedCampaigns()
+                      << " checkpointed campaign(s)\n";
+        // The line the smoke test and the integration tier wait for.
+        std::cout << "harpd: listening" << std::endl;
+        server.serve();
+        g_server = nullptr;
+        std::cerr << "harpd: drained, exiting\n";
+    } catch (const std::exception &e) {
+        std::cerr << "harpd: fatal: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

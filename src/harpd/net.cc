@@ -1,0 +1,125 @@
+#include "harpd/net.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace harp::harpd {
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+namespace {
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("socket path too long (max " +
+                                 std::to_string(sizeof(addr.sun_path) - 1) +
+                                 " bytes): " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+Fd
+listenUnix(const std::string &path, int backlog)
+{
+    const sockaddr_un addr = unixAddress(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throw std::runtime_error("bind " + path + ": " +
+                                 std::strerror(errno));
+    if (::listen(fd.get(), backlog) != 0)
+        throw std::runtime_error("listen " + path + ": " +
+                                 std::strerror(errno));
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    try {
+        addr = unixAddress(path);
+    } catch (const std::exception &) {
+        return Fd();
+    }
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return Fd();
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return Fd();
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+LineReader::Result
+LineReader::readLine(std::string &line, std::size_t max_line)
+{
+    for (;;) {
+        const std::size_t pos = buffer_.find('\n');
+        if (pos != std::string::npos) {
+            if (pos > max_line)
+                return Result::Oversized;
+            line.assign(buffer_, 0, pos);
+            buffer_.erase(0, pos + 1);
+            return Result::Line;
+        }
+        if (buffer_.size() > max_line)
+            return Result::Oversized;
+        if (sawEof_)
+            return buffer_.empty() ? Result::Eof : Result::EofPartial;
+
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Result::Error;
+        }
+        if (n == 0) {
+            sawEof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace harp::harpd

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * harpd wire protocol: newline-delimited JSON over a local stream
+ * socket.
+ *
+ * Requests (client -> server), one JSON object per line:
+ *
+ *   {"verb":"ping"}
+ *   {"verb":"list"}
+ *   {"verb":"status","campaign":"<id>"}
+ *   {"verb":"cancel","campaign":"<id>"}
+ *   {"verb":"shutdown"}
+ *   {"verb":"submit","campaign":"<id>","experiments":["quickstart"],
+ *    "seed":"7","repeat":2,"overrides":{"words":"70"}}
+ *
+ * Replies (server -> client) carry a "type" member. Every submit
+ * streams, in order: one `accepted`, then one `result` per (point,
+ * repeat) job in job order (the embedded "line" string is the exact
+ * JSONL line a batch `harp_run` would write), one `experiment_done`
+ * per experiment, one `summary` (the deterministic summary.json
+ * document), and finally `done`. Any failure — at parse time or
+ * mid-campaign — is a single `error` reply with a stable `code`.
+ *
+ * Faulty input never kills the server: malformed JSON, oversized
+ * lines, unknown verbs and invalid fields each map to a structured
+ * `error` reply (parseRequest below is pure and unit-tested directly).
+ */
+
+#ifndef HARP_HARPD_PROTOCOL_HH
+#define HARP_HARPD_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/json.hh"
+
+namespace harp::harpd {
+
+/** Hard cap on one request/reply line; longer lines are a framing
+ *  fault (the connection cannot resynchronize and is closed). */
+inline constexpr std::size_t maxLineBytes = 1 << 20;
+
+/** Campaign ids become checkpoint/result file names, so they are
+ *  restricted to [A-Za-z0-9._-], length 1..64, not starting with '.'. */
+bool validCampaignId(const std::string &id);
+
+enum class Verb
+{
+    Ping,
+    List,
+    Status,
+    Cancel,
+    Submit,
+    Shutdown,
+};
+
+/** One parsed request. Submit-only fields are empty otherwise. */
+struct Request
+{
+    Verb verb = Verb::Ping;
+    /** Campaign id (status / cancel / submit). */
+    std::string campaign;
+    /** Submit: experiment selectors, forwarded to Registry::select. */
+    std::vector<std::string> experiments;
+    /** Submit: campaign seed (accepts JSON int or decimal string). */
+    std::uint64_t seed = 1;
+    /** Submit: repetitions per grid point. */
+    std::size_t repeat = 1;
+    /** Submit: tunable/axis overrides. */
+    std::map<std::string, std::string> overrides;
+};
+
+/** Stable machine-readable error codes. */
+namespace errc {
+inline constexpr const char *badJson = "bad_json";
+inline constexpr const char *badRequest = "bad_request";
+inline constexpr const char *oversizedLine = "oversized_line";
+inline constexpr const char *unknownVerb = "unknown_verb";
+inline constexpr const char *unknownCampaign = "unknown_campaign";
+inline constexpr const char *duplicateCampaign = "duplicate_campaign";
+inline constexpr const char *unknownExperiment = "unknown_experiment";
+inline constexpr const char *campaignFailed = "campaign_failed";
+inline constexpr const char *shuttingDown = "shutting_down";
+} // namespace errc
+
+/** `{"type":"error","code":code,"message":message}` */
+runner::JsonValue errorReply(const std::string &code,
+                             const std::string &message);
+
+/**
+ * Parse and validate one request line.
+ *
+ * @return The request, or std::nullopt with @p error set to the
+ *         ready-to-send structured error reply.
+ */
+std::optional<Request> parseRequest(const std::string &line,
+                                    runner::JsonValue &error);
+
+/** Serialize @p reply to one wire line (single-line dump + '\n'). */
+std::string wireLine(const runner::JsonValue &reply);
+
+} // namespace harp::harpd
+
+#endif // HARP_HARPD_PROTOCOL_HH

@@ -1,0 +1,677 @@
+#include "harpd/server.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runner/campaign.hh"
+#include "runner/session.hh"
+
+namespace harp::harpd {
+
+namespace fs = std::filesystem;
+using runner::JsonValue;
+
+namespace {
+
+/** Batch-CLI parity: every override must be an axis or tunable of at
+ *  least one selected experiment. Returns an error message or "". */
+std::string
+validateOverrides(const std::vector<const runner::ExperimentSpec *> &specs,
+                  const std::map<std::string, std::string> &overrides)
+{
+    for (const auto &[name, text] : overrides) {
+        (void)text;
+        const bool known = std::any_of(
+            specs.begin(), specs.end(),
+            [&name](const runner::ExperimentSpec *spec) {
+                return spec->grid.findAxis(name) != nullptr ||
+                       std::any_of(spec->tunables.begin(),
+                                   spec->tunables.end(),
+                                   [&name](const runner::TunableSpec &t) {
+                                       return t.name == name;
+                                   });
+            });
+        if (!known)
+            return "unknown override '" + name +
+                   "' (not an axis or tunable of the selected "
+                   "experiments)";
+    }
+    return "";
+}
+
+/**
+ * Per-experiment sink of one served campaign: every line goes to the
+ * staged results file; fresh lines additionally reach the checkpoint
+ * (before any client sees them — the durable record leads the
+ * volatile stream) and the client queue, whose bounded push is the
+ * backpressure on a slow consumer. A closed queue (disconnected
+ * client) degrades pushes to no-ops; the campaign itself never stops.
+ */
+class ServedSink : public runner::ResultSink
+{
+  public:
+    ServedSink(std::ofstream &file, CheckpointWriter *checkpoint,
+               std::size_t experiment_index,
+               const std::string &experiment_name,
+               const std::string &campaign_id,
+               const std::shared_ptr<common::BoundedQueue<std::string>>
+                   &queue)
+        : file_(file), checkpoint_(checkpoint),
+          experimentIndex_(experiment_index),
+          experimentName_(experiment_name), campaignId_(campaign_id),
+          queue_(queue)
+    {
+    }
+
+    void onResult(std::size_t job, const std::string &line,
+                  bool fresh) override
+    {
+        file_ << line << '\n';
+        // Empty lines mark errored jobs (reported after the stream);
+        // they must never be persisted as completed work.
+        if (fresh && !line.empty() && checkpoint_ != nullptr)
+            checkpoint_->add({experimentIndex_, job, line});
+        if (queue_ != nullptr) {
+            JsonValue event = JsonValue::object();
+            event.set("type", JsonValue("result"));
+            event.set("campaign", JsonValue(campaignId_));
+            event.set("experiment", JsonValue(experimentName_));
+            event.set("job", JsonValue(job));
+            event.set("line", JsonValue(line));
+            queue_->push(wireLine(event));
+        }
+    }
+
+  private:
+    std::ofstream &file_;
+    CheckpointWriter *checkpoint_;
+    std::size_t experimentIndex_;
+    const std::string &experimentName_;
+    const std::string &campaignId_;
+    std::shared_ptr<common::BoundedQueue<std::string>> queue_;
+};
+
+} // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      registry_(config_.registry != nullptr ? config_.registry
+                                            : &runner::builtinRegistry())
+{
+    poolThreads_ = config_.threads != 0
+                       ? config_.threads
+                       : std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency());
+}
+
+Server::~Server()
+{
+    requestStop();
+    // serve() joins everything; if serve() never ran (start() threw or
+    // the caller stopped early), reap what exists.
+    std::vector<std::thread> connections;
+    std::vector<std::shared_ptr<Campaign>> campaigns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        connections.swap(connections_);
+        for (auto &[id, campaign] : campaigns_) {
+            campaign->cancel.store(true);
+            campaigns.push_back(campaign);
+        }
+        for (const int fd : connectionFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &thread : connections)
+        if (thread.joinable())
+            thread.join();
+    for (const auto &campaign : campaigns)
+        if (campaign->worker.joinable())
+            campaign->worker.join();
+}
+
+std::string
+Server::checkpointPath(const std::string &id) const
+{
+    return (fs::path(config_.dataDir) / "checkpoints" / (id + ".ckpt"))
+        .string();
+}
+
+std::string
+Server::resultsDir(const std::string &id) const
+{
+    return (fs::path(config_.dataDir) / "results" / id).string();
+}
+
+const char *
+Server::stateName(CampaignState state)
+{
+    switch (state) {
+    case CampaignState::Running:
+        return "running";
+    case CampaignState::Done:
+        return "done";
+    case CampaignState::Failed:
+        return "failed";
+    case CampaignState::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+void
+Server::start()
+{
+    fs::create_directories(fs::path(config_.dataDir) / "checkpoints");
+    fs::create_directories(fs::path(config_.dataDir) / "results");
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        throw std::runtime_error("harpd: cannot create stop pipe");
+    stopPipeRead_ = Fd(pipe_fds[0]);
+    stopPipeWrite_ = Fd(pipe_fds[1]);
+
+    listenFd_ = listenUnix(config_.socketPath);
+    pool_ = std::make_unique<common::ThreadPool>(poolThreads_);
+
+    // Resume every campaign with a surviving checkpoint, detached from
+    // any client. Unreadable checkpoints are set aside as .bad — a
+    // corrupted *tail* is not unreadable (loadCheckpoint already
+    // truncate-recovered it); only a destroyed header lands here.
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(config_.dataDir) /
+                                "checkpoints")) {
+        if (entry.path().extension() != ".ckpt")
+            continue;
+        const std::string id = entry.path().stem().string();
+        std::optional<LoadedCheckpoint> loaded =
+            loadCheckpoint(entry.path().string());
+        std::shared_ptr<Campaign> campaign;
+        if (loaded.has_value() && loaded->header.campaign == id) {
+            campaign = std::make_shared<Campaign>();
+            campaign->header = std::move(loaded->header);
+            campaign->restored = std::move(loaded->records);
+            try {
+                campaign->specs =
+                    registry_->select(campaign->header.experiments);
+            } catch (const std::exception &) {
+                campaign.reset();
+            }
+        }
+        if (campaign == nullptr) {
+            fs::rename(entry.path(),
+                       entry.path().string() + ".bad");
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            campaigns_[id] = campaign;
+        }
+        campaign->worker =
+            std::thread([this, campaign] { runCampaign(campaign); });
+        ++resumed_;
+    }
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true);
+    if (stopPipeWrite_.valid()) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(stopPipeWrite_.get(), &byte, 1);
+    }
+}
+
+void
+Server::serve()
+{
+    while (!stopping_.load()) {
+        pollfd fds[2] = {{listenFd_.get(), POLLIN, 0},
+                         {stopPipeRead_.get(), POLLIN, 0}};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if ((fds[1].revents & POLLIN) != 0 || stopping_.load())
+            break;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        Fd client(::accept(listenFd_.get(), nullptr, nullptr));
+        if (!client.valid())
+            continue;
+        std::lock_guard<std::mutex> lock(mutex_);
+        connectionFds_.push_back(client.get());
+        connectionCount_.fetch_add(1);
+        const int raw = client.release();
+        connections_.emplace_back(
+            [this, raw] { connectionLoop(Fd(raw)); });
+    }
+
+    // Drain: stop accepting, wind down clients, let in-flight jobs
+    // finish at the next wave boundary (their results are already
+    // checkpointed), leave unfinished campaigns for the next start.
+    listenFd_.reset();
+    ::unlink(config_.socketPath.c_str());
+
+    std::vector<std::shared_ptr<Campaign>> campaigns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &[id, campaign] : campaigns_) {
+            (void)id;
+            campaign->cancel.store(true);
+            campaigns.push_back(campaign);
+        }
+        for (const int fd : connectionFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (;;) {
+        std::thread connection;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (connections_.empty())
+                break;
+            connection = std::move(connections_.back());
+            connections_.pop_back();
+        }
+        if (connection.joinable())
+            connection.join();
+    }
+    for (const auto &campaign : campaigns)
+        if (campaign->worker.joinable())
+            campaign->worker.join();
+}
+
+void
+Server::connectionLoop(Fd fd)
+{
+    LineReader reader(fd.get());
+    std::string line;
+    bool keep_open = true;
+    while (keep_open) {
+        const LineReader::Result result =
+            reader.readLine(line, maxLineBytes);
+        if (result == LineReader::Result::Line) {
+            keep_open = handleRequest(fd.get(), line);
+            continue;
+        }
+        if (result == LineReader::Result::Oversized) {
+            sendAll(fd.get(),
+                    wireLine(errorReply(
+                        errc::oversizedLine,
+                        "request line exceeds " +
+                            std::to_string(maxLineBytes) + " bytes")));
+        } else if (result == LineReader::Result::EofPartial) {
+            // Half-closed mid-line: best-effort structured reply (the
+            // write side may still be open on the peer).
+            sendAll(fd.get(),
+                    wireLine(errorReply(errc::badRequest,
+                                        "connection half-closed mid-"
+                                        "line")));
+        }
+        keep_open = false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        connectionFds_.erase(std::remove(connectionFds_.begin(),
+                                         connectionFds_.end(), fd.get()),
+                             connectionFds_.end());
+    }
+    fd.reset();
+    connectionCount_.fetch_sub(1);
+}
+
+std::string
+Server::campaignStatusLine(const std::string &id, const Campaign &campaign)
+{
+    JsonValue status = JsonValue::object();
+    status.set("id", JsonValue(id));
+    status.set("state", JsonValue(stateName(campaign.state)));
+    status.set("completed_jobs", JsonValue(campaign.completedJobs.load()));
+    status.set("total_jobs", JsonValue(campaign.totalJobs));
+    if (!campaign.error.empty())
+        status.set("error", JsonValue(campaign.error));
+    return status.dump();
+}
+
+bool
+Server::handleRequest(int fd, const std::string &line)
+{
+    JsonValue error;
+    const std::optional<Request> request = parseRequest(line, error);
+    if (!request.has_value())
+        return sendAll(fd, wireLine(error));
+
+    switch (request->verb) {
+    case Verb::Ping: {
+        JsonValue reply = JsonValue::object();
+        reply.set("type", JsonValue("pong"));
+        return sendAll(fd, wireLine(reply));
+    }
+    case Verb::List: {
+        JsonValue reply = JsonValue::object();
+        reply.set("type", JsonValue("list"));
+        reply.set("registry", runner::registryToJson(*registry_));
+        JsonValue list = JsonValue::array();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const auto &[id, campaign] : campaigns_) {
+                std::lock_guard<std::mutex> state_lock(campaign->mutex);
+                list.push(JsonValue::parse(
+                    campaignStatusLine(id, *campaign)));
+            }
+        }
+        reply.set("campaigns", list);
+        reply.set("connections", JsonValue(connectionCount_.load()));
+        return sendAll(fd, wireLine(reply));
+    }
+    case Verb::Status: {
+        std::shared_ptr<Campaign> campaign;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = campaigns_.find(request->campaign);
+            if (it != campaigns_.end())
+                campaign = it->second;
+        }
+        if (campaign == nullptr)
+            return sendAll(fd, wireLine(errorReply(
+                                   errc::unknownCampaign,
+                                   "no campaign '" + request->campaign +
+                                       "'")));
+        JsonValue reply;
+        {
+            std::lock_guard<std::mutex> state_lock(campaign->mutex);
+            reply = JsonValue::parse(
+                campaignStatusLine(request->campaign, *campaign));
+        }
+        reply.set("type", JsonValue("status"));
+        return sendAll(fd, wireLine(reply));
+    }
+    case Verb::Cancel: {
+        std::shared_ptr<Campaign> campaign;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = campaigns_.find(request->campaign);
+            if (it != campaigns_.end())
+                campaign = it->second;
+        }
+        if (campaign == nullptr)
+            return sendAll(fd, wireLine(errorReply(
+                                   errc::unknownCampaign,
+                                   "no campaign '" + request->campaign +
+                                       "'")));
+        campaign->cancel.store(true);
+        JsonValue reply = JsonValue::object();
+        reply.set("type", JsonValue("ok"));
+        reply.set("campaign", JsonValue(request->campaign));
+        reply.set("cancelling", JsonValue(true));
+        return sendAll(fd, wireLine(reply));
+    }
+    case Verb::Submit:
+        handleSubmit(fd, *request);
+        return true;
+    case Verb::Shutdown: {
+        JsonValue reply = JsonValue::object();
+        reply.set("type", JsonValue("ok"));
+        reply.set("shutting_down", JsonValue(true));
+        sendAll(fd, wireLine(reply));
+        requestStop();
+        return false;
+    }
+    }
+    return false;
+}
+
+void
+Server::handleSubmit(int fd, const Request &request)
+{
+    std::vector<const runner::ExperimentSpec *> specs;
+    try {
+        specs = registry_->select(request.experiments);
+    } catch (const std::exception &e) {
+        sendAll(fd,
+                wireLine(errorReply(errc::unknownExperiment, e.what())));
+        return;
+    }
+    if (const std::string bad = validateOverrides(specs,
+                                                  request.overrides);
+        !bad.empty()) {
+        sendAll(fd, wireLine(errorReply(errc::badRequest, bad)));
+        return;
+    }
+
+    auto campaign = std::make_shared<Campaign>();
+    campaign->header.campaign = request.campaign;
+    campaign->header.experiments = request.experiments;
+    campaign->header.seed = request.seed;
+    campaign->header.repeat = request.repeat;
+    campaign->header.overrides = request.overrides;
+    campaign->specs = std::move(specs);
+    campaign->clientQueue = std::make_shared<EventQueue>(
+        config_.clientQueueCapacity);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_.load()) {
+            sendAll(fd, wireLine(errorReply(errc::shuttingDown,
+                                            "harpd is shutting down")));
+            return;
+        }
+        // Double-submit protection spans restarts: a live table entry
+        // (running or terminal) or completed results on disk both
+        // make the id taken.
+        if (campaigns_.count(request.campaign) > 0 ||
+            fs::exists(resultsDir(request.campaign))) {
+            sendAll(fd, wireLine(errorReply(
+                            errc::duplicateCampaign,
+                            "campaign '" + request.campaign +
+                                "' already exists")));
+            return;
+        }
+        campaigns_[request.campaign] = campaign;
+    }
+    const std::shared_ptr<EventQueue> queue = campaign->clientQueue;
+    campaign->worker =
+        std::thread([this, campaign] { runCampaign(campaign); });
+
+    // Stream events until the campaign closes the queue. A failed
+    // write means the client vanished: close the queue so producers
+    // stop paying for it, then keep draining so nothing blocks; the
+    // campaign itself continues to completion on disk.
+    bool client_alive = true;
+    for (;;) {
+        std::optional<std::string> event = queue->pop();
+        if (!event.has_value())
+            break;
+        if (client_alive && !sendAll(fd, *event)) {
+            client_alive = false;
+            queue->close();
+        }
+    }
+}
+
+void
+Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
+{
+    const std::string &id = campaign->header.campaign;
+    const std::shared_ptr<EventQueue> queue = campaign->clientQueue;
+    const std::string ckpt_path = checkpointPath(id);
+    const fs::path staging =
+        fs::path(config_.dataDir) / "results" / (".tmp-" + id);
+    const auto finish = [&](CampaignState state,
+                            const std::string &error) {
+        std::lock_guard<std::mutex> lock(campaign->mutex);
+        campaign->state = state;
+        campaign->error = error;
+    };
+
+    try {
+        const bool resuming = !campaign->restored.empty() ||
+                              fs::exists(ckpt_path);
+        std::error_code ec;
+        fs::remove_all(staging, ec);
+        fs::create_directories(staging);
+
+        // Sessions first: totals (for `accepted` and status) and
+        // checkpoint-restore before any job runs.
+        runner::SessionOptions session_options;
+        session_options.seed = campaign->header.seed;
+        session_options.repeat = campaign->header.repeat;
+        session_options.overrides = campaign->header.overrides;
+        std::vector<std::unique_ptr<runner::CampaignSession>> sessions;
+        sessions.reserve(campaign->specs.size());
+        for (const runner::ExperimentSpec *spec : campaign->specs)
+            sessions.push_back(std::make_unique<runner::CampaignSession>(
+                *spec, session_options));
+        std::size_t total = 0;
+        std::size_t restored = 0;
+        for (const CheckpointRecord &record : campaign->restored) {
+            if (record.experiment < sessions.size() &&
+                sessions[record.experiment]->restore(record.job,
+                                                     record.line))
+                ++restored;
+        }
+        campaign->restored.clear();
+        for (const auto &session : sessions)
+            total += session->totalJobs();
+        campaign->totalJobs = total;
+        campaign->completedJobs.store(restored);
+
+        if (queue != nullptr) {
+            JsonValue accepted = JsonValue::object();
+            accepted.set("type", JsonValue("accepted"));
+            accepted.set("campaign", JsonValue(id));
+            accepted.set("total_jobs", JsonValue(total));
+            accepted.set("restored_jobs", JsonValue(restored));
+            queue->push(wireLine(accepted));
+        }
+
+        CheckpointWriter checkpoint =
+            resuming ? CheckpointWriter(ckpt_path)
+                     : CheckpointWriter(ckpt_path, campaign->header);
+
+        runner::CampaignSummary summary;
+        summary.seed = campaign->header.seed;
+        summary.threads = poolThreads_;
+        summary.repeat = campaign->header.repeat;
+        bool cancelled = false;
+        std::size_t completed_base = 0;
+        for (std::size_t i = 0; i < sessions.size(); ++i) {
+            runner::CampaignSession &session = *sessions[i];
+            const std::string &name = session.spec().name;
+            const std::string jsonl_path =
+                (staging / (name + ".jsonl")).string();
+            std::ofstream file(jsonl_path,
+                               std::ios::binary | std::ios::trunc);
+            if (!file)
+                throw std::runtime_error("cannot write " + jsonl_path);
+            ServedSink sink(file, &checkpoint, i, name, id, queue);
+            const std::size_t base = completed_base;
+            const runner::CampaignSession::Outcome outcome = session.run(
+                pool_.get(), poolThreads_, sink, &campaign->cancel,
+                [campaign, base](std::size_t done) {
+                    campaign->completedJobs.store(base + done);
+                });
+            file.flush();
+            if (!file)
+                throw std::runtime_error("cannot write " + jsonl_path);
+            completed_base += session.totalJobs();
+            if (!outcome.cancelled)
+                campaign->completedJobs.store(completed_base);
+            if (outcome.cancelled) {
+                cancelled = true;
+                break;
+            }
+
+            runner::ExperimentRunSummary exp;
+            exp.name = name;
+            exp.points = session.points().size();
+            exp.repeats = session.repeats();
+            exp.jsonlPath =
+                (fs::path(resultsDir(id)) / (name + ".jsonl")).string();
+            exp.resultHash = outcome.resultHash;
+            summary.experiments.push_back(exp);
+
+            if (queue != nullptr) {
+                JsonValue event = JsonValue::object();
+                event.set("type", JsonValue("experiment_done"));
+                event.set("experiment", JsonValue(name));
+                event.set("points", JsonValue(exp.points));
+                event.set("repeats", JsonValue(exp.repeats));
+                event.set("result_hash",
+                          JsonValue(runner::formatResultHash(
+                              exp.resultHash)));
+                queue->push(wireLine(event));
+            }
+        }
+
+        if (cancelled) {
+            if (stopping_.load()) {
+                // Shutdown drain, not user intent: keep the checkpoint
+                // so the next start resumes right here.
+                finish(CampaignState::Running, "");
+            } else {
+                std::error_code cleanup;
+                fs::remove(ckpt_path, cleanup);
+                finish(CampaignState::Cancelled, "");
+                if (queue != nullptr) {
+                    JsonValue event = JsonValue::object();
+                    event.set("type", JsonValue("cancelled"));
+                    event.set("campaign", JsonValue(id));
+                    queue->push(wireLine(event));
+                }
+            }
+            std::error_code cleanup;
+            fs::remove_all(staging, cleanup);
+        } else {
+            // Deterministic summary (no timings), then an atomic-ish
+            // publish: results appear only as a complete set.
+            const std::string summary_path =
+                (staging / "summary.json").string();
+            std::ofstream out(summary_path,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                throw std::runtime_error("cannot write " + summary_path);
+            out << summary.toJson(/*include_timings=*/false).dump(2)
+                << '\n';
+            out.flush();
+            if (!out)
+                throw std::runtime_error("cannot write " + summary_path);
+            out.close();
+            fs::rename(staging, resultsDir(id));
+            std::error_code cleanup;
+            fs::remove(ckpt_path, cleanup);
+            finish(CampaignState::Done, "");
+            if (queue != nullptr) {
+                JsonValue event = JsonValue::object();
+                event.set("type", JsonValue("summary"));
+                event.set("summary",
+                          summary.toJson(/*include_timings=*/false));
+                queue->push(wireLine(event));
+                JsonValue done = JsonValue::object();
+                done.set("type", JsonValue("done"));
+                done.set("campaign", JsonValue(id));
+                queue->push(wireLine(done));
+            }
+        }
+    } catch (const std::exception &e) {
+        std::error_code cleanup;
+        fs::remove_all(staging, cleanup);
+        fs::remove(ckpt_path, cleanup);
+        finish(CampaignState::Failed, e.what());
+        if (queue != nullptr)
+            queue->push(wireLine(errorReply(errc::campaignFailed,
+                                            e.what())));
+    }
+    if (queue != nullptr)
+        queue->close();
+}
+
+} // namespace harp::harpd

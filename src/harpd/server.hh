@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The resident profiling service: one warm process multiplexing many
+ * tenants' campaign submissions onto a shared thread pool.
+ *
+ * Layering (see docs/ARCHITECTURE.md):
+ *
+ *   accept loop ── per-connection reader thread ── verb dispatch
+ *        │                                             │ submit
+ *        │                              campaign worker thread
+ *        │                        CampaignSession (runner/session.hh)
+ *        │                   sink: checkpoint + results + client queue
+ *        └── client stream:  BoundedQueue -> socket (backpressure)
+ *
+ * Contracts:
+ *  - A served campaign's JSONL and summary.json are byte-identical to
+ *    a batch `harp_run --no-timings` of the same specs/seed/repeat at
+ *    any thread count.
+ *  - Completed jobs are checkpointed (harpd/checkpoint.hh) before the
+ *    campaign finishes; a killed daemon resumes them on restart
+ *    without recomputation, detached from any client.
+ *  - A disconnected client never aborts its campaign: the output
+ *    queue closes, producers drop their events, and the campaign runs
+ *    to completion on disk (exactly like a resume).
+ *  - Graceful shutdown drains in-flight jobs: sessions stop at the
+ *    next wave boundary, running jobs finish and reach the
+ *    checkpoint, then the process exits; unfinished campaigns resume
+ *    on the next start.
+ */
+
+#ifndef HARP_HARPD_SERVER_HH
+#define HARP_HARPD_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+#include "common/thread_pool.hh"
+#include "harpd/checkpoint.hh"
+#include "harpd/net.hh"
+#include "harpd/protocol.hh"
+#include "runner/registry.hh"
+
+namespace harp::harpd {
+
+struct ServerConfig
+{
+    /** AF_UNIX socket path the daemon listens on. */
+    std::string socketPath;
+    /** Root for checkpoints/ and results/<campaign>/. */
+    std::string dataDir;
+    /** Shared pool width; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+    /** Per-client output queue capacity (events) before producers
+     *  block — the backpressure bound for slow consumers. */
+    std::size_t clientQueueCapacity = 256;
+    /** Experiment catalogue; nullptr = builtinRegistry(). */
+    const runner::Registry *registry = nullptr;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket, then resume every campaign with a surviving
+     * checkpoint (each on its own detached worker).
+     * @throws std::runtime_error when binding or data-dir creation
+     *         fails.
+     */
+    void start();
+
+    /** Accept/serve until requestStop(); joins all workers before
+     *  returning. */
+    void serve();
+
+    /** Ask serve() to stop. Async-signal-safe (writes one byte to a
+     *  self-pipe); callable from any thread or a signal handler. */
+    void requestStop();
+
+    /** Campaigns resumed by start() (for logs/tests). */
+    std::size_t resumedCampaigns() const { return resumed_; }
+
+    /** Currently open client connections (leak witness for tests). */
+    std::size_t activeConnections() const
+    {
+        return connectionCount_.load();
+    }
+
+  private:
+    /** Event queue feeding one submit stream. */
+    using EventQueue = common::BoundedQueue<std::string>;
+
+    enum class CampaignState
+    {
+        Running,
+        Done,
+        Failed,
+        Cancelled,
+    };
+
+    struct Campaign
+    {
+        CheckpointHeader header;
+        std::vector<const runner::ExperimentSpec *> specs;
+        std::vector<CheckpointRecord> restored;
+        CampaignState state = CampaignState::Running;
+        std::string error;
+        std::size_t totalJobs = 0;
+        std::atomic<std::size_t> completedJobs{0};
+        std::atomic<bool> cancel{false};
+        /** Null for resumed (detached) campaigns and after the
+         *  client's connection goes away. */
+        std::shared_ptr<EventQueue> clientQueue;
+        std::thread worker;
+        std::mutex mutex; ///< guards state/error transitions
+    };
+
+    void connectionLoop(Fd fd);
+    bool handleRequest(int fd, const std::string &line);
+    void handleSubmit(int fd, const Request &request);
+    void runCampaign(const std::shared_ptr<Campaign> &campaign);
+    std::string campaignStatusLine(const std::string &id,
+                                   const Campaign &campaign);
+    std::string checkpointPath(const std::string &id) const;
+    std::string resultsDir(const std::string &id) const;
+    static const char *stateName(CampaignState state);
+
+    ServerConfig config_;
+    const runner::Registry *registry_;
+    std::unique_ptr<common::ThreadPool> pool_;
+    std::size_t poolThreads_ = 1;
+    Fd listenFd_;
+    Fd stopPipeRead_;
+    Fd stopPipeWrite_;
+    std::atomic<bool> stopping_{false};
+    std::size_t resumed_ = 0;
+
+    mutable std::mutex mutex_; ///< guards campaigns_ and connections_
+    std::map<std::string, std::shared_ptr<Campaign>> campaigns_;
+    std::vector<std::thread> connections_;
+    std::vector<int> connectionFds_;
+    std::atomic<std::size_t> connectionCount_{0};
+};
+
+} // namespace harp::harpd
+
+#endif // HARP_HARPD_SERVER_HH

@@ -5,13 +5,14 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
 #include "common/bits.hh"
-#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "runner/session.hh"
 
 namespace harp::runner {
 
@@ -25,113 +26,20 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** One (point, repeat) job of an experiment's grid expansion. */
-struct Job
+/** Batch sink: collect lines in job order for one file write. */
+class CollectSink : public ResultSink
 {
-    std::size_t pointIndex = 0;
-    std::size_t repeat = 0;
-    std::uint64_t seed = 0;
+  public:
+    void onResult(std::size_t, const std::string &line, bool) override
+    {
+        lines_.push_back(line);
+    }
+
+    const std::vector<std::string> &lines() const { return lines_; }
+
+  private:
+    std::vector<std::string> lines_;
 };
-
-std::uint64_t
-jobSeed(std::uint64_t campaign_seed, const std::string &experiment,
-        std::size_t point, std::size_t repeat)
-{
-    // Salt with the experiment name so campaigns are insensitive to
-    // registration/selection order, then with the job coordinates so
-    // every job owns an independent stream.
-    return common::deriveSeed(campaign_seed,
-                              {common::fnv1a64(experiment), point, repeat});
-}
-
-ParamGrid
-gridWithOverrides(const ExperimentSpec &spec,
-                  const std::map<std::string, std::string> &overrides)
-{
-    ParamGrid grid = spec.grid;
-    for (const auto &[name, text] : overrides) {
-        if (grid.findAxis(name) != nullptr)
-            grid = grid.collapsed(name, text);
-    }
-    return grid;
-}
-
-/** Run one experiment's jobs, returning its JSONL lines in job order. */
-std::vector<std::string>
-runJobs(const ExperimentSpec &spec, const std::vector<ParamPoint> &points,
-        const std::vector<Job> &jobs, const CampaignOptions &options,
-        std::size_t pool_threads, std::vector<double> &job_seconds)
-{
-    std::vector<std::string> lines(jobs.size());
-    std::vector<std::string> errors(jobs.size());
-    job_seconds.assign(jobs.size(), 0.0);
-
-    // Intra-job sharding: when the grid has fewer jobs than the pool
-    // has threads, the leftover parallelism is handed *into* each job
-    // as its RunContext thread allowance — internally parallel
-    // experiments then shard their (word, block) tasks across a nested
-    // pool. Every experiment merges those shards deterministically
-    // (common/ordered_merger.hh), so the JSONL stays byte-identical at
-    // any --threads; only the wall clock changes.
-    const std::size_t inner_threads = std::max<std::size_t>(
-        1, pool_threads / std::max<std::size_t>(1, jobs.size()));
-
-    const auto runOne = [&](std::size_t j) {
-        const Job &job = jobs[j];
-        const auto start = Clock::now();
-        try {
-            const RunContext ctx(points[job.pointIndex], options.overrides,
-                                 job.seed, job.repeat, inner_threads);
-            const JsonValue metrics = spec.run(ctx);
-            if (const auto error = validateSchema(spec.schema, metrics))
-                throw std::runtime_error("schema violation: " + *error);
-            JsonValue line = JsonValue::object();
-            line.set("experiment", JsonValue(spec.name));
-            line.set("point", JsonValue(job.pointIndex));
-            line.set("repeat", JsonValue(job.repeat));
-            line.set("seed", JsonValue(std::to_string(job.seed)));
-            line.set("params", points[job.pointIndex].toJson());
-            line.set("metrics", metrics);
-            lines[j] = line.dump();
-        } catch (const std::exception &e) {
-            errors[j] = e.what();
-        }
-        job_seconds[j] = secondsSince(start);
-    };
-
-    if (pool_threads <= 1 || jobs.size() <= 1) {
-        for (std::size_t j = 0; j < jobs.size(); ++j)
-            runOne(j);
-    } else {
-        // Submit longest-expected-first (stable on the cost key) so a
-        // heavy grid point never starts last and stretches the tail.
-        // Results land at their original index, so the output is in
-        // job order and byte-identical regardless of submission order.
-        std::vector<std::size_t> order(jobs.size());
-        for (std::size_t j = 0; j < jobs.size(); ++j)
-            order[j] = j;
-        std::vector<double> cost(jobs.size());
-        for (std::size_t j = 0; j < jobs.size(); ++j)
-            cost[j] = jobCostKey(points[jobs[j].pointIndex]);
-        std::stable_sort(order.begin(), order.end(),
-                         [&cost](std::size_t a, std::size_t b) {
-                             return cost[a] > cost[b];
-                         });
-        common::ThreadPool pool(pool_threads);
-        for (const std::size_t j : order)
-            pool.submit([&, j] { runOne(j); });
-        pool.wait();
-    }
-
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-        if (!errors[j].empty())
-            throw std::runtime_error(
-                spec.name + " [" + points[jobs[j].pointIndex].toString() +
-                " repeat=" + std::to_string(jobs[j].repeat) +
-                "]: " + errors[j]);
-    }
-    return lines;
-}
 
 } // namespace
 
@@ -167,7 +75,8 @@ CampaignSummary::toJson(bool include_timings) const
     doc.set("schema_version", JsonValue(1));
     JsonValue campaign = JsonValue::object();
     campaign.set("seed", JsonValue(std::to_string(seed)));
-    campaign.set("threads", JsonValue(threads));
+    if (include_timings)
+        campaign.set("threads", JsonValue(threads));
     campaign.set("repeat", JsonValue(repeat));
     doc.set("campaign", campaign);
 
@@ -177,7 +86,12 @@ CampaignSummary::toJson(bool include_timings) const
         obj.set("name", JsonValue(e.name));
         obj.set("points", JsonValue(e.points));
         obj.set("repeats", JsonValue(e.repeats));
-        obj.set("jsonl", JsonValue(e.jsonlPath));
+        obj.set("jsonl",
+                JsonValue(include_timings
+                              ? e.jsonlPath
+                              : std::filesystem::path(e.jsonlPath)
+                                    .filename()
+                                    .string()));
         obj.set("result_hash", JsonValue(formatResultHash(e.resultHash)));
         if (include_timings) {
             obj.set("wall_seconds", JsonValue(e.wallSeconds));
@@ -212,59 +126,59 @@ runCampaign(const std::vector<const ExperimentSpec *> &specs,
             : std::max<std::size_t>(1, std::thread::hardware_concurrency());
     const auto campaign_start = Clock::now();
 
-    for (const ExperimentSpec *spec : specs) {
-        const ParamGrid grid = gridWithOverrides(*spec, options.overrides);
-        const std::vector<ParamPoint> points = grid.expand();
+    // One shared pool for the whole campaign; sessions track their own
+    // waves with WaitGroups, so the pool is reusable across specs (and,
+    // in harpd, across concurrent campaigns).
+    std::unique_ptr<common::ThreadPool> pool;
+    if (!options.dryRun && pool_threads > 1)
+        pool = std::make_unique<common::ThreadPool>(pool_threads);
 
-        std::vector<Job> jobs;
-        jobs.reserve(points.size() * options.repeat);
-        for (std::size_t p = 0; p < points.size(); ++p)
-            for (std::size_t r = 0; r < options.repeat; ++r)
-                jobs.push_back(
-                    {p, r, jobSeed(options.seed, spec->name, p, r)});
+    for (const ExperimentSpec *spec : specs) {
+        SessionOptions session_options;
+        session_options.seed = options.seed;
+        session_options.repeat = options.repeat;
+        session_options.overrides = options.overrides;
+        CampaignSession session(*spec, session_options);
 
         if (options.dryRun) {
-            log << spec->name << ": " << points.size() << " point(s) x "
-                << options.repeat << " repeat(s)\n";
-            for (const Job &job : jobs)
-                log << "  point " << job.pointIndex << " repeat "
-                    << job.repeat << " seed " << job.seed << "  ["
-                    << points[job.pointIndex].toString() << "]\n";
+            log << spec->name << ": " << session.points().size()
+                << " point(s) x " << options.repeat << " repeat(s)\n";
+            for (std::size_t j = 0; j < session.totalJobs(); ++j)
+                log << "  point " << session.jobPoint(j) << " repeat "
+                    << session.jobRepeat(j) << " seed "
+                    << session.jobSeedAt(j) << "  ["
+                    << session.points()[session.jobPoint(j)].toString()
+                    << "]\n";
             continue;
         }
 
-        log << spec->name << ": running " << jobs.size() << " job(s) on "
-            << pool_threads << " thread(s)..." << std::flush;
+        log << spec->name << ": running " << session.totalJobs()
+            << " job(s) on " << pool_threads << " thread(s)..."
+            << std::flush;
         const auto start = Clock::now();
-        std::vector<double> job_seconds;
-        const std::vector<std::string> lines =
-            runJobs(*spec, points, jobs, options, pool_threads,
-                    job_seconds);
+        CollectSink sink;
+        const CampaignSession::Outcome outcome =
+            session.run(pool.get(), pool_threads, sink);
 
         ExperimentRunSummary exp;
         exp.name = spec->name;
-        exp.points = points.size();
+        exp.points = session.points().size();
         exp.repeats = options.repeat;
         exp.wallSeconds = secondsSince(start);
         exp.jobsPerSecond =
             exp.wallSeconds > 0.0
-                ? static_cast<double>(jobs.size()) / exp.wallSeconds
+                ? static_cast<double>(session.totalJobs()) /
+                      exp.wallSeconds
                 : 0.0;
 
         common::PercentileTracker latency;
-        for (const double s : job_seconds)
+        for (const double s : outcome.freshJobSeconds)
             latency.add(s);
         exp.jobSecondsMean = latency.mean();
         exp.jobSecondsP50 = latency.quantile(0.5);
         exp.jobSecondsP90 = latency.quantile(0.9);
         exp.jobSecondsMax = latency.quantile(1.0);
-
-        std::uint64_t hash = common::fnv1a64Init;
-        for (const std::string &line : lines) {
-            hash = common::fnv1a64(line, hash);
-            hash = common::fnv1a64("\n", hash);
-        }
-        exp.resultHash = hash;
+        exp.resultHash = outcome.resultHash;
 
         std::filesystem::create_directories(options.outDir);
         exp.jsonlPath = (std::filesystem::path(options.outDir) /
@@ -275,7 +189,7 @@ runCampaign(const std::vector<const ExperimentSpec *> &specs,
                               std::ios::binary | std::ios::trunc);
             if (!out)
                 throw std::runtime_error("cannot write " + exp.jsonlPath);
-            for (const std::string &line : lines)
+            for (const std::string &line : sink.lines())
                 out << line << '\n';
         }
 
@@ -293,7 +207,7 @@ runCampaign(const std::vector<const ExperimentSpec *> &specs,
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
         if (!out)
             throw std::runtime_error("cannot write " + path);
-        out << summary.toJson().dump(2) << '\n';
+        out << summary.toJson(!options.noTimings).dump(2) << '\n';
         log << "summary: " << path << "\n";
     }
     return summary;

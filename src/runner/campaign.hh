@@ -40,6 +40,11 @@ struct CampaignOptions
     std::size_t repeat = 1;
     /** Print the expanded jobs instead of running them. */
     bool dryRun = false;
+    /** Omit machine-dependent timing fields (and the run-shape
+     *  `threads` field) from summary.json, leaving only deterministic
+     *  content — a batch summary then compares byte-for-byte against a
+     *  harpd-served one. */
+    bool noTimings = false;
     /** Output directory for JSONL and summary files. */
     std::string outDir = "results";
     /** Tunable/axis overrides from the command line (name -> text). */
@@ -73,8 +78,12 @@ struct CampaignSummary
     std::vector<ExperimentRunSummary> experiments;
     double totalWallSeconds = 0.0;
 
-    /** The summary.json document. Timing fields are included only when
-     *  @p include_timings (hashes stay comparable across machines). */
+    /** The summary.json document. With @p include_timings false, only
+     *  deterministic content remains: timing fields, the `threads`
+     *  run-shape field and the jsonl directory prefix are dropped
+     *  (`jsonl` becomes the bare file name), so two runs of the same
+     *  (specs, seed, repeat) — batch or served, any thread count —
+     *  serialize to identical bytes. */
     JsonValue toJson(bool include_timings = true) const;
 };
 

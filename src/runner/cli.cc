@@ -18,7 +18,7 @@ namespace {
  *  tunable/axis override. */
 const std::set<std::string> reservedFlags = {
     "list", "list-json", "dry-run", "seed",    "threads", "repeat",
-    "out",  "label",     "all",     "help",    "schemas",
+    "out",  "label",     "all",     "help",    "schemas", "no-timings",
 };
 
 void
@@ -46,6 +46,10 @@ printUsage(std::ostream &os, const char *forced_experiment)
           "  --dry-run        print the expanded jobs, run nothing\n"
           "  --out DIR        output directory (default `results`);\n"
           "                   writes <experiment>.jsonl + summary.json\n"
+          "  --no-timings     deterministic summary.json only (no wall\n"
+          "                   times / thread count / path prefixes) —\n"
+          "                   byte-comparable against a harpd-served\n"
+          "                   campaign of the same spec and seed\n"
           "\n"
           "Any other --name value collapses the sweep axis `name` to one\n"
           "value or overrides the tunable `name` of a selected\n"
@@ -104,31 +108,7 @@ listExperiments(const Registry &registry, bool with_schemas)
 int
 listExperimentsJson(const Registry &registry)
 {
-    JsonValue doc = JsonValue::object();
-    doc.set("schema_version", JsonValue(1));
-    JsonValue list = JsonValue::array();
-    std::set<std::string> label_names;
-    for (const ExperimentSpec *spec : registry.all()) {
-        JsonValue obj = JsonValue::object();
-        obj.set("name", JsonValue(spec->name));
-        obj.set("description", JsonValue(spec->description));
-        JsonValue labels = JsonValue::array();
-        for (const std::string &label : spec->labels) {
-            labels.push(JsonValue(label));
-            label_names.insert(label);
-        }
-        obj.set("labels", labels);
-        obj.set("grid_points", JsonValue(spec->grid.numPoints()));
-        obj.set("schema", schemaToJson(spec->schema));
-        list.push(std::move(obj));
-    }
-    doc.set("experiments", list);
-    doc.set("count", JsonValue(registry.size()));
-    JsonValue counts = JsonValue::object();
-    for (const std::string &label : label_names)
-        counts.set(label, JsonValue(registry.withLabel(label).size()));
-    doc.set("label_counts", counts);
-    std::cout << doc.dump(2) << "\n";
+    std::cout << registryToJson(registry).dump(2) << "\n";
     return 0;
 }
 
@@ -148,7 +128,8 @@ runnerMain(int argc, const char *const *argv,
         std::string arg = argv[i];
         if (arg == "--list" || arg == "--list-json" ||
             arg == "--schemas" || arg == "--all" ||
-            arg == "--dry-run" || arg == "--help")
+            arg == "--dry-run" || arg == "--help" ||
+            arg == "--no-timings")
             arg += "=true";
         args.push_back(std::move(arg));
     }
@@ -217,6 +198,7 @@ runnerMain(int argc, const char *const *argv,
     }
     options.repeat = static_cast<std::size_t>(repeat);
     options.dryRun = cli.getBool("dry-run", false);
+    options.noTimings = cli.getBool("no-timings", false);
     options.outDir = cli.getString("out", "results");
 
     for (const auto &[name, text] : cli.entries()) {

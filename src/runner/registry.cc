@@ -1,6 +1,7 @@
 #include "runner/registry.hh"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 namespace harp::runner {
@@ -78,6 +79,36 @@ Registry::select(const std::vector<std::string> &selectors) const
         addUnique(spec);
     }
     return out;
+}
+
+JsonValue
+registryToJson(const Registry &registry)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema_version", JsonValue(1));
+    JsonValue list = JsonValue::array();
+    std::set<std::string> label_names;
+    for (const ExperimentSpec *spec : registry.all()) {
+        JsonValue obj = JsonValue::object();
+        obj.set("name", JsonValue(spec->name));
+        obj.set("description", JsonValue(spec->description));
+        JsonValue labels = JsonValue::array();
+        for (const std::string &label : spec->labels) {
+            labels.push(JsonValue(label));
+            label_names.insert(label);
+        }
+        obj.set("labels", labels);
+        obj.set("grid_points", JsonValue(spec->grid.numPoints()));
+        obj.set("schema", schemaToJson(spec->schema));
+        list.push(std::move(obj));
+    }
+    doc.set("experiments", list);
+    doc.set("count", JsonValue(registry.size()));
+    JsonValue counts = JsonValue::object();
+    for (const std::string &label : label_names)
+        counts.set(label, JsonValue(registry.withLabel(label).size()));
+    doc.set("label_counts", counts);
+    return doc;
 }
 
 const Registry &

@@ -56,6 +56,14 @@ class Registry
 /** Registry preloaded with every built-in experiment. */
 const Registry &builtinRegistry();
 
+/**
+ * Machine-readable registry document (names, descriptions, labels,
+ * grid sizes, schemas, self-consistent count/label_counts) — the body
+ * of `harp_run --list-json` and of the harpd `list` verb, shared so
+ * the two can be cross-checked against each other.
+ */
+JsonValue registryToJson(const Registry &registry);
+
 /** @name Per-module spec registration (called by builtinRegistry) */
 ///@{
 void registerMotivationSpecs(Registry &registry);

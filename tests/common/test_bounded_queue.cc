@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the bounded MPMC queue behind harpd's per-client
+ * event streams: FIFO order, capacity blocking, close semantics (drain
+ * remaining items, then fail fast), and multi-producer/multi-consumer
+ * integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+
+namespace harp::common {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity)
+{
+    BoundedQueue<int> queue(4);
+    EXPECT_EQ(queue.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(queue.push(i));
+    EXPECT_EQ(queue.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const std::optional<int> got = queue.pop();
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, i);
+    }
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushFailsOnlyWhenFull)
+{
+    BoundedQueue<int> queue(2);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_TRUE(queue.tryPush(2));
+    EXPECT_FALSE(queue.tryPush(3));
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_TRUE(queue.tryPush(3));
+}
+
+TEST(BoundedQueue, PushBlocksUntilConsumerMakesRoom)
+{
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(queue.push(1)); // blocks until the pop below
+        second_pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(second_pushed.load());
+    EXPECT_EQ(queue.pop(), 0);
+    producer.join();
+    EXPECT_TRUE(second_pushed.load());
+    EXPECT_EQ(queue.pop(), 1);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingThenSignalsEnd)
+{
+    BoundedQueue<int> queue(4);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    // Items enqueued before close still come out...
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), 2);
+    // ...then the end-of-stream marker, repeatably.
+    EXPECT_EQ(queue.pop(), std::nullopt);
+    EXPECT_EQ(queue.pop(), std::nullopt);
+    // Producers fail fast after close (the disconnected-client path).
+    EXPECT_FALSE(queue.push(3));
+    EXPECT_FALSE(queue.tryPush(3));
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingProducerAndConsumer)
+{
+    BoundedQueue<int> full(1);
+    ASSERT_TRUE(full.push(0));
+    std::thread producer([&] { EXPECT_FALSE(full.push(1)); });
+    BoundedQueue<int> empty(1);
+    std::thread consumer([&] { EXPECT_EQ(empty.pop(), std::nullopt); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    full.close();
+    empty.close();
+    producer.join();
+    consumer.join();
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 500;
+    BoundedQueue<int> queue(8);
+    std::atomic<long> sum{0};
+    std::atomic<int> popped{0};
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&] {
+            for (;;) {
+                const std::optional<int> got = queue.pop();
+                if (!got.has_value())
+                    return;
+                sum.fetch_add(*got);
+                popped.fetch_add(1);
+            }
+        });
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                EXPECT_TRUE(queue.push(p * kPerProducer + i));
+        });
+    for (std::thread &t : producers)
+        t.join();
+    queue.close();
+    for (std::thread &t : consumers)
+        t.join();
+
+    const long n = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+} // namespace
+} // namespace harp::common

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Stress tier for the two concurrency primitives under harpd's result
+ * path: OrderedMerger (out-of-order completions must drain in strict
+ * index order) feeding a BoundedQueue (a deliberately slow consumer
+ * must throttle many pool producers, never deadlock, never reorder).
+ * Run under TSan/ASan by the --full verify sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+#include "common/ordered_merger.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+
+namespace harp::common {
+namespace {
+
+TEST(MergeQueueStress, OutOfOrderDepositsDrainInIndexOrder)
+{
+    constexpr std::size_t kTasks = 20000;
+    OrderedMerger<std::size_t> merger(kTasks);
+    std::vector<std::size_t> merged;
+    merged.reserve(kTasks);
+
+    ThreadPool pool(8);
+    // Submit in a scrambled order and add scheduling jitter so
+    // completion order is thoroughly out of index order.
+    std::vector<std::size_t> order(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i)
+        order[i] = i;
+    Xoshiro256 rng(0xfeedULL);
+    for (std::size_t i = kTasks; i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBelow(i)]);
+    for (const std::size_t task : order)
+        pool.submit([&, task] {
+            if ((task & 0x3f) == 0)
+                std::this_thread::yield();
+            merger.deposit(task, std::size_t(task),
+                           [&](const std::size_t &value) {
+                               merged.push_back(value);
+                           });
+        });
+    pool.wait();
+
+    ASSERT_EQ(merged.size(), kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i)
+        ASSERT_EQ(merged[i], i);
+}
+
+TEST(MergeQueueStress, SlowConsumerBackpressuresManyProducers)
+{
+    // The harpd shape: pool workers deposit into an OrderedMerger
+    // whose merge callback pushes to a small BoundedQueue; one slow
+    // consumer drains it. Everything must arrive, in order, with the
+    // queue never exceeding its capacity.
+    constexpr std::size_t kTasks = 4000;
+    constexpr std::size_t kCapacity = 8;
+    OrderedMerger<std::string> merger(kTasks);
+    BoundedQueue<std::string> queue(kCapacity);
+    std::atomic<std::size_t> high_water{0};
+
+    std::thread consumer([&] {
+        std::size_t expected = 0;
+        for (;;) {
+            const std::size_t depth = queue.size();
+            std::size_t seen = high_water.load();
+            while (depth > seen &&
+                   !high_water.compare_exchange_weak(seen, depth)) {
+            }
+            const std::optional<std::string> item = queue.pop();
+            if (!item.has_value())
+                break;
+            ASSERT_EQ(*item, "line-" + std::to_string(expected));
+            if ((expected & 0xff) == 0) // the "slow" in slow consumer
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            ++expected;
+        }
+        EXPECT_EQ(expected, kTasks);
+    });
+
+    {
+        ThreadPool pool(8);
+        for (std::size_t task = 0; task < kTasks; ++task)
+            pool.submit([&, task] {
+                merger.deposit(task,
+                               "line-" + std::to_string(task),
+                               [&](const std::string &line) {
+                                   EXPECT_TRUE(queue.push(line));
+                               });
+            });
+        pool.wait();
+    }
+    queue.close();
+    consumer.join();
+    EXPECT_LE(high_water.load(), kCapacity);
+}
+
+TEST(MergeQueueStress, DisconnectedConsumerNeverBlocksProducers)
+{
+    // Close the queue early (the client-vanished path): pushes must
+    // degrade to failing no-ops and every producer must still finish.
+    constexpr std::size_t kTasks = 2000;
+    OrderedMerger<std::size_t> merger(kTasks);
+    BoundedQueue<std::string> queue(4);
+    std::atomic<std::size_t> delivered{0};
+    std::atomic<std::size_t> dropped{0};
+
+    std::thread consumer([&] {
+        for (int i = 0; i < 40; ++i)
+            if (!queue.pop().has_value())
+                return;
+        queue.close(); // consumer walks away mid-stream
+        while (queue.pop().has_value()) {
+        }
+    });
+
+    {
+        ThreadPool pool(8);
+        for (std::size_t task = 0; task < kTasks; ++task)
+            pool.submit([&, task] {
+                merger.deposit(task, std::size_t(task),
+                               [&](const std::size_t &value) {
+                                   if (queue.push("v" +
+                                                  std::to_string(value)))
+                                       delivered.fetch_add(1);
+                                   else
+                                       dropped.fetch_add(1);
+                               });
+            });
+        pool.wait(); // deadlock here = the bug this test exists for
+    }
+    queue.close();
+    consumer.join();
+    EXPECT_EQ(delivered.load() + dropped.load(), kTasks);
+    EXPECT_GT(dropped.load(), 0u);
+}
+
+} // namespace
+} // namespace harp::common

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the crash-safe checkpoint file: round-trip fidelity,
+ * append-after-load, and — the property the kill/resume tier depends
+ * on — truncate-and-recover on every corrupt-tail shape (partial final
+ * record, flipped byte, garbage append), with an unreadable *header*
+ * being the only unrecoverable case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "harpd/checkpoint.hh"
+
+namespace harp::harpd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("harp_ckpt_" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        path_ = (dir_ / "c.ckpt").string();
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    CheckpointHeader sampleHeader() const
+    {
+        CheckpointHeader header;
+        header.campaign = "c";
+        header.experiments = {"alpha", "beta"};
+        header.seed = 18446744073709551615ull; // uint64 max survives
+        header.repeat = 3;
+        header.overrides = {{"rounds", "16"}, {"prob", "0.25"}};
+        return header;
+    }
+
+    void writeSample(std::size_t records)
+    {
+        CheckpointWriter writer(path_, sampleHeader());
+        for (std::size_t i = 0; i < records; ++i)
+            writer.add({i % 2, i, "{\"job\":" + std::to_string(i) + "}"});
+    }
+
+    std::string readRaw() const
+    {
+        std::ifstream in(path_, std::ios::binary);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    }
+
+    void writeRaw(const std::string &text) const
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+
+    fs::path dir_;
+    std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripsHeaderAndRecords)
+{
+    writeSample(5);
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_FALSE(loaded->recovered);
+    EXPECT_EQ(loaded->header.campaign, "c");
+    EXPECT_EQ(loaded->header.experiments,
+              (std::vector<std::string>{"alpha", "beta"}));
+    EXPECT_EQ(loaded->header.seed, 18446744073709551615ull);
+    EXPECT_EQ(loaded->header.repeat, 3u);
+    EXPECT_EQ(loaded->header.overrides.at("prob"), "0.25");
+    ASSERT_EQ(loaded->records.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(loaded->records[i].experiment, i % 2);
+        EXPECT_EQ(loaded->records[i].job, i);
+        EXPECT_EQ(loaded->records[i].line,
+                  "{\"job\":" + std::to_string(i) + "}");
+    }
+}
+
+TEST_F(CheckpointTest, AppendModeContinuesAfterLoad)
+{
+    writeSample(2);
+    {
+        CheckpointWriter writer(path_); // reopen, append
+        writer.add({0, 2, "{\"job\":2}"});
+    }
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->records.size(), 3u);
+    EXPECT_EQ(loaded->records[2].line, "{\"job\":2}");
+}
+
+TEST_F(CheckpointTest, MissingFileIsNullopt)
+{
+    EXPECT_FALSE(loadCheckpoint((dir_ / "absent.ckpt").string())
+                     .has_value());
+}
+
+TEST_F(CheckpointTest, PartialTrailingRecordIsTruncatedAway)
+{
+    writeSample(3);
+    const std::string intact = readRaw();
+    // Simulate the SIGKILL-interrupted write: half a record, no '\n'.
+    writeRaw(intact + "deadbeefdeadbeef {\"type\":\"job\",\"exp\":0");
+
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->recovered);
+    EXPECT_EQ(loaded->records.size(), 3u);
+    // The file itself was repaired, so the next load is clean and an
+    // appending writer continues from a valid tail.
+    EXPECT_EQ(readRaw(), intact);
+    const std::optional<LoadedCheckpoint> again = loadCheckpoint(path_);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_FALSE(again->recovered);
+}
+
+TEST_F(CheckpointTest, CorruptedLastRecordIsTruncatedAway)
+{
+    writeSample(4);
+    std::string text = readRaw();
+    // Flip one byte inside the *last* record's payload: its checksum
+    // no longer matches, so the record (and only it) must be dropped.
+    const std::size_t last_line_start =
+        text.rfind('\n', text.size() - 2) + 1;
+    text[last_line_start + 20] ^= 0x01;
+    writeRaw(text);
+
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->recovered);
+    ASSERT_EQ(loaded->records.size(), 3u);
+    EXPECT_EQ(loaded->records.back().job, 2u);
+    // Truncated back to the last good byte.
+    EXPECT_EQ(readRaw(), text.substr(0, last_line_start));
+}
+
+TEST_F(CheckpointTest, CorruptionMidFileDropsEverythingAfterIt)
+{
+    writeSample(4);
+    std::string text = readRaw();
+    // Corrupt the second job record; records 2..3 follow it and are
+    // unreachable once the scan stops (append-only framing has no
+    // resync point).
+    std::size_t line_start = 0;
+    for (int skip = 0; skip < 2; ++skip) // header + record 0
+        line_start = text.find('\n', line_start) + 1;
+    text[line_start + 3] ^= 0x40;
+    writeRaw(text);
+
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->recovered);
+    ASSERT_EQ(loaded->records.size(), 1u);
+    EXPECT_EQ(loaded->records[0].job, 0u);
+}
+
+TEST_F(CheckpointTest, GarbageTailIsRecovered)
+{
+    writeSample(2);
+    const std::string intact = readRaw();
+    writeRaw(intact + "complete garbage, not even a frame\n");
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->recovered);
+    EXPECT_EQ(loaded->records.size(), 2u);
+    EXPECT_EQ(readRaw(), intact);
+}
+
+TEST_F(CheckpointTest, UnreadableHeaderIsUnusable)
+{
+    writeSample(2);
+    std::string text = readRaw();
+    text[2] ^= 0x10; // corrupt the header frame itself
+    writeRaw(text);
+    EXPECT_FALSE(loadCheckpoint(path_).has_value());
+
+    // A well-framed first record that is not a header is also fatal:
+    // there is nothing to resume *into*.
+    writeRaw("");
+    {
+        CheckpointWriter writer(path_); // append mode: no header write
+        writer.add({0, 0, "{\"x\":1}"});
+    }
+    EXPECT_FALSE(loadCheckpoint(path_).has_value());
+}
+
+TEST_F(CheckpointTest, EmptyRecordLineIsRejectedAsCorruption)
+{
+    // An empty "line" would resurrect an errored job as completed;
+    // the loader must treat such a record as corruption and stop —
+    // even though its checksum is valid.
+    writeSample(1);
+    const std::string payload =
+        "{\"type\":\"job\",\"exp\":0,\"job\":1,\"line\":\"\"}";
+    std::uint64_t hash = 1469598103934665603ull; // FNV-1a, as framed
+    for (const char c : payload) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    char digest[17];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    writeRaw(readRaw() + digest + " " + payload + "\n");
+
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->recovered);
+    EXPECT_EQ(loaded->records.size(), 1u);
+}
+
+} // namespace
+} // namespace harp::harpd

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Fault-injection unit tests for the harpd wire protocol parser: every
+ * malformed input class must map to a structured error reply with a
+ * stable code — never an exception escaping parseRequest, never a
+ * crash. parseRequest is pure, so these tests need no sockets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harpd/protocol.hh"
+
+namespace harp::harpd {
+namespace {
+
+using runner::JsonType;
+using runner::JsonValue;
+
+std::string
+errorCode(const JsonValue &error)
+{
+    const JsonValue *type = error.find("type");
+    const JsonValue *code = error.find("code");
+    EXPECT_NE(type, nullptr);
+    EXPECT_NE(code, nullptr);
+    if (type == nullptr || code == nullptr)
+        return "";
+    EXPECT_EQ(type->asString(), "error");
+    return code->asString();
+}
+
+/** Expect @p line to fail parsing with @p code. */
+void
+expectError(const std::string &line, const std::string &code)
+{
+    JsonValue error;
+    const std::optional<Request> request = parseRequest(line, error);
+    EXPECT_FALSE(request.has_value()) << line;
+    EXPECT_EQ(errorCode(error), code) << line;
+    // Error replies must themselves survive the wire.
+    const std::string wire = wireLine(error);
+    EXPECT_EQ(wire.back(), '\n');
+    EXPECT_NO_THROW(JsonValue::parse(wire));
+}
+
+TEST(Protocol, MalformedJsonIsBadJson)
+{
+    expectError("", errc::badJson);
+    expectError("{", errc::badJson);
+    expectError("not json at all", errc::badJson);
+    expectError("{\"verb\":\"ping\"", errc::badJson);
+    expectError("\x00\xff\xfe", errc::badJson);
+    expectError("{\"verb\": \"ping\"} trailing", errc::badJson);
+}
+
+TEST(Protocol, NonObjectOrMissingVerbIsBadRequest)
+{
+    expectError("[1,2,3]", errc::badRequest);
+    expectError("42", errc::badRequest);
+    expectError("\"ping\"", errc::badRequest);
+    expectError("{}", errc::badRequest);
+    expectError("{\"verb\":7}", errc::badRequest);
+}
+
+TEST(Protocol, UnknownVerbHasItsOwnCode)
+{
+    expectError("{\"verb\":\"reboot\"}", errc::unknownVerb);
+    expectError("{\"verb\":\"PING\"}", errc::unknownVerb);
+    expectError("{\"verb\":\"\"}", errc::unknownVerb);
+}
+
+TEST(Protocol, CampaignIdValidation)
+{
+    EXPECT_TRUE(validCampaignId("c1"));
+    EXPECT_TRUE(validCampaignId("run-2026.08_final"));
+    EXPECT_TRUE(validCampaignId(std::string(64, 'a')));
+    // Ids become file names: no separators, traversal, or hidden files.
+    EXPECT_FALSE(validCampaignId(""));
+    EXPECT_FALSE(validCampaignId(std::string(65, 'a')));
+    EXPECT_FALSE(validCampaignId(".hidden"));
+    EXPECT_FALSE(validCampaignId("a/b"));
+    EXPECT_FALSE(validCampaignId("a b"));
+    EXPECT_FALSE(validCampaignId("a\nb"));
+    EXPECT_FALSE(validCampaignId("..")); // leading dot covers this
+
+    expectError("{\"verb\":\"status\"}", errc::badRequest);
+    expectError("{\"verb\":\"status\",\"campaign\":\"../etc\"}",
+                errc::badRequest);
+    expectError("{\"verb\":\"cancel\",\"campaign\":\".x\"}",
+                errc::badRequest);
+}
+
+TEST(Protocol, SubmitFieldValidation)
+{
+    // experiments: required, non-empty, strings only.
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\"}",
+                errc::badRequest);
+    expectError(
+        "{\"verb\":\"submit\",\"campaign\":\"c\",\"experiments\":[]}",
+        errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[1]}",
+                errc::badRequest);
+    // seed: int >= 0 or decimal string.
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"seed\":-1}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"seed\":\"0x10\"}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"seed\":1.5}",
+                errc::badRequest);
+    // repeat: integer in [1, 1000000].
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"repeat\":0}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"repeat\":1000001}",
+                errc::badRequest);
+    // overrides: object of scalars.
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"overrides\":[]}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"overrides\":{\"k\":{}}}",
+                errc::badRequest);
+}
+
+TEST(Protocol, ValidSubmitParsesEveryField)
+{
+    JsonValue error;
+    const std::optional<Request> request = parseRequest(
+        "{\"verb\":\"submit\",\"campaign\":\"night-1\","
+        "\"experiments\":[\"quickstart\",\"label:example\"],"
+        "\"seed\":\"18446744073709551615\",\"repeat\":3,"
+        "\"overrides\":{\"rounds\":16,\"prob\":0.25,\"fast\":true,"
+        "\"tag\":\"x\"}}",
+        error);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->verb, Verb::Submit);
+    EXPECT_EQ(request->campaign, "night-1");
+    ASSERT_EQ(request->experiments.size(), 2u);
+    EXPECT_EQ(request->experiments[1], "label:example");
+    EXPECT_EQ(request->seed, 18446744073709551615ull);
+    EXPECT_EQ(request->repeat, 3u);
+    // Scalar overrides stringify exactly as the CLI would pass them.
+    EXPECT_EQ(request->overrides.at("rounds"), "16");
+    EXPECT_EQ(request->overrides.at("prob"), "0.25");
+    EXPECT_EQ(request->overrides.at("fast"), "true");
+    EXPECT_EQ(request->overrides.at("tag"), "x");
+}
+
+TEST(Protocol, SimpleVerbsParse)
+{
+    for (const auto &[text, verb] :
+         {std::pair<const char *, Verb>{"ping", Verb::Ping},
+          {"list", Verb::List},
+          {"shutdown", Verb::Shutdown}}) {
+        JsonValue error;
+        const std::optional<Request> request = parseRequest(
+            "{\"verb\":\"" + std::string(text) + "\"}", error);
+        ASSERT_TRUE(request.has_value()) << text;
+        EXPECT_EQ(request->verb, verb);
+    }
+    JsonValue error;
+    const std::optional<Request> status = parseRequest(
+        "{\"verb\":\"status\",\"campaign\":\"c9\"}", error);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->verb, Verb::Status);
+    EXPECT_EQ(status->campaign, "c9");
+}
+
+TEST(Protocol, OversizedLineBoundaryIsEnforcedByReader)
+{
+    // The reader, not the parser, enforces maxLineBytes — but the
+    // constant must leave generous room for real submissions.
+    EXPECT_GE(maxLineBytes, 64u * 1024u);
+    const std::string big(maxLineBytes * 2, 'x');
+    JsonValue error;
+    // Even when an oversized line does reach the parser, it fails
+    // structurally rather than crashing.
+    EXPECT_FALSE(parseRequest(big, error).has_value());
+}
+
+TEST(Protocol, ErrorReplyShape)
+{
+    const JsonValue reply = errorReply(errc::shuttingDown, "bye");
+    EXPECT_EQ(reply.find("type")->asString(), "error");
+    EXPECT_EQ(reply.find("code")->asString(), "shutting_down");
+    EXPECT_EQ(reply.find("message")->asString(), "bye");
+}
+
+} // namespace
+} // namespace harp::harpd

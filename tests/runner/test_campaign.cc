@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <unistd.h>
 
+#include "common/thread_pool.hh"
 #include "runner/campaign.hh"
 #include "runner/registry.hh"
+#include "runner/session.hh"
 
 namespace harp::runner {
 namespace {
@@ -449,6 +454,92 @@ TEST(CampaignDeterminism, DifferentSeedsProduceDifferentHashes)
         hashes.push_back(summary.experiments[0].resultHash);
     }
     EXPECT_NE(hashes[0], hashes[1]);
+}
+
+/** Collects the ordered line stream for byte comparisons. */
+class CollectLines : public ResultSink
+{
+  public:
+    void onResult(std::size_t, const std::string &line, bool) override
+    {
+        bytes += line + "\n";
+    }
+    std::string bytes;
+};
+
+/**
+ * Satellite contract: the intra-job thread allowance is recomputed per
+ * scheduling wave, so when the trailing wave is narrower than the pool
+ * the leftover capacity flows into the remaining jobs — and the output
+ * bytes are unchanged by any of it.
+ */
+TEST(CampaignDeterminism, TrailingWaveWidensIntraJobThreads)
+{
+    // 5 equal-cost jobs on a 4-thread pool: wave 1 runs jobs 0..3 with
+    // a 1-thread allowance, wave 2 runs job 4 alone with all 4.
+    constexpr std::size_t kJobs = 5;
+    constexpr std::size_t kPool = 4;
+    ExperimentSpec spec;
+    spec.name = "wave_witness";
+    spec.description = "records its per-job thread allowance";
+    ParamAxis axis;
+    axis.name = "p";
+    for (std::size_t i = 0; i < kJobs; ++i)
+        axis.values.push_back(ParamValue(std::int64_t(3)));
+    spec.grid = ParamGrid({axis});
+    spec.schema = {{"v", JsonType::Int, "seed echo"}};
+    SessionOptions options;
+    options.seed = 123;
+
+    // Witness channel: map each job's (unique, deterministic) seed
+    // back to its index so run() can record the allowance it was
+    // handed without touching the metrics.
+    std::map<std::uint64_t, std::size_t> seed_to_job;
+    {
+        CampaignSession probe(spec, options);
+        for (std::size_t j = 0; j < probe.totalJobs(); ++j)
+            seed_to_job[probe.jobSeedAt(j)] = j;
+        ASSERT_EQ(seed_to_job.size(), kJobs);
+    }
+    std::array<std::atomic<std::size_t>, kJobs> seen{};
+    spec.run = [&seen, &seed_to_job](const RunContext &ctx) {
+        // Metrics stay allowance-independent — which is exactly what
+        // the byte-identity half of the test checks.
+        seen[seed_to_job.at(ctx.seed())].store(ctx.threads());
+        JsonValue metrics = JsonValue::object();
+        metrics.set("v", JsonValue(static_cast<std::int64_t>(
+                             ctx.seed() % 97)));
+        return metrics;
+    };
+
+    common::ThreadPool pool(kPool);
+    CollectLines pooled;
+    {
+        CampaignSession session(spec, options);
+        const auto outcome =
+            session.run(&pool, kPool, pooled);
+        EXPECT_EQ(outcome.freshJobs, kJobs);
+    }
+    std::size_t wide = 0;
+    std::size_t narrow = 0;
+    for (const auto &slot : seen) {
+        if (slot.load() == kPool)
+            ++wide;
+        else if (slot.load() == 1)
+            ++narrow;
+    }
+    // Exactly the trailing wave's lone job got the whole pool.
+    EXPECT_EQ(narrow, kJobs - 1);
+    EXPECT_EQ(wide, 1u);
+
+    // And none of it shows in the bytes: inline single-thread run
+    // (allowance 1 everywhere) produces the identical stream.
+    CollectLines inline_run;
+    {
+        CampaignSession session(spec, options);
+        session.run(nullptr, 1, inline_run);
+    }
+    EXPECT_EQ(pooled.bytes, inline_run.bytes);
 }
 
 } // namespace
