@@ -5,14 +5,16 @@
 # and a docs lint (Doxygen warnings are errors; skipped when doxygen is
 # not installed). Exits nonzero on any failure.
 #
-#   scripts/verify.sh          # tier-1 + smoke perf wiring
+#   scripts/verify.sh          # tier-1 + smoke perf wiring + a 10k-chip
+#                              # fleet byte-identity smoke
 #   scripts/verify.sh --full   # additionally: full-scale perf snapshot
 #                              # (sliced64 AND sliced256 floors + the
 #                              # <= 15% regression gate against the
-#                              # committed BENCH_PR6.json), the unit
-#                              # suite under TSan and ASan+UBSan
-#                              # (-DHARP_SANITIZE), and the intra-job
-#                              # scaling check (>= 8 cores only)
+#                              # committed BENCH_PR6.json), the unit +
+#                              # fleet suites under TSan and ASan+UBSan
+#                              # (-DHARP_SANITIZE), the intra-job
+#                              # scaling check (>= 8 cores only), and a
+#                              # million-chip fleet acceptance sweep
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -202,6 +204,38 @@ for engine in sliced64 sliced256; do
     }
 done
 
+# --- Fleet tier smoke -----------------------------------------------------
+# The fleet simulator's registration guard first: a mistyped ctest
+# label matches nothing and exits 0, so count the tier explicitly.
+fleet_tests="$(cd build && ctest -L fleet -N | sed -n 's/^Total Tests: //p')"
+[[ "${fleet_tests:-0}" -ge 4 ]] || {
+    echo "verify: expected >= 4 fleet-labeled tests, found" \
+         "'${fleet_tests:-none}'" >&2
+    exit 1
+}
+
+# A 10k-chip policy sweep must be byte-identical across thread counts
+# and across the sliced64/sliced256 engines (the fleet CRN contract,
+# end-to-end through harp_run).
+for variant in t1-sliced64 t4-sliced64 t4-sliced256; do
+    threads="${variant#t}"
+    threads="${threads%%-*}"
+    engine="${variant#*-}"
+    ./build/src/harp_run fleet_policy_sweep \
+        --seed 17 --threads "$threads" --engine "$engine" \
+        --chips 10000 --fit_scale 50 --windows 6 --rounds 8 \
+        --profiler harp_u \
+        --out "$smoke_dir/fleet-$variant" > /dev/null
+done
+for variant in t4-sliced64 t4-sliced256; do
+    cmp -s "$smoke_dir/fleet-t1-sliced64/fleet_policy_sweep.jsonl" \
+           "$smoke_dir/fleet-$variant/fleet_policy_sweep.jsonl" || {
+        echo "verify: fleet_policy_sweep.jsonl differs" \
+             "(t1-sliced64 vs $variant)" >&2
+        exit 1
+    }
+done
+
 # --- Perf snapshot (smoke) ------------------------------------------------
 # Wiring + bit-identity witness of the engine-throughput bench, and a
 # non-enforcing bench_compare against the committed snapshot (smoke
@@ -248,6 +282,39 @@ if [[ $FULL -eq 1 ]]; then
         (cd "$sdir" && ctest --output-on-failure \
             -R '^(test_merge_queue_stress|test_harpd_resume)$') || {
             echo "verify: harpd stress/resume failed under $san" >&2
+            exit 1
+        }
+        # The fleet statistical/property tier (chi-square/KS sampler
+        # GOF, monotonicity sweeps, cross-engine/thread identity) is
+        # labeled integration, so run it explicitly under sanitizers.
+        (cd "$sdir" && ctest -L fleet --output-on-failure) || {
+            echo "verify: fleet tier failed under $san sanitizer" >&2
+            exit 1
+        }
+    done
+fi
+
+# --- Fleet acceptance scale (full) ----------------------------------------
+# A million-chip policy sweep completes on one machine with
+# byte-identical JSONL across --threads {1, 4, hw} and across the
+# sliced64/sliced256 engines.
+if [[ $FULL -eq 1 ]]; then
+    for variant in t1-sliced64 t4-sliced64 thw-sliced64 thw-sliced256; do
+        threads="${variant#t}"
+        threads="${threads%%-*}"
+        [[ "$threads" == "hw" ]] && threads=0
+        engine="${variant#*-}"
+        ./build/src/harp_run fleet_policy_sweep \
+            --seed 29 --threads "$threads" --engine "$engine" \
+            --chips 1000000 --fit_scale 20 --windows 8 --rounds 16 \
+            --profiler harp_u \
+            --out "$smoke_dir/fleet1m-$variant" > /dev/null
+    done
+    for variant in t4-sliced64 thw-sliced64 thw-sliced256; do
+        cmp -s "$smoke_dir/fleet1m-t1-sliced64/fleet_policy_sweep.jsonl" \
+               "$smoke_dir/fleet1m-$variant/fleet_policy_sweep.jsonl" || {
+            echo "verify: 1M-chip fleet sweep differs" \
+                 "(t1-sliced64 vs $variant)" >&2
             exit 1
         }
     done

@@ -20,6 +20,45 @@ ErrorProfile::markAtRisk(std::size_t word, std::size_t bit)
     bitmaps_.at(word).set(bit, true);
 }
 
+void
+ErrorProfile::markWordBitmap(std::size_t word, const gf2::BitVector &bits)
+{
+    if (bits.size() != wordBits_)
+        throw std::invalid_argument(
+            "ErrorProfile::markWordBitmap: size mismatch");
+    bitmaps_.at(word) |= bits;
+}
+
+std::size_t
+ErrorProfile::truncateToBudget(std::size_t max_bits)
+{
+    std::size_t kept = 0, dropped = 0;
+    for (auto &bitmap : bitmaps_) {
+        if (kept >= max_bits && !bitmap.isZero()) {
+            dropped += bitmap.popcount();
+            bitmap.fill(false);
+            continue;
+        }
+        const std::size_t here = bitmap.popcount();
+        if (kept + here <= max_bits) {
+            kept += here;
+            continue;
+        }
+        // Partial word: keep the lowest positions up to the budget.
+        gf2::BitVector truncated(bitmap.size());
+        bitmap.forEachSetBit([&](std::size_t bit) {
+            if (kept < max_bits) {
+                truncated.set(bit, true);
+                ++kept;
+            } else {
+                ++dropped;
+            }
+        });
+        bitmap = std::move(truncated);
+    }
+    return dropped;
+}
+
 bool
 ErrorProfile::isAtRisk(std::size_t word, std::size_t bit) const
 {

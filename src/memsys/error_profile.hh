@@ -38,6 +38,24 @@ class ErrorProfile
     /** Record that (word, bit) is at risk. Idempotent. */
     void markAtRisk(std::size_t word, std::size_t bit);
 
+    /**
+     * OR a whole bitmap of at-risk positions into word @p word — the
+     * bulk-placement hook used when a profiler's identified() set (or a
+     * fleet sampler's per-word risk map) is installed in one shot.
+     * @throws std::invalid_argument when sizes mismatch.
+     */
+    void markWordBitmap(std::size_t word, const gf2::BitVector &bits);
+
+    /**
+     * Keep only the first @p max_bits profiled bits in (word, bit)
+     * order and clear the rest — the deterministic tie-break a
+     * budgeted repair mechanism applies when a profile exceeds the
+     * spare capacity it feeds.
+     *
+     * @return Number of profiled bits dropped.
+     */
+    std::size_t truncateToBudget(std::size_t max_bits);
+
     /** True iff (word, bit) has been profiled as at risk. */
     bool isAtRisk(std::size_t word, std::size_t bit) const;
 

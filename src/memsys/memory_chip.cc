@@ -1,5 +1,6 @@
 #include "memsys/memory_chip.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -19,6 +20,38 @@ MemoryChip::setFaultModel(std::size_t word, fault::WordFaultModel model)
     if (model.wordBits() != onDieEcc_.n())
         throw std::invalid_argument("fault model size != codeword size");
     faultModels_.at(word) = std::move(model);
+}
+
+void
+MemoryChip::addCellFault(std::size_t word, const fault::CellFault &cell)
+{
+    if (cell.position >= onDieEcc_.n())
+        throw std::invalid_argument("cell fault position out of range");
+    const fault::WordFaultModel &current = faultModels_.at(word);
+    std::vector<fault::CellFault> faults = current.faults();
+    bool merged = false;
+    for (fault::CellFault &existing : faults) {
+        if (existing.position == cell.position) {
+            existing.probability =
+                std::max(existing.probability, cell.probability);
+            merged = true;
+            break;
+        }
+    }
+    if (!merged)
+        faults.push_back(cell);
+    faultModels_.at(word) = fault::WordFaultModel(
+        onDieEcc_.n(), std::move(faults), current.technology());
+}
+
+std::vector<std::size_t>
+MemoryChip::faultyWords() const
+{
+    std::vector<std::size_t> words;
+    for (std::size_t w = 0; w < faultModels_.size(); ++w)
+        if (faultModels_[w].numFaults() > 0)
+            words.push_back(w);
+    return words;
 }
 
 const fault::WordFaultModel &

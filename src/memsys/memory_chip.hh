@@ -60,6 +60,21 @@ class MemoryChip
     /** Attach a fault model to word @p word. */
     void setFaultModel(std::size_t word, fault::WordFaultModel model);
 
+    /**
+     * Merge one at-risk cell into word @p word's fault model — the
+     * distribution-driven placement hook used by the fleet population
+     * sampler, which accumulates fault *events* (bit / row / column /
+     * chip-wide) cell by cell. A duplicate position keeps the higher
+     * failure probability; the cell technology of the existing model is
+     * preserved.
+     */
+    void addCellFault(std::size_t word, const fault::CellFault &cell);
+
+    /** Indices of words whose fault model has at least one at-risk
+     *  cell, ascending — the sparse iteration set for fleet chips,
+     *  where almost every word is fault-free. */
+    std::vector<std::size_t> faultyWords() const;
+
     /** Fault model currently attached to word @p word. */
     const fault::WordFaultModel &faultModel(std::size_t word) const;
 

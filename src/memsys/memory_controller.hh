@@ -94,6 +94,17 @@ class MemoryController
     ErrorProfile &profile() { return profile_; }
     const ErrorProfile &profile() const { return profile_; }
 
+    /**
+     * Budget the repair mechanism's spare storage (fleet policy sweeps
+     * size this per chip): at most @p bits profiled bits ever get spare
+     * slots, first-come-first-served in write order. Pass
+     * RepairMechanism::kUnlimited to remove the budget.
+     */
+    void setRepairCapacity(std::size_t bits) { repair_.setCapacity(bits); }
+
+    /** The repair mechanism (spare-capacity observability). */
+    const RepairMechanism &repairMechanism() const { return repair_; }
+
     const ControllerStats &stats() const { return stats_; }
 
     bool hasSecondaryEcc() const { return secondaryEcc_.has_value(); }

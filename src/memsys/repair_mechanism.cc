@@ -14,7 +14,17 @@ RepairMechanism::onWrite(std::size_t word, const gf2::BitVector &dataword,
 {
     auto &spare = spares_.at(word);
     profile.wordBitmap(word).forEachSetBit([&](std::size_t bit) {
-        spare[bit] = dataword.get(bit);
+        const auto it = spare.find(bit);
+        if (it != spare.end()) {
+            it->second = dataword.get(bit);
+            return;
+        }
+        if (used_ >= capacity_) {
+            ++dropped_;
+            return;
+        }
+        spare.emplace(bit, dataword.get(bit));
+        ++used_;
     });
 }
 
@@ -34,10 +44,7 @@ RepairMechanism::repair(std::size_t word, gf2::BitVector &dataword) const
 std::size_t
 RepairMechanism::spareBitsUsed() const
 {
-    std::size_t total = 0;
-    for (const auto &spare : spares_)
-        total += spare.size();
-    return total;
+    return used_;
 }
 
 } // namespace harp::mem

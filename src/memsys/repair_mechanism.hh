@@ -13,6 +13,7 @@
 #define HARP_MEMSYS_REPAIR_MECHANISM_HH
 
 #include <cstddef>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -26,10 +27,20 @@ namespace harp::mem {
  *
  * The profile may grow at any time (reactive profiling); newly profiled
  * bits start being repaired at the next write that captures their value.
+ *
+ * Spare storage may be budgeted (setCapacity): once the budget is
+ * exhausted, further profiled bits are simply not repaired. Allocation
+ * is first-come-first-served in write order — within one write, spare
+ * slots go to profiled bits in ascending bit order — so exhaustion
+ * behaviour is deterministic and testable.
  */
 class RepairMechanism
 {
   public:
+    /** Capacity value meaning "no spare-storage budget". */
+    static constexpr std::size_t kUnlimited =
+        std::numeric_limits<std::size_t>::max();
+
     /**
      * @param num_words Number of ECC words covered.
      * @param word_bits Dataword length.
@@ -39,8 +50,28 @@ class RepairMechanism
     std::size_t wordBits() const { return wordBits_; }
 
     /**
+     * Budget the spare storage to @p max_spare_bits allocated bits
+     * (kUnlimited by default). Shrinking below the bits already
+     * allocated does not evict them — real spare rows cannot be
+     * un-soldered — it only stops further allocation.
+     */
+    void setCapacity(std::size_t max_spare_bits) { capacity_ = max_spare_bits; }
+
+    /** Current spare-storage budget (kUnlimited when unbudgeted). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** True iff allocation has hit the budget: newly profiled bits can
+     *  no longer be captured. */
+    bool exhausted() const { return used_ >= capacity_; }
+
+    /** Profiled bits that could not be allocated a spare slot because
+     *  the budget was exhausted when their capturing write occurred. */
+    std::size_t droppedAllocations() const { return dropped_; }
+
+    /**
      * Observe a write: capture spare copies of all currently-profiled bits
-     * of @p dataword.
+     * of @p dataword (allocating new spare slots only while the budget
+     * allows; already-allocated slots always refresh their value).
      */
     void onWrite(std::size_t word, const gf2::BitVector &dataword,
                  const ErrorProfile &profile);
@@ -59,6 +90,11 @@ class RepairMechanism
 
   private:
     std::size_t wordBits_;
+    std::size_t capacity_ = kUnlimited;
+    /** Spare bits allocated so far (== spareBitsUsed(), maintained
+     *  incrementally for the budget check). */
+    std::size_t used_ = 0;
+    std::size_t dropped_ = 0;
     /** Per word: profiled position -> captured value. */
     std::vector<std::map<std::size_t, bool>> spares_;
 };

@@ -122,6 +122,7 @@ builtinRegistry()
         registerExtensionSpecs(r);
         registerExampleSpecs(r);
         registerPerfSpecs(r);
+        registerFleetSpecs(r);
         return r;
     }();
     return registry;

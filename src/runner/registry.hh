@@ -72,6 +72,7 @@ void registerCaseStudySpecs(Registry &registry);
 void registerExtensionSpecs(Registry &registry);
 void registerExampleSpecs(Registry &registry);
 void registerPerfSpecs(Registry &registry);
+void registerFleetSpecs(Registry &registry);
 ///@}
 
 } // namespace harp::runner

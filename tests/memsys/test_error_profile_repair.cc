@@ -129,6 +129,45 @@ TEST(ErrorProfile, SaveFormatIsStable)
     EXPECT_EQ(stream.str(), "harp-profile v1 3 8\n1 2 5\n");
 }
 
+TEST(ErrorProfile, MarkWordBitmapOrsIntoExistingEntries)
+{
+    ErrorProfile profile(2, 8);
+    profile.markAtRisk(1, 0);
+    gf2::BitVector bits(8);
+    bits.set(2, true);
+    bits.set(5, true);
+    profile.markWordBitmap(1, bits);
+    EXPECT_EQ(profile.wordBitmap(1).setBits(),
+              (std::vector<std::size_t>{0, 2, 5}));
+    EXPECT_EQ(profile.totalAtRisk(), 3u);
+
+    EXPECT_THROW(profile.markWordBitmap(1, gf2::BitVector(9)),
+                 std::invalid_argument);
+    EXPECT_THROW(profile.markWordBitmap(2, bits), std::out_of_range);
+}
+
+TEST(ErrorProfile, TruncateToBudgetKeepsFirstBitsInWordOrder)
+{
+    ErrorProfile profile(3, 8);
+    profile.markAtRisk(0, 6);
+    profile.markAtRisk(1, 1);
+    profile.markAtRisk(1, 4);
+    profile.markAtRisk(2, 0);
+
+    // Budget 2 keeps (0,6) and (1,1) — (word, bit) order — drops 2.
+    EXPECT_EQ(profile.truncateToBudget(2), 2u);
+    EXPECT_EQ(profile.totalAtRisk(), 2u);
+    EXPECT_TRUE(profile.isAtRisk(0, 6));
+    EXPECT_TRUE(profile.isAtRisk(1, 1));
+    EXPECT_FALSE(profile.isAtRisk(1, 4));
+    EXPECT_FALSE(profile.isAtRisk(2, 0));
+
+    // A budget at or above the population is a no-op.
+    EXPECT_EQ(profile.truncateToBudget(2), 0u);
+    EXPECT_EQ(profile.truncateToBudget(99), 0u);
+    EXPECT_EQ(profile.totalAtRisk(), 2u);
+}
+
 TEST(RepairMechanism, RepairsProfiledBitsAfterCapture)
 {
     ErrorProfile profile(1, 16);
@@ -190,6 +229,128 @@ TEST(RepairMechanism, SpareAccounting)
     // Re-writing the same word does not double-count.
     repair.onWrite(1, d, profile);
     EXPECT_EQ(repair.spareBitsUsed(), 3u);
+}
+
+TEST(RepairMechanism, BudgetExhaustionIsFirstComeFirstServed)
+{
+    // Word 0 carries profiled bits {3, 7, 11}, word 1 carries {2}.
+    // With a budget of 2, the first capturing write wins the spares in
+    // ascending bit order: {3, 7} get slots, 11 and word 1's bit 2 are
+    // dropped deterministically.
+    ErrorProfile profile(2, 16);
+    for (const std::size_t bit : {3, 7, 11})
+        profile.markAtRisk(0, bit);
+    profile.markAtRisk(1, 2);
+    RepairMechanism repair(2, 16);
+    repair.setCapacity(2);
+    EXPECT_EQ(repair.capacity(), 2u);
+    EXPECT_FALSE(repair.exhausted());
+
+    const gf2::BitVector w0 = gf2::BitVector::fromUint(0xFFFF, 16);
+    repair.onWrite(0, w0, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 2u);
+    EXPECT_TRUE(repair.exhausted());
+    EXPECT_EQ(repair.droppedAllocations(), 1u); // bit 11
+
+    const gf2::BitVector w1 = gf2::BitVector::fromUint(0x0004, 16);
+    repair.onWrite(1, w1, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 2u);
+    EXPECT_EQ(repair.droppedAllocations(), 2u); // + word 1 bit 2
+
+    // Exactly the FCFS winners {3, 7} are repaired; 11 and (1, 2) leak.
+    gf2::BitVector read0 = w0;
+    for (const std::size_t bit : {3, 7, 11})
+        read0.flip(bit);
+    EXPECT_EQ(repair.repair(0, read0), 2u);
+    EXPECT_TRUE(read0.get(3));
+    EXPECT_TRUE(read0.get(7));
+    EXPECT_FALSE(read0.get(11));
+    gf2::BitVector read1 = w1;
+    read1.flip(2);
+    EXPECT_EQ(repair.repair(1, read1), 0u);
+
+    // Raising the budget lets the *next* capturing writes claim slots
+    // for the previously dropped bits.
+    repair.setCapacity(4);
+    EXPECT_FALSE(repair.exhausted());
+    repair.onWrite(0, w0, profile);
+    repair.onWrite(1, w1, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 4u);
+    gf2::BitVector again = w0;
+    again.flip(11);
+    EXPECT_EQ(repair.repair(0, again), 1u);
+    EXPECT_EQ(again, w0);
+}
+
+TEST(RepairMechanism, ValueRefreshNeverConsumesBudget)
+{
+    // Rewriting a word refreshes the values of already-allocated spares
+    // without touching the budget or the dropped counter.
+    ErrorProfile profile(1, 8);
+    profile.markAtRisk(0, 5);
+    RepairMechanism repair(1, 8);
+    repair.setCapacity(1);
+
+    gf2::BitVector first(8);
+    first.set(5, true);
+    repair.onWrite(0, first, profile);
+    EXPECT_TRUE(repair.exhausted());
+
+    gf2::BitVector second(8); // bit 5 now 0
+    repair.onWrite(0, second, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 1u);
+    EXPECT_EQ(repair.droppedAllocations(), 0u);
+
+    // The spare tracks the latest write, not the first.
+    gf2::BitVector read = second;
+    read.flip(5);
+    EXPECT_EQ(repair.repair(0, read), 1u);
+    EXPECT_EQ(read, second);
+}
+
+TEST(RepairMechanism, ShrinkingCapacityDoesNotEvictSpares)
+{
+    // Spare rows cannot be un-soldered: shrinking the budget below the
+    // allocated count keeps existing repairs working and only blocks
+    // new allocations.
+    ErrorProfile profile(1, 8);
+    for (const std::size_t bit : {1, 4, 6})
+        profile.markAtRisk(0, bit);
+    RepairMechanism repair(1, 8);
+    const gf2::BitVector d = gf2::BitVector::fromUint(0xFF, 8);
+    repair.onWrite(0, d, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 3u);
+
+    repair.setCapacity(1);
+    EXPECT_TRUE(repair.exhausted());
+    EXPECT_EQ(repair.spareBitsUsed(), 3u);
+    gf2::BitVector read = d;
+    for (const std::size_t bit : {1, 4, 6})
+        read.flip(bit);
+    EXPECT_EQ(repair.repair(0, read), 3u);
+
+    // A newly profiled bit can no longer be captured.
+    profile.markAtRisk(0, 0);
+    repair.onWrite(0, d, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 3u);
+    EXPECT_EQ(repair.droppedAllocations(), 1u);
+}
+
+TEST(RepairMechanism, ZeroCapacityCapturesNothing)
+{
+    ErrorProfile profile(1, 8);
+    profile.markAtRisk(0, 3);
+    RepairMechanism repair(1, 8);
+    repair.setCapacity(0);
+    EXPECT_TRUE(repair.exhausted());
+
+    const gf2::BitVector d = gf2::BitVector::fromUint(0xAB, 8);
+    repair.onWrite(0, d, profile);
+    EXPECT_EQ(repair.spareBitsUsed(), 0u);
+    EXPECT_EQ(repair.droppedAllocations(), 1u);
+    gf2::BitVector read = d;
+    read.flip(3);
+    EXPECT_EQ(repair.repair(0, read), 0u);
 }
 
 } // namespace

@@ -185,6 +185,101 @@ TEST(MemoryController, UncorrectableDoubleErrorFlagged)
     EXPECT_EQ(rig.controller.stats().uncorrectableEvents, 1u);
 }
 
+TEST(MemoryController, DetectedUncorrectableNeitherProfilesNorRepairs)
+{
+    // A detected-but-uncorrectable read must be reported and *only*
+    // reported: no reactive identification (SECDED cannot localize a
+    // double error), no profile growth, no spare allocation — and the
+    // event recurs on every read while the corruption persists.
+    Rig rig(10);
+    common::Xoshiro256 rng(11);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d);
+
+    std::size_t a = 71, b = 71;
+    for (std::size_t i = 0; i < 64 && a == 71; ++i) {
+        for (std::size_t j = i + 1; j < 64; ++j) {
+            const std::uint32_t s = rig.code.codewordColumn(i) ^
+                                    rig.code.codewordColumn(j);
+            const auto target = rig.code.syndromeToPosition(s);
+            if (!target || *target >= 64) {
+                a = i;
+                b = j;
+                break;
+            }
+        }
+    }
+    ASSERT_LT(a, 71u);
+    gf2::BitVector mask(71);
+    mask.set(a, true);
+    mask.set(b, true);
+    rig.chip.corrupt(0, mask);
+
+    for (std::size_t attempt = 1; attempt <= 3; ++attempt) {
+        const ControllerReadResult r = rig.controller.read(0);
+        EXPECT_TRUE(r.corrupt);
+        EXPECT_NE(r.dataword, d);
+        EXPECT_FALSE(r.newlyProfiledBit.has_value());
+        EXPECT_EQ(rig.controller.stats().uncorrectableEvents, attempt);
+    }
+    EXPECT_EQ(rig.controller.stats().reactiveIdentifications, 0u);
+    EXPECT_EQ(rig.controller.profile().totalAtRisk(), 0u);
+    EXPECT_EQ(rig.controller.repairMechanism().spareBitsUsed(), 0u);
+    EXPECT_EQ(rig.controller.stats().secondaryCorrections, 0u);
+
+    // An application rewrite clears the stored corruption.
+    rig.controller.write(0, d);
+    const ControllerReadResult clean = rig.controller.read(0);
+    EXPECT_FALSE(clean.corrupt);
+    EXPECT_EQ(clean.dataword, d);
+}
+
+TEST(MemoryController, ZeroRepairCapacityExposesProfiledBitToSecondary)
+{
+    // With the spare budget at zero, a profiled bit's error is no
+    // longer absorbed by repair; the secondary SECDED has to correct
+    // it on the read path instead.
+    Rig rig(12);
+    rig.controller.profile().markAtRisk(0, 12);
+    rig.controller.setRepairCapacity(0);
+    common::Xoshiro256 rng(13);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d);
+
+    EXPECT_TRUE(rig.controller.repairMechanism().exhausted());
+    EXPECT_EQ(rig.controller.repairMechanism().capacity(), 0u);
+    EXPECT_EQ(rig.controller.repairMechanism().droppedAllocations(), 1u);
+    EXPECT_EQ(rig.controller.repairMechanism().spareBitsUsed(), 0u);
+
+    gf2::BitVector mask(71);
+    mask.set(12, true);
+    // A lone parity companion keeps the post-correction error single:
+    // find one whose pair syndrome maps nowhere or to parity.
+    std::size_t companion = 71;
+    for (std::size_t j = 0; j < 64; ++j) {
+        if (j == 12)
+            continue;
+        const std::uint32_t s = rig.code.codewordColumn(12) ^
+                                rig.code.codewordColumn(j);
+        const auto target = rig.code.syndromeToPosition(s);
+        if (!target || *target >= 64) {
+            companion = j;
+            break;
+        }
+    }
+    ASSERT_LT(companion, 71u);
+    mask.set(companion, true);
+    rig.chip.corrupt(0, mask);
+
+    // Same construction as RepairShieldsSecondaryFromProfiledBits, but
+    // the shield is gone: both errors reach the secondary SECDED and
+    // the word is uncorrectable.
+    const ControllerReadResult r = rig.controller.read(0);
+    EXPECT_TRUE(r.corrupt);
+    EXPECT_EQ(rig.controller.stats().repairedBits, 0u);
+    EXPECT_EQ(rig.controller.stats().uncorrectableEvents, 1u);
+}
+
 TEST(MemoryController, WithoutSecondaryEccErrorsPassThrough)
 {
     Rig rig(7, /*secondary=*/false);

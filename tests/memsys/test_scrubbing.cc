@@ -172,6 +172,113 @@ TEST(Scrubbing, ScrubVersusProfileDrivenRepair)
     EXPECT_EQ(corrupt_reads[2], 0u);
 }
 
+/** Two data positions whose combined syndrome maps to parity or
+ *  nowhere: the on-die decode leaves both standing, and the secondary
+ *  SECDED sees a detected-but-uncorrectable double error. */
+std::pair<std::size_t, std::size_t>
+uncorrectableDataPair(const ecc::HammingCode &code)
+{
+    for (std::size_t i = 0; i < 64; ++i) {
+        for (std::size_t j = i + 1; j < 64; ++j) {
+            const std::uint32_t s =
+                code.codewordColumn(i) ^ code.codewordColumn(j);
+            const auto target = code.syndromeToPosition(s);
+            if (!target || *target >= 64)
+                return {i, j};
+        }
+    }
+    ADD_FAILURE() << "no uncorrectable data pair in this code";
+    return {0, 1};
+}
+
+TEST(Scrubbing, FaultArrivingMidScrubPassWaitsForTheNextPass)
+{
+    // A scrub pass visits words in order. A fault that lands on a word
+    // the pass has *already* visited stays in storage until the next
+    // pass comes around — the boundary case a fleet scrub interval has
+    // to price in.
+    Rig rig(11, 2);
+    common::Xoshiro256 rng(12);
+    const gf2::BitVector d0 = gf2::BitVector::random(64, rng);
+    const gf2::BitVector d1 = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d0);
+    rig.controller.write(1, d1);
+
+    rig.controller.scrub(0); // pass visits word 0...
+    gf2::BitVector mask(71);
+    mask.set(17, true); // ...fault lands just behind the scrub pointer
+    rig.chip.corrupt(0, mask);
+    rig.controller.scrub(1); // ...pass finishes without revisiting
+
+    // The error survived the pass in storage (reads still correct it).
+    EXPECT_EQ(rig.controller.stats().scrubWritebacks, 0u);
+    EXPECT_NE(rig.chip.storedCodeword(0), rig.code.encode(d0));
+    EXPECT_EQ(rig.controller.read(0).dataword, d0);
+
+    // The *next* pass cleans it up.
+    EXPECT_EQ(rig.controller.scrubAll(), 0u);
+    EXPECT_EQ(rig.controller.stats().scrubWritebacks, 1u);
+    EXPECT_EQ(rig.chip.storedCodeword(0), rig.code.encode(d0));
+}
+
+TEST(Scrubbing, ScrubTimingDecidesWhetherTwoFaultsCombine)
+{
+    // The same two single-bit faults in the same word: benign when a
+    // scrub lands between them, uncorrectable when both arrive within
+    // one scrub window.
+    const auto [a, b] = uncorrectableDataPair(Rig(13).code);
+    for (const bool scrub_between : {true, false}) {
+        Rig rig(13);
+        common::Xoshiro256 rng(14);
+        const gf2::BitVector d = gf2::BitVector::random(64, rng);
+        rig.controller.write(0, d);
+
+        gf2::BitVector first(71), second(71);
+        first.set(a, true);
+        second.set(b, true);
+        rig.chip.corrupt(0, first);
+        if (scrub_between) {
+            EXPECT_FALSE(rig.controller.scrub(0).corrupt);
+        }
+        rig.chip.corrupt(0, second);
+
+        const ControllerReadResult r = rig.controller.read(0);
+        if (scrub_between) {
+            EXPECT_FALSE(r.corrupt);
+            EXPECT_EQ(r.dataword, d);
+            EXPECT_EQ(rig.controller.stats().uncorrectableEvents, 0u);
+        } else {
+            EXPECT_TRUE(r.corrupt);
+            EXPECT_EQ(rig.controller.stats().uncorrectableEvents, 1u);
+        }
+    }
+}
+
+TEST(Scrubbing, UnscrubbableWordIsNotWrittenBack)
+{
+    // When the full correction path cannot produce clean data, scrub
+    // must not launder the corruption into a writeback: the stored
+    // word stays as-is and the word is reported corrupt.
+    Rig rig(15);
+    const auto [a, b] = uncorrectableDataPair(rig.code);
+    common::Xoshiro256 rng(16);
+    const gf2::BitVector d = gf2::BitVector::random(64, rng);
+    rig.controller.write(0, d);
+    rig.controller.write(1, d);
+    gf2::BitVector mask(71);
+    mask.set(a, true);
+    mask.set(b, true);
+    rig.chip.corrupt(0, mask);
+    const gf2::BitVector stored_before = rig.chip.storedCodeword(0);
+
+    EXPECT_EQ(rig.controller.scrubAll(), 1u);
+    EXPECT_EQ(rig.controller.stats().scrubWritebacks, 0u);
+    EXPECT_EQ(rig.chip.storedCodeword(0), stored_before);
+    // And it stays corrupt on every later pass: scrubbing cannot fix
+    // a word that has already exceeded the correction capability.
+    EXPECT_EQ(rig.controller.scrubAll(), 1u);
+}
+
 TEST(Scrubbing, ScrubAllCoversEveryWord)
 {
     Rig rig(9, 4);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <filesystem>
@@ -540,6 +541,129 @@ TEST(CampaignDeterminism, TrailingWaveWidensIntraJobThreads)
         session.run(nullptr, 1, inline_run);
     }
     EXPECT_EQ(pooled.bytes, inline_run.bytes);
+}
+
+/** Records the full (job, line, fresh) stream. */
+class RecordStream : public ResultSink
+{
+  public:
+    struct Entry
+    {
+        std::size_t job;
+        std::string line;
+        bool fresh;
+    };
+    void onResult(std::size_t job, const std::string &line,
+                  bool fresh) override
+    {
+        entries.push_back({job, line, fresh});
+    }
+    std::string bytes() const
+    {
+        std::string out;
+        for (const Entry &e : entries)
+            out += e.line + "\n";
+        return out;
+    }
+    std::vector<Entry> entries;
+};
+
+/**
+ * Satellite contract: checkpoint-restored jobs re-enter the ordered
+ * stream without being recomputed, and the wave scheduler plans only
+ * over the remaining fresh jobs — including the trailing-wave widening
+ * — while the merged output stays byte-identical to an all-fresh run.
+ */
+TEST(CampaignDeterminism, RestoredJobsInjectIntoOrderedStream)
+{
+    // 13 equal-cost jobs, 4 restored -> 9 fresh on a 4-thread pool:
+    // waves of 4, 4 and 1, the lone trailing job widened to the pool.
+    constexpr std::size_t kJobs = 13;
+    constexpr std::size_t kPool = 4;
+    const std::vector<std::size_t> kRestored{0, 3, 7, 12};
+    ExperimentSpec spec;
+    spec.name = "restore_witness";
+    spec.description = "records which jobs actually run";
+    ParamAxis axis;
+    axis.name = "p";
+    for (std::size_t i = 0; i < kJobs; ++i)
+        axis.values.push_back(ParamValue(std::int64_t(1)));
+    spec.grid = ParamGrid({axis});
+    spec.schema = {{"v", JsonType::Int, "seed echo"}};
+    SessionOptions options;
+    options.seed = 321;
+
+    std::map<std::uint64_t, std::size_t> seed_to_job;
+    {
+        CampaignSession probe(spec, options);
+        for (std::size_t j = 0; j < probe.totalJobs(); ++j)
+            seed_to_job[probe.jobSeedAt(j)] = j;
+        ASSERT_EQ(seed_to_job.size(), kJobs);
+    }
+    std::array<std::atomic<std::size_t>, kJobs> seen{};
+    spec.run = [&seen, &seed_to_job](const RunContext &ctx) {
+        seen[seed_to_job.at(ctx.seed())].store(ctx.threads());
+        JsonValue metrics = JsonValue::object();
+        metrics.set("v", JsonValue(static_cast<std::int64_t>(
+                             ctx.seed() % 89)));
+        return metrics;
+    };
+
+    // Reference: everything fresh, inline.
+    RecordStream all_fresh;
+    std::uint64_t fresh_hash = 0;
+    {
+        CampaignSession session(spec, options);
+        fresh_hash = session.run(nullptr, 1, all_fresh).resultHash;
+        ASSERT_EQ(all_fresh.entries.size(), kJobs);
+    }
+    for (auto &slot : seen)
+        slot.store(0);
+
+    // Restored session: inject the checkpoint lines, then run pooled.
+    CampaignSession session(spec, options);
+    for (const std::size_t job : kRestored)
+        EXPECT_TRUE(session.restore(job, all_fresh.entries[job].line));
+    // Out-of-range and double restores are rejected.
+    EXPECT_FALSE(session.restore(kJobs, "{}"));
+    EXPECT_FALSE(session.restore(kRestored[0], "{}"));
+    EXPECT_EQ(session.restoredJobs(), kRestored.size());
+
+    common::ThreadPool pool(kPool);
+    RecordStream resumed;
+    const auto outcome = session.run(&pool, kPool, resumed);
+    EXPECT_EQ(outcome.freshJobs, kJobs - kRestored.size());
+    EXPECT_EQ(outcome.freshJobSeconds.size(), outcome.freshJobs);
+    EXPECT_FALSE(outcome.cancelled);
+
+    // The sink saw every job exactly once, in job order, with the
+    // fresh flag cleared exactly on the restored indices.
+    ASSERT_EQ(resumed.entries.size(), kJobs);
+    for (std::size_t j = 0; j < kJobs; ++j) {
+        EXPECT_EQ(resumed.entries[j].job, j);
+        const bool restored =
+            std::find(kRestored.begin(), kRestored.end(), j) !=
+            kRestored.end();
+        EXPECT_EQ(resumed.entries[j].fresh, !restored) << "job " << j;
+    }
+
+    // Restored jobs were never recomputed; the fresh ones were planned
+    // as waves of 4, 4 and 1 with the trailing job widened to the pool.
+    std::size_t narrow = 0, wide = 0;
+    for (const std::size_t job : kRestored)
+        EXPECT_EQ(seen[job].load(), 0u) << "job " << job << " recomputed";
+    for (std::size_t j = 0; j < kJobs; ++j) {
+        if (seen[j].load() == 1)
+            ++narrow;
+        else if (seen[j].load() == kPool)
+            ++wide;
+    }
+    EXPECT_EQ(narrow, kJobs - kRestored.size() - 1);
+    EXPECT_EQ(wide, 1u);
+
+    // Byte- and hash-identical to the all-fresh stream.
+    EXPECT_EQ(resumed.bytes(), all_fresh.bytes());
+    EXPECT_EQ(outcome.resultHash, fresh_hash);
 }
 
 } // namespace

@@ -16,15 +16,16 @@ TEST(Registry, BuiltinCatalogueIsComplete)
 {
     const Registry &registry = builtinRegistry();
     // 15 bench binaries (incl. the BCH t-sweep) + 4 former examples +
-    // the engine perf experiment.
-    EXPECT_EQ(registry.size(), 20u);
+    // the engine perf experiment + 2 fleet experiments.
+    EXPECT_EQ(registry.size(), 22u);
     EXPECT_EQ(registry.withLabel("bench").size(), 16u);
     EXPECT_EQ(registry.withLabel("example").size(), 4u);
     EXPECT_EQ(registry.withLabel("figure").size(), 7u);
     EXPECT_EQ(registry.withLabel("table").size(), 2u);
     EXPECT_EQ(registry.withLabel("ablation").size(), 2u);
-    EXPECT_EQ(registry.withLabel("extension").size(), 4u);
+    EXPECT_EQ(registry.withLabel("extension").size(), 6u);
     EXPECT_EQ(registry.withLabel("perf").size(), 1u);
+    EXPECT_EQ(registry.withLabel("fleet").size(), 2u);
 
     const char *expected[] = {
         "ablation_code_length",
@@ -41,6 +42,8 @@ TEST(Registry, BuiltinCatalogueIsComplete)
         "fig08_indirect_coverage",
         "fig09_secondary_ecc",
         "fig10_case_study",
+        "fleet_policy_sweep",
+        "fleet_population_stats",
         "perf_engine_throughput",
         "quickstart",
         "retention_case_study",

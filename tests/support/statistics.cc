@@ -1,0 +1,71 @@
+#include "support/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace harp::test {
+
+double
+chiSquareStatistic(const std::vector<double> &expected,
+                   const std::vector<std::uint64_t> &observed)
+{
+    if (expected.size() != observed.size())
+        throw std::invalid_argument(
+            "chiSquareStatistic: category count mismatch");
+    double statistic = 0.0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (expected[i] <= 0.0) {
+            if (observed[i] != 0)
+                throw std::invalid_argument(
+                    "chiSquareStatistic: observation in a zero-mass "
+                    "category");
+            continue;
+        }
+        const double delta =
+            static_cast<double>(observed[i]) - expected[i];
+        statistic += delta * delta / expected[i];
+    }
+    return statistic;
+}
+
+double
+chiSquareCritical999(std::size_t dof)
+{
+    // Upper 0.1% points of the chi-square distribution.
+    static const double kTable[] = {
+        10.828, 13.816, 16.266, 18.467, 20.515, 22.458, 24.322, 26.124,
+        27.877, 29.588, 31.264, 32.909, 34.528, 36.123, 37.697, 39.252,
+    };
+    if (dof < 1 || dof > sizeof(kTable) / sizeof(kTable[0]))
+        throw std::out_of_range("chiSquareCritical999: dof outside 1..16");
+    return kTable[dof - 1];
+}
+
+double
+ksStatisticUniform(std::vector<double> samples)
+{
+    if (samples.empty())
+        throw std::invalid_argument("ksStatisticUniform: no samples");
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    double statistic = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double d_plus =
+            static_cast<double>(i + 1) / n - samples[i];
+        const double d_minus =
+            samples[i] - static_cast<double>(i) / n;
+        statistic = std::max({statistic, d_plus, d_minus});
+    }
+    return statistic;
+}
+
+double
+ksCritical999(std::size_t n)
+{
+    // c(alpha) = sqrt(-ln(alpha/2) / 2) with alpha = 0.001.
+    const double c = std::sqrt(-std::log(0.0005) / 2.0);
+    return c / std::sqrt(static_cast<double>(n));
+}
+
+} // namespace harp::test

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Statistical goodness-of-fit helpers for the fleet test tier.
+ *
+ * The fleet sampler tests run chi-square and Kolmogorov-Smirnov checks
+ * under *fixed* seeds, so they are deterministic: the acceptance
+ * thresholds below use alpha = 0.001, making a false failure on the
+ * pinned seeds effectively a code change, not noise.
+ */
+
+#ifndef HARP_TESTS_SUPPORT_STATISTICS_HH
+#define HARP_TESTS_SUPPORT_STATISTICS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace harp::test {
+
+/**
+ * Pearson chi-square statistic over matched category vectors.
+ * Categories with zero expected mass must have zero observations
+ * (checked); they contribute no degrees of freedom.
+ * @throws std::invalid_argument on size mismatch or an impossible
+ *         observation.
+ */
+double chiSquareStatistic(const std::vector<double> &expected,
+                          const std::vector<std::uint64_t> &observed);
+
+/** Upper critical value of the chi-square distribution at
+ *  significance 0.001 for 1..16 degrees of freedom (table lookup).
+ *  @throws std::out_of_range outside the table. */
+double chiSquareCritical999(std::size_t dof);
+
+/**
+ * Two-sided Kolmogorov-Smirnov statistic of @p samples against the
+ * Uniform(0,1) distribution (samples are sorted internally).
+ * @throws std::invalid_argument when empty.
+ */
+double ksStatisticUniform(std::vector<double> samples);
+
+/** Asymptotic KS critical value at significance 0.001 for @p n
+ *  samples: sqrt(-ln(alpha/2) / 2) / sqrt(n). */
+double ksCritical999(std::size_t n);
+
+} // namespace harp::test
+
+#endif // HARP_TESTS_SUPPORT_STATISTICS_HH
