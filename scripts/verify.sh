@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the exact ROADMAP.md command, a smoke campaign
 # through the harp_run experiment runner (incl. an alias binary), a
-# harpd smoke (daemon + client submit, byte-compared against batch),
-# and a docs lint (Doxygen warnings are errors; skipped when doxygen is
-# not installed). Exits nonzero on any failure.
+# harpd smoke (daemon + client submit, byte-compared against batch), a
+# chaos smoke (injected ENOSPC -> degraded -> SIGKILL -> resume,
+# byte-compared against batch), and a docs lint (Doxygen warnings are
+# errors; skipped when doxygen is not installed). Exits nonzero on any
+# failure.
 #
 #   scripts/verify.sh          # tier-1 + smoke perf wiring + a 10k-chip
 #                              # fleet byte-identity smoke
@@ -11,10 +13,11 @@
 #                              # (sliced64 AND sliced256 floors + the
 #                              # <= 15% regression gate against the
 #                              # committed BENCH_PR6.json), the unit +
-#                              # fleet suites under TSan and ASan+UBSan
-#                              # (-DHARP_SANITIZE), the intra-job
-#                              # scaling check (>= 8 cores only), and a
-#                              # million-chip fleet acceptance sweep
+#                              # fleet + chaos suites under TSan and
+#                              # ASan+UBSan (-DHARP_SANITIZE), the
+#                              # intra-job scaling check (>= 8 cores
+#                              # only), and a million-chip fleet
+#                              # acceptance sweep
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -143,6 +146,88 @@ EOF
 wait "$harpd_pid" || {
     echo "verify: harpd exited nonzero after shutdown" >&2
     cat "$harpd_root/daemon.log" >&2 || true
+    exit 1
+}
+trap - EXIT
+
+# --- Chaos tier smoke -----------------------------------------------------
+# Registration guard first: a mistyped ctest label matches nothing and
+# exits 0, so count the fault-injection tier explicitly.
+chaos_tests="$(cd build && ctest -L chaos -N | sed -n 's/^Total Tests: //p')"
+[[ "${chaos_tests:-0}" -ge 4 ]] || {
+    echo "verify: expected >= 4 chaos-labeled tests, found" \
+         "'${chaos_tests:-none}'" >&2
+    exit 1
+}
+
+# Degrade-never-corrupt end-to-end against the real binaries: a daemon
+# armed with a deterministic ENOSPC schedule degrades the campaign
+# (client exit 4, nothing published), survives a SIGKILL *while*
+# degraded, and a clean restart auto-resumes from the checkpoint and
+# publishes byte-identically to the batch run.
+chaos_root="$PWD/$smoke_dir/chaos"
+rm -rf "$chaos_root"
+mkdir -p "$chaos_root"
+./build/src/harpd --socket "$chaos_root/d.sock" \
+    --data "$chaos_root/data" --threads 2 \
+    --fault-plan 'write#8+=ENOSPC' \
+    > "$chaos_root/daemon.log" 2>&1 &
+chaos_pid=$!
+trap 'kill -9 "$chaos_pid" 2> /dev/null || true' EXIT
+for _ in $(seq 1 200); do
+    ./build/src/harpd_client --socket "$chaos_root/d.sock" ping \
+        > /dev/null 2>&1 && break
+    sleep 0.05
+done
+chaos_rc=0
+./build/src/harpd_client --socket "$chaos_root/d.sock" \
+    submit chaos quickstart --seed 3 --repeat 4 \
+    > /dev/null 2> "$chaos_root/client.log" || chaos_rc=$?
+[[ $chaos_rc -eq 4 ]] || {
+    echo "verify: expected degraded exit 4 from submit, got $chaos_rc" >&2
+    cat "$chaos_root/client.log" >&2 || true
+    exit 1
+}
+[[ -e "$chaos_root/data/results/chaos" ]] && {
+    echo "verify: degraded campaign must not publish results" >&2
+    exit 1
+}
+# disown before the SIGKILL so the shell does not report the kill as
+# job-control noise ("Killed ...") on a later wait.
+disown "$chaos_pid"
+kill -9 "$chaos_pid"
+trap - EXIT
+
+./build/src/harpd --socket "$chaos_root/d.sock" \
+    --data "$chaos_root/data" --threads 2 \
+    >> "$chaos_root/daemon.log" 2>&1 &
+chaos_pid=$!
+trap 'kill -9 "$chaos_pid" 2> /dev/null || true' EXIT
+chaos_done=0
+for _ in $(seq 1 400); do
+    if ./build/src/harpd_client --socket "$chaos_root/d.sock" \
+        status chaos 2> /dev/null | grep -q '"done"'; then
+        chaos_done=1
+        break
+    fi
+    sleep 0.05
+done
+[[ $chaos_done -eq 1 ]] || {
+    echo "verify: degraded campaign never resumed to done" >&2
+    cat "$chaos_root/daemon.log" >&2 || true
+    exit 1
+}
+for f in quickstart.jsonl summary.json; do
+    cmp -s "$harpd_root/batch/$f" "$chaos_root/data/results/chaos/$f" || {
+        echo "verify: resumed chaos campaign $f differs from batch" >&2
+        exit 1
+    }
+done
+./build/src/harpd_client --socket "$chaos_root/d.sock" shutdown \
+    > /dev/null
+wait "$chaos_pid" || {
+    echo "verify: harpd exited nonzero after chaos shutdown" >&2
+    cat "$chaos_root/daemon.log" >&2 || true
     exit 1
 }
 trap - EXIT
@@ -282,6 +367,13 @@ if [[ $FULL -eq 1 ]]; then
         (cd "$sdir" && ctest --output-on-failure \
             -R '^(test_merge_queue_stress|test_harpd_resume)$') || {
             echo "verify: harpd stress/resume failed under $san" >&2
+            exit 1
+        }
+        # The fault-injection tier: injected I/O faults -> degraded ->
+        # resume, SIGKILL-while-degraded, client retries — all with the
+        # sanitizer watching the failure paths themselves.
+        (cd "$sdir" && ctest -L chaos --output-on-failure) || {
+            echo "verify: chaos tier failed under $san sanitizer" >&2
             exit 1
         }
         # The fleet statistical/property tier (chi-square/KS sampler

@@ -1,6 +1,7 @@
 #include "harpd/checkpoint.hh"
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,6 +35,8 @@ headerJson(const CheckpointHeader &header)
     doc.set("experiments", experiments);
     doc.set("seed", JsonValue(std::to_string(header.seed)));
     doc.set("repeat", JsonValue(header.repeat));
+    if (!header.tenant.empty() && header.tenant != "default")
+        doc.set("tenant", JsonValue(header.tenant));
     JsonValue overrides = JsonValue::object();
     for (const auto &[key, value] : header.overrides)
         overrides.set(key, JsonValue(value));
@@ -71,6 +74,12 @@ parseHeader(const JsonValue &doc)
         return std::nullopt;
     }
     header.repeat = static_cast<std::size_t>(repeat->asInt());
+    if (const JsonValue *tenant = doc.find("tenant")) {
+        if (tenant->type() != JsonType::String ||
+            tenant->asString().empty())
+            return std::nullopt;
+        header.tenant = tenant->asString();
+    }
     if (const JsonValue *overrides = doc.find("overrides")) {
         if (overrides->type() != JsonType::Object)
             return std::nullopt;
@@ -126,32 +135,38 @@ verifyFrame(const std::string &frame)
 } // namespace
 
 CheckpointWriter::CheckpointWriter(const std::string &path,
-                                   const CheckpointHeader &header)
-{
-    open(path, /*truncate=*/true);
-    out_ << framed(headerJson(header).dump());
-    out_.flush();
-    if (!out_)
-        throw std::runtime_error("cannot write checkpoint header: " +
-                                 path);
-}
-
-CheckpointWriter::CheckpointWriter(const std::string &path)
-{
-    open(path, /*truncate=*/false);
-}
-
-void
-CheckpointWriter::open(const std::string &path, bool truncate)
+                                   const CheckpointHeader &header,
+                                   common::io::FaultPlan *plan,
+                                   bool fsyncRecords)
+    : fsyncRecords_(fsyncRecords)
 {
     path_ = path;
-    out_.open(path, std::ios::binary |
-                        (truncate ? std::ios::trunc : std::ios::app));
-    if (!out_)
-        throw std::runtime_error("cannot open checkpoint: " + path);
+    if (std::error_code ec = file_.open(path, /*truncate=*/true, plan))
+        throw CheckpointIoError("cannot open checkpoint: " + path + ": " +
+                                    ec.message(),
+                                ec);
+    std::error_code ec = file_.writeAll(framed(headerJson(header).dump()));
+    if (!ec && fsyncRecords_)
+        ec = file_.sync();
+    if (ec)
+        throw CheckpointIoError("cannot write checkpoint header: " +
+                                    path + ": " + ec.message(),
+                                ec);
 }
 
-void
+CheckpointWriter::CheckpointWriter(const std::string &path,
+                                   common::io::FaultPlan *plan,
+                                   bool fsyncRecords)
+    : fsyncRecords_(fsyncRecords)
+{
+    path_ = path;
+    if (std::error_code ec = file_.open(path, /*truncate=*/false, plan))
+        throw CheckpointIoError("cannot open checkpoint: " + path + ": " +
+                                    ec.message(),
+                                ec);
+}
+
+std::error_code
 CheckpointWriter::add(const CheckpointRecord &record)
 {
     JsonValue doc = JsonValue::object();
@@ -159,13 +174,16 @@ CheckpointWriter::add(const CheckpointRecord &record)
     doc.set("exp", JsonValue(record.experiment));
     doc.set("job", JsonValue(record.job));
     doc.set("line", JsonValue(record.line));
-    out_ << framed(doc.dump());
-    // Per-record flush: the bytes reach the kernel, so a killed daemon
-    // (the failure mode the resume tier injects) cannot lose them.
-    out_.flush();
-    if (!out_)
-        throw std::runtime_error("cannot append checkpoint record: " +
-                                 path_);
+    // Write + fsync per record: the bytes reach the device, so neither
+    // a killed daemon nor a lying page cache can lose an acknowledged
+    // record — the record is durable before the subscriber sees it.
+    if (std::error_code ec = file_.writeAll(framed(doc.dump())))
+        return ec;
+    if (fsyncRecords_) {
+        if (std::error_code ec = file_.sync())
+            return ec;
+    }
+    return {};
 }
 
 std::optional<LoadedCheckpoint>

@@ -27,11 +27,14 @@
 #define HARP_HARPD_CHECKPOINT_HH
 
 #include <cstdint>
-#include <fstream>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
+
+#include "common/io.hh"
 
 namespace harp::harpd {
 
@@ -43,6 +46,22 @@ struct CheckpointHeader
     std::uint64_t seed = 1;
     std::size_t repeat = 1;
     std::map<std::string, std::string> overrides;
+    /** Owner for admission accounting; absent in pre-quota checkpoints
+     *  (which load as the default tenant). */
+    std::string tenant = "default";
+};
+
+/** An I/O failure creating a checkpoint, carrying the errno so the
+ *  server can degrade with a structured status instead of crashing. */
+class CheckpointIoError : public std::runtime_error
+{
+  public:
+    CheckpointIoError(const std::string &what, std::error_code ec)
+        : std::runtime_error(what), code(ec)
+    {
+    }
+
+    std::error_code code;
 };
 
 /** One completed (experiment, job) with its exact JSONL line. */
@@ -55,27 +74,37 @@ struct CheckpointRecord
     std::string line;
 };
 
-/** Appends checksummed records, flushing each one to the OS so a
- *  killed process loses at most the in-flight record. */
+/** Appends checksummed records through the common::io seam, fsyncing
+ *  each one so a killed process — or a failed disk — loses at most the
+ *  in-flight record and every failure surfaces as an error code. */
 class CheckpointWriter
 {
   public:
-    /** Create/truncate @p path and write the header record.
-     *  @throws std::runtime_error when the file cannot be written. */
+    /** Create/truncate @p path and write (and fsync) the header.
+     *  @throws CheckpointIoError when the file cannot be written. */
     CheckpointWriter(const std::string &path,
-                     const CheckpointHeader &header);
+                     const CheckpointHeader &header,
+                     common::io::FaultPlan *plan = nullptr,
+                     bool fsyncRecords = true);
 
     /** Reopen @p path for appending after a successful load (the
-     *  header is already on disk). */
-    explicit CheckpointWriter(const std::string &path);
+     *  header is already on disk).
+     *  @throws CheckpointIoError when the file cannot be opened. */
+    explicit CheckpointWriter(const std::string &path,
+                              common::io::FaultPlan *plan = nullptr,
+                              bool fsyncRecords = true);
 
-    void add(const CheckpointRecord &record);
+    /** Append one record: write + fsync. A non-empty error code means
+     *  the record may not be durable — the caller must treat the
+     *  campaign as degraded, not carry on. */
+    [[nodiscard]] std::error_code add(const CheckpointRecord &record);
+
+    const std::string &path() const { return path_; }
 
   private:
-    void open(const std::string &path, bool truncate);
-
     std::string path_;
-    std::ofstream out_;
+    common::io::File file_;
+    bool fsyncRecords_ = true;
 };
 
 /** A successfully loaded checkpoint. */

@@ -8,12 +8,36 @@
 
 namespace harp::harpd {
 
-Client::Client(const std::string &socket_path)
-    : fd_(connectUnix(socket_path)), reader_(fd_.get())
+namespace {
+
+Fd
+connectWithDeadline(const std::string &socket_path,
+                    const ClientOptions &options)
+{
+    bool timed_out = false;
+    Fd fd = connectUnix(socket_path, options.connectTimeoutMs,
+                        &timed_out);
+    if (!fd.valid() && timed_out)
+        throw TimeoutError("cannot connect to harpd at " + socket_path +
+                           " within " +
+                           std::to_string(options.connectTimeoutMs) +
+                           "ms");
+    return fd;
+}
+
+} // namespace
+
+Client::Client(const std::string &socket_path,
+               const ClientOptions &options)
+    : fd_(connectWithDeadline(socket_path, options)), reader_(fd_.get())
 {
     if (!fd_.valid())
         throw std::runtime_error("cannot connect to harpd at " +
                                  socket_path);
+    if (options.ioTimeoutMs > 0 &&
+        !setIoTimeout(fd_.get(), options.ioTimeoutMs))
+        throw std::runtime_error("cannot arm io deadline on harpd "
+                                 "connection");
 }
 
 bool
@@ -33,6 +57,8 @@ Client::read(std::string *raw)
 {
     std::string line;
     const LineReader::Result result = reader_.readLine(line, maxLineBytes);
+    if (result == LineReader::Result::Timeout)
+        throw TimeoutError("harpd reply deadline expired");
     if (result != LineReader::Result::Line)
         return std::nullopt;
     if (raw != nullptr)

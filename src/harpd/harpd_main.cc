@@ -3,6 +3,8 @@
  * `harpd` — the resident campaign service.
  *
  *   harpd --socket PATH --data DIR [--threads N] [--queue N]
+ *         [--max-campaigns N] [--max-jobs N] [--stall-ms N]
+ *         [--fault-plan SPEC]
  *
  * Listens on an AF_UNIX socket for newline-delimited JSON requests
  * (src/harpd/protocol.hh), multiplexes submitted campaigns onto one
@@ -10,6 +12,14 @@
  * and publishes finished campaigns under DIR/results/<campaign>/.
  * SIGINT/SIGTERM (or a client `shutdown` verb) drain in-flight jobs and
  * exit; interrupted campaigns resume on the next start.
+ *
+ * --max-campaigns/--max-jobs bound each tenant's concurrent campaigns
+ * and in-flight jobs (overload is shed with `quota_exceeded` +
+ * `retry_after_ms`). --stall-ms arms the wedged-campaign watchdog.
+ * --fault-plan injects deterministic I/O faults into every durable
+ * write (see common/io.hh for the spec grammar) — the chaos tier and
+ * the verify.sh chaos smoke drive the daemon through ENOSPC/EIO/torn-
+ * write schedules with it.
  */
 
 #include <csignal>
@@ -17,6 +27,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/io.hh"
 #include "harpd/server.hh"
 
 namespace {
@@ -35,12 +46,24 @@ usage(std::ostream &out, int code)
 {
     out << "usage: harpd --socket PATH --data DIR [--threads N] "
            "[--queue N]\n"
-           "  --socket PATH  AF_UNIX socket to listen on (required)\n"
-           "  --data DIR     checkpoint/result root (required)\n"
-           "  --threads N    shared pool width (default: hardware "
+           "             [--max-campaigns N] [--max-jobs N] "
+           "[--stall-ms N]\n"
+           "             [--fault-plan SPEC]\n"
+           "  --socket PATH      AF_UNIX socket to listen on "
+           "(required)\n"
+           "  --data DIR         checkpoint/result root (required)\n"
+           "  --threads N        shared pool width (default: hardware "
            "concurrency)\n"
-           "  --queue N      per-client event queue capacity "
-           "(default 256)\n";
+           "  --queue N          per-client event queue capacity "
+           "(default 256)\n"
+           "  --max-campaigns N  per-tenant concurrent-campaign cap "
+           "(default: unlimited)\n"
+           "  --max-jobs N       per-tenant in-flight job cap "
+           "(default: unlimited)\n"
+           "  --stall-ms N       flag campaigns stalled for N ms "
+           "(default: off)\n"
+           "  --fault-plan SPEC  inject I/O faults, e.g. "
+           "'write#8+=ENOSPC' (testing)\n";
     return code;
 }
 
@@ -50,6 +73,8 @@ int
 main(int argc, char **argv)
 {
     harp::harpd::ServerConfig config;
+    harp::common::io::FaultPlan fault_plan;
+    bool have_fault_plan = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
@@ -66,6 +91,23 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10);
             if (config.clientQueueCapacity == 0)
                 config.clientQueueCapacity = 1;
+        } else if (arg == "--max-campaigns" && has_value) {
+            config.maxCampaignsPerTenant =
+                std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--max-jobs" && has_value) {
+            config.maxInflightJobsPerTenant =
+                std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--stall-ms" && has_value) {
+            config.stallTimeoutMs = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--fault-plan" && has_value) {
+            try {
+                fault_plan =
+                    harp::common::io::FaultPlan::parse(argv[++i]);
+                have_fault_plan = true;
+            } catch (const std::exception &e) {
+                std::cerr << "harpd: " << e.what() << "\n";
+                return usage(std::cerr, 2);
+            }
         } else {
             std::cerr << "harpd: unknown or incomplete flag '" << arg
                       << "'\n";
@@ -75,6 +117,11 @@ main(int argc, char **argv)
     if (config.socketPath.empty() || config.dataDir.empty()) {
         std::cerr << "harpd: --socket and --data are required\n";
         return usage(std::cerr, 2);
+    }
+    if (have_fault_plan) {
+        config.ioFaultPlan = &fault_plan;
+        std::cerr << "harpd: fault plan armed: "
+                  << fault_plan.describe() << "\n";
     }
 
     try {

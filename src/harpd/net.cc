@@ -4,7 +4,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -56,8 +59,10 @@ listenUnix(const std::string &path, int backlog)
 }
 
 Fd
-connectUnix(const std::string &path)
+connectUnix(const std::string &path, int timeout_ms, bool *timed_out)
 {
+    if (timed_out != nullptr)
+        *timed_out = false;
     sockaddr_un addr{};
     try {
         addr = unixAddress(path);
@@ -67,10 +72,55 @@ connectUnix(const std::string &path)
     Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!fd.valid())
         return Fd();
+    if (timeout_ms <= 0) {
+        if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0)
+            return Fd();
+        return fd;
+    }
+
+    // Bounded connect: go nonblocking, poll for writability, check
+    // SO_ERROR, then restore blocking mode for the caller.
+    const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0)
+        return Fd();
     if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0)
+                  sizeof(addr)) != 0) {
+        if (errno != EINPROGRESS && errno != EAGAIN)
+            return Fd();
+        pollfd pfd{fd.get(), POLLOUT, 0};
+        int rc;
+        do {
+            rc = ::poll(&pfd, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc <= 0) {
+            if (rc == 0 && timed_out != nullptr)
+                *timed_out = true;
+            return Fd(); // timeout or poll failure
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) !=
+                0 ||
+            err != 0)
+            return Fd();
+    }
+    if (::fcntl(fd.get(), F_SETFL, flags) != 0)
         return Fd();
     return fd;
+}
+
+bool
+setIoTimeout(int fd, int timeout_ms)
+{
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+    return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) ==
+               0 &&
+           ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) ==
+               0;
 }
 
 bool
@@ -112,6 +162,8 @@ LineReader::readLine(std::string &line, std::size_t max_line)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return Result::Timeout;
             return Result::Error;
         }
         if (n == 0) {

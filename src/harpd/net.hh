@@ -60,8 +60,17 @@ class Fd
  */
 Fd listenUnix(const std::string &path, int backlog = 16);
 
-/** Connect to the AF_UNIX socket at @p path; invalid Fd on failure. */
-Fd connectUnix(const std::string &path);
+/** Connect to the AF_UNIX socket at @p path; invalid Fd on failure.
+ *  With @p timeout_ms > 0 the connect itself is bounded (nonblocking
+ *  connect + poll); 0 keeps the classic blocking behavior. When the
+ *  deadline (not some other error) killed the attempt, @p timed_out
+ *  is set. */
+Fd connectUnix(const std::string &path, int timeout_ms = 0,
+               bool *timed_out = nullptr);
+
+/** Bound every subsequent recv/send on @p fd to @p timeout_ms
+ *  (SO_RCVTIMEO/SO_SNDTIMEO); 0 clears the deadline. */
+bool setIoTimeout(int fd, int timeout_ms);
 
 /** Write all of @p data (MSG_NOSIGNAL — a dead peer is a false return,
  *  never a SIGPIPE). */
@@ -81,6 +90,7 @@ class LineReader
         EofPartial,///< Stream ended mid-line (half-closed peer).
         Oversized, ///< Line length exceeded the limit before newline.
         Error,     ///< recv() failed.
+        Timeout,   ///< recv() hit the SO_RCVTIMEO deadline.
     };
 
     explicit LineReader(int fd) : fd_(fd) {}

@@ -112,12 +112,18 @@ parseValidated(const JsonValue &doc)
         request.verb = Verb::Submit;
     else if (name == "shutdown")
         request.verb = Verb::Shutdown;
+    else if (name == "subscribe")
+        request.verb = Verb::Subscribe;
+    else if (name == "resume")
+        request.verb = Verb::Resume;
     else
         throw RequestError("unknown verb '" + name + "'");
 
     const bool needsCampaign = request.verb == Verb::Status ||
                                request.verb == Verb::Cancel ||
-                               request.verb == Verb::Submit;
+                               request.verb == Verb::Submit ||
+                               request.verb == Verb::Subscribe ||
+                               request.verb == Verb::Resume;
     if (needsCampaign) {
         const JsonValue *campaign = doc.find("campaign");
         if (campaign == nullptr || campaign->type() != JsonType::String)
@@ -157,6 +163,23 @@ parseValidated(const JsonValue &doc)
                 throw RequestError("'overrides' must be an object");
             for (const auto &[key, value] : overrides->members())
                 request.overrides[key] = overrideText(value);
+        }
+        if (const JsonValue *tenant = doc.find("tenant")) {
+            if (tenant->type() != JsonType::String ||
+                !validCampaignId(tenant->asString()))
+                throw RequestError(
+                    "invalid tenant (want [A-Za-z0-9._-]{1,64}, no "
+                    "leading dot)");
+            request.tenant = tenant->asString();
+        }
+    }
+
+    if (request.verb == Verb::Subscribe) {
+        if (const JsonValue *from = doc.find("from")) {
+            if (from->type() != JsonType::Int || from->asInt() < 0)
+                throw RequestError(
+                    "'from' must be a non-negative integer");
+            request.from = static_cast<std::uint64_t>(from->asInt());
         }
     }
     return request;

@@ -11,7 +11,10 @@
  *   {"verb":"cancel","campaign":"<id>"}
  *   {"verb":"shutdown"}
  *   {"verb":"submit","campaign":"<id>","experiments":["quickstart"],
- *    "seed":"7","repeat":2,"overrides":{"words":"70"}}
+ *    "seed":"7","repeat":2,"overrides":{"words":"70"},
+ *    "tenant":"teamA"}
+ *   {"verb":"subscribe","campaign":"<id>","from":42}
+ *   {"verb":"resume","campaign":"<id>"}
  *
  * Replies (server -> client) carry a "type" member. Every submit
  * streams, in order: one `accepted`, then one `result` per (point,
@@ -20,6 +23,19 @@
  * per experiment, one `summary` (the deterministic summary.json
  * document), and finally `done`. Any failure — at parse time or
  * mid-campaign — is a single `error` reply with a stable `code`.
+ *
+ * Every deterministic streamed event (`result`, `experiment_done`,
+ * `summary`, `done`) additionally carries a monotonically increasing
+ * `seq` member, stable across daemon restarts and degraded→resume
+ * cycles: `subscribe` with `from=<seq>` replays the stream starting at
+ * that sequence number, so a disconnected client re-attaches without
+ * loss or duplication. Out-of-band events (`degraded`, `error`,
+ * `cancelled`) carry no `seq` — they are not part of the replayable
+ * stream. A `degraded` event and `degraded` status carry the errno
+ * (`errno_name`), message, and a `retriable` flag; a degraded
+ * campaign's checkpoint survives and `resume` restarts it in place.
+ * Overload sheds submits with `code=quota_exceeded`, `retriable=true`,
+ * and a `retry_after_ms` hint.
  *
  * Faulty input never kills the server: malformed JSON, oversized
  * lines, unknown verbs and invalid fields each map to a structured
@@ -55,13 +71,15 @@ enum class Verb
     Cancel,
     Submit,
     Shutdown,
+    Subscribe,
+    Resume,
 };
 
 /** One parsed request. Submit-only fields are empty otherwise. */
 struct Request
 {
     Verb verb = Verb::Ping;
-    /** Campaign id (status / cancel / submit). */
+    /** Campaign id (status / cancel / submit / subscribe / resume). */
     std::string campaign;
     /** Submit: experiment selectors, forwarded to Registry::select. */
     std::vector<std::string> experiments;
@@ -71,6 +89,12 @@ struct Request
     std::size_t repeat = 1;
     /** Submit: tunable/axis overrides. */
     std::map<std::string, std::string> overrides;
+    /** Submit: owning tenant for admission accounting (same character
+     *  set as campaign ids). */
+    std::string tenant = "default";
+    /** Subscribe: first sequence number to deliver (0 = from the
+     *  start). */
+    std::uint64_t from = 0;
 };
 
 /** Stable machine-readable error codes. */
@@ -84,6 +108,8 @@ inline constexpr const char *duplicateCampaign = "duplicate_campaign";
 inline constexpr const char *unknownExperiment = "unknown_experiment";
 inline constexpr const char *campaignFailed = "campaign_failed";
 inline constexpr const char *shuttingDown = "shutting_down";
+inline constexpr const char *quotaExceeded = "quota_exceeded";
+inline constexpr const char *notDegraded = "not_degraded";
 } // namespace errc
 
 /** `{"type":"error","code":code,"message":message}` */

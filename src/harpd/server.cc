@@ -1,10 +1,14 @@
 #include "harpd/server.hh"
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
 #include <filesystem>
-#include <fstream>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -15,9 +19,19 @@
 namespace harp::harpd {
 
 namespace fs = std::filesystem;
+namespace io = common::io;
 using runner::JsonValue;
 
 namespace {
+
+std::uint64_t
+steadyMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 /** Batch-CLI parity: every override must be an axis or tunable of at
  *  least one selected experiment. Returns an error message or "". */
@@ -45,57 +59,104 @@ validateOverrides(const std::vector<const runner::ExperimentSpec *> &specs,
     return "";
 }
 
+/** First durable-path failure of a campaign: the errno and which
+ *  writer hit it. */
+struct SinkFailure
+{
+    std::error_code ec;
+    std::string where;
+};
+
 /**
  * Per-experiment sink of one served campaign: every line goes to the
- * staged results file; fresh lines additionally reach the checkpoint
- * (before any client sees them — the durable record leads the
- * volatile stream) and the client queue, whose bounded push is the
- * backpressure on a slow consumer. A closed queue (disconnected
- * client) degrades pushes to no-ops; the campaign itself never stops.
+ * staged results file; fresh lines additionally reach the checkpoint —
+ * written and fsynced *before* any client sees them (the durable
+ * record leads the volatile stream) — and only then the event emitter.
+ * The first I/O failure latches: the campaign is cancelled at the next
+ * wave boundary and every later line is dropped, so no un-recorded
+ * result ever reaches a client — degrade, never corrupt.
  */
 class ServedSink : public runner::ResultSink
 {
   public:
-    ServedSink(std::ofstream &file, CheckpointWriter *checkpoint,
+    ServedSink(io::File &file, CheckpointWriter *checkpoint,
                std::size_t experiment_index,
                const std::string &experiment_name,
                const std::string &campaign_id,
-               const std::shared_ptr<common::BoundedQueue<std::string>>
-                   &queue)
+               std::function<void(JsonValue)> emit,
+               std::atomic<bool> *cancel)
         : file_(file), checkpoint_(checkpoint),
           experimentIndex_(experiment_index),
           experimentName_(experiment_name), campaignId_(campaign_id),
-          queue_(queue)
+          emit_(std::move(emit)), cancel_(cancel)
     {
     }
 
     void onResult(std::size_t job, const std::string &line,
                   bool fresh) override
     {
-        file_ << line << '\n';
+        if (failure_.has_value())
+            return;
+        if (std::error_code ec = file_.writeAll(line + "\n")) {
+            fail(ec, "results file " + file_.path());
+            return;
+        }
         // Empty lines mark errored jobs (reported after the stream);
         // they must never be persisted as completed work.
-        if (fresh && !line.empty() && checkpoint_ != nullptr)
-            checkpoint_->add({experimentIndex_, job, line});
-        if (queue_ != nullptr) {
+        if (fresh && !line.empty() && checkpoint_ != nullptr) {
+            if (std::error_code ec =
+                    checkpoint_->add({experimentIndex_, job, line})) {
+                fail(ec, "checkpoint " + checkpoint_->path());
+                return;
+            }
+        }
+        if (emit_) {
             JsonValue event = JsonValue::object();
             event.set("type", JsonValue("result"));
             event.set("campaign", JsonValue(campaignId_));
             event.set("experiment", JsonValue(experimentName_));
             event.set("job", JsonValue(job));
             event.set("line", JsonValue(line));
-            queue_->push(wireLine(event));
+            emit_(std::move(event));
         }
     }
 
+    const std::optional<SinkFailure> &failure() const { return failure_; }
+
   private:
-    std::ofstream &file_;
+    void fail(std::error_code ec, const std::string &where)
+    {
+        failure_ = SinkFailure{ec, where};
+        if (cancel_ != nullptr)
+            cancel_->store(true);
+    }
+
+    io::File &file_;
     CheckpointWriter *checkpoint_;
     std::size_t experimentIndex_;
     const std::string &experimentName_;
     const std::string &campaignId_;
-    std::shared_ptr<common::BoundedQueue<std::string>> queue_;
+    std::function<void(JsonValue)> emit_;
+    std::atomic<bool> *cancel_;
+    std::optional<SinkFailure> failure_;
 };
+
+/** Total (point, repeat) jobs of a submission — also validates the
+ *  override *values* (grid expansion parses them).
+ *  @throws std::exception on invalid values. */
+std::size_t
+countJobs(const std::vector<const runner::ExperimentSpec *> &specs,
+          const CheckpointHeader &header)
+{
+    runner::SessionOptions options;
+    options.seed = header.seed;
+    options.repeat = header.repeat;
+    options.overrides = header.overrides;
+    std::size_t total = 0;
+    for (const runner::ExperimentSpec *spec : specs)
+        total += runner::CampaignSession(*spec, options).totalJobs();
+    return total;
+}
 
 } // namespace
 
@@ -133,6 +194,8 @@ Server::~Server()
     for (const auto &campaign : campaigns)
         if (campaign->worker.joinable())
             campaign->worker.join();
+    if (watchdog_.joinable())
+        watchdog_.join();
 }
 
 std::string
@@ -160,6 +223,8 @@ Server::stateName(CampaignState state)
         return "failed";
     case CampaignState::Cancelled:
         return "cancelled";
+    case CampaignState::Degraded:
+        return "degraded";
     }
     return "unknown";
 }
@@ -175,23 +240,51 @@ Server::start()
         throw std::runtime_error("harpd: cannot create stop pipe");
     stopPipeRead_ = Fd(pipe_fds[0]);
     stopPipeWrite_ = Fd(pipe_fds[1]);
+    // Nonblocking write end: requestStop() must never block (it runs
+    // in signal handlers); a full pipe already holds a wake-up byte.
+    const int flags = ::fcntl(stopPipeWrite_.get(), F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(stopPipeWrite_.get(), F_SETFL, flags | O_NONBLOCK) != 0)
+        throw std::runtime_error("harpd: cannot configure stop pipe");
 
     listenFd_ = listenUnix(config_.socketPath);
     pool_ = std::make_unique<common::ThreadPool>(poolThreads_);
 
+    // Sweep staging dirs left by a killed or degraded run: results
+    // only ever appear atomically under their final name, so any
+    // .tmp-* entry is garbage — including a hostile non-directory
+    // plant. Errors skip the entry; they never escape the server.
+    {
+        std::error_code ec;
+        const fs::path results = fs::path(config_.dataDir) / "results";
+        for (fs::directory_iterator it(results, ec), end;
+             !ec && it != end; it.increment(ec)) {
+            const fs::path path = it->path();
+            if (path.filename().string().rfind(".tmp-", 0) != 0)
+                continue;
+            std::error_code cleanup;
+            fs::remove_all(path, cleanup);
+        }
+    }
+
     // Resume every campaign with a surviving checkpoint, detached from
     // any client. Unreadable checkpoints are set aside as .bad — a
     // corrupted *tail* is not unreadable (loadCheckpoint already
-    // truncate-recovered it); only a destroyed header lands here.
-    for (const auto &entry :
-         fs::directory_iterator(fs::path(config_.dataDir) /
-                                "checkpoints")) {
-        if (entry.path().extension() != ".ckpt")
+    // truncate-recovered it); only a destroyed header lands here. All
+    // filesystem faults here are contained: a hostile checkpoints/
+    // entry is skipped, never thrown out of the server.
+    std::error_code iter_ec;
+    const fs::path ckpt_dir = fs::path(config_.dataDir) / "checkpoints";
+    for (fs::directory_iterator it(ckpt_dir, iter_ec), end;
+         !iter_ec && it != end; it.increment(iter_ec)) {
+        const fs::path entry = it->path();
+        if (entry.extension() != ".ckpt")
             continue;
-        const std::string id = entry.path().stem().string();
+        const std::string id = entry.stem().string();
         std::optional<LoadedCheckpoint> loaded =
-            loadCheckpoint(entry.path().string());
+            loadCheckpoint(entry.string());
         std::shared_ptr<Campaign> campaign;
+        std::size_t jobs = 0;
         if (loaded.has_value() && loaded->header.campaign == id) {
             campaign = std::make_shared<Campaign>();
             campaign->header = std::move(loaded->header);
@@ -199,23 +292,40 @@ Server::start()
             try {
                 campaign->specs =
                     registry_->select(campaign->header.experiments);
+                jobs = countJobs(campaign->specs, campaign->header);
             } catch (const std::exception &) {
                 campaign.reset();
             }
         }
         if (campaign == nullptr) {
-            fs::rename(entry.path(),
-                       entry.path().string() + ".bad");
+            std::error_code rename_ec;
+            fs::rename(entry, fs::path(entry.string() + ".bad"),
+                       rename_ec);
+            if (rename_ec) {
+                // Can't even set it aside (read-only dir?): skip it;
+                // the next start will try again.
+                continue;
+            }
             continue;
         }
+        campaign->admittedJobs = jobs;
+        campaign->lastProgressMs.store(steadyMs());
         {
             std::lock_guard<std::mutex> lock(mutex_);
             campaigns_[id] = campaign;
+            // Restarts are never shed: the work was already admitted
+            // once; just account it against the tenant again.
+            TenantUsage &usage = tenants_[campaign->header.tenant];
+            usage.campaigns += 1;
+            usage.jobs += jobs;
         }
         campaign->worker =
             std::thread([this, campaign] { runCampaign(campaign); });
         ++resumed_;
     }
+
+    if (config_.stallTimeoutMs > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 void
@@ -224,8 +334,18 @@ Server::requestStop()
     stopping_.store(true);
     if (stopPipeWrite_.valid()) {
         const char byte = 's';
-        [[maybe_unused]] const ssize_t n =
-            ::write(stopPipeWrite_.get(), &byte, 1);
+        for (;;) {
+            const ssize_t n = ::write(stopPipeWrite_.get(), &byte, 1);
+            if (n == 1)
+                break;
+            if (n < 0 && errno == EINTR)
+                continue;
+            // EAGAIN means the pipe already holds a wake-up byte —
+            // serve() will see it. Anything else is a programming
+            // error (closed/invalid pipe), not an environment fault.
+            assert(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+            break;
+        }
     }
 }
 
@@ -288,6 +408,39 @@ Server::serve()
     for (const auto &campaign : campaigns)
         if (campaign->worker.joinable())
             campaign->worker.join();
+    if (watchdog_.joinable())
+        watchdog_.join();
+}
+
+void
+Server::watchdogLoop()
+{
+    const auto cadence = std::chrono::milliseconds(
+        std::max<std::size_t>(1, config_.watchdogPollMs));
+    while (!stopping_.load()) {
+        std::vector<std::shared_ptr<Campaign>> campaigns;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            campaigns.reserve(campaigns_.size());
+            for (const auto &[id, campaign] : campaigns_) {
+                (void)id;
+                campaigns.push_back(campaign);
+            }
+        }
+        const std::uint64_t now = steadyMs();
+        for (const auto &campaign : campaigns) {
+            bool running;
+            {
+                std::lock_guard<std::mutex> lock(campaign->mutex);
+                running = campaign->state == CampaignState::Running;
+            }
+            const std::uint64_t last = campaign->lastProgressMs.load();
+            const bool stalled = running && last != 0 && now > last &&
+                                 now - last >= config_.stallTimeoutMs;
+            campaign->stalled.store(stalled);
+        }
+        std::this_thread::sleep_for(cadence);
+    }
 }
 
 void
@@ -337,8 +490,22 @@ Server::campaignStatusLine(const std::string &id, const Campaign &campaign)
     status.set("state", JsonValue(stateName(campaign.state)));
     status.set("completed_jobs", JsonValue(campaign.completedJobs.load()));
     status.set("total_jobs", JsonValue(campaign.totalJobs));
+    status.set("tenant", JsonValue(campaign.header.tenant));
+    // Re-attach cursor: `subscribe from=next_seq` continues the stream.
+    status.set("next_seq", JsonValue(campaign.log.size()));
     if (!campaign.error.empty())
         status.set("error", JsonValue(campaign.error));
+    if (campaign.state == CampaignState::Degraded) {
+        status.set("errno_name", JsonValue(campaign.errnoName));
+        status.set("retriable", JsonValue(campaign.retriable));
+    }
+    if (campaign.stalled.load()) {
+        status.set("stalled", JsonValue(true));
+        const std::uint64_t last = campaign.lastProgressMs.load();
+        const std::uint64_t now = steadyMs();
+        status.set("stalled_ms",
+                   JsonValue(now > last ? now - last : 0));
+    }
     return status.dump();
 }
 
@@ -418,6 +585,11 @@ Server::handleRequest(int fd, const std::string &line)
     case Verb::Submit:
         handleSubmit(fd, *request);
         return true;
+    case Verb::Subscribe:
+        return handleSubscribe(fd, *request);
+    case Verb::Resume:
+        handleResume(fd, *request);
+        return true;
     case Verb::Shutdown: {
         JsonValue reply = JsonValue::object();
         reply.set("type", JsonValue("ok"));
@@ -454,9 +626,22 @@ Server::handleSubmit(int fd, const Request &request)
     campaign->header.seed = request.seed;
     campaign->header.repeat = request.repeat;
     campaign->header.overrides = request.overrides;
+    campaign->header.tenant = request.tenant;
     campaign->specs = std::move(specs);
+
+    // Expand the grids up front: rejects bad override values at submit
+    // time and prices the submission for admission control.
+    std::size_t total = 0;
+    try {
+        total = countJobs(campaign->specs, campaign->header);
+    } catch (const std::exception &e) {
+        sendAll(fd, wireLine(errorReply(errc::badRequest, e.what())));
+        return;
+    }
+
     campaign->clientQueue = std::make_shared<EventQueue>(
         config_.clientQueueCapacity);
+    campaign->lastProgressMs.store(steadyMs());
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_.load()) {
@@ -475,6 +660,42 @@ Server::handleSubmit(int fd, const Request &request)
                                 "' already exists")));
             return;
         }
+        // Admission control: shed with a structured retry hint rather
+        // than queue unboundedly on the shared pool.
+        const auto it = tenants_.find(request.tenant);
+        const TenantUsage usage =
+            it != tenants_.end() ? it->second : TenantUsage{};
+        const bool over_campaigns =
+            config_.maxCampaignsPerTenant > 0 &&
+            usage.campaigns >= config_.maxCampaignsPerTenant;
+        const bool over_jobs =
+            config_.maxInflightJobsPerTenant > 0 &&
+            usage.jobs + total > config_.maxInflightJobsPerTenant;
+        if (over_campaigns || over_jobs) {
+            JsonValue reply = errorReply(
+                errc::quotaExceeded,
+                over_campaigns
+                    ? "tenant '" + request.tenant + "' is at its " +
+                          std::to_string(config_.maxCampaignsPerTenant) +
+                          "-campaign limit"
+                    : "tenant '" + request.tenant +
+                          "' would exceed its in-flight job limit (" +
+                          std::to_string(usage.jobs) + "+" +
+                          std::to_string(total) + " > " +
+                          std::to_string(
+                              config_.maxInflightJobsPerTenant) +
+                          ")");
+            reply.set("retriable", JsonValue(true));
+            reply.set("retry_after_ms",
+                      JsonValue(config_.shedRetryAfterMs));
+            sendAll(fd, wireLine(reply));
+            return;
+        }
+        TenantUsage &admitted = tenants_[request.tenant];
+        admitted.campaigns += 1;
+        admitted.jobs += total;
+        campaign->admittedJobs = total;
+        campaign->totalJobs = total;
         campaigns_[request.campaign] = campaign;
     }
     const std::shared_ptr<EventQueue> queue = campaign->clientQueue;
@@ -497,6 +718,231 @@ Server::handleSubmit(int fd, const Request &request)
     }
 }
 
+bool
+Server::handleSubscribe(int fd, const Request &request)
+{
+    std::shared_ptr<Campaign> campaign;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = campaigns_.find(request.campaign);
+        if (it != campaigns_.end())
+            campaign = it->second;
+    }
+    if (campaign == nullptr)
+        return sendAll(fd, wireLine(errorReply(errc::unknownCampaign,
+                                               "no campaign '" +
+                                                   request.campaign +
+                                                   "'")));
+    JsonValue ack = JsonValue::object();
+    ack.set("type", JsonValue("subscribed"));
+    ack.set("campaign", JsonValue(request.campaign));
+    ack.set("from", JsonValue(request.from));
+    if (!sendAll(fd, wireLine(ack)))
+        return false;
+
+    // Replay from the cursor, then follow live appends. Batches are
+    // copied out under the lock and sent outside it so a slow
+    // subscriber never blocks the producing campaign.
+    std::size_t next = static_cast<std::size_t>(request.from);
+    for (;;) {
+        std::vector<std::string> batch;
+        bool complete = false;
+        {
+            std::unique_lock<std::mutex> lock(campaign->mutex);
+            campaign->logCv.wait_for(
+                lock, std::chrono::milliseconds(100), [&] {
+                    return campaign->log.size() > next ||
+                           campaign->logComplete;
+                });
+            while (next < campaign->log.size())
+                batch.push_back(campaign->log[next++]);
+            complete = campaign->logComplete;
+        }
+        for (const std::string &event : batch)
+            if (!sendAll(fd, event))
+                return false;
+        if (complete && batch.empty())
+            break;
+        if (stopping_.load())
+            break;
+    }
+    // Terminal snapshot: how the stream ended (done / degraded /
+    // cancelled / failed) plus the re-attach cursor.
+    JsonValue status;
+    {
+        std::lock_guard<std::mutex> lock(campaign->mutex);
+        status = JsonValue::parse(
+            campaignStatusLine(request.campaign, *campaign));
+    }
+    status.set("type", JsonValue("status"));
+    return sendAll(fd, wireLine(status));
+}
+
+void
+Server::handleResume(int fd, const Request &request)
+{
+    std::shared_ptr<Campaign> old;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = campaigns_.find(request.campaign);
+        if (it != campaigns_.end())
+            old = it->second;
+    }
+    if (old == nullptr) {
+        sendAll(fd, wireLine(errorReply(errc::unknownCampaign,
+                                        "no campaign '" +
+                                            request.campaign + "'")));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(old->mutex);
+        if (old->state != CampaignState::Degraded ||
+            old->resumeInFlight) {
+            sendAll(fd,
+                    wireLine(errorReply(
+                        errc::notDegraded,
+                        "campaign '" + request.campaign + "' is " +
+                            stateName(old->state) +
+                            (old->resumeInFlight
+                                 ? " with a resume in flight"
+                                 : "") +
+                            "; only degraded campaigns can be "
+                            "resumed")));
+            return;
+        }
+        old->resumeInFlight = true;
+    }
+    // Degraded is terminal for the worker — the join returns promptly.
+    if (old->worker.joinable())
+        old->worker.join();
+
+    const std::string &id = request.campaign;
+
+    // Crash window: publish rename landed but the checkpoint removal
+    // didn't. The results are complete — finish the bookkeeping.
+    if (fs::exists(resultsDir(id))) {
+        std::error_code cleanup;
+        fs::remove(checkpointPath(id), cleanup);
+        {
+            std::lock_guard<std::mutex> lock(old->mutex);
+            old->state = CampaignState::Done;
+            old->error.clear();
+            old->errnoName.clear();
+            old->retriable = false;
+            old->resumeInFlight = false;
+        }
+        JsonValue reply = JsonValue::object();
+        reply.set("type", JsonValue("ok"));
+        reply.set("campaign", JsonValue(id));
+        reply.set("resuming", JsonValue(false));
+        reply.set("state", JsonValue("done"));
+        sendAll(fd, wireLine(reply));
+        return;
+    }
+
+    auto campaign = std::make_shared<Campaign>();
+    std::optional<LoadedCheckpoint> loaded =
+        loadCheckpoint(checkpointPath(id));
+    if (loaded.has_value() && loaded->header.campaign == id) {
+        campaign->header = std::move(loaded->header);
+        campaign->restored = std::move(loaded->records);
+    } else {
+        // The failure tore the header itself: nothing durable survived
+        // but the submit parameters are still in memory — restart from
+        // scratch.
+        campaign->header = old->header;
+    }
+    try {
+        campaign->specs =
+            registry_->select(campaign->header.experiments);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(old->mutex);
+        old->resumeInFlight = false;
+        sendAll(fd,
+                wireLine(errorReply(errc::campaignFailed, e.what())));
+        return;
+    }
+    const std::size_t jobs = old->totalJobs;
+    campaign->lastProgressMs.store(steadyMs());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_.load()) {
+            std::lock_guard<std::mutex> old_lock(old->mutex);
+            old->resumeInFlight = false;
+            sendAll(fd, wireLine(errorReply(errc::shuttingDown,
+                                            "harpd is shutting down")));
+            return;
+        }
+        const auto it = tenants_.find(campaign->header.tenant);
+        const TenantUsage usage =
+            it != tenants_.end() ? it->second : TenantUsage{};
+        const bool over_campaigns =
+            config_.maxCampaignsPerTenant > 0 &&
+            usage.campaigns >= config_.maxCampaignsPerTenant;
+        const bool over_jobs =
+            config_.maxInflightJobsPerTenant > 0 &&
+            usage.jobs + jobs > config_.maxInflightJobsPerTenant;
+        if (over_campaigns || over_jobs) {
+            std::lock_guard<std::mutex> old_lock(old->mutex);
+            old->resumeInFlight = false;
+            JsonValue reply = errorReply(
+                errc::quotaExceeded,
+                "tenant '" + campaign->header.tenant +
+                    "' has no headroom to resume '" + id + "'");
+            reply.set("retriable", JsonValue(true));
+            reply.set("retry_after_ms",
+                      JsonValue(config_.shedRetryAfterMs));
+            sendAll(fd, wireLine(reply));
+            return;
+        }
+        TenantUsage &admitted = tenants_[campaign->header.tenant];
+        admitted.campaigns += 1;
+        admitted.jobs += jobs;
+        campaign->admittedJobs = jobs;
+        campaigns_[id] = campaign; // replaces the degraded entry
+    }
+    campaign->worker =
+        std::thread([this, campaign] { runCampaign(campaign); });
+
+    JsonValue reply = JsonValue::object();
+    reply.set("type", JsonValue("ok"));
+    reply.set("campaign", JsonValue(id));
+    reply.set("resuming", JsonValue(true));
+    sendAll(fd, wireLine(reply));
+}
+
+void
+Server::publishEvent(const std::shared_ptr<Campaign> &campaign,
+                     JsonValue event,
+                     const std::shared_ptr<EventQueue> &queue)
+{
+    std::string line;
+    {
+        std::lock_guard<std::mutex> lock(campaign->mutex);
+        event.set("seq", JsonValue(campaign->log.size()));
+        line = wireLine(event);
+        campaign->log.push_back(line);
+    }
+    campaign->logCv.notify_all();
+    campaign->lastProgressMs.store(steadyMs());
+    if (queue != nullptr)
+        queue->push(line);
+}
+
+void
+Server::releaseAdmission(const Campaign &campaign)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenants_.find(campaign.header.tenant);
+    if (it == tenants_.end())
+        return;
+    TenantUsage &usage = it->second;
+    usage.campaigns -= std::min<std::size_t>(1, usage.campaigns);
+    usage.jobs -= std::min(campaign.admittedJobs, usage.jobs);
+    if (usage.campaigns == 0 && usage.jobs == 0)
+        tenants_.erase(it);
+}
+
 void
 Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
 {
@@ -505,19 +951,52 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
     const std::string ckpt_path = checkpointPath(id);
     const fs::path staging =
         fs::path(config_.dataDir) / "results" / (".tmp-" + id);
+    io::FaultPlan *plan = config_.ioFaultPlan;
     const auto finish = [&](CampaignState state,
                             const std::string &error) {
         std::lock_guard<std::mutex> lock(campaign->mutex);
         campaign->state = state;
         campaign->error = error;
     };
+    // Degrade, never corrupt: the checkpoint stays, the status carries
+    // the errno and whether a resume can clear it, and the out-of-band
+    // (seq-less) degraded event tells the live stream why it ended.
+    const auto finishDegraded = [&](std::error_code ec,
+                                    const std::string &where) {
+        const std::string errno_name = io::errnoName(ec.value());
+        const bool retriable = io::isRetriable(ec);
+        {
+            std::lock_guard<std::mutex> lock(campaign->mutex);
+            campaign->state = CampaignState::Degraded;
+            campaign->error = where + ": " + ec.message();
+            campaign->errnoName = errno_name;
+            campaign->retriable = retriable;
+        }
+        if (queue != nullptr) {
+            JsonValue event = JsonValue::object();
+            event.set("type", JsonValue("degraded"));
+            event.set("campaign", JsonValue(id));
+            event.set("errno_name", JsonValue(errno_name));
+            event.set("retriable", JsonValue(retriable));
+            event.set("message", JsonValue(where + ": " + ec.message()));
+            queue->push(wireLine(event));
+        }
+    };
+    const auto emit = [this, campaign, queue](JsonValue event) {
+        publishEvent(campaign, std::move(event), queue);
+    };
 
     try {
         const bool resuming = !campaign->restored.empty() ||
                               fs::exists(ckpt_path);
-        std::error_code ec;
-        fs::remove_all(staging, ec);
-        fs::create_directories(staging);
+        std::error_code stage_ec;
+        fs::remove_all(staging, stage_ec);
+        fs::create_directories(staging, stage_ec);
+        if (stage_ec)
+            throw CheckpointIoError("cannot create staging dir " +
+                                        staging.string() + ": " +
+                                        stage_ec.message(),
+                                    stage_ec);
 
         // Sessions first: totals (for `accepted` and status) and
         // checkpoint-restore before any job runs.
@@ -543,6 +1022,7 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
             total += session->totalJobs();
         campaign->totalJobs = total;
         campaign->completedJobs.store(restored);
+        campaign->lastProgressMs.store(steadyMs());
 
         if (queue != nullptr) {
             JsonValue accepted = JsonValue::object();
@@ -554,34 +1034,52 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
         }
 
         CheckpointWriter checkpoint =
-            resuming ? CheckpointWriter(ckpt_path)
-                     : CheckpointWriter(ckpt_path, campaign->header);
+            resuming ? CheckpointWriter(ckpt_path, plan,
+                                        config_.fsyncCheckpoints)
+                     : CheckpointWriter(ckpt_path, campaign->header,
+                                        plan, config_.fsyncCheckpoints);
 
         runner::CampaignSummary summary;
         summary.seed = campaign->header.seed;
         summary.threads = poolThreads_;
         summary.repeat = campaign->header.repeat;
         bool cancelled = false;
+        std::optional<SinkFailure> io_failure;
         std::size_t completed_base = 0;
         for (std::size_t i = 0; i < sessions.size(); ++i) {
             runner::CampaignSession &session = *sessions[i];
             const std::string &name = session.spec().name;
             const std::string jsonl_path =
                 (staging / (name + ".jsonl")).string();
-            std::ofstream file(jsonl_path,
-                               std::ios::binary | std::ios::trunc);
-            if (!file)
-                throw std::runtime_error("cannot write " + jsonl_path);
-            ServedSink sink(file, &checkpoint, i, name, id, queue);
+            io::File file;
+            if (std::error_code ec =
+                    file.open(jsonl_path, /*truncate=*/true, plan))
+                throw CheckpointIoError("cannot open " + jsonl_path +
+                                            ": " + ec.message(),
+                                        ec);
+            ServedSink sink(file, &checkpoint, i, name, id, emit,
+                            &campaign->cancel);
             const std::size_t base = completed_base;
             const runner::CampaignSession::Outcome outcome = session.run(
                 pool_.get(), poolThreads_, sink, &campaign->cancel,
                 [campaign, base](std::size_t done) {
                     campaign->completedJobs.store(base + done);
+                    campaign->lastProgressMs.store(steadyMs());
                 });
-            file.flush();
-            if (!file)
-                throw std::runtime_error("cannot write " + jsonl_path);
+            if (sink.failure().has_value()) {
+                io_failure = sink.failure();
+                break;
+            }
+            // Staged results durable before the experiment is declared
+            // finished (and before the next one starts).
+            if (std::error_code ec = file.sync())
+                throw CheckpointIoError("cannot fsync " + jsonl_path +
+                                            ": " + ec.message(),
+                                        ec);
+            if (std::error_code ec = file.close())
+                throw CheckpointIoError("cannot close " + jsonl_path +
+                                            ": " + ec.message(),
+                                        ec);
             completed_base += session.totalJobs();
             if (!outcome.cancelled)
                 campaign->completedJobs.store(completed_base);
@@ -599,20 +1097,19 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
             exp.resultHash = outcome.resultHash;
             summary.experiments.push_back(exp);
 
-            if (queue != nullptr) {
-                JsonValue event = JsonValue::object();
-                event.set("type", JsonValue("experiment_done"));
-                event.set("experiment", JsonValue(name));
-                event.set("points", JsonValue(exp.points));
-                event.set("repeats", JsonValue(exp.repeats));
-                event.set("result_hash",
-                          JsonValue(runner::formatResultHash(
-                              exp.resultHash)));
-                queue->push(wireLine(event));
-            }
+            JsonValue event = JsonValue::object();
+            event.set("type", JsonValue("experiment_done"));
+            event.set("experiment", JsonValue(name));
+            event.set("points", JsonValue(exp.points));
+            event.set("repeats", JsonValue(exp.repeats));
+            event.set("result_hash", JsonValue(runner::formatResultHash(
+                                         exp.resultHash)));
+            emit(std::move(event));
         }
 
-        if (cancelled) {
+        if (io_failure.has_value()) {
+            finishDegraded(io_failure->ec, io_failure->where);
+        } else if (cancelled) {
             if (stopping_.load()) {
                 // Shutdown drain, not user intent: keep the checkpoint
                 // so the next start resumes right here.
@@ -631,37 +1128,69 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
             std::error_code cleanup;
             fs::remove_all(staging, cleanup);
         } else {
-            // Deterministic summary (no timings), then an atomic-ish
-            // publish: results appear only as a complete set.
+            // Deterministic summary (no timings), then an atomic
+            // publish through the seam: write + fsync the summary,
+            // rename the staging dir, fsync the parent so the rename
+            // itself is durable. Results appear only as a complete
+            // set; any failure along the way degrades with the
+            // checkpoint intact.
             const std::string summary_path =
                 (staging / "summary.json").string();
-            std::ofstream out(summary_path,
-                              std::ios::binary | std::ios::trunc);
-            if (!out)
-                throw std::runtime_error("cannot write " + summary_path);
-            out << summary.toJson(/*include_timings=*/false).dump(2)
-                << '\n';
-            out.flush();
-            if (!out)
-                throw std::runtime_error("cannot write " + summary_path);
-            out.close();
-            fs::rename(staging, resultsDir(id));
+            const std::string summary_text =
+                summary.toJson(/*include_timings=*/false).dump(2) + "\n";
+            io::File out;
+            if (std::error_code ec =
+                    out.open(summary_path, /*truncate=*/true, plan))
+                throw CheckpointIoError("cannot open " + summary_path +
+                                            ": " + ec.message(),
+                                        ec);
+            if (std::error_code ec = out.writeAll(summary_text))
+                throw CheckpointIoError("cannot write " + summary_path +
+                                            ": " + ec.message(),
+                                        ec);
+            if (std::error_code ec = out.sync())
+                throw CheckpointIoError("cannot fsync " + summary_path +
+                                            ": " + ec.message(),
+                                        ec);
+            if (std::error_code ec = out.close())
+                throw CheckpointIoError("cannot close " + summary_path +
+                                            ": " + ec.message(),
+                                        ec);
+            // A results dir that already exists means a previous run
+            // published and died before removing the checkpoint: the
+            // work is done, don't rename over it.
+            if (!fs::exists(resultsDir(id))) {
+                if (std::error_code ec = io::renamePath(
+                        staging.string(), resultsDir(id), plan))
+                    throw CheckpointIoError(
+                        "cannot publish " + resultsDir(id) + ": " +
+                            ec.message(),
+                        ec);
+            }
+            if (std::error_code ec = io::syncDir(
+                    (fs::path(config_.dataDir) / "results").string(),
+                    plan))
+                throw CheckpointIoError("cannot fsync results dir: " +
+                                            ec.message(),
+                                        ec);
             std::error_code cleanup;
             fs::remove(ckpt_path, cleanup);
             finish(CampaignState::Done, "");
-            if (queue != nullptr) {
-                JsonValue event = JsonValue::object();
-                event.set("type", JsonValue("summary"));
-                event.set("summary",
-                          summary.toJson(/*include_timings=*/false));
-                queue->push(wireLine(event));
-                JsonValue done = JsonValue::object();
-                done.set("type", JsonValue("done"));
-                done.set("campaign", JsonValue(id));
-                queue->push(wireLine(done));
-            }
+            JsonValue event = JsonValue::object();
+            event.set("type", JsonValue("summary"));
+            event.set("summary",
+                      summary.toJson(/*include_timings=*/false));
+            emit(std::move(event));
+            JsonValue done = JsonValue::object();
+            done.set("type", JsonValue("done"));
+            done.set("campaign", JsonValue(id));
+            emit(std::move(done));
         }
+    } catch (const CheckpointIoError &e) {
+        finishDegraded(e.code, e.what());
     } catch (const std::exception &e) {
+        // A genuine computation failure (job error, bad spec): the
+        // campaign is not resumable, so the checkpoint goes too.
         std::error_code cleanup;
         fs::remove_all(staging, cleanup);
         fs::remove(ckpt_path, cleanup);
@@ -670,8 +1199,14 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
             queue->push(wireLine(errorReply(errc::campaignFailed,
                                             e.what())));
     }
+    {
+        std::lock_guard<std::mutex> lock(campaign->mutex);
+        campaign->logComplete = true;
+    }
+    campaign->logCv.notify_all();
     if (queue != nullptr)
         queue->close();
+    releaseAdmission(*campaign);
 }
 
 } // namespace harp::harpd

@@ -9,16 +9,32 @@
  *        │                                             │ submit
  *        │                              campaign worker thread
  *        │                        CampaignSession (runner/session.hh)
- *        │                   sink: checkpoint + results + client queue
+ *        │                   sink: checkpoint + results + event log
  *        └── client stream:  BoundedQueue -> socket (backpressure)
  *
  * Contracts:
  *  - A served campaign's JSONL and summary.json are byte-identical to
  *    a batch `harp_run --no-timings` of the same specs/seed/repeat at
  *    any thread count.
- *  - Completed jobs are checkpointed (harpd/checkpoint.hh) before the
- *    campaign finishes; a killed daemon resumes them on restart
- *    without recomputation, detached from any client.
+ *  - Completed jobs are checkpointed — written *and fsynced* through
+ *    the common::io seam — before any client sees them; a killed
+ *    daemon resumes them on restart without recomputation, detached
+ *    from any client.
+ *  - Degrade, never corrupt: every durable-path I/O failure (ENOSPC,
+ *    EIO, a failed fsync or publish rename) moves the campaign to
+ *    `degraded` with a structured status (errno name + retriable
+ *    flag), keeps its checkpoint, and stays resumable via the `resume`
+ *    verb once the fault clears. Only genuine computation failures
+ *    reach `failed`.
+ *  - Every deterministic streamed event carries a `seq` stable across
+ *    kill/resume; `subscribe from=<seq>` replays the in-memory event
+ *    log so a re-attaching client loses and duplicates nothing.
+ *  - Per-tenant admission control bounds concurrent campaigns and
+ *    in-flight jobs; oversubscribed submits are shed with a
+ *    structured `quota_exceeded` + `retry_after_ms` reply instead of
+ *    queueing unboundedly. A watchdog marks campaigns that stop
+ *    making progress as `stalled` in status rather than letting
+ *    clients hang on a wedged daemon.
  *  - A disconnected client never aborts its campaign: the output
  *    queue closes, producers drop their events, and the campaign runs
  *    to completion on disk (exactly like a resume).
@@ -32,6 +48,7 @@
 #define HARP_HARPD_SERVER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -41,6 +58,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hh"
+#include "common/io.hh"
 #include "common/thread_pool.hh"
 #include "harpd/checkpoint.hh"
 #include "harpd/net.hh"
@@ -62,6 +80,25 @@ struct ServerConfig
     std::size_t clientQueueCapacity = 256;
     /** Experiment catalogue; nullptr = builtinRegistry(). */
     const runner::Registry *registry = nullptr;
+    /** Fault schedule applied to every durable write (tests/chaos
+     *  smoke); nullptr = no injection. Not owned. */
+    common::io::FaultPlan *ioFaultPlan = nullptr;
+    /** Admission control: per-tenant concurrent-campaign cap
+     *  (0 = unlimited). */
+    std::size_t maxCampaignsPerTenant = 0;
+    /** Admission control: per-tenant in-flight job cap
+     *  (0 = unlimited). */
+    std::size_t maxInflightJobsPerTenant = 0;
+    /** Hint in `quota_exceeded` shed replies. */
+    std::size_t shedRetryAfterMs = 1000;
+    /** Watchdog: a running campaign with no completed job or streamed
+     *  event for this long is flagged `stalled` (0 = disabled). */
+    std::size_t stallTimeoutMs = 0;
+    /** Watchdog poll cadence. */
+    std::size_t watchdogPollMs = 200;
+    /** fsync each checkpoint record (tests may disable for speed;
+     *  the daemon always keeps the default on). */
+    bool fsyncCheckpoints = true;
 };
 
 class Server
@@ -74,8 +111,10 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind the socket, then resume every campaign with a surviving
-     * checkpoint (each on its own detached worker).
+     * Bind the socket, sweep stale staging dirs, then resume every
+     * campaign with a surviving checkpoint (each on its own detached
+     * worker). A hostile checkpoints/ or results/ entry is set aside
+     * or skipped — never thrown out of the server.
      * @throws std::runtime_error when binding or data-dir creation
      *         fails.
      */
@@ -108,6 +147,9 @@ class Server
         Done,
         Failed,
         Cancelled,
+        /** A durable-path I/O failure: checkpoint intact, resumable
+         *  via the `resume` verb once the fault clears. */
+        Degraded,
     };
 
     struct Campaign
@@ -117,20 +159,55 @@ class Server
         std::vector<CheckpointRecord> restored;
         CampaignState state = CampaignState::Running;
         std::string error;
+        /** Degraded detail: symbolic errno + whether waiting-and-
+         *  resuming can clear it (ENOSPC yes, EIO no). */
+        std::string errnoName;
+        bool retriable = false;
+        /** Guards a degraded→running transition so concurrent
+         *  `resume` requests cannot both restart the campaign. */
+        bool resumeInFlight = false;
         std::size_t totalJobs = 0;
+        /** Jobs charged against the tenant's quota at admission. */
+        std::size_t admittedJobs = 0;
         std::atomic<std::size_t> completedJobs{0};
         std::atomic<bool> cancel{false};
+        /** Replayable event log: entry i is the wire line whose
+         *  `seq` is i. Rebuilt identically on resume (restored lines
+         *  re-enter the sink in job order), so `subscribe from=` is
+         *  stable across kill/resume and degraded→resume. */
+        std::vector<std::string> log;
+        bool logComplete = false;
+        std::condition_variable logCv;
+        /** Watchdog: last progress tick (steady-clock ms). */
+        std::atomic<std::uint64_t> lastProgressMs{0};
+        std::atomic<bool> stalled{false};
         /** Null for resumed (detached) campaigns and after the
          *  client's connection goes away. */
         std::shared_ptr<EventQueue> clientQueue;
         std::thread worker;
-        std::mutex mutex; ///< guards state/error transitions
+        std::mutex mutex; ///< guards state/error/log transitions
+    };
+
+    /** Per-tenant admission ledger (guarded by mutex_). */
+    struct TenantUsage
+    {
+        std::size_t campaigns = 0;
+        std::size_t jobs = 0;
     };
 
     void connectionLoop(Fd fd);
     bool handleRequest(int fd, const std::string &line);
     void handleSubmit(int fd, const Request &request);
+    bool handleSubscribe(int fd, const Request &request);
+    void handleResume(int fd, const Request &request);
     void runCampaign(const std::shared_ptr<Campaign> &campaign);
+    /** Stamp @p event with the next seq, append it to the replayable
+     *  log, and forward it to the submit stream (if any). */
+    void publishEvent(const std::shared_ptr<Campaign> &campaign,
+                      runner::JsonValue event,
+                      const std::shared_ptr<EventQueue> &queue);
+    void releaseAdmission(const Campaign &campaign);
+    void watchdogLoop();
     std::string campaignStatusLine(const std::string &id,
                                    const Campaign &campaign);
     std::string checkpointPath(const std::string &id) const;
@@ -146,9 +223,11 @@ class Server
     Fd stopPipeWrite_;
     std::atomic<bool> stopping_{false};
     std::size_t resumed_ = 0;
+    std::thread watchdog_;
 
-    mutable std::mutex mutex_; ///< guards campaigns_ and connections_
+    mutable std::mutex mutex_; ///< guards campaigns_/connections_/tenants_
     std::map<std::string, std::shared_ptr<Campaign>> campaigns_;
+    std::map<std::string, TenantUsage> tenants_;
     std::vector<std::thread> connections_;
     std::vector<int> connectionFds_;
     std::atomic<std::size_t> connectionCount_{0};

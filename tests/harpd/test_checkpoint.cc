@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -51,7 +52,8 @@ class CheckpointTest : public ::testing::Test
     {
         CheckpointWriter writer(path_, sampleHeader());
         for (std::size_t i = 0; i < records; ++i)
-            writer.add({i % 2, i, "{\"job\":" + std::to_string(i) + "}"});
+            ASSERT_FALSE(writer.add(
+                {i % 2, i, "{\"job\":" + std::to_string(i) + "}"}));
     }
 
     std::string readRaw() const
@@ -98,7 +100,7 @@ TEST_F(CheckpointTest, AppendModeContinuesAfterLoad)
     writeSample(2);
     {
         CheckpointWriter writer(path_); // reopen, append
-        writer.add({0, 2, "{\"job\":2}"});
+        ASSERT_FALSE(writer.add({0, 2, "{\"job\":2}"}));
     }
     const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
     ASSERT_TRUE(loaded.has_value());
@@ -196,7 +198,7 @@ TEST_F(CheckpointTest, UnreadableHeaderIsUnusable)
     writeRaw("");
     {
         CheckpointWriter writer(path_); // append mode: no header write
-        writer.add({0, 0, "{\"x\":1}"});
+        ASSERT_FALSE(writer.add({0, 0, "{\"x\":1}"}));
     }
     EXPECT_FALSE(loadCheckpoint(path_).has_value());
 }
@@ -223,6 +225,38 @@ TEST_F(CheckpointTest, EmptyRecordLineIsRejectedAsCorruption)
     ASSERT_TRUE(loaded.has_value());
     EXPECT_TRUE(loaded->recovered);
     EXPECT_EQ(loaded->records.size(), 1u);
+}
+
+TEST_F(CheckpointTest, InjectedHeaderFaultThrowsWithTheErrno)
+{
+    common::io::FaultPlan plan;
+    plan.injectAt(common::io::Op::Write, 0,
+                  {std::error_code(ENOSPC, std::generic_category())});
+    try {
+        CheckpointWriter writer(path_, sampleHeader(), &plan);
+        FAIL() << "header write must surface the injected fault";
+    } catch (const CheckpointIoError &e) {
+        EXPECT_EQ(e.code.value(), ENOSPC);
+    }
+}
+
+TEST_F(CheckpointTest, InjectedRecordFaultSurfacesFromAdd)
+{
+    common::io::FaultPlan plan;
+    // The header costs write#0 (+ its fsync); the first add() is
+    // write#1.
+    plan.injectAt(common::io::Op::Write, 1,
+                  {std::error_code(ENOSPC, std::generic_category())});
+    CheckpointWriter writer(path_, sampleHeader(), &plan);
+    EXPECT_EQ(writer.add({0, 0, "{\"job\":0}"}).value(), ENOSPC);
+    // The fault was one-shot: the writer is not wedged, and the next
+    // record lands durably after the failed one vanished atomically.
+    ASSERT_FALSE(writer.add({0, 1, "{\"job\":1}"}));
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_FALSE(loaded->recovered);
+    ASSERT_EQ(loaded->records.size(), 1u);
+    EXPECT_EQ(loaded->records[0].line, "{\"job\":1}");
 }
 
 } // namespace

@@ -173,6 +173,76 @@ TEST(Protocol, SimpleVerbsParse)
     EXPECT_EQ(status->campaign, "c9");
 }
 
+TEST(Protocol, SubscribeParsesCampaignAndCursor)
+{
+    JsonValue error;
+    const std::optional<Request> bare = parseRequest(
+        "{\"verb\":\"subscribe\",\"campaign\":\"c1\"}", error);
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_EQ(bare->verb, Verb::Subscribe);
+    EXPECT_EQ(bare->campaign, "c1");
+    EXPECT_EQ(bare->from, 0u); // default: replay from the start
+
+    const std::optional<Request> cursor = parseRequest(
+        "{\"verb\":\"subscribe\",\"campaign\":\"c1\",\"from\":17}",
+        error);
+    ASSERT_TRUE(cursor.has_value());
+    EXPECT_EQ(cursor->from, 17u);
+
+    // The cursor is a sequence number, nothing else.
+    expectError("{\"verb\":\"subscribe\",\"campaign\":\"c\","
+                "\"from\":-1}",
+                errc::badRequest);
+    expectError("{\"verb\":\"subscribe\",\"campaign\":\"c\","
+                "\"from\":\"3\"}",
+                errc::badRequest);
+    expectError("{\"verb\":\"subscribe\"}", errc::badRequest);
+}
+
+TEST(Protocol, ResumeParsesLikeTheOtherCampaignVerbs)
+{
+    JsonValue error;
+    const std::optional<Request> request = parseRequest(
+        "{\"verb\":\"resume\",\"campaign\":\"night-1\"}", error);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->verb, Verb::Resume);
+    EXPECT_EQ(request->campaign, "night-1");
+
+    expectError("{\"verb\":\"resume\"}", errc::badRequest);
+    expectError("{\"verb\":\"resume\",\"campaign\":\"../x\"}",
+                errc::badRequest);
+}
+
+TEST(Protocol, TenantValidatesLikeACampaignId)
+{
+    JsonValue error;
+    const std::optional<Request> request = parseRequest(
+        "{\"verb\":\"submit\",\"campaign\":\"c\","
+        "\"experiments\":[\"e\"],\"tenant\":\"team-a\"}",
+        error);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->tenant, "team-a");
+
+    const std::optional<Request> defaulted = parseRequest(
+        "{\"verb\":\"submit\",\"campaign\":\"c\","
+        "\"experiments\":[\"e\"]}",
+        error);
+    ASSERT_TRUE(defaulted.has_value());
+    EXPECT_EQ(defaulted->tenant, "default");
+
+    // Tenants key admission accounting and appear in status lines:
+    // same character discipline as campaign ids.
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"tenant\":\"a/b\"}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"tenant\":7}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"tenant\":\"\"}",
+                errc::badRequest);
+}
+
 TEST(Protocol, OversizedLineBoundaryIsEnforcedByReader)
 {
     // The reader, not the parser, enforces maxLineBytes — but the
