@@ -3,9 +3,10 @@
 # through the harp_run experiment runner (incl. an alias binary), a
 # harpd smoke (daemon + client submit, byte-compared against batch), a
 # chaos smoke (injected ENOSPC -> degraded -> SIGKILL -> resume,
-# byte-compared against batch), and a docs lint (Doxygen warnings are
-# errors; skipped when doxygen is not installed). Exits nonzero on any
-# failure.
+# byte-compared against batch), an overload smoke (two weighted tenants
+# contending + a deadline-expired campaign resumed, all byte-compared
+# against batch), and a docs lint (Doxygen warnings are errors; skipped
+# when doxygen is not installed). Exits nonzero on any failure.
 #
 #   scripts/verify.sh          # tier-1 + smoke perf wiring + a 10k-chip
 #                              # fleet byte-identity smoke
@@ -13,9 +14,9 @@
 #                              # (sliced64 AND sliced256 floors + the
 #                              # <= 15% regression gate against the
 #                              # committed BENCH_PR6.json), the unit +
-#                              # fleet + chaos suites under TSan and
-#                              # ASan+UBSan (-DHARP_SANITIZE), the
-#                              # intra-job scaling check (>= 8 cores
+#                              # fleet + chaos + overload suites under
+#                              # TSan and ASan+UBSan (-DHARP_SANITIZE),
+#                              # the intra-job scaling check (>= 8 cores
 #                              # only), and a million-chip fleet
 #                              # acceptance sweep
 set -euo pipefail
@@ -232,6 +233,128 @@ wait "$chaos_pid" || {
 }
 trap - EXIT
 
+# --- Overload tier smoke --------------------------------------------------
+# Registration guard first: a mistyped ctest label matches nothing and
+# exits 0, so count the multi-tenant overload tier explicitly.
+overload_tests="$(cd build && ctest -L overload -N | sed -n 's/^Total Tests: //p')"
+[[ "${overload_tests:-0}" -ge 4 ]] || {
+    echo "verify: expected >= 4 overload-labeled tests, found" \
+         "'${overload_tests:-none}'" >&2
+    exit 1
+}
+
+# Two-tenant fairness round-trip against the real binaries: a
+# 3:1-weighted pair of tenants contends for a 2-slot pool. Whatever
+# interleaving the fair scheduler picks, each campaign must publish
+# byte-identically to an uninterrupted batch run — scheduling may
+# reorder work, never change bytes. Then deadline propagation: a
+# 1 ms deadline parks the campaign resumable (client exit 5, nothing
+# published, checkpoint kept) and a plain resume finishes it to the
+# same bytes.
+ovl_root="$PWD/$smoke_dir/overload"
+rm -rf "$ovl_root"
+mkdir -p "$ovl_root"
+./build/src/harp_run quickstart --seed 23 --threads 2 --repeat 32 \
+    --rounds 8192 --no-timings --out "$ovl_root/batch" > /dev/null
+./build/src/harpd --socket "$ovl_root/d.sock" \
+    --data "$ovl_root/data" --threads 2 \
+    --tenant-weight gold=3 --tenant-weight bronze=1 \
+    > "$ovl_root/daemon.log" 2>&1 &
+ovl_pid=$!
+trap 'kill -9 "$ovl_pid" 2> /dev/null || true' EXIT
+ovl_up=0
+for _ in $(seq 1 200); do
+    if ./build/src/harpd_client --socket "$ovl_root/d.sock" ping \
+        > /dev/null 2>&1; then
+        ovl_up=1
+        break
+    fi
+    sleep 0.05
+done
+[[ $ovl_up -eq 1 ]] || {
+    echo "verify: overload harpd never came up" >&2
+    cat "$ovl_root/daemon.log" >&2 || true
+    exit 1
+}
+
+./build/src/harpd_client --socket "$ovl_root/d.sock" \
+    submit gold quickstart --seed 23 --repeat 32 --set rounds 8192 \
+    --tenant gold > /dev/null 2>&1 &
+gold_pid=$!
+./build/src/harpd_client --socket "$ovl_root/d.sock" \
+    submit bronze quickstart --seed 23 --repeat 32 --set rounds 8192 \
+    --tenant bronze --priority background > /dev/null 2>&1 &
+bronze_pid=$!
+gold_rc=0
+wait "$gold_pid" || gold_rc=$?
+bronze_rc=0
+wait "$bronze_pid" || bronze_rc=$?
+[[ $gold_rc -eq 0 && $bronze_rc -eq 0 ]] || {
+    echo "verify: contended submits failed (gold=$gold_rc," \
+         "bronze=$bronze_rc)" >&2
+    cat "$ovl_root/daemon.log" >&2 || true
+    exit 1
+}
+for name in gold bronze; do
+    for f in quickstart.jsonl summary.json; do
+        cmp -s "$ovl_root/batch/$f" \
+               "$ovl_root/data/results/$name/$f" || {
+            echo "verify: contended campaign $name $f differs" \
+                 "from batch" >&2
+            exit 1
+        }
+    done
+done
+
+dl_rc=0
+./build/src/harpd_client --socket "$ovl_root/d.sock" \
+    submit expiring quickstart --seed 23 --repeat 32 \
+    --set rounds 8192 --tenant gold --deadline-ms 1 \
+    > /dev/null 2>&1 || dl_rc=$?
+[[ $dl_rc -eq 5 ]] || {
+    echo "verify: expected deadline_exceeded exit 5, got $dl_rc" >&2
+    cat "$ovl_root/daemon.log" >&2 || true
+    exit 1
+}
+[[ -e "$ovl_root/data/results/expiring" ]] && {
+    echo "verify: expired campaign must not publish results" >&2
+    exit 1
+}
+test -e "$ovl_root/data/checkpoints/expiring.ckpt" || {
+    echo "verify: expired campaign lost its checkpoint" >&2
+    exit 1
+}
+./build/src/harpd_client --socket "$ovl_root/d.sock" \
+    resume expiring > /dev/null 2>&1 || {
+    echo "verify: resume after deadline expiry failed" >&2
+    cat "$ovl_root/daemon.log" >&2 || true
+    exit 1
+}
+# resume is fire-and-forget; subscribe streams the revived campaign to
+# its terminal event (exit 0 = done).
+./build/src/harpd_client --socket "$ovl_root/d.sock" \
+    subscribe expiring > /dev/null 2>&1 || {
+    echo "verify: resumed campaign did not reach done" >&2
+    cat "$ovl_root/daemon.log" >&2 || true
+    exit 1
+}
+for f in quickstart.jsonl summary.json; do
+    cmp -s "$ovl_root/batch/$f" \
+           "$ovl_root/data/results/expiring/$f" || {
+        echo "verify: resumed expired campaign $f differs from batch" >&2
+        exit 1
+    }
+done
+
+./build/src/harpd_client --socket "$ovl_root/d.sock" shutdown \
+    > /dev/null
+wait "$ovl_pid" || {
+    echo "verify: harpd exited nonzero after overload shutdown" >&2
+    cat "$ovl_root/daemon.log" >&2 || true
+    exit 1
+}
+trap - EXIT
+
 # --- Engine equivalence ---------------------------------------------------
 # A seed-fixed campaign must be byte-identical under the scalar,
 # sliced64 and sliced256 profiling engines (70 words/code exercises a
@@ -381,6 +504,15 @@ if [[ $FULL -eq 1 ]]; then
         # labeled integration, so run it explicitly under sanitizers.
         (cd "$sdir" && ctest -L fleet --output-on-failure) || {
             echo "verify: fleet tier failed under $san sanitizer" >&2
+            exit 1
+        }
+        # The overload tier: weighted fair scheduling, bounded
+        # admission queues, deadline cancellation, and SIGTERM/SIGHUP
+        # handling under multi-tenant contention — the scheduler's
+        # locking and the cancel/drain paths are exactly where a data
+        # race or use-after-free would hide.
+        (cd "$sdir" && ctest -L overload --output-on-failure) || {
+            echo "verify: overload tier failed under $san sanitizer" >&2
             exit 1
         }
     done

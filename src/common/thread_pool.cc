@@ -45,6 +45,13 @@ ThreadPool::wait()
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
 }
 
+std::size_t
+ThreadPool::backlog() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inFlight_;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -77,6 +84,13 @@ parallelFor(std::size_t count,
 {
     if (count == 0)
         return;
+    if (count == 1 || num_threads == 1) {
+        // A single lane gains nothing from a transient pool; this is
+        // the common case under brownout (inner_threads narrowed to 1).
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
     ThreadPool pool(num_threads);
     // Chunk iterations so tiny bodies do not drown in queue overhead.
     const std::size_t chunks = std::min(count, pool.numThreads() * 8);

@@ -41,12 +41,19 @@ class ThreadPool
 
     std::size_t numThreads() const { return workers_.size(); }
 
+    /**
+     * Tasks submitted but not yet completed (queued + running).
+     * Instantaneous snapshot — advisory only (overload telemetry),
+     * never a synchronization primitive.
+     */
+    std::size_t backlog() const;
+
   private:
     void workerLoop();
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable taskAvailable_;
     std::condition_variable allDone_;
     std::size_t inFlight_ = 0;

@@ -37,6 +37,9 @@ headerJson(const CheckpointHeader &header)
     doc.set("repeat", JsonValue(header.repeat));
     if (!header.tenant.empty() && header.tenant != "default")
         doc.set("tenant", JsonValue(header.tenant));
+    if (header.priority != common::PriorityClass::Normal)
+        doc.set("priority",
+                JsonValue(common::priorityClassName(header.priority)));
     JsonValue overrides = JsonValue::object();
     for (const auto &[key, value] : header.overrides)
         overrides.set(key, JsonValue(value));
@@ -79,6 +82,14 @@ parseHeader(const JsonValue &doc)
             tenant->asString().empty())
             return std::nullopt;
         header.tenant = tenant->asString();
+    }
+    if (const JsonValue *priority = doc.find("priority")) {
+        if (priority->type() != JsonType::String)
+            return std::nullopt;
+        const auto cls = common::parsePriorityClass(priority->asString());
+        if (!cls)
+            return std::nullopt;
+        header.priority = *cls;
     }
     if (const JsonValue *overrides = doc.find("overrides")) {
         if (overrides->type() != JsonType::Object)

@@ -34,6 +34,7 @@
 #include <system_error>
 #include <vector>
 
+#include "common/fair_scheduler.hh"
 #include "common/io.hh"
 
 namespace harp::harpd {
@@ -49,6 +50,12 @@ struct CheckpointHeader
     /** Owner for admission accounting; absent in pre-quota checkpoints
      *  (which load as the default tenant). */
     std::string tenant = "default";
+    /** Service class for the fair scheduler; absent in older
+     *  checkpoints (which load as Normal). Deadlines deliberately do
+     *  NOT persist: a deadline is a property of the submitting caller,
+     *  not of the computation, so resume starts without one unless the
+     *  resume request sets a new deadline_ms. */
+    common::PriorityClass priority = common::PriorityClass::Normal;
 };
 
 /** An I/O failure creating a checkpoint, carrying the errno so the

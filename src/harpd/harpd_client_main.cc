@@ -12,6 +12,7 @@
  *   harpd_client --socket PATH submit CAMPAIGN EXPERIMENT...
  *                [--out DIR] [--seed N] [--repeat N]
  *                [--set NAME VALUE]... [--tenant NAME]
+ *                [--priority CLASS] [--deadline-ms N]
  *
  * Shared resilience flags:
  *   --timeout-ms N   connect + per-reply deadline (default: 5000
@@ -31,7 +32,13 @@
  * daemon registered it is resubmitted idempotently (duplicate_campaign
  * downgrades to a subscribe). Quota sheds honor `retry_after_ms`.
  *
- * Exit codes: 0 done, 1 error, 2 usage, 3 cancelled, 4 degraded.
+ * Forward compatibility: event types this build does not know are
+ * skipped silently (the daemon may be newer), so adding stream event
+ * kinds never breaks deployed clients. --verbose renders the advisory
+ * kinds (`progress`, `queued`) and notes skipped unknowns on stderr.
+ *
+ * Exit codes: 0 done, 1 error, 2 usage, 3 cancelled, 4 degraded,
+ * 5 deadline exceeded (checkpoint kept; `resume` continues it).
  */
 
 #include <chrono>
@@ -78,7 +85,11 @@ usage(std::ostream &out, int code)
            "  submit CAMPAIGN EXPERIMENT... [--out DIR] [--seed N]\n"
            "         [--repeat N] [--set NAME VALUE]... "
            "[--tenant NAME]\n"
-           "flags: [--timeout-ms N] [--retries N] [--backoff-ms N]\n";
+           "         [--priority interactive|normal|background] "
+           "[--deadline-ms N]\n"
+           "  resume CAMPAIGN [--deadline-ms N]\n"
+           "flags: [--timeout-ms N] [--retries N] [--backoff-ms N] "
+           "[--verbose]\n";
     return code;
 }
 
@@ -136,6 +147,7 @@ enum class StreamEnd
     Cancelled,     ///< campaign cancelled
     Failed,        ///< terminal error event / status "failed"
     Degraded,      ///< structured degraded status — resumable
+    DeadlinePast,  ///< deadline_exceeded — checkpoint kept, resumable
     Lost,          ///< connection died mid-stream: re-attach
     NeedResubmit,  ///< subscribe said unknown_campaign: submit again
     NeedSubscribe, ///< submit said duplicate_campaign: re-attach
@@ -151,6 +163,7 @@ struct StreamState
     std::int64_t lastSeq = -1;
     int retryAfterMs = 0;
     bool sawDegraded = false;
+    bool verbose = false;
 
     std::ofstream *fileFor(const std::string &experiment)
     {
@@ -232,6 +245,17 @@ consumeStream(Client &client, StreamState &state)
             }
         } else if (kind == "done") {
             return StreamEnd::Done;
+        } else if (kind == "progress" || kind == "queued") {
+            // Advisory, never terminal; rendered only on request.
+            if (state.verbose)
+                std::cerr << kind << ": " << event->dump() << "\n";
+        } else if (kind == "deadline_exceeded") {
+            // Out-of-band terminal event: the daemon cancelled the
+            // campaign at a wave boundary, keeping its checkpoint;
+            // `resume` (optionally with a fresh --deadline-ms)
+            // continues it without recomputing finished jobs.
+            std::cerr << "deadline_exceeded: " << event->dump() << "\n";
+            return StreamEnd::DeadlinePast;
         } else if (kind == "cancelled") {
             std::cerr << "cancelled: " << event->dump() << "\n";
             return StreamEnd::Cancelled;
@@ -257,6 +281,8 @@ consumeStream(Client &client, StreamState &state)
                 return StreamEnd::Degraded;
             if (name == "cancelled")
                 return StreamEnd::Cancelled;
+            if (name == "deadline_exceeded")
+                return StreamEnd::DeadlinePast;
             if (name == "failed")
                 return StreamEnd::Failed;
             return StreamEnd::Lost; // still running: re-attach
@@ -283,8 +309,11 @@ consumeStream(Client &client, StreamState &state)
             fail(*event);
             return StreamEnd::Failed;
         } else {
-            std::cerr << "harpd_client: unexpected event: "
-                      << event->dump() << "\n";
+            // Unknown kind: a newer daemon talking. Skipping keeps old
+            // clients working against new servers.
+            if (state.verbose)
+                std::cerr << "harpd_client: skipping unknown event: "
+                          << event->dump() << "\n";
         }
     }
 }
@@ -311,11 +340,13 @@ flushFiles(StreamState &state)
 int
 runStream(const std::string &socket_path, const RetryOptions &retry,
           const std::string &campaign, const JsonValue *submit,
-          std::int64_t subscribe_from, const std::string &out_dir)
+          std::int64_t subscribe_from, const std::string &out_dir,
+          bool verbose)
 {
     StreamState state;
     state.outDir = out_dir;
     state.lastSeq = subscribe_from - 1;
+    state.verbose = verbose;
     Backoff backoff(retry.backoffBaseMs, retry.backoffBaseMs * 64,
                     static_cast<std::uint64_t>(::getpid()));
     bool subscribing = submit == nullptr;
@@ -372,6 +403,12 @@ runStream(const std::string &socket_path, const RetryOptions &retry,
             // clears.
             flushFiles(state);
             return 4;
+        case StreamEnd::DeadlinePast:
+            // Not an error in the degraded sense: the work done so far
+            // is durable and byte-exact; the caller decides whether to
+            // resume with a fresh deadline.
+            flushFiles(state);
+            return 5;
         case StreamEnd::Lost:
             if (!spend_retry("connection lost mid-stream",
                              backoff.nextDelayMs())) {
@@ -423,7 +460,10 @@ main(int argc, char **argv)
     std::string seed;
     std::string repeat;
     std::string tenant;
+    std::string priority;
+    std::int64_t deadline_ms = 0;
     std::int64_t from = 0;
+    bool verbose = false;
     RetryOptions retry;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -439,6 +479,17 @@ main(int argc, char **argv)
             repeat = argv[++i];
         } else if (arg == "--tenant" && i + 1 < argc) {
             tenant = argv[++i];
+        } else if (arg == "--priority" && i + 1 < argc) {
+            priority = argv[++i];
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            deadline_ms = std::stoll(argv[++i]);
+            if (deadline_ms < 1) {
+                std::cerr << "harpd_client: --deadline-ms wants a "
+                             "positive integer\n";
+                return usage(std::cerr, 2);
+            }
+        } else if (arg == "--verbose") {
+            verbose = true;
         } else if (arg == "--from" && i + 1 < argc) {
             from = std::stoll(argv[++i]);
         } else if (arg == "--timeout-ms" && i + 1 < argc) {
@@ -486,6 +537,8 @@ main(int argc, char **argv)
             JsonValue request = JsonValue::object();
             request.set("verb", JsonValue(verb));
             request.set("campaign", JsonValue(words[1]));
+            if (verb == "resume" && deadline_ms > 0)
+                request.set("deadline_ms", JsonValue(deadline_ms));
             const JsonValue reply =
                 requestWithRetries(socket_path, retry, request);
             const JsonValue *type = reply.find("type");
@@ -501,7 +554,8 @@ main(int argc, char **argv)
             if (!out_dir.empty())
                 fs::create_directories(out_dir);
             return runStream(socket_path, retry, words[1],
-                             /*submit=*/nullptr, from, out_dir);
+                             /*submit=*/nullptr, from, out_dir,
+                             verbose);
         }
         if (verb == "submit") {
             if (words.size() < 3)
@@ -523,10 +577,14 @@ main(int argc, char **argv)
                 request.set("overrides", overrides);
             if (!tenant.empty())
                 request.set("tenant", JsonValue(tenant));
+            if (!priority.empty())
+                request.set("priority", JsonValue(priority));
+            if (deadline_ms > 0)
+                request.set("deadline_ms", JsonValue(deadline_ms));
             if (!out_dir.empty())
                 fs::create_directories(out_dir);
             return runStream(socket_path, retry, words[1], &request,
-                             /*subscribe_from=*/0, out_dir);
+                             /*subscribe_from=*/0, out_dir, verbose);
         }
         std::cerr << "harpd_client: unknown verb '" << verb << "'\n";
         return usage(std::cerr, 2);

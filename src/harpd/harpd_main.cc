@@ -3,27 +3,35 @@
  * `harpd` — the resident campaign service.
  *
  *   harpd --socket PATH --data DIR [--threads N] [--queue N]
- *         [--max-campaigns N] [--max-jobs N] [--stall-ms N]
- *         [--fault-plan SPEC]
+ *         [--max-campaigns N] [--max-jobs N] [--admission-queue N]
+ *         [--tenant-weight NAME=W]... [--default-weight W]
+ *         [--stall-ms N] [--fault-plan SPEC]
  *
  * Listens on an AF_UNIX socket for newline-delimited JSON requests
  * (src/harpd/protocol.hh), multiplexes submitted campaigns onto one
  * shared thread pool, checkpoints completed jobs under DIR/checkpoints
  * and publishes finished campaigns under DIR/results/<campaign>/.
  * SIGINT/SIGTERM (or a client `shutdown` verb) drain in-flight jobs and
- * exit; interrupted campaigns resume on the next start.
+ * exit; interrupted campaigns resume on the next start. SIGHUP writes a
+ * status snapshot (DIR/status.json) without interrupting service.
  *
  * --max-campaigns/--max-jobs bound each tenant's concurrent campaigns
  * and in-flight jobs (overload is shed with `quota_exceeded` +
- * `retry_after_ms`). --stall-ms arms the wedged-campaign watchdog.
+ * `retry_after_ms`); --admission-queue turns the hard shed into a
+ * bounded FIFO park (`queued` events, promoted as quota frees).
+ * --tenant-weight sets a tenant's share of the pool under contention
+ * (stride-fair; repeatable), --default-weight the share of everyone
+ * else. --stall-ms arms the wedged-campaign watchdog.
  * --fault-plan injects deterministic I/O faults into every durable
  * write (see common/io.hh for the spec grammar) — the chaos tier and
  * the verify.sh chaos smoke drive the daemon through ENOSPC/EIO/torn-
  * write schedules with it.
  */
 
+#include <cerrno>
 #include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -35,10 +43,32 @@ namespace {
 harp::harpd::Server *g_server = nullptr;
 
 void
-handleSignal(int)
+handleStopSignal(int)
 {
     if (g_server != nullptr)
         g_server->requestStop(); // async-signal-safe (self-pipe)
+}
+
+void
+handleHangup(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStatusSnapshot(); // async-signal-safe
+}
+
+/** Install @p handler via sigaction with SA_RESTART set explicitly:
+ *  the serve loop must never see spurious EINTR from a status-snapshot
+ *  signal, and std::signal leaves restart semantics implementation-
+ *  defined. Returns false (with errno intact) on failure. */
+bool
+installHandler(int signo, void (*handler)(int))
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof action);
+    action.sa_handler = handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    return sigaction(signo, &action, nullptr) == 0;
 }
 
 int
@@ -47,8 +77,10 @@ usage(std::ostream &out, int code)
     out << "usage: harpd --socket PATH --data DIR [--threads N] "
            "[--queue N]\n"
            "             [--max-campaigns N] [--max-jobs N] "
-           "[--stall-ms N]\n"
-           "             [--fault-plan SPEC]\n"
+           "[--admission-queue N]\n"
+           "             [--tenant-weight NAME=W]... [--default-weight "
+           "W]\n"
+           "             [--stall-ms N] [--fault-plan SPEC]\n"
            "  --socket PATH      AF_UNIX socket to listen on "
            "(required)\n"
            "  --data DIR         checkpoint/result root (required)\n"
@@ -60,6 +92,13 @@ usage(std::ostream &out, int code)
            "(default: unlimited)\n"
            "  --max-jobs N       per-tenant in-flight job cap "
            "(default: unlimited)\n"
+           "  --admission-queue N  park up to N over-quota campaigns "
+           "instead of shedding\n"
+           "                     (default 0: shed immediately)\n"
+           "  --tenant-weight NAME=W  fair-share weight for tenant "
+           "NAME (repeatable)\n"
+           "  --default-weight W  weight for tenants not named above "
+           "(default 1)\n"
            "  --stall-ms N       flag campaigns stalled for N ms "
            "(default: off)\n"
            "  --fault-plan SPEC  inject I/O faults, e.g. "
@@ -97,6 +136,27 @@ main(int argc, char **argv)
         } else if (arg == "--max-jobs" && has_value) {
             config.maxInflightJobsPerTenant =
                 std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--admission-queue" && has_value) {
+            config.admissionQueueLimit =
+                std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--tenant-weight" && has_value) {
+            const std::string spec = argv[++i];
+            const std::size_t eq = spec.find('=');
+            std::size_t weight = 0;
+            if (eq != std::string::npos && eq > 0)
+                weight = std::strtoul(spec.c_str() + eq + 1, nullptr, 10);
+            if (weight == 0) {
+                std::cerr << "harpd: --tenant-weight wants NAME=W with "
+                             "W >= 1, got '"
+                          << spec << "'\n";
+                return usage(std::cerr, 2);
+            }
+            config.tenantWeights[spec.substr(0, eq)] = weight;
+        } else if (arg == "--default-weight" && has_value) {
+            config.defaultTenantWeight =
+                std::strtoul(argv[++i], nullptr, 10);
+            if (config.defaultTenantWeight == 0)
+                config.defaultTenantWeight = 1;
         } else if (arg == "--stall-ms" && has_value) {
             config.stallTimeoutMs = std::strtoul(argv[++i], nullptr, 10);
         } else if (arg == "--fault-plan" && has_value) {
@@ -127,9 +187,14 @@ main(int argc, char **argv)
     try {
         harp::harpd::Server server(std::move(config));
         g_server = &server;
-        std::signal(SIGINT, handleSignal);
-        std::signal(SIGTERM, handleSignal);
-        std::signal(SIGPIPE, SIG_IGN);
+        if (!installHandler(SIGINT, handleStopSignal) ||
+            !installHandler(SIGTERM, handleStopSignal) ||
+            !installHandler(SIGHUP, handleHangup) ||
+            !installHandler(SIGPIPE, SIG_IGN)) {
+            std::cerr << "harpd: fatal: sigaction: "
+                      << std::strerror(errno) << "\n";
+            return 1;
+        }
         server.start();
         if (server.resumedCampaigns() > 0)
             std::cerr << "harpd: resumed " << server.resumedCampaigns()

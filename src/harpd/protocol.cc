@@ -172,6 +172,28 @@ parseValidated(const JsonValue &doc)
                     "leading dot)");
             request.tenant = tenant->asString();
         }
+        if (const JsonValue *priority = doc.find("priority")) {
+            if (priority->type() != JsonType::String)
+                throw RequestError("'priority' must be a string");
+            const auto cls =
+                common::parsePriorityClass(priority->asString());
+            if (!cls)
+                throw RequestError("priority must be one of "
+                                   "interactive|normal|background");
+            request.priority = *cls;
+        }
+    }
+
+    if (request.verb == Verb::Submit || request.verb == Verb::Resume) {
+        if (const JsonValue *deadline = doc.find("deadline_ms")) {
+            if (deadline->type() != JsonType::Int ||
+                deadline->asInt() < 1 ||
+                deadline->asInt() > 1'000'000'000)
+                throw RequestError("deadline_ms must be an integer in "
+                                   "[1, 1000000000]");
+            request.deadlineMs =
+                static_cast<std::uint64_t>(deadline->asInt());
+        }
     }
 
     if (request.verb == Verb::Subscribe) {

@@ -12,9 +12,9 @@
  *   {"verb":"shutdown"}
  *   {"verb":"submit","campaign":"<id>","experiments":["quickstart"],
  *    "seed":"7","repeat":2,"overrides":{"words":"70"},
- *    "tenant":"teamA"}
+ *    "tenant":"teamA","priority":"interactive","deadline_ms":30000}
  *   {"verb":"subscribe","campaign":"<id>","from":42}
- *   {"verb":"resume","campaign":"<id>"}
+ *   {"verb":"resume","campaign":"<id>","deadline_ms":30000}
  *
  * Replies (server -> client) carry a "type" member. Every submit
  * streams, in order: one `accepted`, then one `result` per (point,
@@ -35,7 +35,15 @@
  * (`errno_name`), message, and a `retriable` flag; a degraded
  * campaign's checkpoint survives and `resume` restarts it in place.
  * Overload sheds submits with `code=quota_exceeded`, `retriable=true`,
- * and a `retry_after_ms` hint.
+ * and a `retry_after_ms` hint. With an admission queue configured, a
+ * submit over quota is instead parked and streams an out-of-band
+ * `queued` event (`position`, `retry_after_ms` estimate) before its
+ * `accepted`; only a full queue sheds. A campaign whose `deadline_ms`
+ * expires mid-run stops at the next wave boundary with an out-of-band
+ * `deadline_exceeded` event; its checkpoint survives and `resume`
+ * restarts it (optionally with a fresh deadline). `progress` events
+ * ({wave, jobs_done, jobs_total, jobs_per_sec}) are deterministic
+ * stream members: they carry `seq` and replay like results.
  *
  * Faulty input never kills the server: malformed JSON, oversized
  * lines, unknown verbs and invalid fields each map to a structured
@@ -51,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fair_scheduler.hh"
 #include "runner/json.hh"
 
 namespace harp::harpd {
@@ -92,6 +101,12 @@ struct Request
     /** Submit: owning tenant for admission accounting (same character
      *  set as campaign ids). */
     std::string tenant = "default";
+    /** Submit: service class for the fair scheduler. */
+    common::PriorityClass priority = common::PriorityClass::Normal;
+    /** Submit / resume: soft wall-clock budget in ms; 0 = none. The
+     *  campaign cancels cooperatively at the next wave boundary after
+     *  expiry, keeps its checkpoint, and stays resumable. */
+    std::uint64_t deadlineMs = 0;
     /** Subscribe: first sequence number to deliver (0 = from the
      *  start). */
     std::uint64_t from = 0;
@@ -110,6 +125,7 @@ inline constexpr const char *campaignFailed = "campaign_failed";
 inline constexpr const char *shuttingDown = "shutting_down";
 inline constexpr const char *quotaExceeded = "quota_exceeded";
 inline constexpr const char *notDegraded = "not_degraded";
+inline constexpr const char *deadlineExceeded = "deadline_exceeded";
 } // namespace errc
 
 /** `{"type":"error","code":code,"message":message}` */

@@ -158,6 +158,43 @@ countJobs(const std::vector<const runner::ExperimentSpec *> &specs,
     return total;
 }
 
+/**
+ * Bridges one campaign's wave loop to the shared FairScheduler: each
+ * wave blocks for a stride-selected grant (width + intra-job
+ * allowance), each finished job hands its slot straight back so other
+ * tenants start without waiting for the whole wave. Aborts (cancel,
+ * deadline, shutdown) surface as a width-0 wave.
+ */
+class FairWaveScheduler : public runner::WaveScheduler
+{
+  public:
+    FairWaveScheduler(common::FairScheduler &fair, std::uint64_t entity,
+                      std::atomic<std::size_t> &wave_index,
+                      const std::atomic<bool> &abort)
+        : fair_(fair), entity_(entity), waveIndex_(wave_index),
+          abort_(abort)
+    {
+    }
+
+    Wave next(std::size_t remaining) override
+    {
+        const common::FairScheduler::Grant grant =
+            fair_.acquire(entity_, remaining, &abort_);
+        if (grant.width == 0)
+            return Wave{0, 1};
+        waveIndex_.fetch_add(1, std::memory_order_relaxed);
+        return Wave{grant.width, grant.innerThreads};
+    }
+
+    void jobDone() override { fair_.releaseOne(entity_); }
+
+  private:
+    common::FairScheduler &fair_;
+    std::uint64_t entity_;
+    std::atomic<std::size_t> &waveIndex_;
+    const std::atomic<bool> &abort_;
+};
+
 } // namespace
 
 Server::Server(ServerConfig config)
@@ -215,6 +252,8 @@ const char *
 Server::stateName(CampaignState state)
 {
     switch (state) {
+    case CampaignState::Queued:
+        return "queued";
     case CampaignState::Running:
         return "running";
     case CampaignState::Done:
@@ -225,6 +264,8 @@ Server::stateName(CampaignState state)
         return "cancelled";
     case CampaignState::Degraded:
         return "degraded";
+    case CampaignState::DeadlineExceeded:
+        return "deadline_exceeded";
     }
     return "unknown";
 }
@@ -247,8 +288,23 @@ Server::start()
         ::fcntl(stopPipeWrite_.get(), F_SETFL, flags | O_NONBLOCK) != 0)
         throw std::runtime_error("harpd: cannot configure stop pipe");
 
+    // Second self-pipe for SIGHUP snapshots, same discipline.
+    int snap_fds[2];
+    if (::pipe(snap_fds) != 0)
+        throw std::runtime_error("harpd: cannot create snapshot pipe");
+    snapshotPipeRead_ = Fd(snap_fds[0]);
+    snapshotPipeWrite_ = Fd(snap_fds[1]);
+    const int snap_flags = ::fcntl(snapshotPipeWrite_.get(), F_GETFL, 0);
+    if (snap_flags < 0 ||
+        ::fcntl(snapshotPipeWrite_.get(), F_SETFL,
+                snap_flags | O_NONBLOCK) != 0)
+        throw std::runtime_error("harpd: cannot configure snapshot pipe");
+
     listenFd_ = listenUnix(config_.socketPath);
     pool_ = std::make_unique<common::ThreadPool>(poolThreads_);
+    common::FairScheduler::Config fair_config;
+    fair_config.slots = poolThreads_;
+    fair_ = std::make_unique<common::FairScheduler>(fair_config);
 
     // Sweep staging dirs left by a killed or degraded run: results
     // only ever appear atomically under their final name, so any
@@ -309,6 +365,7 @@ Server::start()
             continue;
         }
         campaign->admittedJobs = jobs;
+        campaign->chargedAdmission.store(true);
         campaign->lastProgressMs.store(steadyMs());
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -324,8 +381,9 @@ Server::start()
         ++resumed_;
     }
 
-    if (config_.stallTimeoutMs > 0)
-        watchdog_ = std::thread([this] { watchdogLoop(); });
+    // The watchdog doubles as the deadline enforcer, so it runs even
+    // when stall detection is off.
+    watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 void
@@ -350,12 +408,30 @@ Server::requestStop()
 }
 
 void
+Server::requestStatusSnapshot()
+{
+    if (!snapshotPipeWrite_.valid())
+        return;
+    const char byte = 'h';
+    for (;;) {
+        const ssize_t n = ::write(snapshotPipeWrite_.get(), &byte, 1);
+        if (n == 1)
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // A full pipe already holds a pending snapshot request.
+        break;
+    }
+}
+
+void
 Server::serve()
 {
     while (!stopping_.load()) {
-        pollfd fds[2] = {{listenFd_.get(), POLLIN, 0},
-                         {stopPipeRead_.get(), POLLIN, 0}};
-        const int ready = ::poll(fds, 2, -1);
+        pollfd fds[3] = {{listenFd_.get(), POLLIN, 0},
+                         {stopPipeRead_.get(), POLLIN, 0},
+                         {snapshotPipeRead_.get(), POLLIN, 0}};
+        const int ready = ::poll(fds, 3, -1);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
@@ -363,6 +439,14 @@ Server::serve()
         }
         if ((fds[1].revents & POLLIN) != 0 || stopping_.load())
             break;
+        if ((fds[2].revents & POLLIN) != 0) {
+            // One read coalesces a burst of SIGHUPs; leftover bytes
+            // just trigger another (idempotent) snapshot.
+            char drained[64];
+            (void)!::read(snapshotPipeRead_.get(), drained,
+                          sizeof drained);
+            writeStatusSnapshot();
+        }
         if ((fds[0].revents & POLLIN) == 0)
             continue;
         Fd client(::accept(listenFd_.get(), nullptr, nullptr));
@@ -430,14 +514,30 @@ Server::watchdogLoop()
         const std::uint64_t now = steadyMs();
         for (const auto &campaign : campaigns) {
             bool running;
+            bool live;
             {
                 std::lock_guard<std::mutex> lock(campaign->mutex);
                 running = campaign->state == CampaignState::Running;
+                live = running ||
+                       campaign->state == CampaignState::Queued;
             }
-            const std::uint64_t last = campaign->lastProgressMs.load();
-            const bool stalled = running && last != 0 && now > last &&
-                                 now - last >= config_.stallTimeoutMs;
-            campaign->stalled.store(stalled);
+            if (config_.stallTimeoutMs > 0) {
+                const std::uint64_t last =
+                    campaign->lastProgressMs.load();
+                const bool stalled = running && last != 0 &&
+                                     now > last &&
+                                     now - last >= config_.stallTimeoutMs;
+                campaign->stalled.store(stalled);
+            }
+            // Deadline enforcement: flip the cooperative cancel once;
+            // the worker turns it into `deadline_exceeded` at the next
+            // wave boundary (or straight away while queued).
+            const std::uint64_t deadline = campaign->deadlineAtMs.load();
+            if (live && deadline != 0 && now >= deadline &&
+                !campaign->deadlineExpired.exchange(true)) {
+                campaign->cancel.store(true);
+                campaign->logCv.notify_all();
+            }
         }
         std::this_thread::sleep_for(cadence);
     }
@@ -491,8 +591,19 @@ Server::campaignStatusLine(const std::string &id, const Campaign &campaign)
     status.set("completed_jobs", JsonValue(campaign.completedJobs.load()));
     status.set("total_jobs", JsonValue(campaign.totalJobs));
     status.set("tenant", JsonValue(campaign.header.tenant));
+    status.set("priority", JsonValue(common::priorityClassName(
+                               campaign.header.priority)));
     // Re-attach cursor: `subscribe from=next_seq` continues the stream.
     status.set("next_seq", JsonValue(campaign.log.size()));
+    if (campaign.state == CampaignState::Queued)
+        status.set("queue_position",
+                   JsonValue(campaign.queuePosition.load()));
+    if (const std::uint64_t deadline = campaign.deadlineAtMs.load();
+        deadline != 0) {
+        const std::uint64_t now = steadyMs();
+        status.set("deadline_ms_left",
+                   JsonValue(deadline > now ? deadline - now : 0));
+    }
     if (!campaign.error.empty())
         status.set("error", JsonValue(campaign.error));
     if (campaign.state == CampaignState::Degraded) {
@@ -538,6 +649,8 @@ Server::handleRequest(int fd, const std::string &line)
         }
         reply.set("campaigns", list);
         reply.set("connections", JsonValue(connectionCount_.load()));
+        reply.set("pool_backlog",
+                  JsonValue(pool_ != nullptr ? pool_->backlog() : 0));
         return sendAll(fd, wireLine(reply));
     }
     case Verb::Status: {
@@ -627,6 +740,9 @@ Server::handleSubmit(int fd, const Request &request)
     campaign->header.repeat = request.repeat;
     campaign->header.overrides = request.overrides;
     campaign->header.tenant = request.tenant;
+    campaign->header.priority = request.priority;
+    if (request.deadlineMs > 0)
+        campaign->deadlineAtMs.store(steadyMs() + request.deadlineMs);
     campaign->specs = std::move(specs);
 
     // Expand the grids up front: rejects bad override values at submit
@@ -672,33 +788,71 @@ Server::handleSubmit(int fd, const Request &request)
             config_.maxInflightJobsPerTenant > 0 &&
             usage.jobs + total > config_.maxInflightJobsPerTenant;
         if (over_campaigns || over_jobs) {
-            JsonValue reply = errorReply(
-                errc::quotaExceeded,
-                over_campaigns
-                    ? "tenant '" + request.tenant + "' is at its " +
-                          std::to_string(config_.maxCampaignsPerTenant) +
-                          "-campaign limit"
-                    : "tenant '" + request.tenant +
-                          "' would exceed its in-flight job limit (" +
-                          std::to_string(usage.jobs) + "+" +
-                          std::to_string(total) + " > " +
-                          std::to_string(
-                              config_.maxInflightJobsPerTenant) +
-                          ")");
-            reply.set("retriable", JsonValue(true));
-            reply.set("retry_after_ms",
-                      JsonValue(config_.shedRetryAfterMs));
-            sendAll(fd, wireLine(reply));
-            return;
+            // Brownout rung 2: park over-quota submits in a bounded
+            // FIFO instead of shedding — but only work that *could*
+            // ever fit an empty ledger; an impossible submission would
+            // park forever. Rung 3, the shed, is reserved for a full
+            // queue (or queueing disabled).
+            const bool could_ever_fit =
+                config_.maxInflightJobsPerTenant == 0 ||
+                total <= config_.maxInflightJobsPerTenant;
+            if (config_.admissionQueueLimit > 0 && could_ever_fit &&
+                admissionQueue_.size() < config_.admissionQueueLimit) {
+                campaign->state = CampaignState::Queued;
+                campaign->admittedJobs = total;
+                campaign->totalJobs = total;
+                campaign->queuePosition.store(admissionQueue_.size());
+                admissionQueue_.push_back(campaign);
+                campaigns_[request.campaign] = campaign;
+            } else {
+                JsonValue reply = errorReply(
+                    errc::quotaExceeded,
+                    over_campaigns
+                        ? "tenant '" + request.tenant + "' is at its " +
+                              std::to_string(
+                                  config_.maxCampaignsPerTenant) +
+                              "-campaign limit"
+                        : "tenant '" + request.tenant +
+                              "' would exceed its in-flight job limit "
+                              "(" +
+                              std::to_string(usage.jobs) + "+" +
+                              std::to_string(total) + " > " +
+                              std::to_string(
+                                  config_.maxInflightJobsPerTenant) +
+                              ")");
+                reply.set("retriable", JsonValue(true));
+                reply.set("retry_after_ms",
+                          JsonValue(config_.shedRetryAfterMs));
+                sendAll(fd, wireLine(reply));
+                return;
+            }
+        } else {
+            TenantUsage &admitted = tenants_[request.tenant];
+            admitted.campaigns += 1;
+            admitted.jobs += total;
+            campaign->admittedJobs = total;
+            campaign->totalJobs = total;
+            campaign->chargedAdmission.store(true);
+            campaigns_[request.campaign] = campaign;
         }
-        TenantUsage &admitted = tenants_[request.tenant];
-        admitted.campaigns += 1;
-        admitted.jobs += total;
-        campaign->admittedJobs = total;
-        campaign->totalJobs = total;
-        campaigns_[request.campaign] = campaign;
     }
     const std::shared_ptr<EventQueue> queue = campaign->clientQueue;
+    // Parked campaigns announce their place in line before anything
+    // else; the estimate is one shed-retry unit per campaign ahead.
+    {
+        std::lock_guard<std::mutex> state_lock(campaign->mutex);
+        if (campaign->state == CampaignState::Queued && queue != nullptr) {
+            const std::size_t position = campaign->queuePosition.load();
+            JsonValue event = JsonValue::object();
+            event.set("type", JsonValue("queued"));
+            event.set("campaign", JsonValue(request.campaign));
+            event.set("position", JsonValue(position));
+            event.set("retry_after_ms",
+                      JsonValue(config_.shedRetryAfterMs *
+                                (position + 1)));
+            queue->push(wireLine(event));
+        }
+    }
     campaign->worker =
         std::thread([this, campaign] { runCampaign(campaign); });
 
@@ -796,8 +950,10 @@ Server::handleResume(int fd, const Request &request)
     }
     {
         std::lock_guard<std::mutex> lock(old->mutex);
-        if (old->state != CampaignState::Degraded ||
-            old->resumeInFlight) {
+        const bool resumable =
+            old->state == CampaignState::Degraded ||
+            old->state == CampaignState::DeadlineExceeded;
+        if (!resumable || old->resumeInFlight) {
             sendAll(fd,
                     wireLine(errorReply(
                         errc::notDegraded,
@@ -806,13 +962,14 @@ Server::handleResume(int fd, const Request &request)
                             (old->resumeInFlight
                                  ? " with a resume in flight"
                                  : "") +
-                            "; only degraded campaigns can be "
-                            "resumed")));
+                            "; only degraded or deadline_exceeded "
+                            "campaigns can be resumed")));
             return;
         }
         old->resumeInFlight = true;
     }
-    // Degraded is terminal for the worker — the join returns promptly.
+    // Degraded/deadline_exceeded are terminal for the worker — the
+    // join returns promptly.
     if (old->worker.joinable())
         old->worker.join();
 
@@ -863,6 +1020,11 @@ Server::handleResume(int fd, const Request &request)
         return;
     }
     const std::size_t jobs = old->totalJobs;
+    // A resumed campaign starts with a clean deadline slate: the old
+    // deadline already fired (or belongs to a disconnected caller);
+    // the resume request may set a fresh one.
+    if (request.deadlineMs > 0)
+        campaign->deadlineAtMs.store(steadyMs() + request.deadlineMs);
     campaign->lastProgressMs.store(steadyMs());
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -899,7 +1061,8 @@ Server::handleResume(int fd, const Request &request)
         admitted.campaigns += 1;
         admitted.jobs += jobs;
         campaign->admittedJobs = jobs;
-        campaigns_[id] = campaign; // replaces the degraded entry
+        campaign->chargedAdmission.store(true);
+        campaigns_[id] = campaign; // replaces the resumable entry
     }
     campaign->worker =
         std::thread([this, campaign] { runCampaign(campaign); });
@@ -934,13 +1097,166 @@ Server::releaseAdmission(const Campaign &campaign)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = tenants_.find(campaign.header.tenant);
-    if (it == tenants_.end())
+    if (it != tenants_.end()) {
+        TenantUsage &usage = it->second;
+        usage.campaigns -= std::min<std::size_t>(1, usage.campaigns);
+        usage.jobs -= std::min(campaign.admittedJobs, usage.jobs);
+        if (usage.campaigns == 0 && usage.jobs == 0)
+            tenants_.erase(it);
+    }
+    // Freed quota is the only thing parked campaigns wait on.
+    promoteQueuedLocked();
+}
+
+std::size_t
+Server::tenantWeight(const std::string &tenant) const
+{
+    const auto it = config_.tenantWeights.find(tenant);
+    const std::size_t weight = it != config_.tenantWeights.end()
+                                   ? it->second
+                                   : config_.defaultTenantWeight;
+    return std::max<std::size_t>(1, weight);
+}
+
+void
+Server::promoteQueuedLocked()
+{
+    // Arrival order, skipping over entries that still don't fit — a
+    // big parked submission must not head-of-line-block a small one
+    // from another tenant.
+    for (auto it = admissionQueue_.begin();
+         it != admissionQueue_.end();) {
+        const std::shared_ptr<Campaign> &campaign = *it;
+        if (campaign->cancel.load()) {
+            // Its worker is winding the campaign down; just unpark.
+            it = admissionQueue_.erase(it);
+            continue;
+        }
+        const auto usage_it = tenants_.find(campaign->header.tenant);
+        const TenantUsage usage =
+            usage_it != tenants_.end() ? usage_it->second : TenantUsage{};
+        const bool over_campaigns =
+            config_.maxCampaignsPerTenant > 0 &&
+            usage.campaigns >= config_.maxCampaignsPerTenant;
+        const bool over_jobs =
+            config_.maxInflightJobsPerTenant > 0 &&
+            usage.jobs + campaign->admittedJobs >
+                config_.maxInflightJobsPerTenant;
+        if (over_campaigns || over_jobs) {
+            ++it;
+            continue;
+        }
+        TenantUsage &admitted = tenants_[campaign->header.tenant];
+        admitted.campaigns += 1;
+        admitted.jobs += campaign->admittedJobs;
+        campaign->chargedAdmission.store(true);
+        {
+            std::lock_guard<std::mutex> state_lock(campaign->mutex);
+            if (campaign->state == CampaignState::Queued)
+                campaign->state = CampaignState::Running;
+        }
+        campaign->logCv.notify_all();
+        it = admissionQueue_.erase(it);
+    }
+    std::size_t position = 0;
+    for (const auto &campaign : admissionQueue_)
+        campaign->queuePosition.store(position++);
+}
+
+bool
+Server::awaitAdmission(const std::shared_ptr<Campaign> &campaign)
+{
+    // Poll-wait on the campaign cv: promotion notifies, and cancel /
+    // deadline / shutdown flags flip without one, so the wait is timed.
+    {
+        std::unique_lock<std::mutex> lock(campaign->mutex);
+        while (campaign->state == CampaignState::Queued &&
+               !campaign->cancel.load() && !stopping_.load()) {
+            campaign->logCv.wait_for(lock,
+                                     std::chrono::milliseconds(50));
+        }
+        if (campaign->state != CampaignState::Queued)
+            return true; // promoted (possibly cancelled later — the
+                         // normal run path handles that)
+    }
+    // Terminal while parked: unpark, publish why, close the stream.
+    // Nothing was charged and nothing ran, so there is no checkpoint;
+    // a deadline_exceeded here stays resumable from the in-memory
+    // header (the resume verb re-prices and re-admits it).
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = admissionQueue_.begin();
+             it != admissionQueue_.end(); ++it) {
+            if (it->get() == campaign.get()) {
+                admissionQueue_.erase(it);
+                break;
+            }
+        }
+        std::size_t position = 0;
+        for (const auto &parked : admissionQueue_)
+            parked->queuePosition.store(position++);
+    }
+    const bool deadline = campaign->deadlineExpired.load();
+    {
+        std::lock_guard<std::mutex> lock(campaign->mutex);
+        campaign->state = deadline ? CampaignState::DeadlineExceeded
+                                   : CampaignState::Cancelled;
+        if (deadline)
+            campaign->error = "deadline expired while queued";
+    }
+    const std::shared_ptr<EventQueue> queue = campaign->clientQueue;
+    if (queue != nullptr) {
+        JsonValue event = JsonValue::object();
+        event.set("type", JsonValue(deadline ? "deadline_exceeded"
+                                             : "cancelled"));
+        event.set("campaign", JsonValue(campaign->header.campaign));
+        if (deadline) {
+            event.set("completed_jobs", JsonValue(std::size_t{0}));
+            event.set("total_jobs", JsonValue(campaign->totalJobs));
+            event.set("resumable", JsonValue(true));
+        }
+        queue->push(wireLine(event));
+    }
+    return false;
+}
+
+void
+Server::writeStatusSnapshot()
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("time_ms", JsonValue(steadyMs()));
+    doc.set("pool_backlog",
+            JsonValue(pool_ != nullptr ? pool_->backlog() : 0));
+    JsonValue list = JsonValue::array();
+    JsonValue usage = JsonValue::object();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[id, campaign] : campaigns_) {
+            std::lock_guard<std::mutex> state_lock(campaign->mutex);
+            list.push(JsonValue::parse(campaignStatusLine(id, *campaign)));
+        }
+        for (const auto &[tenant, used] : tenants_) {
+            JsonValue entry = JsonValue::object();
+            entry.set("campaigns", JsonValue(used.campaigns));
+            entry.set("jobs", JsonValue(used.jobs));
+            usage.set(tenant, entry);
+        }
+        doc.set("queued", JsonValue(admissionQueue_.size()));
+    }
+    doc.set("campaigns", list);
+    doc.set("tenants", usage);
+
+    // tmp + rename so readers never see a torn snapshot; best-effort —
+    // a failed snapshot must never hurt the serving path.
+    const std::string path =
+        (fs::path(config_.dataDir) / "status.json").string();
+    const std::string tmp = path + ".tmp";
+    io::File out;
+    if (out.open(tmp, /*truncate=*/true, nullptr))
         return;
-    TenantUsage &usage = it->second;
-    usage.campaigns -= std::min<std::size_t>(1, usage.campaigns);
-    usage.jobs -= std::min(campaign.admittedJobs, usage.jobs);
-    if (usage.campaigns == 0 && usage.jobs == 0)
-        tenants_.erase(it);
+    if (out.writeAll(doc.dump(2) + "\n") || out.sync() || out.close())
+        return;
+    (void)!io::renamePath(tmp, path, nullptr);
 }
 
 void
@@ -948,15 +1264,44 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
 {
     const std::string &id = campaign->header.campaign;
     const std::shared_ptr<EventQueue> queue = campaign->clientQueue;
+
+    // Parked submissions wait here for quota; a cancel / deadline /
+    // shutdown while parked ends the campaign without running a job.
+    bool parked;
+    {
+        std::lock_guard<std::mutex> lock(campaign->mutex);
+        parked = campaign->state == CampaignState::Queued;
+    }
+    if (parked && !awaitAdmission(campaign)) {
+        {
+            std::lock_guard<std::mutex> lock(campaign->mutex);
+            campaign->logComplete = true;
+        }
+        campaign->logCv.notify_all();
+        if (queue != nullptr)
+            queue->close();
+        return;
+    }
+
     const std::string ckpt_path = checkpointPath(id);
     const fs::path staging =
         fs::path(config_.dataDir) / "results" / (".tmp-" + id);
     io::FaultPlan *plan = config_.ioFaultPlan;
     const auto finish = [&](CampaignState state,
                             const std::string &error) {
-        std::lock_guard<std::mutex> lock(campaign->mutex);
-        campaign->state = state;
-        campaign->error = error;
+        {
+            std::lock_guard<std::mutex> lock(campaign->mutex);
+            campaign->state = state;
+            campaign->error = error;
+        }
+        // Quota must be free before any terminal state or event is
+        // observable: a client that reacts to `done` by submitting (or
+        // resuming) must never be shed by its *own* finished campaign.
+        // Running is the shutdown-drain park, not a terminal state —
+        // it keeps its charge.
+        if (state != CampaignState::Running &&
+            campaign->chargedAdmission.exchange(false))
+            releaseAdmission(*campaign);
     };
     // Degrade, never corrupt: the checkpoint stays, the status carries
     // the errno and whether a resume can clear it, and the out-of-band
@@ -972,6 +1317,8 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
             campaign->errnoName = errno_name;
             campaign->retriable = retriable;
         }
+        if (campaign->chargedAdmission.exchange(false))
+            releaseAdmission(*campaign);
         if (queue != nullptr) {
             JsonValue event = JsonValue::object();
             event.set("type", JsonValue("degraded"));
@@ -984,6 +1331,37 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
     };
     const auto emit = [this, campaign, queue](JsonValue event) {
         publishEvent(campaign, std::move(event), queue);
+    };
+    // Progress heartbeats are deterministic stream members: they fire
+    // after every stride-th delivered result (counting restored +
+    // fresh, in job order), so their seq positions are identical on
+    // every incarnation of the campaign — only their *content*
+    // (wave, jobs_per_sec) reflects this run. That keeps `subscribe
+    // from=` cursors stable across kill/resume with heartbeats in the
+    // log.
+    std::size_t progress_results = 0;
+    std::size_t progress_stride = 0;
+    std::size_t progress_total = 0;
+    const std::uint64_t run_start_ms = steadyMs();
+    const auto emitResult = [&, this](JsonValue event) {
+        publishEvent(campaign, std::move(event), queue);
+        ++progress_results;
+        if (progress_stride != 0 &&
+            (progress_results % progress_stride == 0 ||
+             progress_results == progress_total)) {
+            JsonValue tick = JsonValue::object();
+            tick.set("type", JsonValue("progress"));
+            tick.set("campaign", JsonValue(id));
+            tick.set("wave", JsonValue(campaign->waveIndex.load()));
+            tick.set("jobs_done", JsonValue(progress_results));
+            tick.set("jobs_total", JsonValue(progress_total));
+            const std::uint64_t elapsed =
+                std::max<std::uint64_t>(1, steadyMs() - run_start_ms);
+            tick.set("jobs_per_sec",
+                     JsonValue(static_cast<double>(progress_results) *
+                               1000.0 / static_cast<double>(elapsed)));
+            publishEvent(campaign, std::move(tick), queue);
+        }
     };
 
     try {
@@ -1023,6 +1401,8 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
         campaign->totalJobs = total;
         campaign->completedJobs.store(restored);
         campaign->lastProgressMs.store(steadyMs());
+        progress_total = total;
+        progress_stride = std::max<std::size_t>(1, total / 64);
 
         if (queue != nullptr) {
             JsonValue accepted = JsonValue::object();
@@ -1046,6 +1426,31 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
         bool cancelled = false;
         std::optional<SinkFailure> io_failure;
         std::size_t completed_base = 0;
+
+        // Enroll with the fair governor for the compute phase: waves
+        // are granted stride-fairly across tenants, slots hand back
+        // per finished job. Scope-bound so every exit path leaves.
+        struct FairEnrollment
+        {
+            common::FairScheduler *fair = nullptr;
+            std::uint64_t entity = 0;
+            ~FairEnrollment()
+            {
+                if (fair != nullptr)
+                    fair->leave(entity);
+            }
+        } enrollment;
+        std::optional<FairWaveScheduler> fair_waves;
+        if (fair_ != nullptr) {
+            enrollment.fair = fair_.get();
+            enrollment.entity = fair_->enroll(
+                campaign->header.tenant,
+                tenantWeight(campaign->header.tenant),
+                campaign->header.priority);
+            fair_waves.emplace(*fair_, enrollment.entity,
+                               campaign->waveIndex, campaign->cancel);
+        }
+
         for (std::size_t i = 0; i < sessions.size(); ++i) {
             runner::CampaignSession &session = *sessions[i];
             const std::string &name = session.spec().name;
@@ -1057,7 +1462,7 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
                 throw CheckpointIoError("cannot open " + jsonl_path +
                                             ": " + ec.message(),
                                         ec);
-            ServedSink sink(file, &checkpoint, i, name, id, emit,
+            ServedSink sink(file, &checkpoint, i, name, id, emitResult,
                             &campaign->cancel);
             const std::size_t base = completed_base;
             const runner::CampaignSession::Outcome outcome = session.run(
@@ -1065,7 +1470,8 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
                 [campaign, base](std::size_t done) {
                     campaign->completedJobs.store(base + done);
                     campaign->lastProgressMs.store(steadyMs());
-                });
+                },
+                fair_waves.has_value() ? &*fair_waves : nullptr);
             if (sink.failure().has_value()) {
                 io_failure = sink.failure();
                 break;
@@ -1114,6 +1520,24 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
                 // Shutdown drain, not user intent: keep the checkpoint
                 // so the next start resumes right here.
                 finish(CampaignState::Running, "");
+            } else if (campaign->deadlineExpired.load()) {
+                // Deadline, not user intent either: every completed
+                // job is already in the checkpoint, so the campaign
+                // parks as resumable `deadline_exceeded` with no torn
+                // output — `resume` picks up exactly here.
+                finish(CampaignState::DeadlineExceeded,
+                       "deadline_ms expired at a wave boundary");
+                if (queue != nullptr) {
+                    JsonValue event = JsonValue::object();
+                    event.set("type", JsonValue("deadline_exceeded"));
+                    event.set("campaign", JsonValue(id));
+                    event.set("completed_jobs",
+                              JsonValue(campaign->completedJobs.load()));
+                    event.set("total_jobs",
+                              JsonValue(campaign->totalJobs));
+                    event.set("resumable", JsonValue(true));
+                    queue->push(wireLine(event));
+                }
             } else {
                 std::error_code cleanup;
                 fs::remove(ckpt_path, cleanup);
@@ -1206,7 +1630,11 @@ Server::runCampaign(const std::shared_ptr<Campaign> &campaign)
     campaign->logCv.notify_all();
     if (queue != nullptr)
         queue->close();
-    releaseAdmission(*campaign);
+    // Backstop: terminal paths released at the state transition (so
+    // quota frees before terminal events are visible); this catches
+    // only exits that never reached one.
+    if (campaign->chargedAdmission.exchange(false))
+        releaseAdmission(*campaign);
 }
 
 } // namespace harp::harpd

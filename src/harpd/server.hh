@@ -35,6 +35,16 @@
  *    queueing unboundedly. A watchdog marks campaigns that stop
  *    making progress as `stalled` in status rather than letting
  *    clients hang on a wedged daemon.
+ *  - Overload brownout instead of a cliff: admitted campaigns share
+ *    the pool through a weighted fair governor (per-tenant weights x
+ *    priority classes, stride-selected at wave granularity, no
+ *    starvation; background-class campaigns are narrowed first). With
+ *    an admission queue configured, over-quota submits park with a
+ *    `queued` event (position + retry_after_ms estimate) and admit in
+ *    arrival order as quota frees; only a full queue sheds. A
+ *    campaign's `deadline_ms` expires it cooperatively at the next
+ *    wave boundary into the resumable `deadline_exceeded` state —
+ *    checkpoint kept, no torn output.
  *  - A disconnected client never aborts its campaign: the output
  *    queue closes, producers drop their events, and the campaign runs
  *    to completion on disk (exactly like a resume).
@@ -50,6 +60,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,6 +69,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hh"
+#include "common/fair_scheduler.hh"
 #include "common/io.hh"
 #include "common/thread_pool.hh"
 #include "harpd/checkpoint.hh"
@@ -89,8 +101,20 @@ struct ServerConfig
     /** Admission control: per-tenant in-flight job cap
      *  (0 = unlimited). */
     std::size_t maxInflightJobsPerTenant = 0;
-    /** Hint in `quota_exceeded` shed replies. */
+    /** Hint in `quota_exceeded` shed replies; also the per-position
+     *  unit of the `queued` event's retry_after_ms estimate. */
     std::size_t shedRetryAfterMs = 1000;
+    /** Admission queue bound: over-quota submits park (state `queued`)
+     *  until quota frees instead of shedding, up to this many; a full
+     *  queue sheds. 0 disables queueing (shed immediately — the
+     *  pre-brownout behavior). */
+    std::size_t admissionQueueLimit = 0;
+    /** Fair-scheduler weight per tenant; unlisted tenants get
+     *  defaultTenantWeight. Weights are throughput shares: a weight-3
+     *  tenant gets 3x the pool slots of a weight-1 tenant while both
+     *  are backlogged. */
+    std::map<std::string, std::size_t> tenantWeights;
+    std::size_t defaultTenantWeight = 1;
     /** Watchdog: a running campaign with no completed job or streamed
      *  event for this long is flagged `stalled` (0 = disabled). */
     std::size_t stallTimeoutMs = 0;
@@ -128,6 +152,13 @@ class Server
      *  self-pipe); callable from any thread or a signal handler. */
     void requestStop();
 
+    /** Ask serve() to write a checkpoint/status snapshot
+     *  (<dataDir>/status.json) without stopping — the SIGHUP verb.
+     *  Async-signal-safe, same self-pipe discipline as requestStop().
+     *  Completed-job records are already fsynced per record, so the
+     *  snapshot is the only state not yet on disk. */
+    void requestStatusSnapshot();
+
     /** Campaigns resumed by start() (for logs/tests). */
     std::size_t resumedCampaigns() const { return resumed_; }
 
@@ -143,6 +174,9 @@ class Server
 
     enum class CampaignState
     {
+        /** Parked in the admission queue; not yet charged to the
+         *  tenant, promoted in arrival order as quota frees. */
+        Queued,
         Running,
         Done,
         Failed,
@@ -150,6 +184,9 @@ class Server
         /** A durable-path I/O failure: checkpoint intact, resumable
          *  via the `resume` verb once the fault clears. */
         Degraded,
+        /** deadline_ms expired: stopped at a wave boundary, checkpoint
+         *  intact, resumable (optionally with a new deadline). */
+        DeadlineExceeded,
     };
 
     struct Campaign
@@ -169,8 +206,21 @@ class Server
         std::size_t totalJobs = 0;
         /** Jobs charged against the tenant's quota at admission. */
         std::size_t admittedJobs = 0;
+        /** True once the tenant ledger was actually charged (false
+         *  while parked in the admission queue). */
+        std::atomic<bool> chargedAdmission{false};
         std::atomic<std::size_t> completedJobs{0};
         std::atomic<bool> cancel{false};
+        /** Deadline as a steady-clock deadline in ms; 0 = none. Not
+         *  persisted: deadlines belong to callers, not computations. */
+        std::atomic<std::uint64_t> deadlineAtMs{0};
+        /** Set (once) by the watchdog when the deadline passes; turns
+         *  the cooperative cancel into `deadline_exceeded`. */
+        std::atomic<bool> deadlineExpired{false};
+        /** Fair-scheduler waves granted so far (progress events). */
+        std::atomic<std::size_t> waveIndex{0};
+        /** Position in the admission queue while state == Queued. */
+        std::atomic<std::size_t> queuePosition{0};
         /** Replayable event log: entry i is the wire line whose
          *  `seq` is i. Rebuilt identically on resume (restored lines
          *  re-enter the sink in job order), so `subscribe from=` is
@@ -201,12 +251,23 @@ class Server
     bool handleSubscribe(int fd, const Request &request);
     void handleResume(int fd, const Request &request);
     void runCampaign(const std::shared_ptr<Campaign> &campaign);
+    /** Block the campaign worker until promotion out of the admission
+     *  queue (true) or a cancel/deadline/shutdown while parked (false,
+     *  terminal state already published). */
+    bool awaitAdmission(const std::shared_ptr<Campaign> &campaign);
+    /** Admit queued campaigns that now fit their tenant's quota, in
+     *  arrival order (skipping over ones that still don't fit), and
+     *  refresh queue positions. Caller holds mutex_. */
+    void promoteQueuedLocked();
+    /** Write <dataDir>/status.json atomically (SIGHUP). */
+    void writeStatusSnapshot();
     /** Stamp @p event with the next seq, append it to the replayable
      *  log, and forward it to the submit stream (if any). */
     void publishEvent(const std::shared_ptr<Campaign> &campaign,
                       runner::JsonValue event,
                       const std::shared_ptr<EventQueue> &queue);
     void releaseAdmission(const Campaign &campaign);
+    std::size_t tenantWeight(const std::string &tenant) const;
     void watchdogLoop();
     std::string campaignStatusLine(const std::string &id,
                                    const Campaign &campaign);
@@ -217,10 +278,13 @@ class Server
     ServerConfig config_;
     const runner::Registry *registry_;
     std::unique_ptr<common::ThreadPool> pool_;
+    std::unique_ptr<common::FairScheduler> fair_;
     std::size_t poolThreads_ = 1;
     Fd listenFd_;
     Fd stopPipeRead_;
     Fd stopPipeWrite_;
+    Fd snapshotPipeRead_;
+    Fd snapshotPipeWrite_;
     std::atomic<bool> stopping_{false};
     std::size_t resumed_ = 0;
     std::thread watchdog_;
@@ -228,6 +292,8 @@ class Server
     mutable std::mutex mutex_; ///< guards campaigns_/connections_/tenants_
     std::map<std::string, std::shared_ptr<Campaign>> campaigns_;
     std::map<std::string, TenantUsage> tenants_;
+    /** Over-quota submits awaiting promotion, arrival order. */
+    std::deque<std::shared_ptr<Campaign>> admissionQueue_;
     std::vector<std::thread> connections_;
     std::vector<int> connectionFds_;
     std::atomic<std::size_t> connectionCount_{0};

@@ -77,7 +77,8 @@ CampaignSession::restore(std::size_t job, std::string line)
 CampaignSession::Outcome
 CampaignSession::run(common::ThreadPool *pool, std::size_t poolThreads,
                      ResultSink &sink, const std::atomic<bool> *cancel,
-                     const std::function<void(std::size_t)> &progress)
+                     const std::function<void(std::size_t)> &progress,
+                     WaveScheduler *scheduler)
 {
     if (poolThreads == 0) {
         poolThreads =
@@ -168,15 +169,34 @@ CampaignSession::run(common::ThreadPool *pool, std::size_t poolThreads,
             outcome.cancelled = true;
             break;
         }
-        const std::size_t wave =
-            std::min(poolThreads, remaining.size() - next);
-        const std::size_t inner_threads =
-            std::max<std::size_t>(1, poolThreads / wave);
+        const std::size_t rest = remaining.size() - next;
+        std::size_t wave;
+        std::size_t inner_threads;
+        if (scheduler != nullptr) {
+            // The governor may block here until the shared pool has
+            // capacity for this session, and aborts with width 0 (the
+            // session then reports cancelled, like a cancel flag).
+            const WaveScheduler::Wave plan = scheduler->next(rest);
+            if (plan.width == 0) {
+                outcome.cancelled = true;
+                break;
+            }
+            wave = std::min(plan.width, rest);
+            inner_threads = std::max<std::size_t>(1, plan.innerThreads);
+        } else {
+            wave = std::min(poolThreads, rest);
+            inner_threads = std::max<std::size_t>(1, poolThreads / wave);
+        }
+        const auto finishOne = [&] {
+            if (progress)
+                progress(completed.fetch_add(1) + 1);
+            if (scheduler != nullptr)
+                scheduler->jobDone();
+        };
         if (pool == nullptr || poolThreads <= 1 || wave <= 1) {
             for (std::size_t w = 0; w < wave; ++w) {
                 runOne(remaining[next + w], inner_threads);
-                if (progress)
-                    progress(completed.fetch_add(1) + 1);
+                finishOne();
             }
         } else {
             common::WaitGroup wg;
@@ -185,8 +205,7 @@ CampaignSession::run(common::ThreadPool *pool, std::size_t poolThreads,
                 const std::size_t j = remaining[next + w];
                 pool->submit([&, j, inner_threads] {
                     runOne(j, inner_threads);
-                    if (progress)
-                        progress(completed.fetch_add(1) + 1);
+                    finishOne();
                     wg.done();
                 });
             }

@@ -18,8 +18,10 @@
  * jobs, longest-expected-first (jobCostKey). The intra-job thread
  * allowance is recomputed per wave — `inner = poolThreads / waveSize` —
  * so a campaign whose trailing jobs run alone widens their intra-job
- * sharding instead of leaving cores idle. Output order and bytes are
- * unaffected: every job derives its own seed and the sink is fed in
+ * sharding instead of leaving cores idle. A WaveScheduler can override
+ * both knobs per wave (harpd's weighted fair governor does, to share
+ * one pool across tenants). Output order and bytes are unaffected
+ * either way: every job derives its own seed and the sink is fed in
  * strict job order through an OrderedMerger.
  */
 
@@ -66,6 +68,38 @@ class ResultSink
      */
     virtual void onResult(std::size_t job, const std::string &line,
                           bool fresh) = 0;
+};
+
+/**
+ * Decides the width and intra-job allowance of each wave when several
+ * sessions share one pool (harpd's weighted fair governor implements
+ * this over common::FairScheduler). next() may block until capacity is
+ * granted; returning width 0 aborts the session cooperatively (run()
+ * reports cancelled). jobDone() is invoked once per finished wave job,
+ * possibly from pool worker threads, so slots free one job at a time
+ * rather than one wave at a time.
+ *
+ * Scheduling never changes campaign bytes: whatever widths a scheduler
+ * picks, seeds are per-job and the sink is fed in strict job order.
+ */
+class WaveScheduler
+{
+  public:
+    virtual ~WaveScheduler() = default;
+
+    struct Wave
+    {
+        /** Jobs to dispatch this wave; 0 aborts the session. */
+        std::size_t width = 1;
+        /** Intra-job sharding allowance for each of them. */
+        std::size_t innerThreads = 1;
+    };
+
+    /** @param remaining Jobs not yet dispatched (> 0). */
+    virtual Wave next(std::size_t remaining) = 0;
+
+    /** One wave job finished (any thread). */
+    virtual void jobDone() {}
 };
 
 /** Inputs shared by every job of a session. */
@@ -140,12 +174,16 @@ class CampaignSession
      *                    wave boundaries (running jobs finish).
      * @param progress    Optional callback invoked with the cumulative
      *                    completed-job count as jobs finish.
+     * @param scheduler   Optional wave-shape override; nullptr keeps
+     *                    the default policy (width = poolThreads,
+     *                    inner = poolThreads / width).
      * @throws std::runtime_error when a job throws or its metrics fail
      *         schema validation (after the remaining jobs finish).
      */
     Outcome run(common::ThreadPool *pool, std::size_t poolThreads,
                 ResultSink &sink, const std::atomic<bool> *cancel = nullptr,
-                const std::function<void(std::size_t)> &progress = {});
+                const std::function<void(std::size_t)> &progress = {},
+                WaveScheduler *scheduler = nullptr);
 
   private:
     const ExperimentSpec *spec_;

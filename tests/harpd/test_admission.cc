@@ -252,6 +252,29 @@ TEST_F(AdmissionTest, UnlimitedByDefault)
         awaitState("many" + std::to_string(i), "done");
 }
 
+TEST_F(AdmissionTest, QueueDisabledByDefaultShedsImmediately)
+{
+    // admissionQueueLimit defaults to 0: over-quota submits must shed
+    // with the structured error, never park as `queued` — existing
+    // clients that key on retry_after_ms keep their contract.
+    config_.maxCampaignsPerTenant = 1;
+    startServer();
+    Client holder(config_.socketPath);
+    ASSERT_TRUE(holder.send(submitRequest("held", "acme", 8, "10")));
+    const std::optional<JsonValue> accepted = holder.read();
+    ASSERT_TRUE(accepted.has_value());
+    ASSERT_EQ(accepted->find("type")->asString(), "accepted");
+
+    Client client(config_.socketPath);
+    ASSERT_TRUE(client.send(submitRequest("parked", "acme", 1)));
+    const std::optional<JsonValue> reply = client.read();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("type")->asString(), "queued")
+        << "queueing must be opt-in: " << reply->dump();
+    expectShed(*reply, 123);
+    awaitState("held", "done");
+}
+
 TEST_F(AdmissionTest, WatchdogFlagsAStalledCampaignAndClearsOnFinish)
 {
     config_.stallTimeoutMs = 50;

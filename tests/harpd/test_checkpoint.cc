@@ -95,6 +95,31 @@ TEST_F(CheckpointTest, RoundTripsHeaderAndRecords)
     }
 }
 
+TEST_F(CheckpointTest, PriorityRoundTripsAndNormalIsElided)
+{
+    // Non-Normal priority survives the crash/restart cycle, so a
+    // resumed background sweep stays background under contention.
+    CheckpointHeader header = sampleHeader();
+    header.priority = common::PriorityClass::Background;
+    {
+        CheckpointWriter writer(path_, header);
+    }
+    const std::optional<LoadedCheckpoint> loaded = loadCheckpoint(path_);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->header.priority, common::PriorityClass::Background);
+
+    // Normal is the wire default and is elided — old checkpoints
+    // (which predate the field) and new Normal ones are identical.
+    writeRaw("");
+    {
+        CheckpointWriter writer(path_, sampleHeader());
+    }
+    EXPECT_EQ(readRaw().find("priority"), std::string::npos);
+    const std::optional<LoadedCheckpoint> plain = loadCheckpoint(path_);
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->header.priority, common::PriorityClass::Normal);
+}
+
 TEST_F(CheckpointTest, AppendModeContinuesAfterLoad)
 {
     writeSample(2);

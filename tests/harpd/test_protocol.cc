@@ -243,6 +243,78 @@ TEST(Protocol, TenantValidatesLikeACampaignId)
                 errc::badRequest);
 }
 
+TEST(Protocol, PriorityParsesAndRejectsUnknownClasses)
+{
+    JsonValue error;
+    const std::optional<Request> defaulted = parseRequest(
+        "{\"verb\":\"submit\",\"campaign\":\"c\","
+        "\"experiments\":[\"e\"]}",
+        error);
+    ASSERT_TRUE(defaulted.has_value());
+    EXPECT_EQ(defaulted->priority, common::PriorityClass::Normal);
+
+    for (const auto &[name, cls] :
+         {std::pair<const char *, common::PriorityClass>{
+              "interactive", common::PriorityClass::Interactive},
+          {"normal", common::PriorityClass::Normal},
+          {"background", common::PriorityClass::Background}}) {
+        const std::optional<Request> request = parseRequest(
+            "{\"verb\":\"submit\",\"campaign\":\"c\","
+            "\"experiments\":[\"e\"],\"priority\":\"" +
+                std::string(name) + "\"}",
+            error);
+        ASSERT_TRUE(request.has_value()) << name;
+        EXPECT_EQ(request->priority, cls) << name;
+    }
+
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"priority\":\"urgent\"}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"priority\":3}",
+                errc::badRequest);
+}
+
+TEST(Protocol, DeadlineMsParsesOnSubmitAndResume)
+{
+    JsonValue error;
+    const std::optional<Request> submit = parseRequest(
+        "{\"verb\":\"submit\",\"campaign\":\"c\","
+        "\"experiments\":[\"e\"],\"deadline_ms\":30000}",
+        error);
+    ASSERT_TRUE(submit.has_value());
+    EXPECT_EQ(submit->deadlineMs, 30000u);
+
+    // Resume may arm a *fresh* deadline (the old one died with the
+    // original caller).
+    const std::optional<Request> resume = parseRequest(
+        "{\"verb\":\"resume\",\"campaign\":\"c\",\"deadline_ms\":500}",
+        error);
+    ASSERT_TRUE(resume.has_value());
+    EXPECT_EQ(resume->deadlineMs, 500u);
+
+    const std::optional<Request> none = parseRequest(
+        "{\"verb\":\"submit\",\"campaign\":\"c\","
+        "\"experiments\":[\"e\"]}",
+        error);
+    ASSERT_TRUE(none.has_value());
+    EXPECT_EQ(none->deadlineMs, 0u) << "absent means no deadline";
+
+    // Bounds: a positive integer within [1, 1e9] ms.
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"deadline_ms\":0}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"deadline_ms\":-100}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"deadline_ms\":1000000001}",
+                errc::badRequest);
+    expectError("{\"verb\":\"submit\",\"campaign\":\"c\","
+                "\"experiments\":[\"e\"],\"deadline_ms\":\"1s\"}",
+                errc::badRequest);
+}
+
 TEST(Protocol, OversizedLineBoundaryIsEnforcedByReader)
 {
     // The reader, not the parser, enforces maxLineBytes — but the
